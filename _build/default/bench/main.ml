@@ -1,0 +1,349 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation section (see DESIGN.md §3 and EXPERIMENTS.md) and, with
+   [--bechamel], runs Bechamel micro-benchmarks of the translator itself.
+
+   Usage:
+     bench/main.exe                 run everything
+     bench/main.exe fig5            one experiment
+     bench/main.exe --scale 2 all   bigger workloads
+     bench/main.exe --bechamel      Bechamel micro-benchmarks
+*)
+
+module B = Workloads.Baselines
+module F = Harness.Figures
+
+let line () = Printf.printf "%s\n" (String.make 72 '-')
+
+let header title paper =
+  line ();
+  Printf.printf "%s\n" title;
+  Printf.printf "(paper: %s)\n" paper;
+  line ()
+
+(* ---------------- Table 1 ---------------- *)
+
+(* Table 1 is about translation correctness: the push-eax sequence must
+   keep ESP intact when the store faults. *)
+let table1 () =
+  header "Table 1: precise state for `push eax` with a faulting store"
+    "correct code updates ESP only after the store; the incorrect\n\
+     ordering would expose a decremented ESP to the handler";
+  let open Ia32.Insn in
+  let code =
+    [
+      Ia32.Asm.label "start";
+      Ia32.Asm.i (Mov (S32, R Esp, I 0x30000000)); (* unmapped page *)
+      Ia32.Asm.i (Mov (S32, R Eax, I 0x1234));
+      Ia32.Asm.label "push";
+      Ia32.Asm.i (Push (R Eax));
+    ]
+  in
+  let image = Ia32.Asm.build ~code ~data:[] () in
+  let mem = Ia32.Memory.create () in
+  let st = Ia32.Asm.load image mem in
+  let eng =
+    Ia32el.Engine.create ~config:Ia32el.Config.cold_only
+      ~btlib:(module Btlib.Linuxsim) mem
+  in
+  (match Ia32el.Engine.run ~fuel:100_000 eng st with
+  | Ia32el.Engine.Unhandled_fault (Ia32.Fault.Page_fault (a, Ia32.Fault.Write), fst)
+    ->
+    Printf.printf "fault     : #PF write at 0x%08x\n" a;
+    Printf.printf "EIP       : 0x%08x (%s)\n" fst.Ia32.State.eip
+      (if fst.Ia32.State.eip = image.Ia32.Asm.lookup "push" then
+         "the faulting push — precise" else "IMPRECISE");
+    Printf.printf "ESP       : 0x%08x (%s)\n"
+      (Ia32.State.get32 fst Esp)
+      (if Ia32.State.get32 fst Esp = 0x30000000 then
+         "pre-push value — the CORRECT translation of Table 1"
+       else "decremented — the INCORRECT translation of Table 1");
+    Printf.printf "EAX       : 0x%08x\n" (Ia32.State.get32 fst Eax)
+  | _ -> Printf.printf "unexpected outcome\n");
+  Printf.printf "\n"
+
+(* ---------------- Figure 5 ---------------- *)
+
+let fig5 ~scale () =
+  header "Figure 5: SPEC CPU2000 INT, IA-32 EL relative to native Itanium"
+    "gzip 86, vpr 69, gcc 51, mcf 104, crafty 39, parser 81, eon 41,\n\
+     perlbmk 64, gap 62, vortex 60, bzip2 74, twolf 76 — GeoMean 65";
+  Printf.printf "%-10s %12s %12s %9s %9s\n" "benchmark" "EL cycles"
+    "native cyc" "score" "paper";
+  let rows, geomean = F.fig5 ~scale () in
+  List.iter
+    (fun (r : F.fig5_row) ->
+      Printf.printf "%-10s %12d %12d %8.0f%% %8s\n" r.F.name r.F.el_cycles
+        r.F.native_cycles r.F.score
+        (match r.F.paper with Some p -> Printf.sprintf "%d%%" p | None -> "-"))
+    rows;
+  Printf.printf "%-10s %12s %12s %8.0f%% %8s\n" "GeoMean" "" "" geomean "65%";
+  Printf.printf "\n"
+
+(* ---------------- Figures 6 and 7 ---------------- *)
+
+let pp_dist (h, c, o, x, i) =
+  Printf.printf "  hot      %5.1f%%\n  cold     %5.1f%%\n  overhead %5.1f%%\n" h c o;
+  Printf.printf "  other    %5.1f%%\n  idle     %5.1f%%\n" x i
+
+let fig6 ~scale () =
+  header "Figure 6: execution-time distribution, translated SPEC CPU2000"
+    "hot 95%, cold 3%, overhead 1%, other 1%";
+  pp_dist (F.fig6 ~scale ());
+  Printf.printf "\n"
+
+let fig7 ~scale () =
+  header "Figure 7: execution-time distribution, Sysmark-like workload"
+    "hot 46%, cold 5%, overhead 12%, other 22%, idle 15%";
+  pp_dist (F.fig7 ~scale ());
+  Printf.printf "\n"
+
+(* ---------------- Figure 8 ---------------- *)
+
+let fig8 ~scale () =
+  header "Figure 8: IA-32 EL on 1.5GHz Itanium 2 vs 1.6GHz Xeon (wall clock)"
+    "CPU2000 INT 105.0%, CPU2000 FP 132.6%, Sysmark 2002 98.9%";
+  Printf.printf "%-14s %10s %10s\n" "suite" "measured" "paper";
+  List.iter
+    (fun (r : F.fig8_row) ->
+      Printf.printf "%-14s %9.1f%% %9.1f%%\n" r.F.suite r.F.ratio r.F.paper8)
+    (F.fig8 ~scale ());
+  Printf.printf "\n"
+
+(* ---------------- §5 misalignment anecdote ---------------- *)
+
+let misalign ~scale () =
+  header "§5 anecdote: misalignment detection and avoidance"
+    "one workload went from 1236 s to 133 s (~9.3x) with the machinery";
+  let off, on_ = F.misalign_anecdote ~scale () in
+  Printf.printf "machinery off : %10d cycles\n" off;
+  Printf.printf "machinery on  : %10d cycles\n" on_;
+  Printf.printf "speedup       : %9.1fx\n\n"
+    (Float.of_int off /. Float.of_int (max 1 on_))
+
+(* ---------------- §2/§5 scalar statistics ---------------- *)
+
+let stats ~scale () =
+  header "Scalar statistics (paper §2 and §5)"
+    "cold blocks 4-5 insns; hot ~20; 5-10% of blocks heat; hot translation\n\
+     ~20x cold per insn; ~1 commit point per 10 native insns; 95% of time\n\
+     in hot code on SPEC; speculation checks succeed 99-100%";
+  let s = F.stats ~scale () in
+  Printf.printf "IA-32 insns per cold block      : %5.1f   (paper 4-5)\n"
+    s.F.cold_block_insns;
+  Printf.printf "IA-32 insns per hot block       : %5.1f   (paper ~20)\n"
+    s.F.hot_block_insns;
+  Printf.printf "cold blocks that heat           : %5.1f%%  (paper 5-10%%)\n"
+    s.F.pct_blocks_heated;
+  Printf.printf "hot/cold translation cost ratio : %5.1fx  (paper ~20x)\n"
+    s.F.hot_cold_overhead_ratio;
+  Printf.printf "native insns per commit point   : %5.1f   (paper ~10)\n"
+    s.F.native_insns_per_commit;
+  Printf.printf "time in hot code (SPEC)         : %5.1f%%  (paper ~95%%)\n"
+    s.F.hot_time_pct;
+  Printf.printf "speculation checks executed     : %d\n" s.F.spec_checks;
+  Printf.printf "speculation misses              : %d\n" s.F.spec_misses;
+  Printf.printf "speculation success             : %5.2f%% (paper 99-100%%)\n\n"
+    s.F.spec_success
+
+(* ---------------- hardware-circuitry comparison ---------------- *)
+
+let circuitry ~scale () =
+  header "IA-32 EL vs the IA-32 hardware circuitry on Itanium"
+    "\"IA-32 EL ... can accelerate IA-32 application performance compared\n\
+     to the existing hardware solution\" (paper §1)";
+  Printf.printf "%-10s %12s %12s %9s\n" "benchmark" "EL cycles" "circuitry"
+    "speedup";
+  let speedups =
+    List.map
+      (fun w ->
+        let el = B.run_el w ~scale in
+        let hw = B.run_circuitry w ~scale in
+        let sp = Float.of_int hw.B.cycles /. Float.of_int el.B.cycles in
+        Printf.printf "%-10s %12d %12d %8.2fx\n" w.Workloads.Common.name
+          el.B.cycles hw.B.cycles sp;
+        sp)
+      Workloads.Spec_int.all
+  in
+  let geo =
+    Float.exp
+      (List.fold_left (fun a x -> a +. Float.log x) 0.0 speedups
+      /. Float.of_int (List.length speedups))
+  in
+  Printf.printf "%-10s %12s %12s %8.2fx\n\n" "GeoMean" "" "" geo
+
+(* ---------------- ablations ---------------- *)
+
+let ablations ~scale () =
+  header "Ablations of the paper's design choices"
+    "two-phase vs cold-only; instrumented-cold vs interpret-first first\n\
+     phase; scheduling; EFLAGS elimination; misalignment machinery;\n\
+     FP/MMX/SSE speculation";
+  let subset =
+    [
+      Workloads.Spec_int.gzip; Workloads.Spec_int.vpr; Workloads.Spec_int.mcf;
+      Workloads.Spec_int.crafty; Workloads.Spec_int.twolf;
+      Workloads.Spec_fp.swim; Workloads.Spec_fp.equake;
+    ]
+  in
+  let total config =
+    List.fold_left
+      (fun acc w -> acc + (B.run_el ~config w ~scale).B.cycles)
+      0 subset
+  in
+  let base = total Ia32el.Config.default in
+  let show name config =
+    let t = total config in
+    Printf.printf "%-34s %12d cycles  %+6.1f%%\n" name t
+      (100.0 *. Float.of_int (t - base) /. Float.of_int base)
+  in
+  Printf.printf "%-34s %12d cycles  (baseline)\n" "full IA-32 EL" base;
+  show "cold-only (no second phase)" Ia32el.Config.cold_only;
+  show "interpret-first first phase"
+    { Ia32el.Config.default with Ia32el.Config.first_phase = Ia32el.Config.Interpret_first };
+  show "no hot-code scheduling"
+    { Ia32el.Config.default with Ia32el.Config.enable_scheduling = false };
+  show "no control-speculative loads"
+    { Ia32el.Config.default with Ia32el.Config.enable_control_spec = false };
+  show "no EFLAGS elimination"
+    { Ia32el.Config.default with Ia32el.Config.enable_flag_elim = false };
+  show "no address CSE"
+    { Ia32el.Config.default with Ia32el.Config.enable_cse = false };
+  show "no misalignment avoidance"
+    { Ia32el.Config.default with Ia32el.Config.misalign_avoidance = false };
+  show "no if-conversion"
+    { Ia32el.Config.default with Ia32el.Config.enable_predication = false };
+  show "no loop unrolling"
+    { Ia32el.Config.default with Ia32el.Config.enable_unroll = false };
+  show "no FP/MMX/SSE speculation checks"
+    { Ia32el.Config.default with
+      Ia32el.Config.fp_stack_speculation = false;
+      mmx_mode_speculation = false;
+      sse_format_speculation = false };
+  Printf.printf "\n"
+
+(* ---------------- Bechamel micro-benchmarks ---------------- *)
+
+let bechamel () =
+  let open Bechamel in
+  let open Toolkit in
+  let mk_run name f = Test.make ~name (Staged.stage f) in
+  let small_image =
+    Workloads.Spec_int.twolf.Workloads.Common.build ~scale:1 ~wide:false
+  in
+  let cold_translate () =
+    let mem = Ia32.Memory.create () in
+    ignore (Ia32.Asm.load small_image mem);
+    let eng =
+      Ia32el.Engine.create ~config:Ia32el.Config.cold_only
+        ~btlib:(module Btlib.Linuxsim) mem
+    in
+    ignore
+      (Ia32el.Cold.translate eng.Ia32el.Engine.cold_env
+         ~entry:small_image.Ia32.Asm.entry ~entry_tos:0 ~stage2:false)
+  in
+  let interp_run () =
+    let mem = Ia32.Memory.create () in
+    let st = Ia32.Asm.load small_image mem in
+    let vos = Btlib.Vos.create mem in
+    ignore (Ia32el.Refvehicle.run ~btlib:(module Btlib.Linuxsim) vos st)
+  in
+  (* one Test.make per table/figure driver (at scale 1) plus translator
+     throughput probes *)
+  let tests =
+    [
+      mk_run "table1.precise-exception" (fun () ->
+          let mem = Ia32.Memory.create () in
+          let open Ia32.Insn in
+          let image =
+            Ia32.Asm.build
+              ~code:
+                [ Ia32.Asm.label "start";
+                  Ia32.Asm.i (Mov (S32, R Esp, I 0x30000000));
+                  Ia32.Asm.i (Push (R Eax)) ]
+              ~data:[] ()
+          in
+          let st = Ia32.Asm.load image mem in
+          let eng =
+            Ia32el.Engine.create ~config:Ia32el.Config.cold_only
+              ~btlib:(module Btlib.Linuxsim) mem
+          in
+          ignore (Ia32el.Engine.run ~fuel:10_000 eng st));
+      mk_run "fig5.el-vpr" (fun () -> ignore (B.run_el Workloads.Spec_int.vpr ~scale:1));
+      mk_run "fig6.el-twolf" (fun () -> ignore (B.run_el Workloads.Spec_int.twolf ~scale:1));
+      mk_run "fig7.el-sysmark" (fun () ->
+          ignore (B.run_el Workloads.Sysmark.office ~scale:1));
+      mk_run "fig8.xeon-model-twolf" (fun () ->
+          ignore (B.run_xeon Workloads.Spec_int.twolf ~scale:1));
+      mk_run "misalign.stress-on" (fun () ->
+          ignore (B.run_el Workloads.Sysmark.misalign_stress ~scale:1));
+      mk_run "stats.cold-translate" cold_translate;
+      mk_run "stats.reference-interpreter" interp_run;
+    ]
+  in
+  let test = Test.make_grouped ~name:"ia32el" ~fmt:"%s.%s" tests in
+  let benchmark () =
+    let instances = Instance.[ monotonic_clock ] in
+    let cfg = Benchmark.cfg ~limit:3 ~quota:(Time.second 1.0) ~kde:None () in
+    Benchmark.all cfg instances test
+  in
+  let analyze results =
+    let ols =
+      Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+    in
+    let results = Analyze.all ols Instance.monotonic_clock results in
+    Analyze.merge ols Instance.[ monotonic_clock ] [ results ]
+  in
+  let results = analyze (benchmark ()) in
+  Hashtbl.iter
+    (fun _ tbl ->
+      Hashtbl.iter
+        (fun name ols ->
+          match Bechamel.Analyze.OLS.estimates ols with
+          | Some [ t ] -> Printf.printf "%-40s %14.0f ns/run\n" name t
+          | _ -> Printf.printf "%-40s (no estimate)\n" name)
+        tbl)
+    results
+
+(* ---------------- driver ---------------- *)
+
+let () =
+  let args = Array.to_list Sys.argv |> List.tl in
+  let scale = ref 1 in
+  let rec parse = function
+    | "--scale" :: n :: rest ->
+      scale := int_of_string n;
+      parse rest
+    | x :: rest -> x :: parse rest
+    | [] -> []
+  in
+  let cmds = parse args in
+  let scale = !scale in
+  let all () =
+    table1 ();
+    fig5 ~scale ();
+    fig6 ~scale ();
+    fig7 ~scale ();
+    fig8 ~scale ();
+    misalign ~scale ();
+    stats ~scale ();
+    circuitry ~scale ();
+    ablations ~scale ()
+  in
+  match cmds with
+  | [] | [ "all" ] -> all ()
+  | [ "--bechamel" ] -> bechamel ()
+  | cmds ->
+    List.iter
+      (function
+        | "table1" -> table1 ()
+        | "fig5" -> fig5 ~scale ()
+        | "fig6" -> fig6 ~scale ()
+        | "fig7" -> fig7 ~scale ()
+        | "fig8" -> fig8 ~scale ()
+        | "misalign" -> misalign ~scale ()
+        | "stats" -> stats ~scale ()
+        | "circuitry" -> circuitry ~scale ()
+        | "ablations" -> ablations ~scale ()
+        | "all" -> all ()
+        | other -> Printf.eprintf "unknown command %S\n" other)
+      cmds

@@ -1,0 +1,191 @@
+(* ia32el-run: command-line driver for the IA-32 EL simulator.
+
+   Runs any of the bundled synthetic workloads under a chosen execution
+   model and prints cycle counts, the time distribution, and the
+   translator statistics. The bench harness (bench/main.exe) regenerates
+   the paper's tables and figures wholesale; this tool is for poking at a
+   single workload/configuration pair.
+
+     ia32el-run list
+     ia32el-run run gzip
+     ia32el-run run gzip --model cold-only --scale 2 --stats
+     ia32el-run run swim --model native
+     ia32el-run run office --model xeon *)
+
+module B = Workloads.Baselines
+module C = Workloads.Common
+
+let workloads : C.t list =
+  Workloads.Spec_int.all @ Workloads.Spec_fp.all
+  @ [ Workloads.Sysmark.office; Workloads.Sysmark.misalign_stress ]
+
+let find_workload name =
+  List.find_opt (fun w -> w.C.name = name) workloads
+
+(* ------------------------------------------------------------------ *)
+(* run                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+type model =
+  | M_el of Ia32el.Config.t * string
+  | M_native
+  | M_circuitry
+  | M_xeon
+
+let model_of_string = function
+  | "el" | "default" -> Ok (M_el (Ia32el.Config.default, "two-phase IA-32 EL"))
+  | "cold-only" ->
+    Ok (M_el (Ia32el.Config.cold_only, "cold-only translator"))
+  | "interpret-first" ->
+    Ok
+      (M_el
+         ( {
+             Ia32el.Config.default with
+             Ia32el.Config.first_phase = Ia32el.Config.Interpret_first;
+           },
+           "interpret-first two-phase" ))
+  | "native" -> Ok M_native
+  | "circuitry" -> Ok M_circuitry
+  | "xeon" -> Ok M_xeon
+  | s ->
+    Error
+      (`Msg
+        (Printf.sprintf
+           "unknown model %S (el, cold-only, interpret-first, native, \
+            circuitry, xeon)"
+           s))
+
+let model_conv =
+  Cmdliner.Arg.conv
+    ( model_of_string,
+      fun ppf m ->
+        Format.pp_print_string ppf
+          (match m with
+          | M_el (_, d) -> d
+          | M_native -> "native"
+          | M_circuitry -> "circuitry"
+          | M_xeon -> "xeon") )
+
+let print_stats (a : Ia32el.Account.t) =
+  Printf.printf "translation:\n";
+  Printf.printf "  cold blocks %d (%d insns, %.1f insns/block)\n"
+    a.Ia32el.Account.cold_blocks a.Ia32el.Account.cold_insns
+    (Float.of_int a.Ia32el.Account.cold_insns
+    /. Float.of_int (max 1 a.Ia32el.Account.cold_blocks));
+  Printf.printf "  stage-2 regenerations %d   hot discards %d\n"
+    a.Ia32el.Account.cold_regens a.Ia32el.Account.hot_discards;
+  Printf.printf "  hot traces %d (%d source insns -> %d target insns)\n"
+    a.Ia32el.Account.hot_blocks a.Ia32el.Account.hot_insns
+    a.Ia32el.Account.hot_target_insns;
+  Printf.printf "  heat triggers %d   commit points %d\n"
+    a.Ia32el.Account.heat_triggers a.Ia32el.Account.commit_points;
+  Printf.printf "engine:\n";
+  Printf.printf "  dispatches %d   chain patches %d   indirect %d (%d miss)\n"
+    a.Ia32el.Account.dispatches a.Ia32el.Account.chain_patches
+    a.Ia32el.Account.indirect_lookups a.Ia32el.Account.indirect_misses;
+  Printf.printf "speculation:\n";
+  Printf.printf "  TOS checks %d (miss %d)   tag miss %d\n"
+    a.Ia32el.Account.tos_checks a.Ia32el.Account.tos_misses
+    a.Ia32el.Account.tag_misses;
+  Printf.printf "  mode checks %d (miss %d)   SSE checks %d (miss %d)\n"
+    a.Ia32el.Account.mode_checks a.Ia32el.Account.mode_misses
+    a.Ia32el.Account.sse_checks a.Ia32el.Account.sse_misses;
+  Printf.printf "misalignment:\n";
+  Printf.printf
+    "  stage-1 hits %d   avoidance sequences %d   OS-priced traps %d\n"
+    a.Ia32el.Account.misalign_stage1_hits a.Ia32el.Account.misalign_avoided
+    a.Ia32el.Account.misalign_os_faults;
+  Printf.printf "exceptions:\n";
+  Printf.printf "  filtered %d   rollforwards %d   SMC invalidations %d\n"
+    a.Ia32el.Account.exceptions_filtered a.Ia32el.Account.rollforwards
+    a.Ia32el.Account.smc_invalidations;
+  if a.Ia32el.Account.cache_flushes > 0 then
+    Printf.printf "translation-cache flushes: %d\n"
+      a.Ia32el.Account.cache_flushes
+
+let run_cmd name model scale stats =
+  match find_workload name with
+  | None ->
+    Printf.eprintf "unknown workload %S; try `ia32el-run list'\n" name;
+    exit 1
+  | Some w -> (
+    try
+      match model with
+      | M_el (config, desc) ->
+        let r = B.run_el ~config w ~scale in
+        Printf.printf "%s under %s: %d cycles\n" w.C.name desc r.B.cycles;
+        (match r.B.distribution with
+        | Some d -> Fmt.pr "%a@." Ia32el.Account.pp_distribution d
+        | None -> ());
+        (match (stats, r.B.engine) with
+        | true, Some eng -> print_stats eng.Ia32el.Engine.acct
+        | _ -> ())
+      | M_native ->
+        let r = B.run_native w ~scale in
+        Printf.printf "%s natively compiled (model): %d cycles\n" w.C.name
+          r.B.cycles
+      | M_circuitry ->
+        let r = B.run_circuitry w ~scale in
+        Printf.printf "%s on the IA-32 hardware circuitry (model): %d cycles (%d insns)\n"
+          w.C.name r.B.cycles r.B.insns
+      | M_xeon ->
+        let r = B.run_xeon w ~scale in
+        Printf.printf "%s on a Xeon-class OOO IA-32 core (model): %d cycles (%d insns)\n"
+          w.C.name r.B.cycles r.B.insns
+    with B.Workload_failed msg ->
+      Printf.eprintf "workload failed: %s\n" msg;
+      exit 1)
+
+let list_cmd () =
+  Printf.printf "%-16s %s\n" "NAME" "PAPER SCORE (Fig. 5/8, percent of native)";
+  List.iter
+    (fun w ->
+      Printf.printf "%-16s %s\n" w.C.name
+        (match w.C.paper_score with
+        | Some s -> string_of_int s
+        | None -> "-"))
+    workloads
+
+(* ------------------------------------------------------------------ *)
+(* cmdliner plumbing                                                   *)
+(* ------------------------------------------------------------------ *)
+
+open Cmdliner
+
+let workload_arg =
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"WORKLOAD")
+
+let model_arg =
+  Arg.(
+    value
+    & opt model_conv (M_el (Ia32el.Config.default, "two-phase IA-32 EL"))
+    & info [ "m"; "model" ] ~docv:"MODEL"
+        ~doc:
+          "Execution model: $(b,el) (default), $(b,cold-only), \
+           $(b,interpret-first), $(b,native), $(b,circuitry), $(b,xeon).")
+
+let scale_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "s"; "scale" ] ~docv:"N" ~doc:"Workload scale factor.")
+
+let stats_arg =
+  Arg.(
+    value & flag
+    & info [ "stats" ] ~doc:"Print the full translator statistics.")
+
+let run_t = Term.(const run_cmd $ workload_arg $ model_arg $ scale_arg $ stats_arg)
+
+let run_info =
+  Cmd.info "run" ~doc:"Run one workload under a chosen execution model."
+
+let list_t = Term.(const list_cmd $ const ())
+let list_info = Cmd.info "list" ~doc:"List the bundled workloads."
+
+let main =
+  Cmd.group
+    (Cmd.info "ia32el-run" ~version:"1.0.0"
+       ~doc:"Run IA-32 programs through the IA-32 Execution Layer simulator.")
+    [ Cmd.v run_info run_t; Cmd.v list_info list_t ]
+
+let () = exit (Cmd.eval main)

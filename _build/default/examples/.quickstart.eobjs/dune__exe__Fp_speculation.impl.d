@@ -1,0 +1,1 @@
+examples/fp_speculation.ml: Account Asm Btlib Config Engine Fault Float Ia32 Ia32el Insn Memory Printf State

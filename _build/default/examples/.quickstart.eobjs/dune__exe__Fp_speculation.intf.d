@@ -1,0 +1,1 @@
+examples/fp_speculation.mli:

@@ -1,0 +1,1 @@
+examples/misalignment.ml: Account Asm Btlib Config Engine Float Ia32 Ia32el Insn List Memory Printf

@@ -1,0 +1,1 @@
+examples/os_portability.ml: Account Asm Btlib Config Engine Ia32 Ia32el Insn List Memory Printf

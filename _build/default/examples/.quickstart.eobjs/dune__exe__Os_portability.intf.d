@@ -1,0 +1,1 @@
+examples/os_portability.mli:

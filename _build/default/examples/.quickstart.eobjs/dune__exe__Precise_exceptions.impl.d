@@ -1,0 +1,1 @@
+examples/precise_exceptions.ml: Account Asm Btlib Config Engine Fault Ia32 Ia32el Insn Memory Printf Refvehicle State

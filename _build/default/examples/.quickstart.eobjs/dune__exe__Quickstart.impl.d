@@ -1,0 +1,1 @@
+examples/quickstart.ml: Account Asm Btlib Char Config Engine Fault Fmt Ia32 Ia32el Insn Memory Printf State String

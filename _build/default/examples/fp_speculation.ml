@@ -1,0 +1,120 @@
+(* x87 floating-point stack speculation (paper §4.3).
+
+   The x87 stack is the hard part of translating IA-32 FP code: every
+   instruction addresses registers relative to a runtime top-of-stack
+   (TOS), and FXCH swaps are everywhere in compiler output. Mapping that
+   faithfully at runtime costs a lookup per operand.
+
+   IA-32 EL instead *speculates statically*: the translator assumes the
+   TOS and tag values it saw while translating, maps ST(i) to fixed
+   physical registers under that assumption, eliminates FXCH entirely by
+   permuting its register map, and emits one cheap check at block entry.
+   If a block is ever entered with a different TOS, the check fails and
+   the engine recovers (rotating the physical registers to match, or
+   falling back to the interpreter for the block).
+
+   This example runs an inner-product kernel that leans on FXCH, then
+   calls the same FP routine with two different stack depths to force a
+   TOS-speculation miss and show the recovery.
+
+   Run with:  dune exec examples/fp_speculation.exe *)
+
+open Ia32
+open Ia32el
+
+let program =
+  let open Asm in
+  let open Insn in
+  let code =
+    [
+      label "start";
+      (* -- part 1: FXCH-heavy inner product, hot ----------------------- *)
+      i (Mov (S32, R Ebp, I 500));
+      label "dot";
+      with_lab "a" (fun a -> Fp (Fld_m (F64, mem_abs a)));
+      with_lab "b" (fun a -> Fp (Fld_m (F64, mem_abs a)));
+      i (Fp (Fxch 1)); (* the classic compiler-scheduling swap *)
+      with_lab "a" (fun a -> Fp (Fop_m (FMul, F64, mem_abs (a + 8))));
+      i (Fp (Fxch 1));
+      with_lab "b" (fun a -> Fp (Fop_m (FAdd, F64, mem_abs (a + 8))));
+      i (Fp (Fop_st_st0 (FAdd, 1, true))); (* faddp st(1) *)
+      with_lab "acc" (fun a -> Fp (Fop_m (FAdd, F64, mem_abs a)));
+      with_lab "acc" (fun a -> Fp (Fst_m (F64, mem_abs a, true)));
+      i (Dec (S32, R Ebp));
+      jcc Ne "dot";
+      (* -- part 2: call the shared routine at two stack depths ---------
+         kept to a handful of iterations: each depth mismatch is a
+         speculation miss with a real recovery cost, and the paper's point
+         is that such misses are rare in practice *)
+      i (Mov (S32, R Ebp, I 4));
+      label "two_depths";
+      i (Fp Fld1);
+      call "fproutine"; (* entered with depth 1 *)
+      i (Fp Fldz);
+      i (Fp Fld1);
+      call "fproutine"; (* entered with depth 3: TOS check must fire *)
+      with_lab "sink" (fun a -> Fp (Fst_m (F64, mem_abs a, true)));
+      with_lab "sink" (fun a -> Fp (Fst_m (F64, mem_abs a, true)));
+      with_lab "sink" (fun a -> Fp (Fst_m (F64, mem_abs a, true)));
+      i (Dec (S32, R Ebp));
+      jcc Ne "two_depths";
+      i (Mov (S32, R Eax, I 1));
+      i (Mov (S32, R Ebx, I 0));
+      i (Int_n 0x80);
+      (* shared FP routine: squares ST(0) in place *)
+      label "fproutine";
+      i (Fp (Fld_st 0));
+      i (Fp (Fop_st_st0 (FMul, 1, true)));
+      i (Ret 0);
+    ]
+  in
+  let data =
+    [
+      label "a"; df64 1.25; df64 2.5;
+      label "b"; df64 0.75; df64 3.0;
+      label "acc"; df64 0.0;
+      label "sink"; space 8;
+    ]
+  in
+  Asm.build ~code ~data ()
+
+let run config =
+  let mem = Memory.create () in
+  let st0 = Asm.load program mem in
+  let engine = Engine.create ~config ~btlib:(module Btlib.Linuxsim) mem in
+  match Engine.run ~fuel:2_000_000_000 engine st0 with
+  | Engine.Exited (0, _) ->
+    ((Engine.distribution engine).Account.total, engine.Engine.acct)
+  | Engine.Exited (c, _) -> failwith (Printf.sprintf "exit %d" c)
+  | Engine.Unhandled_fault (f, st) ->
+    failwith
+      (Printf.sprintf "fault %s at 0x%x" (Fault.to_string f) st.State.eip)
+  | Engine.Out_of_fuel -> failwith "fuel"
+
+let () =
+  let cyc, acct = run Config.default in
+  Printf.printf "with FP-stack speculation:\n";
+  Printf.printf "  cycles:            %d\n" cyc;
+  Printf.printf "  block-entry TOS checks executed: %d\n"
+    acct.Account.tos_checks;
+  Printf.printf "  TOS mispredictions (recovered):  %d\n"
+    acct.Account.tos_misses;
+  Printf.printf "  tag mispredictions (recovered):  %d\n"
+    acct.Account.tag_misses;
+
+  (* [fp_stack_speculation = false] removes the block-entry checks and the
+     recovery path, i.e. it prices the insurance premium: the static ST(i)
+     maps stay (they are what makes x87 code translatable at all), but a
+     block entered at an unexpected TOS would silently compute garbage.
+     The paper's claim is that the premium is small because the check is
+     one compare+branch per FP block head. *)
+  let cyc_unchecked, _ =
+    run { Config.default with Config.fp_stack_speculation = false }
+  in
+  Printf.printf
+    "\nsame kernel with entry checks disabled (unsafe): %d cycles\n"
+    cyc_unchecked;
+  Printf.printf "cost of the checks + miss recoveries: %.1f%% of run time\n"
+    (100.0
+    *. Float.of_int (cyc - cyc_unchecked)
+    /. Float.of_int cyc)

@@ -1,0 +1,103 @@
+(* The three-stage misalignment machinery (paper §4.5).
+
+   Itanium has no hardware support for misaligned memory access: each one
+   traps to the OS at a cost of thousands of cycles. IA-32 code misaligns
+   freely. IA-32 EL's answer is staged:
+
+     stage 1  cold code *detects* dynamically misaligned accesses with a
+              cheap address check and branches out to regenerate the block;
+     stage 2  the regenerated cold block *avoids* the trap with a split
+              byte sequence and records which accesses misalign in a
+              per-access profile slot;
+     stage 3  hot code consults the profile and emits avoidance only where
+              it pays, discarding and regenerating the trace if a new
+              access starts misaligning late.
+
+   This example runs the same pointer-chasing kernel with the machinery on
+   and off and prints the stage counters — the paper's anecdote is a
+   server application that spent 24%% of its time in misalignment traps
+   before this machinery and ran ~9x faster with it.
+
+   Run with:  dune exec examples/misalignment.exe *)
+
+open Ia32
+open Ia32el
+
+(* A record-walking kernel with 4-byte fields at odd offsets, the classic
+   packed-struct pattern that misaligns every access. *)
+let program =
+  let open Asm in
+  let open Insn in
+  let code =
+    [
+      label "start";
+      i (Mov (S32, R Ebp, I 300));
+      label "outer";
+      mov_ri_lab Esi "records";
+      i (Mov (S32, R Ecx, I 24)); (* records per pass *)
+      i (Mov (S32, R Eax, I 0));
+      label "walk";
+      (* rec.key at +1 and rec.next-delta at +5: both misaligned *)
+      i (Alu (Add, S32, R Eax, M (Insn.mem_bd Esi 1)));
+      i (Mov (S32, R Edx, M (Insn.mem_bd Esi 5)));
+      i (Mov (S32, M (Insn.mem_bd Esi 9), R Eax)); (* misaligned store *)
+      i (Alu (Add, S32, R Esi, R Edx));
+      i (Dec (S32, R Ecx));
+      jcc Ne "walk";
+      i (Dec (S32, R Ebp));
+      jcc Ne "outer";
+      with_lab "result" (fun a -> Mov (S32, M (mem_abs a), R Eax));
+      i (Mov (S32, R Eax, I 1));
+      i (Mov (S32, R Ebx, I 0));
+      i (Int_n 0x80);
+    ]
+  in
+  let data =
+    [ label "records" ]
+    @ List.concat
+        (List.init 25 (fun k ->
+             [
+               db 0x5A; (* padding byte that forces the odd offsets *)
+               dd (k * 17); (* key at +1 *)
+               dd 13; (* next-delta at +5 *)
+               dd 0; (* slot written by the kernel at +9 *)
+             ]))
+    @ [ label "result"; space 4 ]
+  in
+  Asm.build ~code ~data ()
+
+let run config =
+  let mem = Memory.create () in
+  let st0 = Asm.load program mem in
+  let engine = Engine.create ~config ~btlib:(module Btlib.Linuxsim) mem in
+  match Engine.run ~fuel:2_000_000_000 engine st0 with
+  | Engine.Exited (0, _) ->
+    (Engine.distribution engine).Account.total, engine.Engine.acct
+  | _ -> failwith "kernel failed"
+
+let () =
+  let on = Config.default in
+  let off =
+    { Config.default with Config.misalign_avoidance = false }
+  in
+  let cyc_on, acct_on = run on in
+  let cyc_off, acct_off = run off in
+
+  Printf.printf "with the three-stage machinery:\n";
+  Printf.printf "  cycles:                  %d\n" cyc_on;
+  Printf.printf "  stage-1 detections:      %d\n"
+    acct_on.Account.misalign_stage1_hits;
+  Printf.printf "  stage-2 regenerations:   %d\n" acct_on.Account.cold_regens;
+  Printf.printf "  accesses through avoidance sequences: %d\n"
+    acct_on.Account.misalign_avoided;
+  Printf.printf "  residual OS-priced traps: %d\n"
+    acct_on.Account.misalign_os_faults;
+  Printf.printf "  stage-3 hot discards:    %d\n" acct_on.Account.hot_discards;
+
+  Printf.printf "\nwithout it (every misaligned access traps at OS price):\n";
+  Printf.printf "  cycles:                  %d\n" cyc_off;
+  Printf.printf "  OS-priced traps:         %d\n"
+    acct_off.Account.misalign_os_faults;
+
+  Printf.printf "\nspeedup from the machinery: %.1fx\n"
+    (Float.of_int cyc_off /. Float.of_int cyc_on)

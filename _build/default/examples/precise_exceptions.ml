@@ -1,0 +1,111 @@
+(* Precise exceptions under aggressive hot-code reordering (paper §4.2).
+
+   The hot phase schedules across IA-32 instruction boundaries, so when a
+   page fault arrives mid-trace the machine state does not correspond to
+   any IA-32 program point. IA-32 EL recovers precision with commit
+   points: the translator backs up the state a hot region will overwrite,
+   and on a fault restores the last commit point and *rolls forward* with
+   the interpreter to the exact faulting instruction. The guest's handler
+   then sees the same EIP, registers and flags it would see on real
+   silicon.
+
+   This example heats a loop until it runs as optimized hot code, then has
+   it walk into an unmapped page. The guest's own #PF handler maps the
+   page (mmap) and returns, and the loop resumes without losing state.
+
+   Run with:  dune exec examples/precise_exceptions.exe *)
+
+open Ia32
+open Ia32el
+
+let unmapped = 0x3000_0000
+
+let program =
+  let open Asm in
+  let open Insn in
+  let code =
+    [
+      label "start";
+      (* register a guest #PF handler: BTLib vector 14, Linux flavour *)
+      i (Mov (S32, R Eax, I 48));
+      i (Mov (S32, R Ebx, I 14));
+      mov_ri_lab Ecx "handler";
+      i (Int_n 0x80);
+      (* hot loop: every iteration stores through EDI. EDI normally points
+         at mapped scratch, but on iteration 250 a CMOV swings it into the
+         unmapped page — the store is *inside* the optimized hot trace, so
+         the fault interrupts reordered code mid-trace. *)
+      i (Mov (S32, R Ebx, I unmapped));
+      i (Mov (S32, R Ecx, I 400));
+      i (Mov (S32, R Eax, I 0));
+      label "loop";
+      i (Alu (Add, S32, R Eax, R Ecx));
+      i (Shift (Rol, S32, R Eax, Amt_imm 3));
+      mov_ri_lab Edi "scratch";
+      i (Alu (Cmp, S32, R Ecx, I 250));
+      i (Cmovcc (E, Edi, R Ebx)); (* if ecx = 250, store into the hole *)
+      i (Mov (S32, M (Insn.mem_b Edi), R Eax));
+      i (Dec (S32, R Ecx));
+      jcc Ne "loop";
+      with_lab "result" (fun a -> Mov (S32, M (mem_abs a), R Eax));
+      i (Mov (S32, R Eax, I 1));
+      i (Mov (S32, R Ebx, I 0));
+      i (Int_n 0x80);
+      (* --- guest #PF handler ------------------------------------------
+         BTLib frame: [esp]=fault address, [esp+4]=vector, [esp+8]=eip.
+         mmap the page and resume at the faulting instruction. *)
+      label "handler";
+      with_lab "faults" (fun a -> Inc (S32, M (mem_abs a)));
+      i (Mov (S32, R Eax, I 90)); (* sys_mmap *)
+      i (Mov (S32, R Ebx, M (Insn.mem_b Esp)));
+      i (Mov (S32, R Ecx, I 0x1000));
+      i (Int_n 0x80);
+      i (Alu (Add, S32, R Esp, I 8));
+      i (Ret 0);
+    ]
+  in
+  let data =
+    [ label "result"; space 4; label "faults"; space 4;
+      label "scratch"; space 4 ]
+  in
+  Asm.build ~code ~data ()
+
+let () =
+  let mem = Memory.create () in
+  let st0 = Asm.load program mem in
+  (* a low threshold so the loop is already hot when the fault arrives *)
+  let config =
+    { Config.default with Config.heat_threshold = 20; session_candidates = 1 }
+  in
+  let engine = Engine.create ~config ~btlib:(module Btlib.Linuxsim) mem in
+  (match Engine.run ~fuel:100_000_000 engine st0 with
+  | Engine.Exited (0, _) -> print_endline "guest exited cleanly"
+  | Engine.Exited (c, _) -> Printf.printf "guest exited with %d\n" c
+  | Engine.Unhandled_fault (f, st) ->
+    Printf.printf "UNHANDLED %s at 0x%x\n" (Fault.to_string f) st.State.eip
+  | Engine.Out_of_fuel -> print_endline "out of fuel");
+
+  let a = engine.Engine.acct in
+  Printf.printf "guest handler invocations: %d\n"
+    (Memory.read32 mem (program.Asm.lookup "faults"));
+  Printf.printf "accumulator: 0x%x (must match the interpreter exactly)\n"
+    (Memory.read32 mem (program.Asm.lookup "result"));
+  Printf.printf "hot traces: %d   commit points emitted: %d\n"
+    a.Account.hot_blocks a.Account.commit_points;
+  Printf.printf
+    "commit-point restores + interpreter roll-forwards: %d\n"
+    a.Account.rollforwards;
+  Printf.printf
+    "speculative exceptions filtered (never reached the guest): %d\n"
+    a.Account.exceptions_filtered;
+
+  (* differential check against the golden-model interpreter *)
+  let mem2 = Memory.create () in
+  let st2 = Asm.load program mem2 in
+  let vos = Btlib.Vos.create mem2 in
+  (match Refvehicle.run ~btlib:(module Btlib.Linuxsim) vos st2 with
+  | Refvehicle.Exited (0, _), _ ->
+    let r1 = Memory.read32 mem (program.Asm.lookup "result") in
+    let r2 = Memory.read32 mem2 (program.Asm.lookup "result") in
+    Printf.printf "interpreter agrees: %b (0x%x)\n" (r1 = r2) r2
+  | _ -> print_endline "interpreter disagreed on the outcome!")

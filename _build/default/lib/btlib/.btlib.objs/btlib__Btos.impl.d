@@ -1,0 +1,1 @@
+lib/btlib/btos.ml: Ia32 Printf Syscall Vos

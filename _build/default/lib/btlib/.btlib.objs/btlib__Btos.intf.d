@@ -1,0 +1,1 @@
+lib/btlib/btos.mli: Ia32 Syscall Vos

@@ -1,0 +1,1 @@
+lib/btlib/linuxsim.ml: Btos Ia32 Insn State Syscall Vos Word

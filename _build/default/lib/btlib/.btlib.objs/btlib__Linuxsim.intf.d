@@ -1,0 +1,1 @@
+lib/btlib/linuxsim.mli: Btos

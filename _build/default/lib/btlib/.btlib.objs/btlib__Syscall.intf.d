@@ -1,0 +1,1 @@
+lib/btlib/syscall.mli: Format

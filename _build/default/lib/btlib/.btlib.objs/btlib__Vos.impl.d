@@ -1,0 +1,1 @@
+lib/btlib/vos.ml: Buffer Char Hashtbl Ia32 Syscall

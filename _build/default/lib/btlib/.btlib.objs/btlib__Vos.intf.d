@@ -1,0 +1,1 @@
+lib/btlib/vos.mli: Buffer Hashtbl Ia32 Syscall

@@ -1,0 +1,1 @@
+lib/btlib/winsim.mli: Btos

@@ -1,0 +1,76 @@
+(* The BTOS API: the binary-level contract between the OS-independent
+   translator (BTGeneric, lib/core) and the thin OS-specific glue (BTLib).
+   The same BTGeneric runs unchanged on every BTLib implementation; each
+   BTLib maps the guest's system-call convention and the host OS services.
+
+   A proprietary-style version handshake guards the pairing (paper §3):
+   major versions must match exactly; a BTLib with an older minor version
+   than BTGeneric requires is rejected, a newer one is accepted (backward
+   compatibility). *)
+
+type version = { major : int; minor : int }
+
+(* The BTOS API version this BTGeneric implements/requires. *)
+let btgeneric_version = { major = 2; minor = 3 }
+
+type handshake =
+  | Compatible
+  | Major_mismatch of version * version
+  | Btlib_too_old of version * version
+
+let handshake ~btlib ~btgeneric =
+  if btlib.major <> btgeneric.major then Major_mismatch (btlib, btgeneric)
+  else if btlib.minor < btgeneric.minor then Btlib_too_old (btlib, btgeneric)
+  else Compatible
+
+let handshake_ok ~btlib ~btgeneric =
+  match handshake ~btlib ~btgeneric with Compatible -> true | _ -> false
+
+(* The services BTLib provides to BTGeneric. All OS knowledge (syscall
+   numbering, interrupt vector, register convention, allocation policy)
+   lives behind this interface. *)
+module type S = sig
+  val name : string
+  val version : version
+
+  (** The software-interrupt vector this OS uses for system services. *)
+  val syscall_vector : int
+
+  (** Decode the guest's register convention into an OS-independent call. *)
+  val decode_syscall : Ia32.State.t -> Syscall.call
+
+  (** Write a service result back into the guest's registers. *)
+  val encode_result : Ia32.State.t -> int -> unit
+
+  (** Reserve address space for translated-code bookkeeping. Returns the
+      base of a fresh region of [len] bytes (model: a host-side arena; the
+      value only feeds statistics). *)
+  val alloc_region : Vos.t -> len:int -> int
+
+  (** Execute a system service through the underlying OS. *)
+  val perform : Vos.t -> Ia32.State.t -> Syscall.call -> Syscall.result
+
+  (** Deliver an exception (precise IA-32 state already reconstructed). *)
+  val deliver_exception :
+    Vos.t -> Ia32.State.t -> Ia32.Fault.t -> Vos.exception_outcome
+end
+
+type btlib = (module S)
+
+(* BTGeneric-side initialisation: checks the handshake before returning a
+   usable BTLib, mirroring the paper's load-time version control. *)
+exception Version_mismatch of string
+
+let init (module L : S) : btlib =
+  match handshake ~btlib:L.version ~btgeneric:btgeneric_version with
+  | Compatible -> (module L)
+  | Major_mismatch (bl, bg) ->
+    raise
+      (Version_mismatch
+         (Printf.sprintf "BTLib %s is v%d.%d but BTGeneric needs major %d"
+            L.name bl.major bl.minor bg.major))
+  | Btlib_too_old (bl, bg) ->
+    raise
+      (Version_mismatch
+         (Printf.sprintf "BTLib %s v%d.%d older than required v%d.%d" L.name
+            bl.major bl.minor bg.major bg.minor))

@@ -1,0 +1,39 @@
+(* BTLib for the simulated Linux host: int 0x80, call number in EAX,
+   arguments in EBX/ECX/EDX, result in EAX (negative errno on failure). *)
+
+open Ia32
+
+let name = "linuxsim"
+let version = { Btos.major = 2; minor = 4 }
+let syscall_vector = 0x80
+
+let decode_syscall (st : State.t) =
+  let eax = State.get32 st Insn.Eax in
+  let ebx = State.get32 st Insn.Ebx in
+  let ecx = State.get32 st Insn.Ecx in
+  let edx = State.get32 st Insn.Edx in
+  match eax with
+  | 1 -> Syscall.Exit ebx
+  | 4 -> Syscall.Write { buf = ecx; len = edx } (* fd in ebx ignored *)
+  | 13 -> Syscall.Getclock
+  | 45 -> Syscall.Sbrk (Word.signed32 ebx)
+  | 48 -> Syscall.Signal { vector = ebx; handler = ecx }
+  | 90 -> Syscall.Map { addr = ebx; len = ecx }
+  | 91 -> Syscall.Unmap { addr = ebx; len = ecx }
+  | 158 -> Syscall.Idle ebx
+  | 200 -> Syscall.Kernel_work ebx
+  | n -> Syscall.Unknown n
+
+let encode_result (st : State.t) v = State.set32 st Insn.Eax v
+
+(* Linux-flavoured allocation: a simple bump arena high in the 64-bit space
+   (the value is only used for bookkeeping/statistics). *)
+let arena = ref 0x2000000000
+
+let alloc_region (_ : Vos.t) ~len =
+  let base = !arena in
+  arena := !arena + ((len + 0xFFF) land lnot 0xFFF);
+  base
+
+let perform = Vos.perform
+let deliver_exception = Vos.deliver_exception

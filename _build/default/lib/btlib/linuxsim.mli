@@ -1,0 +1,9 @@
+(** BTLib for the simulated Linux host: [int 0x80], call number in EAX,
+    arguments in EBX/ECX/EDX, result in EAX (negative errno on failure).
+
+    Service numbers follow the historical Linux i386 table where one
+    exists (1 exit, 4 write, 45 brk, 48 signal, 90 mmap, 91 munmap);
+    kernel-work/idle are simulator extensions used by the Sysmark
+    workloads. *)
+
+include Btos.S

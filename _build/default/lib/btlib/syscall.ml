@@ -1,0 +1,30 @@
+(* The OS-independent view of an IA-32 system service. Guest programs issue
+   services through an OS-specific software-interrupt convention; the
+   BTLib implementations ({!Linuxsim}, {!Winsim}) translate the guest's
+   register convention into this type and back. *)
+
+type call =
+  | Exit of int
+  | Write of { buf : int; len : int } (* write bytes to the console *)
+  | Sbrk of int (* grow the heap by n bytes; returns old break *)
+  | Map of { addr : int; len : int } (* map anonymous rw memory *)
+  | Unmap of { addr : int; len : int }
+  | Signal of { vector : int; handler : int } (* register exception handler *)
+  | Getclock (* virtual cycle counter, low 32 bits *)
+  | Kernel_work of int (* spend n cycles in kernel/driver code (Sysmark) *)
+  | Idle of int (* spend n cycles idle (Sysmark) *)
+  | Unknown of int
+
+type result = Ret of int | Exited of int
+
+let pp ppf = function
+  | Exit n -> Fmt.pf ppf "exit(%d)" n
+  | Write { buf; len } -> Fmt.pf ppf "write(0x%x, %d)" buf len
+  | Sbrk n -> Fmt.pf ppf "sbrk(%d)" n
+  | Map { addr; len } -> Fmt.pf ppf "map(0x%x, %d)" addr len
+  | Unmap { addr; len } -> Fmt.pf ppf "unmap(0x%x, %d)" addr len
+  | Signal { vector; handler } -> Fmt.pf ppf "signal(%d, 0x%x)" vector handler
+  | Getclock -> Fmt.string ppf "getclock()"
+  | Kernel_work n -> Fmt.pf ppf "kernel_work(%d)" n
+  | Idle n -> Fmt.pf ppf "idle(%d)" n
+  | Unknown n -> Fmt.pf ppf "unknown(%d)" n

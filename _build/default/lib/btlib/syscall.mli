@@ -1,0 +1,24 @@
+(** The OS-independent view of an IA-32 system service.
+
+    Guest programs issue services through an OS-specific
+    software-interrupt convention; the BTLib implementations
+    ({!Linuxsim}, {!Winsim}) translate the guest's register convention
+    into this type and back, so the translator core never sees OS
+    details. *)
+
+type call =
+  | Exit of int
+  | Write of { buf : int; len : int }  (** write bytes to the console *)
+  | Sbrk of int  (** grow the heap; returns the old break *)
+  | Map of { addr : int; len : int }  (** map anonymous rw memory *)
+  | Unmap of { addr : int; len : int }
+  | Signal of { vector : int; handler : int }
+      (** register a guest exception handler (0 unregisters) *)
+  | Getclock  (** virtual cycle counter, low 32 bits *)
+  | Kernel_work of int  (** spend n cycles in kernel/driver code *)
+  | Idle of int  (** spend n cycles idle (Sysmark think time) *)
+  | Unknown of int
+
+type result = Ret of int | Exited of int
+
+val pp : Format.formatter -> call -> unit

@@ -1,0 +1,125 @@
+(* The virtual native OS: owns the guest process's address space and
+   provides the services both execution vehicles (reference interpreter and
+   IA-32 EL) request — memory, system calls, exception delivery to guest
+   handlers, and the accounting buckets the Sysmark analysis needs (kernel
+   time runs natively, idle time is idle). *)
+
+type exception_outcome =
+  | Resumed (* a guest handler was run; execution resumes at [st.eip] *)
+  | Unhandled of Ia32.Fault.t
+
+type t = {
+  mem : Ia32.Memory.t;
+  mutable brk : int; (* heap break *)
+  heap_base : int;
+  heap_limit : int;
+  handlers : (int, int) Hashtbl.t; (* exception vector -> guest handler *)
+  output : Buffer.t;
+  mutable exit_code : int option;
+  mutable kernel_cycles : int;
+  mutable idle_cycles : int;
+  mutable syscalls : int;
+  mutable exceptions_delivered : int;
+  mutable clock : int -> int; (* provided by the harness: virtual cycles *)
+}
+
+let heap_base_default = 0x10000000
+let heap_limit_default = 0x18000000
+
+let create mem =
+  {
+    mem;
+    brk = heap_base_default;
+    heap_base = heap_base_default;
+    heap_limit = heap_limit_default;
+    handlers = Hashtbl.create 8;
+    output = Buffer.create 256;
+    exit_code = None;
+    kernel_cycles = 0;
+    idle_cycles = 0;
+    syscalls = 0;
+    exceptions_delivered = 0;
+    clock = (fun _ -> 0);
+  }
+
+let output t = Buffer.contents t.output
+
+let round_page n =
+  (n + Ia32.Memory.page_size - 1) land lnot (Ia32.Memory.page_size - 1)
+
+(* Execute a system service against guest state [st]. The service itself
+   "runs natively" — the cycle cost is charged by the caller to the
+   other/kernel bucket. *)
+let perform t (st : Ia32.State.t) (call : Syscall.call) : Syscall.result =
+  t.syscalls <- t.syscalls + 1;
+  match call with
+  | Syscall.Exit code ->
+    t.exit_code <- Some code;
+    Syscall.Exited code
+  | Syscall.Write { buf; len } ->
+    let len = min len 1_000_000 in
+    (try
+       for k = 0 to len - 1 do
+         Buffer.add_char t.output (Char.chr (Ia32.Memory.read8 st.Ia32.State.mem (buf + k)))
+       done;
+       Syscall.Ret len
+     with Ia32.Fault.Fault _ -> Syscall.Ret (Ia32.Word.mask32 (-14)))
+  | Syscall.Sbrk n ->
+    let old = t.brk in
+    let nbrk = t.brk + n in
+    if nbrk < t.heap_base || nbrk > t.heap_limit then
+      Syscall.Ret (Ia32.Word.mask32 (-12))
+    else begin
+      if n > 0 then
+        Ia32.Memory.map t.mem ~addr:old ~len:(round_page n) ~prot:Ia32.Memory.prot_rw;
+      t.brk <- nbrk;
+      Syscall.Ret old
+    end
+  | Syscall.Map { addr; len } ->
+    Ia32.Memory.map t.mem ~addr ~len:(round_page (max len 1)) ~prot:Ia32.Memory.prot_rw;
+    Syscall.Ret addr
+  | Syscall.Unmap { addr; len } ->
+    Ia32.Memory.unmap t.mem ~addr ~len:(round_page (max len 1));
+    Syscall.Ret 0
+  | Syscall.Signal { vector; handler } ->
+    if handler = 0 then Hashtbl.remove t.handlers vector
+    else Hashtbl.replace t.handlers vector handler;
+    Syscall.Ret 0
+  | Syscall.Getclock -> Syscall.Ret (Ia32.Word.mask32 (t.clock 0))
+  | Syscall.Kernel_work n ->
+    t.kernel_cycles <- t.kernel_cycles + max 0 n;
+    Syscall.Ret 0
+  | Syscall.Idle n ->
+    t.idle_cycles <- t.idle_cycles + max 0 n;
+    Syscall.Ret 0
+  | Syscall.Unknown _ -> Syscall.Ret (Ia32.Word.mask32 (-38))
+
+(* Deliver an IA-32 exception whose precise state has already been
+   reconstructed into [st] (st.eip = faulting instruction). If the guest
+   registered a handler for the vector, the OS switches to it with the
+   conventional frame:
+
+     [esp]   = fault address (0 when not a memory fault)
+     [esp+4] = exception vector
+     [esp+8] = faulting EIP (handlers resume with `add esp,8; ret`)
+
+   Otherwise the process dies with the fault. *)
+let deliver_exception t (st : Ia32.State.t) fault =
+  let vector = Ia32.Fault.vector fault in
+  match Hashtbl.find_opt t.handlers vector with
+  | None -> Unhandled fault
+  | Some handler ->
+    t.exceptions_delivered <- t.exceptions_delivered + 1;
+    let faddr =
+      match fault with Ia32.Fault.Page_fault (a, _) -> a | _ -> 0
+    in
+    let push v =
+      let sp = Ia32.Word.mask32 (Ia32.State.get32 st Ia32.Insn.Esp - 4) in
+      Ia32.Memory.write32 st.Ia32.State.mem sp v;
+      Ia32.State.set32 st Ia32.Insn.Esp sp
+    in
+    push st.Ia32.State.eip;
+    push vector;
+    push faddr;
+    st.Ia32.State.eip <- handler;
+    Resumed

@@ -1,0 +1,47 @@
+(** The virtual native OS.
+
+    Owns the guest process's address space and provides the services both
+    execution vehicles (reference interpreter and IA-32 EL) request:
+    memory, system calls, exception delivery to guest handlers, and the
+    kernel/idle accounting buckets the Sysmark analysis needs. *)
+
+(** Outcome of delivering an exception to the guest. *)
+type exception_outcome =
+  | Resumed  (** a guest handler was entered; resume at [st.eip] *)
+  | Unhandled of Ia32.Fault.t
+
+type t = {
+  mem : Ia32.Memory.t;
+  mutable brk : int;
+  heap_base : int;
+  heap_limit : int;
+  handlers : (int, int) Hashtbl.t;  (** exception vector -> handler *)
+  output : Buffer.t;
+  mutable exit_code : int option;
+  mutable kernel_cycles : int;  (** native kernel/driver time *)
+  mutable idle_cycles : int;
+  mutable syscalls : int;
+  mutable exceptions_delivered : int;
+  mutable clock : int -> int;
+      (** virtual cycle source, installed by the harness *)
+}
+
+val heap_base_default : int
+val heap_limit_default : int
+
+val create : Ia32.Memory.t -> t
+
+val output : t -> string
+(** Console output written by the guest so far. *)
+
+val perform : t -> Ia32.State.t -> Syscall.call -> Syscall.result
+(** Execute a system service against guest state. The service "runs
+    natively"; the caller charges its cycle cost to the kernel bucket. *)
+
+val deliver_exception : t -> Ia32.State.t -> Ia32.Fault.t -> exception_outcome
+(** Deliver an IA-32 exception whose precise state has been reconstructed
+    into [st] ([st.eip] = faulting instruction). If a handler is
+    registered for the vector, switches to it with the frame
+    [[esp]]=fault address, [[esp+4]]=vector, [[esp+8]]=faulting EIP
+    (handlers resume with [add esp,8; ret]); otherwise returns
+    [Unhandled]. *)

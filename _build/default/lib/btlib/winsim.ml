@@ -1,0 +1,40 @@
+(* BTLib for the simulated Windows host: int 0x2e, service number in EAX,
+   arguments in EDX/ECX/EBX (note the different order), NTSTATUS-style
+   result in EAX. Different service numbering from {!Linuxsim} — the same
+   BTGeneric must work on both through the BTOS API alone. *)
+
+open Ia32
+
+let name = "winsim"
+let version = { Btos.major = 2; minor = 3 }
+let syscall_vector = 0x2E
+
+let decode_syscall (st : State.t) =
+  let eax = State.get32 st Insn.Eax in
+  let ebx = State.get32 st Insn.Ebx in
+  let ecx = State.get32 st Insn.Ecx in
+  let edx = State.get32 st Insn.Edx in
+  match eax with
+  | 0x01 -> Syscall.Exit edx
+  | 0x08 -> Syscall.Write { buf = edx; len = ecx }
+  | 0x10 -> Syscall.Sbrk (Word.signed32 edx)
+  | 0x11 -> Syscall.Map { addr = edx; len = ecx }
+  | 0x12 -> Syscall.Unmap { addr = edx; len = ecx }
+  | 0x20 -> Syscall.Signal { vector = edx; handler = ecx }
+  | 0x30 -> Syscall.Getclock
+  | 0x40 -> Syscall.Kernel_work edx
+  | 0x41 -> Syscall.Idle edx
+  | n -> Syscall.Unknown (n lor (ebx land 0)) (* ebx unused; keep convention *)
+
+let encode_result (st : State.t) v = State.set32 st Insn.Eax v
+
+(* Windows-flavoured allocation: 64 KiB granularity, separate arena. *)
+let arena = ref 0x3000000000
+
+let alloc_region (_ : Vos.t) ~len =
+  let base = !arena in
+  arena := !arena + ((len + 0xFFFF) land lnot 0xFFFF);
+  base
+
+let perform = Vos.perform
+let deliver_exception = Vos.deliver_exception

@@ -1,0 +1,9 @@
+(** BTLib for the simulated Windows host: [int 0x2e], service number in
+    EAX, arguments in EDX/ECX (note the different order), NTSTATUS-style
+    result in EAX.
+
+    Deliberately different numbering and conventions from {!Linuxsim}:
+    the same BTGeneric must drive both through the BTOS API alone, which
+    is the paper's §3 portability claim. *)
+
+include Btos.S

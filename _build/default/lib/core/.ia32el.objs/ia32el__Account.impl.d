@@ -1,0 +1,1 @@
+lib/core/account.ml: Array Float Fmt Ipf

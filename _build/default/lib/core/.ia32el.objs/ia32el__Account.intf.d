@@ -1,0 +1,1 @@
+lib/core/account.mli: Format Ipf

@@ -1,0 +1,1 @@
+lib/core/block.ml: Array Fpmap Hashtbl Ia32 Ipf List

@@ -1,0 +1,1 @@
+lib/core/block.mli: Fpmap Hashtbl Ia32 Ipf

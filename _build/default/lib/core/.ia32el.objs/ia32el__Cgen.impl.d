@@ -1,0 +1,1 @@
+lib/core/cgen.ml: Array Hashtbl Ipf List

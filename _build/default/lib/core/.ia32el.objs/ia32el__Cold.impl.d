@@ -1,0 +1,1 @@
+lib/core/cold.ml: Account Array Block Cgen Config Discover Fpmap Hashtbl Ia32 Int64 Ipf List Regs Templates

@@ -1,0 +1,1 @@
+lib/core/cold.mli: Account Block Config Ia32 Ipf

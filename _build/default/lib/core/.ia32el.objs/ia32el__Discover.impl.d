@@ -1,0 +1,1 @@
+lib/core/discover.ml: Array Hashtbl Ia32 List Queue

@@ -1,0 +1,1 @@
+lib/core/engine.ml: Account Array Block Btlib Cold Config Hashtbl Hot Ia32 Ipf List Option Printf Reconstruct Regs Sys Templates

@@ -1,0 +1,1 @@
+lib/core/engine.mli: Account Block Btlib Cold Config Hashtbl Ia32 Ipf

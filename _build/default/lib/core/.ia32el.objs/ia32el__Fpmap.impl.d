@@ -1,0 +1,1 @@
+lib/core/fpmap.ml: Array List Regs

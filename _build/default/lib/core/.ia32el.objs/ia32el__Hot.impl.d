@@ -1,0 +1,1 @@
+lib/core/hot.ml: Account Array Block Cgen Cold Config Discover Fpmap Hashtbl Ia32 Int64 Ipf List Option Printf Regs Templates

@@ -1,0 +1,1 @@
+lib/core/hot.mli: Block Cold

@@ -1,0 +1,1 @@
+lib/core/reconstruct.ml: Array Block Float Ia32 Int64 Ipf List Regs Templates

@@ -1,0 +1,1 @@
+lib/core/reconstruct.mli: Block Ia32 Ipf

@@ -1,0 +1,1 @@
+lib/core/refvehicle.ml: Btlib Ia32

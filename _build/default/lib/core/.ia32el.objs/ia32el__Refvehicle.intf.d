@@ -1,0 +1,1 @@
+lib/core/refvehicle.mli: Btlib Ia32

@@ -1,0 +1,1 @@
+lib/core/templates.ml: Array Config Float Fpmap Hashtbl Ia32 Int64 Ipf List Option Regs

@@ -1,0 +1,1 @@
+lib/core/templates.mli: Config Fpmap Hashtbl Ia32 Ipf

@@ -1,0 +1,116 @@
+(* Cycle accounting and translator statistics — the measurement
+   infrastructure behind the paper's Figures 6 and 7 and the §2/§5 scalar
+   statistics (blocks translated, heating rate, speculation success,
+   commit-point density, misalignment events). *)
+
+(* Buckets for machine-executed cycles (indexes into Machine.buckets). *)
+let bucket_cold = 0
+let bucket_hot = 1
+
+type t = {
+  (* engine-side cycle charges *)
+  mutable overhead_cycles : int; (* translation, dispatch, lookup, faults *)
+  mutable other_cycles : int; (* native syscalls / kernel time *)
+  mutable idle_cycles : int;
+  mutable interp_cycles : int; (* interpret-first mode: first-phase time *)
+  (* translation statistics *)
+  mutable cold_blocks : int;
+  mutable cold_insns : int; (* IA-32 instructions cold-translated *)
+  mutable cold_regens : int; (* stage-2 misalignment regenerations *)
+  mutable hot_blocks : int;
+  mutable hot_insns : int;
+  mutable hot_discards : int; (* stage-3 late-misalignment discards *)
+  mutable heat_triggers : int;
+  mutable heated_blocks : int; (* distinct cold blocks that registered *)
+  mutable commit_points : int;
+  mutable hot_target_insns : int; (* native instructions emitted hot *)
+  mutable dispatches : int;
+  mutable chain_patches : int;
+  mutable indirect_lookups : int;
+  mutable indirect_misses : int;
+  (* speculation checks *)
+  mutable tos_checks : int;
+  mutable tos_misses : int;
+  mutable tag_misses : int;
+  mutable mode_checks : int;
+  mutable mode_misses : int;
+  mutable sse_checks : int;
+  mutable sse_misses : int;
+  (* misalignment *)
+  mutable misalign_stage1_hits : int;
+  mutable misalign_os_faults : int; (* handled through the expensive path *)
+  mutable misalign_avoided : int; (* avoidance sequences emitted (static) *)
+  (* exceptions *)
+  mutable exceptions_filtered : int;
+  mutable rollforwards : int;
+  mutable smc_invalidations : int;
+  mutable cache_flushes : int; (* wholesale translation-cache flushes *)
+}
+
+let create () =
+  {
+    overhead_cycles = 0;
+    other_cycles = 0;
+    idle_cycles = 0;
+    interp_cycles = 0;
+    cold_blocks = 0;
+    cold_insns = 0;
+    cold_regens = 0;
+    hot_blocks = 0;
+    hot_insns = 0;
+    hot_discards = 0;
+    heat_triggers = 0;
+    heated_blocks = 0;
+    commit_points = 0;
+    hot_target_insns = 0;
+    dispatches = 0;
+    chain_patches = 0;
+    indirect_lookups = 0;
+    indirect_misses = 0;
+    tos_checks = 0;
+    tos_misses = 0;
+    tag_misses = 0;
+    mode_checks = 0;
+    mode_misses = 0;
+    sse_checks = 0;
+    sse_misses = 0;
+    misalign_stage1_hits = 0;
+    misalign_os_faults = 0;
+    misalign_avoided = 0;
+    exceptions_filtered = 0;
+    rollforwards = 0;
+    smc_invalidations = 0;
+    cache_flushes = 0;
+  }
+
+type distribution = {
+  hot : int;
+  cold : int;
+  overhead : int;
+  other : int;
+  idle : int;
+  total : int;
+}
+
+(* Final execution-time distribution, given the machine's per-bucket
+   counters. *)
+let distribution t (machine : Ipf.Machine.t) =
+  (* interpreted first-phase time counts as "cold" (it plays the cold-code
+     role in the FX!32-style configuration) *)
+  let cold = machine.Ipf.Machine.buckets.(bucket_cold) + t.interp_cycles in
+  let hot = machine.Ipf.Machine.buckets.(bucket_hot) in
+  let total = cold + hot + t.overhead_cycles + t.other_cycles + t.idle_cycles in
+  {
+    hot;
+    cold;
+    overhead = t.overhead_cycles;
+    other = t.other_cycles;
+    idle = t.idle_cycles;
+    total;
+  }
+
+let pp_distribution ppf d =
+  let pct x = if d.total = 0 then 0.0 else 100.0 *. Float.of_int x /. Float.of_int d.total in
+  Fmt.pf ppf
+    "hot %.1f%%  cold %.1f%%  overhead %.1f%%  other %.1f%%  idle %.1f%%  (total %d cycles)"
+    (pct d.hot) (pct d.cold) (pct d.overhead) (pct d.other) (pct d.idle) d.total

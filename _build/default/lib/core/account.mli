@@ -1,0 +1,67 @@
+(** Cycle accounting and translator statistics — the measurement
+    infrastructure behind the paper's Figures 6 and 7 and the §2/§5
+    scalar statistics (blocks translated, heating rate, speculation
+    success, commit-point density, misalignment events). *)
+
+val bucket_cold : int
+(** Machine cycle-attribution bucket for cold translated code. *)
+
+val bucket_hot : int
+
+type t = {
+  mutable overhead_cycles : int;
+      (** translation, dispatch, lookup, fault handling *)
+  mutable other_cycles : int;  (** native syscalls / kernel time *)
+  mutable idle_cycles : int;
+  mutable interp_cycles : int;
+      (** interpret-first mode: first-phase time *)
+  mutable cold_blocks : int;
+  mutable cold_insns : int;  (** IA-32 instructions cold-translated *)
+  mutable cold_regens : int;  (** stage-2 misalignment regenerations *)
+  mutable hot_blocks : int;
+  mutable hot_insns : int;
+  mutable hot_discards : int;  (** stage-3 late-misalignment discards *)
+  mutable heat_triggers : int;
+  mutable heated_blocks : int;  (** distinct cold blocks that registered *)
+  mutable commit_points : int;
+  mutable hot_target_insns : int;  (** native instructions emitted hot *)
+  mutable dispatches : int;
+  mutable chain_patches : int;
+  mutable indirect_lookups : int;
+  mutable indirect_misses : int;
+  mutable tos_checks : int;  (** FP blocks carrying a TOS entry check *)
+  mutable tos_misses : int;
+  mutable tag_misses : int;
+  mutable mode_checks : int;
+  mutable mode_misses : int;
+  mutable sse_checks : int;
+  mutable sse_misses : int;
+  mutable misalign_stage1_hits : int;
+  mutable misalign_os_faults : int;  (** handled at the expensive OS price *)
+  mutable misalign_avoided : int;  (** avoidance sequences emitted *)
+  mutable exceptions_filtered : int;
+      (** speculative faults that were filtered, never reaching the guest *)
+  mutable rollforwards : int;
+      (** commit restores followed by interpreter roll-forward *)
+  mutable smc_invalidations : int;
+  mutable cache_flushes : int;  (** wholesale translation-cache flushes *)
+}
+
+val create : unit -> t
+
+(** Execution-time split in the shape of the paper's Figures 6/7. *)
+type distribution = {
+  hot : int;
+  cold : int;
+      (** includes interpreter time in the interpret-first configuration *)
+  overhead : int;
+  other : int;
+  idle : int;
+  total : int;
+}
+
+val distribution : t -> Ipf.Machine.t -> distribution
+(** Final distribution, combining the engine's charge counters with the
+    machine's per-bucket cycle counters. *)
+
+val pp_distribution : Format.formatter -> distribution -> unit

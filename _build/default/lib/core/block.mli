@@ -1,0 +1,103 @@
+(** Translated blocks and the block cache.
+
+    A block records everything the engine needs at runtime: where its
+    bundles live in the translation cache, its profile-arena slots (use
+    counter, taken-edge counter, per-access misalignment slots), and the
+    precise-exception metadata — per-faulty-IP FP snapshots for cold
+    blocks, commit maps for hot blocks (paper §4.2). *)
+
+type fp_snapshot = {
+  s_vtos : int;  (** static TOS at this point *)
+  s_map : int array;  (** FXCHG permutation at this point *)
+  s_set_valid : int;  (** TAG bits known valid *)
+  s_set_empty : int;
+  s_written : int;  (** x87 slots written so far by the block *)
+  s_mmx : bool;  (** the block runs in MMX mode (TAG from exit mask) *)
+}
+(** Enough x87/MMX static state to reconstruct the FPU at one point. *)
+
+val identity_snapshot : entry_tos:int -> fp_snapshot
+val snapshot_of_fpmap : Fpmap.t -> fp_snapshot
+
+(** Where an IA-32 register's pre-commit value lives at a hot commit
+    point: each case pairs the canonic entity with the backup GR/FR
+    holding its region-start value. *)
+type saved_loc =
+  | Sgr of Ia32.Insn.reg * int
+  | Sflag of Ia32.Insn.flag * int
+  | Sfr of int * int  (** x87 IPF slot backed up in an FR *)
+  | Sxlo of int * int  (** XMM int-layout low half *)
+  | Sxhi of int * int
+  | Smm of int * int
+  | Sstatus of int * int  (** runtime status GR (r_tos etc.) *)
+
+type commit_map = {
+  cm_ip : int;  (** IA-32 address the commit point corresponds to *)
+  cm_saved : saved_loc list;
+  cm_fp : fp_snapshot;
+}
+
+type kind = Cold | Hot
+
+type t = {
+  id : int;
+  entry : int;  (** IA-32 entry address *)
+  kind : kind;
+  mutable tstart : int;  (** first bundle in the translation cache *)
+  mutable tlen : int;
+  insns : (int * Ia32.Insn.insn) array;  (** source instructions *)
+  code_end : int;  (** address after the last source instruction *)
+  ctr_addr : int;  (** profile arena: use counter *)
+  edge_addr : int;  (** taken-edge counter *)
+  ma_base : int;  (** first per-access misalignment slot *)
+  n_accesses : int;
+  entry_tos : int;  (** speculated x87 TOS at entry *)
+  sse_entry : int array;  (** required XMM entry formats (-1 = none) *)
+  fp_recovery : (int, fp_snapshot) Hashtbl.t;
+      (** per-faulty-IP snapshots (cold precise exceptions) *)
+  commit_maps : commit_map array;  (** by commit index (hot) *)
+  bundle_commit : int array;  (** bundle offset -> commit index (hot) *)
+  mutable misalign_stage : int;  (** 1 = detect, 2 = avoid+record *)
+  mutable live : bool;
+  mutable registered : int;  (** optimization-candidate registrations *)
+}
+
+(** {1 Block cache} *)
+
+type cache = {
+  by_entry : (int, t) Hashtbl.t;  (** live block per entry address *)
+  by_id : (int, t) Hashtbl.t;
+  bundle_owner : (int, t) Hashtbl.t;
+  by_page : (int, t list ref) Hashtbl.t;  (** source page -> blocks *)
+  mutable next_id : int;
+  mutable arena_next : int;
+}
+
+val arena_base : int
+(** The profile arena lives in a reserved guest region, invisible to the
+    application's own data but addressable by translated code. *)
+
+val arena_size : int
+
+val create_cache : unit -> cache
+val fresh_id : cache -> int
+
+val alloc_arena : cache -> int -> int
+(** Allocate [n] 4-byte profile slots; returns the base address. *)
+
+val register : cache -> t -> unit
+val find_entry : cache -> int -> t option
+(** Live block translated at an entry address. *)
+
+val find_by_bundle : cache -> int -> t option
+val find_by_id : cache -> int -> t option
+
+val invalidate : cache -> Ipf.Tcache.t -> t -> unit
+(** Mark dead, detach from the entry index, and turn the block's bundles
+    into dispatch exits so stale chained predecessors fall back to the
+    runtime. *)
+
+val blocks_touching : cache -> int -> t list
+(** Live blocks whose source bytes include an address (SMC). *)
+
+val live_blocks_on_page : cache -> int -> t list

@@ -1,0 +1,29 @@
+(** Cold code generation (paper §2, Figure 1).
+
+    Basic-block granularity with neighbourhood analysis for EFLAGS
+    liveness, template-based emission with per-instruction stops (no
+    reordering), instrumentation (use counter with heat trigger,
+    taken-edge counter, stage-1/2 misalignment machinery), the IA-32
+    state-register protocol for precise exceptions, and block-head
+    speculation checks for x87/MMX/SSE state. *)
+
+type env = {
+  config : Config.t;
+  tcache : Ipf.Tcache.t;
+  cache : Block.cache;
+  mem : Ia32.Memory.t;
+  acct : Account.t;
+}
+(** Everything a translation session needs; shared with {!Hot}. *)
+
+exception Cannot_translate of int
+(** Raised with the entry address when its bytes are undecodable or
+    unfetchable; the engine falls back to the interpreter. *)
+
+val translate : env -> entry:int -> entry_tos:int -> stage2:bool -> Block.t
+(** Translate one cold block. [entry_tos] is the runtime TOS observed at
+    translation time (the x87 speculation); [stage2] selects the
+    regenerated misalignment-avoiding variant with per-access profile
+    recording. The block is lowered into the translation cache but not
+    yet registered in the block cache.
+    @raise Cannot_translate on undecodable entries. *)

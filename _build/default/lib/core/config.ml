@@ -1,0 +1,79 @@
+(* Translator configuration. Every paper-relevant design choice is a switch
+   here so the ablation benches can turn it off and measure the difference. *)
+
+type first_phase =
+  | Instrumented_cold (* the paper's design: translate cold code with
+                         instrumentation *)
+  | Interpret_first (* the FX!32-style alternative: interpret until hot *)
+
+type t = {
+  (* two-phase control *)
+  two_phase : bool; (* false = cold-only translator *)
+  first_phase : first_phase;
+  heat_threshold : int; (* cold-block executions before registration *)
+  session_candidates : int; (* registrations that trigger a hot session *)
+  max_trace_blocks : int; (* hyper-block length limit, in basic blocks *)
+  max_trace_insns : int;
+  enable_predication : bool;
+  predication_max_side : int; (* max IA-32 insns per if-converted side *)
+  enable_unroll : bool;
+  unroll_factor : int;
+  unroll_max_insns : int; (* only unroll loop bodies up to this size *)
+  (* cold code *)
+  neighborhood_blocks : int; (* 1-20 blocks analysed around the entry *)
+  tcache_limit : int;
+      (* bundles before the translation cache is flushed wholesale (the
+         paper's fixed-size cache, default 64MB, flushed when full) *)
+  (* commit points *)
+  commit_interval : int; (* target insns per commit point (~10 native) *)
+  enable_commit : bool; (* false = no precise-state machinery in hot code
+                           (used by the native-compiler model) *)
+  flags_preserved_at_exit : bool; (* false = EFLAGS need not be live at
+                                     block exits (native-compiler model) *)
+  (* speculation *)
+  fp_stack_speculation : bool;
+  mmx_mode_speculation : bool;
+  sse_format_speculation : bool;
+  (* misalignment machinery *)
+  misalign_avoidance : bool;
+  misalign_stage3_guard : bool; (* light instrumentation on dangerous insns *)
+  (* scheduling *)
+  enable_scheduling : bool; (* false = emit hot IL in order, cold-style *)
+  enable_control_spec : bool;
+      (* hoist loads above exit branches with ld.s/chk.s; deferred faults
+         that never reach their check are filtered (paper §4.2) *)
+  enable_flag_elim : bool;
+  enable_cse : bool;
+}
+
+let default =
+  {
+    two_phase = true;
+    first_phase = Instrumented_cold;
+    heat_threshold = 120;
+    session_candidates = 6;
+    max_trace_blocks = 8;
+    max_trace_insns = 48;
+    enable_predication = true;
+    predication_max_side = 4;
+    enable_unroll = true;
+    unroll_factor = 2;
+    unroll_max_insns = 10;
+    neighborhood_blocks = 16;
+    tcache_limit = 4_000_000;
+    commit_interval = 10;
+    enable_commit = true;
+    flags_preserved_at_exit = true;
+    fp_stack_speculation = true;
+    mmx_mode_speculation = true;
+    sse_format_speculation = true;
+    misalign_avoidance = true;
+    misalign_stage3_guard = true;
+    enable_scheduling = true;
+    enable_control_spec = true;
+    enable_flag_elim = true;
+    enable_cse = true;
+  }
+
+(* Cold-only translator (no hot phase at all). *)
+let cold_only = { default with two_phase = false }

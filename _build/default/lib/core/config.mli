@@ -1,0 +1,62 @@
+(** Translator configuration.
+
+    Every paper-relevant design choice is a switch here so the ablation
+    benches ([bench/main.exe ablations]) can turn it off and measure the
+    difference, and so the baseline models ({!Workloads.Baselines}) can
+    derive their configurations from the translator's own. *)
+
+(** How first-phase (not-yet-hot) code runs. *)
+type first_phase =
+  | Instrumented_cold
+      (** the paper's design: translate cold code with instrumentation *)
+  | Interpret_first
+      (** the FX!32-style alternative: interpret until hot *)
+
+type t = {
+  two_phase : bool;  (** false = cold-only translator *)
+  first_phase : first_phase;
+  heat_threshold : int;
+      (** cold-block executions before the block registers as an
+          optimization candidate *)
+  session_candidates : int;
+      (** registrations that trigger a hot-translation session *)
+  max_trace_blocks : int;  (** hyper-block length limit, in basic blocks *)
+  max_trace_insns : int;
+  enable_predication : bool;  (** if-convert small diamonds *)
+  predication_max_side : int;  (** max IA-32 insns per if-converted side *)
+  enable_unroll : bool;
+  unroll_factor : int;
+  unroll_max_insns : int;  (** only unroll loop bodies up to this size *)
+  neighborhood_blocks : int;
+      (** basic blocks analysed around a cold entry for EFLAGS liveness *)
+  tcache_limit : int;
+      (** bundles before the translation cache is flushed wholesale (the
+          paper's fixed-size cache, flushed when full) *)
+  commit_interval : int;  (** target IA-32 insns per hot commit point *)
+  enable_commit : bool;
+      (** false = no precise-state machinery in hot code (used by the
+          native-compiler model, which has no translation-time faults to
+          reconstruct) *)
+  flags_preserved_at_exit : bool;
+      (** false = EFLAGS need not be live at block exits (native model) *)
+  fp_stack_speculation : bool;  (** block-head TOS/TAG checks (§4.3) *)
+  mmx_mode_speculation : bool;  (** FP/MMX staleness checks (§4.4) *)
+  sse_format_speculation : bool;  (** XMM format checks *)
+  misalign_avoidance : bool;  (** the 3-stage machinery (§4.5) *)
+  misalign_stage3_guard : bool;
+      (** light instrumentation on dangerous accesses in hot code *)
+  enable_scheduling : bool;
+      (** false = emit hot IL in order, cold-style *)
+  enable_control_spec : bool;
+      (** hoist loads above exit branches with [ld.s]/[chk.s]; a deferred
+          fault that never reaches its check is filtered (§4.2) *)
+  enable_flag_elim : bool;
+      (** EFLAGS liveness elimination + compare/branch fusion *)
+  enable_cse : bool;  (** effective-address CSE in hot code *)
+}
+
+val default : t
+(** The paper's two-phase design with its production thresholds. *)
+
+val cold_only : t
+(** No second phase at all (baseline for the two-phase ablation). *)

@@ -1,0 +1,731 @@
+(* The IA-32 EL engine (BTGeneric runtime): dispatch, block chaining, the
+   heat-session trigger, system-call delegation through BTLib, SMC
+   detection, misalignment handling, speculation-miss recoveries, and
+   precise exception delivery with interpreter roll-forward. *)
+
+module M = Ipf.Machine
+module I = Ipf.Insn
+
+type outcome =
+  | Exited of int * Ia32.State.t (* code, final precise state *)
+  | Unhandled_fault of Ia32.Fault.t * Ia32.State.t
+  | Out_of_fuel
+
+type t = {
+  config : Config.t;
+  mem : Ia32.Memory.t;
+  tcache : Ipf.Tcache.t;
+  cache : Block.cache;
+  acct : Account.t;
+  machine : M.t;
+  vos : Btlib.Vos.t;
+  btlib : (module Btlib.Btos.S);
+  cold_env : Cold.env;
+  (* heat machinery *)
+  mutable candidates : int list; (* registered cold block ids *)
+  (* entries that must be (re)generated with stage-2 avoidance *)
+  stage2_entries : (int, unit) Hashtbl.t;
+  (* entries whose hot regeneration must use full avoidance (stage 3) *)
+  avoid_entries : (int, unit) Hashtbl.t;
+  (* SMC bookkeeping *)
+  mutable smc_pending : Block.t list; (* invalidate at next engine entry *)
+  mutable running_block : Block.t option;
+  (* interpret-first mode profile *)
+  if_counts : (int, int ref) Hashtbl.t;
+  if_taken : (int, int ref) Hashtbl.t;
+  mutable fuel : int;
+}
+
+exception Smc_abort
+
+let charge_overhead t c = t.acct.Account.overhead_cycles <- t.acct.Account.overhead_cycles + c
+let charge_other t c = t.acct.Account.other_cycles <- t.acct.Account.other_cycles + c
+
+let cost t = t.machine.M.cost
+
+(* total virtual time, for the Getclock syscall *)
+let now t =
+  t.machine.M.stats.M.cycles + t.acct.Account.overhead_cycles
+  + t.acct.Account.other_cycles + t.acct.Account.idle_cycles
+
+let create ?(config = Config.default) ?cost:(mcost = Ipf.Cost.default) ?dcache
+    ~btlib mem =
+  let module L = (val btlib : Btlib.Btos.S) in
+  (* load-time version handshake between BTGeneric and BTLib (paper §3) *)
+  let btlib = Btlib.Btos.init (module L) in
+  let tcache = Ipf.Tcache.create () in
+  let cache = Block.create_cache () in
+  let acct = Account.create () in
+  let machine = M.create ~cost:mcost ?dcache mem tcache in
+  let vos = Btlib.Vos.create mem in
+  (* map the profile arena *)
+  Ia32.Memory.map mem ~addr:Block.arena_base ~len:Block.arena_size
+    ~prot:Ia32.Memory.prot_rw;
+  let t =
+    {
+      config;
+      mem;
+      tcache;
+      cache;
+      acct;
+      machine;
+      vos;
+      btlib;
+      cold_env = { Cold.config; tcache; cache; mem; acct };
+      candidates = [];
+      stage2_entries = Hashtbl.create 16;
+      avoid_entries = Hashtbl.create 16;
+      smc_pending = [];
+      running_block = None;
+      if_counts = Hashtbl.create 64;
+      if_taken = Hashtbl.create 64;
+      fuel = max_int;
+    }
+  in
+  vos.Btlib.Vos.clock <- (fun _ -> now t);
+  (* bucket attribution: cold vs hot cycles *)
+  machine.M.bucket_fn <-
+    (fun bundle ->
+      match Block.find_by_bundle cache bundle with
+      | Some b when b.Block.kind = Block.Hot -> Account.bucket_hot
+      | _ -> Account.bucket_cold);
+  (* SMC detection: watch writes to translated-from pages *)
+  Ia32.Memory.set_write_watch mem
+    (Some
+       (fun addr _w ->
+         let victims = Block.blocks_touching cache addr in
+         if victims <> [] then begin
+           t.acct.Account.smc_invalidations <-
+             t.acct.Account.smc_invalidations + List.length victims;
+           let self = ref false in
+           List.iter
+             (fun b ->
+               match t.running_block with
+               | Some cur when cur.Block.id = b.Block.id ->
+                 (* the executing block modified itself: abort the machine
+                    and restart from the precise state *)
+                 b.Block.live <- false;
+                 t.smc_pending <- b :: t.smc_pending;
+                 self := true
+               | _ -> Block.invalidate cache tcache b)
+             victims;
+           if !self then raise Smc_abort
+         end));
+  t
+
+let flush_smc_pending t =
+  List.iter (fun b ->
+      Block.invalidate t.cache t.tcache b) t.smc_pending;
+  t.smc_pending <- []
+
+(* ---- translation ------------------------------------------------------- *)
+
+let hot_profile t =
+  {
+    Hot.use_count =
+      (fun entry ->
+        match Block.find_entry t.cache entry with
+        | Some b -> Ia32.Memory.read32 t.mem b.Block.ctr_addr
+        | None -> (
+          match Hashtbl.find_opt t.if_counts entry with
+          | Some r -> !r
+          | None -> 0));
+    Hot.taken_count =
+      (fun entry ->
+        match Block.find_entry t.cache entry with
+        | Some b -> Ia32.Memory.read32 t.mem b.Block.edge_addr
+        | None -> (
+          match Hashtbl.find_opt t.if_taken entry with
+          | Some r -> !r
+          | None -> 0));
+    Hot.misaligned =
+      (fun entry idx ->
+        Hashtbl.mem t.avoid_entries entry
+        ||
+        match Block.find_entry t.cache entry with
+        | Some b when idx < b.Block.n_accesses ->
+          Ia32.Memory.read32 t.mem (b.Block.ma_base + (4 * idx)) <> 0
+        | _ -> false);
+  }
+
+(* Wholesale translation-cache flush (paper §2: the translation cache is
+   a fixed-size resource; when it fills, everything is dropped and
+   retranslation starts over). Bundle indices embedded anywhere become
+   invalid, so every block structure, chain, candidate and profile slot
+   goes with it. Guest-address-keyed policy knowledge (stage-2/stage-3
+   misalignment entries, interpret-first counts) survives. *)
+let flush_translations t =
+  t.acct.Account.cache_flushes <- t.acct.Account.cache_flushes + 1;
+  (* zero the recycled profile arena so stale counters cannot heat fresh
+     blocks instantly *)
+  let used = t.cache.Block.arena_next - Block.arena_base in
+  for k = 0 to (used / 4) - 1 do
+    Ia32.Memory.write32 t.mem (Block.arena_base + (4 * k)) 0
+  done;
+  Hashtbl.reset t.cache.Block.by_entry;
+  Hashtbl.reset t.cache.Block.by_id;
+  Hashtbl.reset t.cache.Block.bundle_owner;
+  Hashtbl.reset t.cache.Block.by_page;
+  t.cache.Block.arena_next <- Block.arena_base;
+  Ipf.Tcache.clear t.tcache;
+  t.candidates <- [];
+  t.smc_pending <- [];
+  t.running_block <- None
+
+let translate_cold t entry =
+  if Ipf.Tcache.length t.tcache > t.config.Config.tcache_limit then
+    flush_translations t;
+  let stage2 = Hashtbl.mem t.stage2_entries entry in
+  let entry_tos = M.get32 t.machine Regs.r_tos in
+  let b = Cold.translate t.cold_env ~entry ~entry_tos ~stage2 in
+  charge_overhead t
+    (Array.length b.Block.insns * (cost t).Ipf.Cost.cold_translate_per_insn);
+  b
+
+(* Chain the exit branch that just fired into the fresh target block. *)
+let chain t target block =
+  let bundle, slot = t.machine.M.last_exit in
+  if bundle >= Ipf.Tcache.length t.tcache then ()
+  else
+  let b = Ipf.Tcache.get t.tcache bundle in
+  match b.Ipf.Bundle.slots.(slot).I.sem with
+  | I.Br (I.Out (I.Dispatch a)) when a = target ->
+    Ipf.Tcache.patch_slot t.tcache ~idx:bundle ~slot
+      { b.Ipf.Bundle.slots.(slot) with I.sem = I.Br (I.To block.Block.tstart) };
+    t.acct.Account.chain_patches <- t.acct.Account.chain_patches + 1
+  | _ -> ()
+
+(* ---- heat sessions ----------------------------------------------------- *)
+
+(* Returns true when the caller must re-dispatch instead of resuming the
+   machine: either the running block was replaced by its hot version, or
+   a cache flush invalidated every bundle index the machine holds. *)
+let run_hot_session t =
+  let flushes0 = t.acct.Account.cache_flushes in
+  if Ipf.Tcache.length t.tcache > t.config.Config.tcache_limit then
+    flush_translations t;
+  let profile = hot_profile t in
+  let entry_tos = M.get32 t.machine Regs.r_tos in
+  let replaced_current = ref false in
+  List.iter
+    (fun id ->
+      match Block.find_by_id t.cache id with
+      | Some b when b.Block.live && b.Block.kind = Block.Cold -> (
+        match
+          Hot.translate t.cold_env ~entry:b.Block.entry ~entry_tos ~profile
+            ~avoid:(Hashtbl.mem t.avoid_entries b.Block.entry)
+        with
+        | Some hot_block ->
+          charge_overhead t
+            (Array.length hot_block.Block.insns
+            * (cost t).Ipf.Cost.hot_translate_per_insn);
+          t.acct.Account.hot_insns <-
+            t.acct.Account.hot_insns + Array.length hot_block.Block.insns;
+          (* the cold block is superseded *)
+          Block.invalidate t.cache t.tcache b;
+          Block.register t.cache hot_block;
+          (match t.running_block with
+          | Some cur when cur.Block.id = b.Block.id -> replaced_current := true
+          | _ -> ())
+        | None -> ())
+      | _ -> ())
+    t.candidates;
+  t.candidates <- [];
+  !replaced_current || t.acct.Account.cache_flushes > flushes0
+
+(* Returns the IA-32 address to dispatch to when resuming the machine in
+   place is no longer possible (hot replacement or cache flush). *)
+let on_heat t id =
+  t.acct.Account.heat_triggers <- t.acct.Account.heat_triggers + 1;
+  match Block.find_by_id t.cache id with
+  | None -> None
+  | Some b ->
+    (* reset the counter so the trigger can fire again *)
+    Ia32.Memory.write32 t.mem b.Block.ctr_addr 0;
+    if b.Block.registered = 0 then
+      t.acct.Account.heated_blocks <- t.acct.Account.heated_blocks + 1;
+    b.Block.registered <- b.Block.registered + 1;
+    if not (List.mem id t.candidates) then t.candidates <- id :: t.candidates;
+    charge_overhead t 50;
+    (* "when enough blocks have registered or one block has registered
+       twice, an optimization session starts" *)
+    if
+      List.length t.candidates >= t.config.Config.session_candidates
+      || b.Block.registered >= 2
+    then if run_hot_session t then Some b.Block.entry else None
+    else None
+
+(* ---- precise state helpers --------------------------------------------- *)
+
+(* Reconstruct the precise state for a machine-level event inside [block].
+   Cold blocks: the state register + per-IP snapshot. Hot blocks: restore
+   the commit point covering the faulting bundle, then the caller
+   roll-forwards with the interpreter. *)
+let reconstruct_at t block ~bundle =
+  match block.Block.kind with
+  | Block.Cold ->
+    let ip = M.get32 t.machine Regs.r_state in
+    let snapshot =
+      match Hashtbl.find_opt block.Block.fp_recovery ip with
+      | Some s -> s
+      | None -> Block.identity_snapshot ~entry_tos:block.Block.entry_tos
+    in
+    Reconstruct.extract t.machine ~eip:ip ~snapshot
+  | Block.Hot ->
+    let off = bundle - block.Block.tstart in
+    let cm_idx =
+      if off >= 0 && off < Array.length block.Block.bundle_commit then
+        block.Block.bundle_commit.(off)
+      else 0
+    in
+    let cm = block.Block.commit_maps.(cm_idx) in
+    t.acct.Account.rollforwards <- t.acct.Account.rollforwards + 1;
+    Reconstruct.apply_commit t.machine cm
+
+(* Interpret forward from [st] until leaving [lo,hi) or a fault/syscall, or
+   at most [max_steps]. Returns the stop condition. *)
+let rollforward t st ~lo ~hi ~max_steps =
+  let steps = ref 0 in
+  let rec go () =
+    if !steps >= max_steps then `Boundary
+    else if st.Ia32.State.eip < lo || st.Ia32.State.eip >= hi then `Boundary
+    else begin
+      match Ia32.Interp.step st with
+      | Ia32.Interp.Normal ->
+        incr steps;
+        charge_overhead t 10;
+        go ()
+      | Ia32.Interp.Syscall n ->
+        incr steps;
+        `Syscall n
+      | Ia32.Interp.Faulted f -> `Fault f
+    end
+  in
+  go ()
+
+(* ---- exception delivery ------------------------------------------------ *)
+
+let deliver_fault t st fault k =
+  let module L = (val t.btlib : Btlib.Btos.S) in
+  charge_overhead t (cost t).Ipf.Cost.exception_filter_cost;
+  t.acct.Account.exceptions_filtered <- t.acct.Account.exceptions_filtered + 1;
+  match L.deliver_exception t.vos st fault with
+  | Btlib.Vos.Resumed ->
+    Reconstruct.inject t.machine st;
+    k st.Ia32.State.eip
+  | Btlib.Vos.Unhandled f -> Unhandled_fault (f, st)
+
+(* ---- syscalls ---------------------------------------------------------- *)
+
+let do_syscall t st n k =
+  let module L = (val t.btlib : Btlib.Btos.S) in
+  if n <> L.syscall_vector then
+    (* not this OS's system-call vector: the guest gets a trap *)
+    deliver_fault t st Ia32.Fault.Breakpoint k
+  else begin
+    let call = L.decode_syscall st in
+    charge_other t (cost t).Ipf.Cost.syscall_cost;
+    let k0 = t.vos.Btlib.Vos.kernel_cycles and i0 = t.vos.Btlib.Vos.idle_cycles in
+    let fin r =
+      (* kernel/driver time runs natively ("other"); idle is idle *)
+      charge_other t (t.vos.Btlib.Vos.kernel_cycles - k0);
+      t.acct.Account.idle_cycles <-
+        t.acct.Account.idle_cycles + (t.vos.Btlib.Vos.idle_cycles - i0);
+      r
+    in
+    match fin (L.perform t.vos st call) with
+    | Btlib.Syscall.Exited code -> Exited (code, st)
+    | Btlib.Syscall.Ret v ->
+      L.encode_result st v;
+      Reconstruct.inject t.machine st;
+      k st.Ia32.State.eip
+  end
+
+(* ---- main loop ---------------------------------------------------------- *)
+
+let vector_fault = function
+  | 0 -> Ia32.Fault.Divide_error
+  | 6 -> Ia32.Fault.Invalid_opcode
+  | 13 -> Ia32.Fault.Privileged
+  | 16 -> Ia32.Fault.Fp_stack_fault
+  | _ -> Ia32.Fault.Invalid_opcode
+
+let trace_exits = Sys.getenv_opt "IA32EL_TRACE" <> None
+
+(* Start running the guest whose initial architectural state is [st]. *)
+let run ?(fuel = max_int) t (st0 : Ia32.State.t) =
+  t.fuel <- fuel;
+  Reconstruct.inject t.machine st0;
+  let rec dispatch eip =
+    if trace_exits then
+      Printf.eprintf "[dispatch %x ebx=%x ecx=%x]\n%!" eip
+        (M.get32 t.machine (Regs.gr_of_reg Ia32.Insn.Ebx))
+        (M.get32 t.machine (Regs.gr_of_reg Ia32.Insn.Ecx));
+    t.acct.Account.dispatches <- t.acct.Account.dispatches + 1;
+    charge_overhead t (cost t).Ipf.Cost.dispatch_cost;
+    flush_smc_pending t;
+    match Block.find_entry t.cache eip with
+    | Some b -> enter b
+    | None
+      when t.config.Config.two_phase
+           && t.config.Config.first_phase = Config.Interpret_first ->
+      interpret_first eip
+    | None -> (
+      match translate_cold t eip with
+      | b -> enter b
+      | exception Cold.Cannot_translate _ ->
+        (* undecodable or unfetchable entry: architectural fault *)
+        let snapshot = Block.identity_snapshot ~entry_tos:0 in
+        let st = Reconstruct.extract t.machine ~eip ~snapshot in
+        let fault =
+          if Ia32.Memory.is_mapped t.mem eip then Ia32.Fault.Invalid_opcode
+          else Ia32.Fault.Page_fault (eip, Ia32.Fault.Fetch)
+        in
+        deliver_fault t st fault dispatch)
+  and interpret_first eip =
+    (* FX!32-style first phase: interpret basic blocks while counting
+       entries and edges; when a block heats, translate it hot directly.
+       The interpretation threshold is lower than the instrumented-cold
+       threshold (the paper: such systems "need to move to hot code
+       generation much earlier"), so the profile is less representative. *)
+    let threshold = max 8 (t.config.Config.heat_threshold / 4) in
+    let count =
+      match Hashtbl.find_opt t.if_counts eip with
+      | Some r -> r
+      | None ->
+        let r = ref 0 in
+        Hashtbl.replace t.if_counts eip r;
+        r
+    in
+    incr count;
+    if !count >= threshold then begin
+      let profile = hot_profile t in
+      let entry_tos = M.get32 t.machine Regs.r_tos in
+      match Hot.translate t.cold_env ~entry:eip ~entry_tos ~profile ~avoid:false with
+      | Some hb ->
+        charge_overhead t
+          (Array.length hb.Block.insns * (cost t).Ipf.Cost.hot_translate_per_insn);
+        Block.register t.cache hb;
+        enter hb
+      | None -> (
+        match translate_cold t eip with
+        | b -> enter b
+        | exception Cold.Cannot_translate _ -> interp_step_blocks eip)
+    end
+    else interp_step_blocks eip
+  and interp_step_blocks eip =
+    (* interpret one basic block, maintaining the engine-side edge profile *)
+    let snapshot =
+      Block.identity_snapshot ~entry_tos:(M.get32 t.machine Regs.r_tos)
+    in
+    let st = Reconstruct.extract t.machine ~eip ~snapshot in
+    let rec steps budget =
+      if budget = 0 then `Continue
+      else begin
+        let at = st.Ia32.State.eip in
+        match Ia32.Decode.decode t.mem at with
+        | exception _ -> `Fault Ia32.Fault.Invalid_opcode
+        | insn, len -> (
+          let fall = Ia32.Word.mask32 (at + len) in
+          match Ia32.Interp.step st with
+          | Ia32.Interp.Normal ->
+            t.acct.Account.interp_cycles <-
+              t.acct.Account.interp_cycles + (cost t).Ipf.Cost.interp_per_insn;
+            t.fuel <- t.fuel - 1;
+            (match insn with
+            | Ia32.Insn.Jcc _ ->
+              let taken = st.Ia32.State.eip <> fall in
+              let r =
+                match Hashtbl.find_opt t.if_taken eip with
+                | Some r -> r
+                | None ->
+                  let r = ref 0 in
+                  Hashtbl.replace t.if_taken eip r;
+                  r
+              in
+              if taken then incr r;
+              `Continue
+            | _ when Ia32.Insn.is_block_end insn -> `Continue
+            | _ -> steps (budget - 1))
+          | Ia32.Interp.Syscall n ->
+            t.acct.Account.interp_cycles <-
+              t.acct.Account.interp_cycles + (cost t).Ipf.Cost.interp_per_insn;
+            `Syscall n
+          | Ia32.Interp.Faulted f -> `Fault f)
+      end
+    in
+    if t.fuel <= 0 then Out_of_fuel
+    else
+      match steps 64 with
+      | `Continue ->
+        Reconstruct.inject t.machine st;
+        dispatch st.Ia32.State.eip
+      | `Syscall n -> do_syscall t st n dispatch
+      | `Fault f -> deliver_fault t st f dispatch
+  and enter b =
+    t.running_block <- Some b;
+    t.machine.M.ip <- b.Block.tstart;
+    t.machine.M.slot <- 0;
+    continue ()
+  and continue () =
+    if t.fuel <= 0 then Out_of_fuel
+    else begin
+      (match Block.find_by_bundle t.cache t.machine.M.ip with
+      | Some b -> t.running_block <- Some b
+      | None -> ());
+      let before = t.machine.M.stats.M.slots_retired in
+      let stop =
+        try M.run ~fuel:t.fuel t.machine
+        with Smc_abort ->
+          (* self-modifying store: memory effect is committed; restart the
+             current IA-32 instruction from its precise state *)
+          let b = Option.get t.running_block in
+          t.acct.Account.smc_invalidations <- t.acct.Account.smc_invalidations + 0;
+          let st = reconstruct_at t b ~bundle:t.machine.M.ip in
+          flush_smc_pending t;
+          Reconstruct.inject t.machine st;
+          M.Exited (I.Dispatch st.Ia32.State.eip)
+      in
+      t.fuel <- t.fuel - (t.machine.M.stats.M.slots_retired - before) - 1;
+      handle stop
+    end
+  and handle stop =
+    if trace_exits then begin
+      (match stop with
+      | M.Exited r ->
+        Printf.eprintf "[exit %s] r_tos=%d r_tag=%02x\n%!"
+          (I.exit_reason_name r) (M.get32 t.machine Regs.r_tos)
+          (M.get32 t.machine Regs.r_tag)
+      | M.Faulted f ->
+        Printf.eprintf "[fault k=%d addr=%x]\n%!"
+          (match f.M.kind with M.F_misalign -> 0 | M.F_page -> 1 | M.F_nat -> 2)
+          f.M.addr
+      | M.Fuel -> ())
+    end;
+    match stop with
+    | M.Fuel -> Out_of_fuel
+    | M.Exited (I.Dispatch target) -> (
+      flush_smc_pending t;
+      match Block.find_entry t.cache target with
+      | Some b ->
+        chain t target b;
+        enter b
+      | None ->
+        t.acct.Account.dispatches <- t.acct.Account.dispatches + 1;
+        charge_overhead t (cost t).Ipf.Cost.dispatch_cost;
+        (match translate_cold t target with
+        | b ->
+          chain t target b;
+          enter b
+        | exception Cold.Cannot_translate _ -> dispatch target))
+    | M.Exited I.Indirect ->
+      let target = M.get32 t.machine Regs.r_btarget in
+      t.acct.Account.indirect_lookups <- t.acct.Account.indirect_lookups + 1;
+      (* the fast-lookup sequence is inline translated code in the real
+         system, so a HIT is translated-code time attributed to the
+         exiting block's bucket; only a MISS falls into the runtime and
+         counts as overhead *)
+      M.charge t.machine (cost t).Ipf.Cost.indirect_lookup_cost;
+      flush_smc_pending t;
+      (match Block.find_entry t.cache target with
+      | Some b -> enter b
+      | None ->
+        t.acct.Account.indirect_misses <- t.acct.Account.indirect_misses + 1;
+        charge_overhead t (cost t).Ipf.Cost.dispatch_cost;
+        dispatch target)
+    | M.Exited (I.Heat id) -> (
+      match on_heat t id with
+      | Some entry -> dispatch entry
+      | None -> continue ())
+    | M.Exited (I.Syscall n) ->
+      let eip = M.get32 t.machine Regs.r_state in
+      let snapshot = Block.identity_snapshot ~entry_tos:(M.get32 t.machine Regs.r_tos) in
+      let st = Reconstruct.extract t.machine ~eip ~snapshot in
+      do_syscall t st n dispatch
+    | M.Exited (I.Misalign_regen id) -> (
+      t.acct.Account.misalign_stage1_hits <- t.acct.Account.misalign_stage1_hits + 1;
+      match Block.find_by_id t.cache id with
+      | None -> dispatch (M.get32 t.machine Regs.r_state)
+      | Some b ->
+        let st = reconstruct_at t b ~bundle:t.machine.M.ip in
+        (* regenerate as a stage-2 avoiding block from the faulting IP (and
+           from the block entry, for future entries) *)
+        Hashtbl.replace t.stage2_entries b.Block.entry ();
+        Hashtbl.replace t.stage2_entries st.Ia32.State.eip ();
+        Block.invalidate t.cache t.tcache b;
+        Reconstruct.inject t.machine st;
+        dispatch st.Ia32.State.eip)
+    | M.Exited (I.Smc _) -> dispatch (M.get32 t.machine Regs.r_state)
+    | M.Exited (I.Spec_fail (id, check)) -> (
+      match Block.find_by_id t.cache id with
+      | None -> dispatch (M.get32 t.machine Regs.r_state)
+      | Some b ->
+        charge_overhead t 40;
+        if check = Templates.check_tos then begin
+          t.acct.Account.tos_misses <- t.acct.Account.tos_misses + 1;
+          Reconstruct.rotate_tos t.machine ~expected:b.Block.entry_tos;
+          enter b
+        end
+        else if check = Templates.check_tag then begin
+          (* TAG mismatch: run the block's source code through the
+             interpreter, which raises the precise stack fault if any
+             (the paper rebuilds a special fault-catching block) *)
+          t.acct.Account.tag_misses <- t.acct.Account.tag_misses + 1;
+          let snapshot =
+            Block.identity_snapshot ~entry_tos:(M.get32 t.machine Regs.r_tos)
+          in
+          let st = Reconstruct.extract t.machine ~eip:b.Block.entry ~snapshot in
+          match
+            rollforward t st ~lo:b.Block.entry ~hi:b.Block.code_end
+              ~max_steps:(Array.length b.Block.insns + 1)
+          with
+          | `Fault f -> deliver_fault t st f dispatch
+          | `Syscall n -> do_syscall t st n dispatch
+          | `Boundary ->
+            Reconstruct.inject t.machine st;
+            dispatch st.Ia32.State.eip
+        end
+        else if check = Templates.check_mode_fp || check = Templates.check_mode_mmx
+        then begin
+          t.acct.Account.mode_misses <- t.acct.Account.mode_misses + 1;
+          Reconstruct.sync_mode t.machine
+            ~to_mmx:(check = Templates.check_mode_mmx);
+          enter b
+        end
+        else begin
+          t.acct.Account.sse_misses <- t.acct.Account.sse_misses + 1;
+          let n =
+            Reconstruct.convert_sse_formats t.machine ~required:b.Block.sse_entry
+          in
+          charge_overhead t (20 * n);
+          enter b
+        end)
+    | M.Exited (I.Guest_fault (ip, vec)) -> (
+      match t.running_block with
+      | None -> Out_of_fuel
+      | Some b when b.Block.kind = Block.Hot -> (
+        (* restore the covering commit region and roll forward: the
+           interpreter raises the precise architectural fault *)
+        let bundle, _ = t.machine.M.last_exit in
+        let st = reconstruct_at t b ~bundle in
+        match
+          rollforward t st ~lo:b.Block.entry ~hi:b.Block.code_end
+            ~max_steps:(Array.length b.Block.insns + 2)
+        with
+        | `Fault fault -> deliver_fault t st fault dispatch
+        | `Syscall n -> do_syscall t st n dispatch
+        | `Boundary ->
+          Reconstruct.inject t.machine st;
+          dispatch st.Ia32.State.eip)
+      | Some b ->
+        let snapshot =
+          match Hashtbl.find_opt b.Block.fp_recovery ip with
+          | Some s -> s
+          | None -> Block.identity_snapshot ~entry_tos:b.Block.entry_tos
+        in
+        let st = Reconstruct.extract t.machine ~eip:ip ~snapshot in
+        deliver_fault t st (vector_fault vec) dispatch)
+    | M.Exited (I.Nat_recover id) -> (
+      (* a chk.s caught a deferred speculative-load fault: restore the
+         covering commit point and roll forward so the real fault (or a
+         transient one that no longer occurs) is raised precisely *)
+      match Block.find_by_id t.cache id with
+      | None -> failwith "nat-recover from unknown block"
+      | Some b -> (
+        let bundle = fst t.machine.M.last_exit in
+        let st = reconstruct_at t b ~bundle in
+        match
+          rollforward t st ~lo:b.Block.entry ~hi:b.Block.code_end
+            ~max_steps:(Array.length b.Block.insns + 2)
+        with
+        | `Fault fault -> deliver_fault t st fault dispatch
+        | `Syscall n -> do_syscall t st n dispatch
+        | `Boundary ->
+          Reconstruct.inject t.machine st;
+          dispatch st.Ia32.State.eip))
+    | M.Exited I.Exit_program ->
+      let snapshot =
+        Block.identity_snapshot ~entry_tos:(M.get32 t.machine Regs.r_tos)
+      in
+      Exited (0, Reconstruct.extract t.machine ~eip:(M.get32 t.machine Regs.r_state) ~snapshot)
+    | M.Faulted f -> (
+      match Block.find_by_bundle t.cache f.M.ip with
+      | None -> failwith "fault outside any translated block"
+      | Some b -> (
+        let st = reconstruct_at t b ~bundle:f.M.ip in
+        if trace_exits then begin
+          Printf.eprintf "[fault-rec blk=0x%x kind=%s fip=%d tstart=%d st.eip=%x ebx=%x ecx=%x]\n%!"
+            b.Block.entry
+            (match b.Block.kind with Block.Hot -> "hot" | Block.Cold -> "cold")
+            f.M.ip b.Block.tstart st.Ia32.State.eip
+            (Ia32.State.get32 st Ia32.Insn.Ebx) (Ia32.State.get32 st Ia32.Insn.Ecx);
+          (match b.Block.kind with
+           | Block.Hot ->
+             let off = f.M.ip - b.Block.tstart in
+             let ci = if off >= 0 && off < Array.length b.Block.bundle_commit
+                      then b.Block.bundle_commit.(off) else 0 in
+             let cm = b.Block.commit_maps.(ci) in
+             Printf.eprintf "  commit idx=%d cm_ip=%x saved=%d of %d maps\n%!"
+               ci cm.Block.cm_ip (List.length cm.Block.cm_saved)
+               (Array.length b.Block.commit_maps)
+           | Block.Cold -> ())
+        end;
+        match f.M.kind with
+        | M.F_nat -> failwith "translator bug: NaT consumption fault"
+        | M.F_misalign -> (
+          (* IA-32 never faults here: emulate through the interpreter at
+             the OS-handler price, and trigger regeneration with avoidance *)
+          charge_overhead t (cost t).Ipf.Cost.os_misalign_cost;
+          t.acct.Account.misalign_os_faults <-
+            t.acct.Account.misalign_os_faults + 1;
+          (if b.Block.kind = Block.Hot then begin
+             (* stage 3: discard the hot block; regenerate with avoidance *)
+             t.acct.Account.hot_discards <- t.acct.Account.hot_discards + 1;
+             Hashtbl.replace t.avoid_entries b.Block.entry ();
+             Block.invalidate t.cache t.tcache b
+           end
+           else Hashtbl.replace t.stage2_entries b.Block.entry ());
+          match
+            rollforward t st ~lo:b.Block.entry ~hi:b.Block.code_end
+              ~max_steps:(Array.length b.Block.insns + 2)
+          with
+          | `Fault fault -> deliver_fault t st fault dispatch
+          | `Syscall n -> do_syscall t st n dispatch
+          | `Boundary ->
+            Reconstruct.inject t.machine st;
+            dispatch st.Ia32.State.eip)
+        | M.F_page -> (
+          if trace_exits then begin
+            Printf.eprintf "[pgfault addr=%x size=%d store=%b blk=0x%x kind=%s st.eip=%x]\n%!"
+              f.M.addr f.M.size f.M.store b.Block.entry
+              (match b.Block.kind with Block.Hot -> "hot" | Block.Cold -> "cold")
+              st.Ia32.State.eip;
+            Array.iteri
+              (fun i (a, insn) ->
+                if i < 12 then
+                  Printf.eprintf "    %x: %s\n%!" a (Ia32.Insn.to_string insn))
+              b.Block.insns
+          end;
+          (* roll forward to the precise faulting instruction; a premature
+             speculative fault is nullified by simply not recurring *)
+          match
+            rollforward t st ~lo:b.Block.entry ~hi:b.Block.code_end
+              ~max_steps:(Array.length b.Block.insns + 2)
+          with
+          | `Fault fault -> deliver_fault t st fault dispatch
+          | `Syscall n -> do_syscall t st n dispatch
+          | `Boundary ->
+            Reconstruct.inject t.machine st;
+            dispatch st.Ia32.State.eip)))
+  in
+  dispatch st0.Ia32.State.eip
+
+(* Final time distribution for the Figure 6/7 style reports. *)
+let distribution t = Account.distribution t.acct t.machine
+
+(* Snapshot the current architectural state (block-boundary precision). *)
+let capture t =
+  let snapshot =
+    Block.identity_snapshot ~entry_tos:(M.get32 t.machine Regs.r_tos)
+  in
+  Reconstruct.extract t.machine ~eip:(M.get32 t.machine Regs.r_state) ~snapshot

@@ -1,0 +1,74 @@
+(** The IA-32 EL engine: the runtime that owns the translation cache,
+    dispatches between translated blocks, reacts to every exit reason
+    and machine fault, and drives both translation phases.
+
+    Responsibilities (paper §2):
+    - dispatch and block chaining (patching exit branches into direct
+      block-to-block branches), plus the fast lookup path for indirect
+      branches;
+    - the heat machinery: cold-block use counters trigger registration,
+      enough registrations start a hot-translation session;
+    - precise exceptions: reconstruction at the state register (cold) or
+      the covering commit point plus interpreter roll-forward (hot),
+      filtering of speculative faults, delivery to guest handlers;
+    - the three-stage misalignment machinery's runtime side
+      (stage-1 regeneration exits, stage-3 discards, OS-priced traps);
+    - FP/MMX/SSE speculation-miss recoveries;
+    - self-modifying code: write-watch on source pages, invalidation,
+      precise restart when a block modifies itself;
+    - system services through the BTLib, with kernel/idle time folded
+      into the accounting. *)
+
+type outcome =
+  | Exited of int * Ia32.State.t  (** exit code, final precise state *)
+  | Unhandled_fault of Ia32.Fault.t * Ia32.State.t
+  | Out_of_fuel
+
+type t = {
+  config : Config.t;
+  mem : Ia32.Memory.t;
+  tcache : Ipf.Tcache.t;
+  cache : Block.cache;
+  acct : Account.t;
+  machine : Ipf.Machine.t;
+  vos : Btlib.Vos.t;
+  btlib : (module Btlib.Btos.S);
+  cold_env : Cold.env;
+  mutable candidates : int list;  (** registered cold block ids *)
+  stage2_entries : (int, unit) Hashtbl.t;
+      (** entries to (re)generate with stage-2 avoidance *)
+  avoid_entries : (int, unit) Hashtbl.t;
+      (** entries whose hot regeneration uses full avoidance (stage 3) *)
+  mutable smc_pending : Block.t list;
+  mutable running_block : Block.t option;
+  if_counts : (int, int ref) Hashtbl.t;  (** interpret-first profile *)
+  if_taken : (int, int ref) Hashtbl.t;
+  mutable fuel : int;
+}
+
+exception Smc_abort
+(** Internal: the currently running block modified its own source bytes;
+    unwind to the engine for precise restart. *)
+
+val create :
+  ?config:Config.t ->
+  ?cost:Ipf.Cost.t ->
+  ?dcache:Ipf.Dcache.t ->
+  btlib:(module Btlib.Btos.S) ->
+  Ia32.Memory.t ->
+  t
+(** Create an engine over guest memory. Performs the BTOS version
+    handshake with the BTLib ({!Btlib.Btos.init}) and installs the
+    write-watch used for SMC detection.
+    @raise Btlib.Btos.Version_mismatch when the handshake fails. *)
+
+val run : ?fuel:int -> t -> Ia32.State.t -> outcome
+(** Execute the guest from a precise IA-32 state until it exits, dies on
+    an unhandled fault, or exhausts [fuel] (simulated machine slots). *)
+
+val distribution : t -> Account.distribution
+(** Final execution-time distribution (Figures 6/7). *)
+
+val capture : t -> Ia32.State.t
+(** Snapshot the current architectural state (block-boundary
+    precision). *)

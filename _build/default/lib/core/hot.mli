@@ -1,0 +1,40 @@
+(** Hot code generation (paper §2): the optimizing second phase.
+
+    A hot session selects a trace of basic blocks along the profiled hot
+    path (following taken-edge counters, if-converting small diamonds,
+    optionally unrolling inner loops), translates it with the shared
+    {!Templates} into commit-delimited regions, runs lazy EFLAGS
+    materialization, schedules each region for the wide in-order
+    machine — with control- and data-speculative load hoisting: a plain
+    load below an exit branch becomes [ld.s] (free to hoist, faults
+    deferred to the NaT bit) with a [chk.s] at its original position,
+    and a load below a store becomes [ld.sa]/[chk.a] (the ALAT catches
+    aliasing) — renames virtual registers into the hot pool (extending
+    lifetimes over backward branches), and emits side-exit stubs that
+    flush pending flag state ("sideways" exits).
+
+    Precise exceptions: hot code writes canonic registers in place, but
+    backs up each canonic register's region-start value into a pinned
+    scratch register at the top of every commit region — before anything
+    that can fault — so the engine can restore the region start and
+    roll forward with the interpreter ({!Reconstruct.apply_commit}). *)
+
+type profile = {
+  use_count : int -> int;  (** block entry address -> executions *)
+  taken_count : int -> int;  (** block entry address -> taken edges *)
+  misaligned : int -> int -> bool;  (** block entry, access index *)
+}
+(** Profile data the engine exposes from the cold instrumentation. *)
+
+val translate :
+  Cold.env ->
+  entry:int ->
+  entry_tos:int ->
+  profile:profile ->
+  avoid:bool ->
+  Block.t option
+(** Build one hot block. [avoid] forces misalignment avoidance on every
+    access (stage 3 after a late-misalignment discard). Retries with
+    progressively smaller trace limits under register pressure; returns
+    [None] when even the smallest shape cannot be translated (the block
+    stays cold). *)

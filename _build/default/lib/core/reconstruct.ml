@@ -1,0 +1,253 @@
+(* Precise IA-32 state reconstruction (paper §4): converting between the
+   IPF machine state (canonic registers, runtime FP status, renamed/backed
+   up values) and the architectural IA-32 state.
+
+   - [extract] builds the precise IA-32 state at a fault/exit point, given
+     the static FP snapshot recorded for that point (cold: per faulty IP;
+     hot: per commit point).
+   - [inject] loads an IA-32 state into the machine's canonic locations
+     (process start, after exception handlers, after interpreter
+     roll-forward).
+   - [apply_commit] restores a hot block's commit point by copying backup
+     registers into the canonic locations before extraction. *)
+
+module M = Ipf.Machine
+
+let gr32 m r = M.get32 m (Regs.gr_of_reg r)
+
+let flag_of m f = not (Int64.equal (M.get m (Regs.gr_of_flag f)) 0L)
+
+(* x87/MMX/XMM extraction per the runtime status registers and snapshot. *)
+let extract_fpu m (snapshot : Block.fp_snapshot) (fpu : Ia32.Fpu.t) =
+  let entry_tag = M.get32 m Regs.r_tag in
+  let tos, tag =
+    if snapshot.Block.s_mmx then (0, snapshot.Block.s_set_valid)
+    else
+      ( snapshot.Block.s_vtos land 7,
+        (entry_tag lor snapshot.Block.s_set_valid)
+        land lnot snapshot.Block.s_set_empty )
+  in
+  fpu.Ia32.Fpu.top <- tos;
+  (* staleness at the snapshot point: the runtime masks reflect block
+     entry; in-block writes are folded in from the snapshot *)
+  let fstale0 = M.get32 m Regs.r_fstale and mstale0 = M.get32 m Regs.r_mstale in
+  let fstale, mstale =
+    if snapshot.Block.s_mmx then
+      ( fstale0 lor snapshot.Block.s_written,
+        mstale0 land lnot snapshot.Block.s_written )
+    else
+      ( fstale0 land lnot snapshot.Block.s_written,
+        mstale0 lor snapshot.Block.s_written )
+  in
+  for s = 0 to 7 do
+    fpu.Ia32.Fpu.tags.(s) <-
+      (if tag land (1 lsl s) <> 0 then Ia32.Fpu.Valid else Ia32.Fpu.Empty);
+    let fval =
+      if fstale land (1 lsl s) <> 0 then Float.nan
+      else M.getf m (Regs.fr_of_phys snapshot.Block.s_map.(s))
+    in
+    fpu.Ia32.Fpu.fval.(s) <- fval;
+    fpu.Ia32.Fpu.ival.(s) <-
+      (if mstale land (1 lsl s) <> 0 then Int64.bits_of_float fval
+       else M.get m (Regs.gr_of_mmx s))
+  done;
+  let cc = M.get32 m Templates.r_fpcc in
+  fpu.Ia32.Fpu.c0 <- cc land 0x100 <> 0;
+  fpu.Ia32.Fpu.c1 <- cc land 0x200 <> 0;
+  fpu.Ia32.Fpu.c2 <- cc land 0x400 <> 0;
+  fpu.Ia32.Fpu.c3 <- cc land 0x4000 <> 0
+
+let extract_xmm m (st : Ia32.State.t) =
+  let fmts = M.get32 m Regs.r_ssefmt in
+  for i = 0 to 7 do
+    let fmt = Regs.fmt_of_nibbles fmts i in
+    if fmt = Regs.fmt_int then
+      Ia32.State.set_xmm st i
+        (M.get m (Regs.gr_of_xmm_lo i), M.get m (Regs.gr_of_xmm_hi i))
+    else if fmt = Regs.fmt_pd then
+      Ia32.State.set_xmm st i
+        ( Ia32.Fpconv.bits_of_f64 (M.getf m (Regs.fr_of_xmm_base i)),
+          Ia32.Fpconv.bits_of_f64 (M.getf m (Regs.fr_of_xmm_base i + 1)) )
+    else begin
+      let lane k = Ia32.Fpconv.bits_of_f32 (M.getf m (Regs.fr_of_xmm_base i + k)) in
+      Ia32.State.set_xmm st i
+        ( Ia32.Word.to_i64 ~lo:(lane 0) ~hi:(lane 1),
+          Ia32.Word.to_i64 ~lo:(lane 2) ~hi:(lane 3) )
+    end
+  done
+
+(* Build the precise IA-32 state for source address [eip], under the given
+   FP snapshot (identity at block boundaries). Shares guest memory. *)
+let extract m ~eip ~snapshot =
+  let st = Ia32.State.create m.M.mem in
+  List.iter
+    (fun r -> Ia32.State.set32 st r (gr32 m r))
+    Ia32.Insn.all_regs;
+  st.Ia32.State.eip <- eip;
+  st.Ia32.State.cf <- flag_of m Ia32.Insn.CF;
+  st.Ia32.State.pf <- flag_of m Ia32.Insn.PF;
+  st.Ia32.State.af <- flag_of m Ia32.Insn.AF;
+  st.Ia32.State.zf <- flag_of m Ia32.Insn.ZF;
+  st.Ia32.State.sf <- flag_of m Ia32.Insn.SF;
+  st.Ia32.State.of_ <- flag_of m Ia32.Insn.OF;
+  st.Ia32.State.df <- flag_of m Ia32.Insn.DF;
+  extract_fpu m snapshot st.Ia32.State.fpu;
+  extract_xmm m st;
+  st
+
+(* Restore a hot commit point: copy each backup into its canonic location,
+   then extract with the commit's snapshot. *)
+let apply_commit m (cm : Block.commit_map) =
+  List.iter
+    (fun saved ->
+      match saved with
+      | Block.Sgr (r, bk) -> M.set m (Regs.gr_of_reg r) (M.get m bk)
+      | Block.Sflag (f, bk) -> M.set m (Regs.gr_of_flag f) (M.get m bk)
+      | Block.Sfr (phys, bk) -> M.setf m (Regs.fr_of_phys phys) (M.getf m bk)
+      | Block.Sxlo (i, bk) -> M.set m (Regs.gr_of_xmm_lo i) (M.get m bk)
+      | Block.Sxhi (i, bk) -> M.set m (Regs.gr_of_xmm_hi i) (M.get m bk)
+      | Block.Smm (i, bk) -> M.set m (Regs.gr_of_mmx i) (M.get m bk)
+      | Block.Sstatus (reg, bk) -> M.set m reg (M.get m bk))
+    cm.Block.cm_saved;
+  extract m ~eip:cm.Block.cm_ip ~snapshot:cm.Block.cm_fp
+
+(* Load an IA-32 state into the canonic machine locations. *)
+let inject m (st : Ia32.State.t) =
+  List.iter
+    (fun r -> M.set32 m (Regs.gr_of_reg r) (Ia32.State.get32 st r))
+    Ia32.Insn.all_regs;
+  let setf f v = M.set m (Regs.gr_of_flag f) (if v then 1L else 0L) in
+  setf Ia32.Insn.CF st.Ia32.State.cf;
+  setf Ia32.Insn.PF st.Ia32.State.pf;
+  setf Ia32.Insn.AF st.Ia32.State.af;
+  setf Ia32.Insn.ZF st.Ia32.State.zf;
+  setf Ia32.Insn.SF st.Ia32.State.sf;
+  setf Ia32.Insn.OF st.Ia32.State.of_;
+  setf Ia32.Insn.DF st.Ia32.State.df;
+  let fpu = st.Ia32.State.fpu in
+  M.set32 m Regs.r_tos fpu.Ia32.Fpu.top;
+  let tag = ref 0 in
+  for s = 0 to 7 do
+    if fpu.Ia32.Fpu.tags.(s) = Ia32.Fpu.Valid then tag := !tag lor (1 lsl s);
+    M.setf m (Regs.fr_of_phys s) fpu.Ia32.Fpu.fval.(s);
+    M.set m (Regs.gr_of_mmx s) fpu.Ia32.Fpu.ival.(s)
+  done;
+  M.set32 m Regs.r_tag !tag;
+  (* both views are loaded fresh: nothing is stale *)
+  M.set32 m Regs.r_fstale 0;
+  M.set32 m Regs.r_mstale 0;
+  let cc =
+    (if fpu.Ia32.Fpu.c0 then 0x100 else 0)
+    lor (if fpu.Ia32.Fpu.c1 then 0x200 else 0)
+    lor (if fpu.Ia32.Fpu.c2 then 0x400 else 0)
+    lor if fpu.Ia32.Fpu.c3 then 0x4000 else 0
+  in
+  M.set32 m Templates.r_fpcc cc;
+  (* XMM registers are injected in the bit-exact integer layout *)
+  let fmts = ref 0 in
+  for i = 0 to 7 do
+    let lo, hi = Ia32.State.get_xmm st i in
+    M.set m (Regs.gr_of_xmm_lo i) lo;
+    M.set m (Regs.gr_of_xmm_hi i) hi;
+    fmts := Regs.set_fmt_nibble !fmts i Regs.fmt_int
+  done;
+  M.set32 m Regs.r_ssefmt !fmts;
+  M.set32 m Regs.r_state st.Ia32.State.eip
+
+(* Engine-side recovery actions for speculation misses --------------------- *)
+
+(* TOS mismatch: rotate the FP registers (and TAG bits) so the runtime TOS
+   becomes the block's speculated TOS (paper: "on TOS mismatch, rotate
+   register values"). *)
+let rotate_tos m ~expected =
+  let actual = M.get32 m Regs.r_tos in
+  let shift = (expected - actual) land 7 in
+  if shift <> 0 then begin
+    (* physical slot s currently holds stack slot (s - actual); it must
+       move to physical (s + shift) so that slot index arithmetic relative
+       to the new TOS is unchanged *)
+    let frs = Array.init 8 (fun s -> M.getf m (Regs.fr_of_phys s)) in
+    let mms = Array.init 8 (fun s -> M.get m (Regs.gr_of_mmx s)) in
+    let rot mask =
+      let out = ref 0 in
+      for s = 0 to 7 do
+        if mask land (1 lsl s) <> 0 then out := !out lor (1 lsl ((s + shift) land 7))
+      done;
+      !out
+    in
+    for s = 0 to 7 do
+      let d = (s + shift) land 7 in
+      M.setf m (Regs.fr_of_phys d) frs.(s);
+      M.set m (Regs.gr_of_mmx d) mms.(s)
+    done;
+    M.set32 m Regs.r_tag (rot (M.get32 m Regs.r_tag));
+    M.set32 m Regs.r_fstale (rot (M.get32 m Regs.r_fstale));
+    M.set32 m Regs.r_mstale (rot (M.get32 m Regs.r_mstale));
+    M.set32 m Regs.r_tos expected
+  end
+
+(* MMX/FP mode sync (paper: "recovery code copies FP values to MMX
+   registers or vice versa, and toggles the Boolean"). Only the stale side
+   is refreshed. *)
+let sync_mode m ~to_mmx =
+  if to_mmx then begin
+    let mstale = M.get32 m Regs.r_mstale in
+    for s = 0 to 7 do
+      if mstale land (1 lsl s) <> 0 then
+        M.set m (Regs.gr_of_mmx s)
+          (Int64.bits_of_float (M.getf m (Regs.fr_of_phys s)))
+    done;
+    M.set32 m Regs.r_mstale 0
+  end
+  else begin
+    let fstale = M.get32 m Regs.r_fstale in
+    for s = 0 to 7 do
+      if fstale land (1 lsl s) <> 0 then M.setf m (Regs.fr_of_phys s) Float.nan
+    done;
+    M.set32 m Regs.r_fstale 0
+  end
+
+(* SSE format conversion to the formats a block requires. *)
+let convert_sse_formats m ~required =
+  let fmts = ref (M.get32 m Regs.r_ssefmt) in
+  let converted = ref 0 in
+  Array.iteri
+    (fun i want ->
+      if want >= 0 then begin
+        let cur = Regs.fmt_of_nibbles !fmts i in
+        if cur <> want then begin
+          incr converted;
+          (* go through the bit-exact integer image *)
+          let lo, hi =
+            if cur = Regs.fmt_int then
+              (M.get m (Regs.gr_of_xmm_lo i), M.get m (Regs.gr_of_xmm_hi i))
+            else if cur = Regs.fmt_pd then
+              ( Ia32.Fpconv.bits_of_f64 (M.getf m (Regs.fr_of_xmm_base i)),
+                Ia32.Fpconv.bits_of_f64 (M.getf m (Regs.fr_of_xmm_base i + 1)) )
+            else
+              let lane k =
+                Ia32.Fpconv.bits_of_f32 (M.getf m (Regs.fr_of_xmm_base i + k))
+              in
+              ( Ia32.Word.to_i64 ~lo:(lane 0) ~hi:(lane 1),
+                Ia32.Word.to_i64 ~lo:(lane 2) ~hi:(lane 3) )
+          in
+          (if want = Regs.fmt_int then begin
+             M.set m (Regs.gr_of_xmm_lo i) lo;
+             M.set m (Regs.gr_of_xmm_hi i) hi
+           end
+           else if want = Regs.fmt_pd then begin
+             M.setf m (Regs.fr_of_xmm_base i) (Ia32.Fpconv.f64_of_bits lo);
+             M.setf m (Regs.fr_of_xmm_base i + 1) (Ia32.Fpconv.f64_of_bits hi)
+           end
+           else begin
+             M.setf m (Regs.fr_of_xmm_base i) (Ia32.Fpconv.f32_of_bits (Ia32.Word.lo32 lo));
+             M.setf m (Regs.fr_of_xmm_base i + 1) (Ia32.Fpconv.f32_of_bits (Ia32.Word.hi32 lo));
+             M.setf m (Regs.fr_of_xmm_base i + 2) (Ia32.Fpconv.f32_of_bits (Ia32.Word.lo32 hi));
+             M.setf m (Regs.fr_of_xmm_base i + 3) (Ia32.Fpconv.f32_of_bits (Ia32.Word.hi32 hi))
+           end);
+          fmts := Regs.set_fmt_nibble !fmts i want
+        end
+      end)
+    required;
+  M.set32 m Regs.r_ssefmt !fmts;
+  !converted

@@ -1,0 +1,42 @@
+(** State reconstruction: the bridge between the machine's canonic
+    register state and the architectural {!Ia32.State.t} (paper §4.2),
+    plus the engine-side recovery actions for speculation misses.
+
+    [extract] builds a precise IA-32 state from the canonic locations
+    given an FP snapshot (the static x87 state at the reconstruction
+    point); [inject] loads an IA-32 state back into the canonic
+    locations, marking all FP/MMX views fresh. *)
+
+val extract :
+  Ipf.Machine.t -> eip:int -> snapshot:Block.fp_snapshot -> Ia32.State.t
+(** Build the architectural state at [eip]. The snapshot supplies the
+    static TOS/FXCHG-permutation/TAG deltas the block had applied by
+    that point; staleness masks are folded in so MMX-written slots read
+    from the integer view. *)
+
+val apply_commit : Ipf.Machine.t -> Block.commit_map -> Ia32.State.t
+(** Restore a hot commit point: copy every backup register into its
+    canonic location, then [extract] at the commit's IA-32 address with
+    its snapshot. The caller then rolls forward with the interpreter to
+    the precise faulting instruction. *)
+
+val inject : Ipf.Machine.t -> Ia32.State.t -> unit
+(** Load an IA-32 state into the canonic machine locations (both FP and
+    MMX views, staleness masks cleared, [r_state] set to [st.eip]). *)
+
+(** {1 Speculation-miss recoveries} *)
+
+val rotate_tos : Ipf.Machine.t -> expected:int -> unit
+(** TOS-check miss: rotate the FP/MMX register files and status masks so
+    the runtime TOS becomes the block's speculated TOS ("on TOS
+    mismatch, rotate register values"). *)
+
+val sync_mode : Ipf.Machine.t -> to_mmx:bool -> unit
+(** FP/MMX staleness-check miss: refresh the stale side (copy FP bit
+    images to the MMX view, or mark MMX-written slots as NaN in the FP
+    view) and clear the corresponding mask. *)
+
+val convert_sse_formats : Ipf.Machine.t -> required:int array -> int
+(** SSE format-check miss: convert each XMM register to the format the
+    block requires, bit-preserving through the integer image. Returns
+    how many registers were converted. *)

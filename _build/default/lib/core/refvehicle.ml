@@ -1,0 +1,41 @@
+(* Reference execution vehicle: runs a guest directly on the golden-model
+   interpreter with system services through the same BTLib/Vos stack the
+   translator uses. Used for differential testing of IA-32 EL and as the
+   semantic engine of the baseline performance models. *)
+
+type outcome =
+  | Exited of int * Ia32.State.t
+  | Unhandled_fault of Ia32.Fault.t * Ia32.State.t
+  | Out_of_fuel
+
+(* Run until exit / unhandled fault / fuel. Returns the outcome and the
+   number of retired IA-32 instructions. *)
+let run ?(fuel = max_int) ~btlib vos (st : Ia32.State.t) =
+  let module L = (val btlib : Btlib.Btos.S) in
+  let steps = ref 0 in
+  let rec go () =
+    if !steps >= fuel then Out_of_fuel
+    else
+      match Ia32.Interp.step st with
+      | Ia32.Interp.Normal ->
+        incr steps;
+        go ()
+      | Ia32.Interp.Syscall n ->
+        incr steps;
+        if n <> L.syscall_vector then deliver Ia32.Fault.Breakpoint
+        else begin
+          let call = L.decode_syscall st in
+          match L.perform vos st call with
+          | Btlib.Syscall.Exited code -> Exited (code, st)
+          | Btlib.Syscall.Ret v ->
+            L.encode_result st v;
+            go ()
+        end
+      | Ia32.Interp.Faulted f -> deliver f
+  and deliver f =
+    match L.deliver_exception vos st f with
+    | Btlib.Vos.Resumed -> go ()
+    | Btlib.Vos.Unhandled fault -> Unhandled_fault (fault, st)
+  in
+  let outcome = go () in
+  (outcome, !steps)

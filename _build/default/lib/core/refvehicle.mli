@@ -1,0 +1,17 @@
+(** The reference execution vehicle: the golden-model interpreter wired
+    to the virtual OS.
+
+    Differential tests run every program through this and through the
+    translator ({!Engine}); final states, memory and exception behaviour
+    must match. It is also the engine's fallback for roll-forward and
+    for instructions the translator chooses not to translate. *)
+
+type outcome =
+  | Exited of int * Ia32.State.t
+  | Unhandled_fault of Ia32.Fault.t * Ia32.State.t
+  | Out_of_fuel
+
+val run :
+  ?fuel:int -> btlib:Btlib.Btos.btlib -> Btlib.Vos.t -> Ia32.State.t -> outcome * int
+(** Interpret until exit, unhandled fault, or [fuel] instructions.
+    Returns the outcome and the number of retired IA-32 instructions. *)

@@ -1,0 +1,1 @@
+lib/harness/figures.ml: Float Ia32el Ipf List Workloads

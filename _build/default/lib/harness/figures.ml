@@ -1,0 +1,181 @@
+(* Drivers that regenerate every table and figure of the paper's
+   evaluation (DESIGN.md §3). Absolute cycle counts come from our
+   simulated Itanium, so the claims under test are the *shapes*: who wins,
+   by roughly what factor, and where the crossovers are. *)
+
+module B = Workloads.Baselines
+
+type fig5_row = {
+  name : string;
+  el_cycles : int;
+  native_cycles : int;
+  score : float; (* EL / native performance, percent (higher better) *)
+  paper : int option;
+}
+
+(* Figure 5: SPEC CPU2000 INT scores for IA-32 EL relative to native
+   Itanium (native = 100%). *)
+let fig5 ?(scale = 1) () =
+  let rows =
+    List.map
+      (fun w ->
+        let el = B.run_el w ~scale in
+        let native = B.run_native w ~scale in
+        {
+          name = w.Workloads.Common.name;
+          el_cycles = el.B.cycles;
+          native_cycles = native.B.cycles;
+          score = 100.0 *. Float.of_int native.B.cycles /. Float.of_int el.B.cycles;
+          paper = w.Workloads.Common.paper_score;
+        })
+      Workloads.Spec_int.all
+  in
+  let geomean =
+    let logs = List.fold_left (fun acc r -> acc +. Float.log r.score) 0.0 rows in
+    Float.exp (logs /. Float.of_int (List.length rows))
+  in
+  (rows, geomean)
+
+(* Figure 6: execution-time distribution for translated SPEC applications
+   (paper: hot 95 / cold 3 / overhead 1 / other 1). *)
+let fig6 ?(scale = 1) () =
+  let totals = ref (0, 0, 0, 0, 0) in
+  List.iter
+    (fun w ->
+      let r = B.run_el w ~scale in
+      match r.B.distribution with
+      | Some d ->
+        let h, c, o, x, i = !totals in
+        totals :=
+          ( h + d.Ia32el.Account.hot,
+            c + d.Ia32el.Account.cold,
+            o + d.Ia32el.Account.overhead,
+            x + d.Ia32el.Account.other,
+            i + d.Ia32el.Account.idle )
+      | None -> ())
+    Workloads.Spec_int.all;
+  let h, c, o, x, i = !totals in
+  let total = h + c + o + x + i in
+  let pct v = 100.0 *. Float.of_int v /. Float.of_int (max 1 total) in
+  (pct h, pct c, pct o, pct x, pct i)
+
+(* Figure 7: the same distribution for the Sysmark-like workload
+   (paper: hot 46 / cold 5 / overhead 12 / other 22 / idle 15). *)
+let fig7 ?(scale = 1) () =
+  let r = B.run_el Workloads.Sysmark.office ~scale in
+  match r.B.distribution with
+  | Some d ->
+    let total = max 1 d.Ia32el.Account.total in
+    let pct v = 100.0 *. Float.of_int v /. Float.of_int total in
+    ( pct d.Ia32el.Account.hot,
+      pct d.Ia32el.Account.cold,
+      pct d.Ia32el.Account.overhead,
+      pct d.Ia32el.Account.other,
+      pct d.Ia32el.Account.idle )
+  | None -> (0., 0., 0., 0., 0.)
+
+(* Figure 8: IA-32 EL on a 1.5 GHz Itanium 2 vs a 1.6 GHz Xeon, relative
+   wall-clock performance (higher = EL faster). Paper: INT 105.0%,
+   FP 132.6%, Sysmark 98.9%. *)
+type fig8_row = { suite : string; ratio : float; paper8 : float }
+
+let fig8 ?(scale = 1) () =
+  let el_hz = 1.5e9 and xeon_hz = 1.6e9 in
+  let one w =
+    let el = B.run_el w ~scale in
+    let xeon = B.run_xeon w ~scale in
+    let t_el = Float.of_int el.B.cycles /. el_hz in
+    let t_xeon = Float.of_int xeon.B.cycles /. xeon_hz in
+    t_xeon /. t_el
+  in
+  let geo ws =
+    let logs = List.fold_left (fun acc w -> acc +. Float.log (one w)) 0.0 ws in
+    100.0 *. Float.exp (logs /. Float.of_int (List.length ws))
+  in
+  [
+    { suite = "CPU2000 INT"; ratio = geo Workloads.Spec_int.all; paper8 = 105.02 };
+    { suite = "CPU2000 FP"; ratio = geo Workloads.Spec_fp.all; paper8 = 132.59 };
+    { suite = "Sysmark 2002"; ratio = geo [ Workloads.Sysmark.office ]; paper8 = 98.88 };
+  ]
+
+(* §5 misalignment anecdote: the same workload with and without the
+   detection/avoidance machinery (paper: 1236 s -> 133 s, ~9.3x). *)
+let misalign_anecdote ?(scale = 1) () =
+  let w = Workloads.Sysmark.misalign_stress in
+  let off =
+    B.run_el
+      ~config:{ Ia32el.Config.default with Ia32el.Config.misalign_avoidance = false }
+      w ~scale
+  in
+  let on_ = B.run_el w ~scale in
+  (off.B.cycles, on_.B.cycles)
+
+(* The scalar statistics quoted in §2 and §5. *)
+type stats = {
+  cold_block_insns : float; (* paper: 4-5 *)
+  hot_block_insns : float; (* paper: ~20 *)
+  pct_blocks_heated : float; (* paper: 5-10%% *)
+  hot_cold_overhead_ratio : float; (* paper: ~20x per instruction *)
+  native_insns_per_commit : float; (* paper: ~10 *)
+  hot_time_pct : float; (* paper: ~95%% on SPEC *)
+  spec_checks : int; (* dynamic check executions (TOS/TAG/mode/SSE) *)
+  spec_misses : int; (* paper: 0-1%% of checks *)
+  spec_success : float;
+}
+
+let stats ?(scale = 1) () =
+  let acct_total = Ia32el.Account.create () in
+  let add (a : Ia32el.Account.t) (b : Ia32el.Account.t) =
+    a.Ia32el.Account.cold_blocks <- a.Ia32el.Account.cold_blocks + b.Ia32el.Account.cold_blocks;
+    a.Ia32el.Account.cold_insns <- a.Ia32el.Account.cold_insns + b.Ia32el.Account.cold_insns;
+    a.Ia32el.Account.hot_blocks <- a.Ia32el.Account.hot_blocks + b.Ia32el.Account.hot_blocks;
+    a.Ia32el.Account.hot_insns <- a.Ia32el.Account.hot_insns + b.Ia32el.Account.hot_insns;
+    a.Ia32el.Account.heated_blocks <- a.Ia32el.Account.heated_blocks + b.Ia32el.Account.heated_blocks;
+    a.Ia32el.Account.commit_points <- a.Ia32el.Account.commit_points + b.Ia32el.Account.commit_points;
+    a.Ia32el.Account.hot_target_insns <- a.Ia32el.Account.hot_target_insns + b.Ia32el.Account.hot_target_insns;
+    a.Ia32el.Account.tos_checks <- a.Ia32el.Account.tos_checks + b.Ia32el.Account.tos_checks;
+    a.Ia32el.Account.tos_misses <- a.Ia32el.Account.tos_misses + b.Ia32el.Account.tos_misses;
+    a.Ia32el.Account.mode_misses <- a.Ia32el.Account.mode_misses + b.Ia32el.Account.mode_misses;
+    a.Ia32el.Account.sse_misses <- a.Ia32el.Account.sse_misses + b.Ia32el.Account.sse_misses
+  in
+  let hot_time = ref 0 and total_time = ref 0 in
+  let checks = ref 0 and misses = ref 0 in
+  List.iter
+    (fun w ->
+      let r = B.run_el w ~scale in
+      (match r.B.engine with
+      | Some eng ->
+        add acct_total eng.Ia32el.Engine.acct;
+        checks :=
+          !checks
+          + eng.Ia32el.Engine.machine.Ipf.Machine.stats.Ipf.Machine.spec_checks;
+        misses :=
+          !misses
+          + eng.Ia32el.Engine.acct.Ia32el.Account.tos_misses
+          + eng.Ia32el.Engine.acct.Ia32el.Account.tag_misses
+          + eng.Ia32el.Engine.acct.Ia32el.Account.mode_misses
+          + eng.Ia32el.Engine.acct.Ia32el.Account.sse_misses
+      | None -> ());
+      match r.B.distribution with
+      | Some d ->
+        hot_time := !hot_time + d.Ia32el.Account.hot;
+        total_time := !total_time + d.Ia32el.Account.total
+      | None -> ())
+    (Workloads.Spec_int.all @ Workloads.Spec_fp.all);
+  let a = acct_total in
+  let fdiv x y = Float.of_int x /. Float.of_int (max 1 y) in
+  {
+    cold_block_insns = fdiv a.Ia32el.Account.cold_insns a.Ia32el.Account.cold_blocks;
+    hot_block_insns = fdiv a.Ia32el.Account.hot_insns a.Ia32el.Account.hot_blocks;
+    pct_blocks_heated =
+      100.0 *. fdiv a.Ia32el.Account.heated_blocks a.Ia32el.Account.cold_blocks;
+    hot_cold_overhead_ratio =
+      fdiv Ipf.Cost.default.Ipf.Cost.hot_translate_per_insn
+        Ipf.Cost.default.Ipf.Cost.cold_translate_per_insn;
+    native_insns_per_commit =
+      fdiv a.Ia32el.Account.hot_target_insns a.Ia32el.Account.commit_points;
+    hot_time_pct = 100.0 *. fdiv !hot_time !total_time;
+    spec_checks = !checks;
+    spec_misses = !misses;
+    spec_success = 100.0 *. (1.0 -. fdiv !misses !checks);
+  }

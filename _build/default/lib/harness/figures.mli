@@ -1,0 +1,57 @@
+(** Drivers that regenerate every table and figure of the paper's
+    evaluation (DESIGN.md §3).
+
+    Absolute cycle counts come from our simulated Itanium, so the claims
+    under test are the {e shapes}: who wins, by roughly what factor, and
+    where the crossovers fall. EXPERIMENTS.md records paper-vs-measured
+    for each. *)
+
+type fig5_row = {
+  name : string;
+  el_cycles : int;
+  native_cycles : int;
+  score : float;  (** EL/native performance, percent (higher = better) *)
+  paper : int option;  (** the paper's Figure 5 value *)
+}
+
+val fig5 : ?scale:int -> unit -> fig5_row list * float
+(** Figure 5: SPEC CPU2000 INT scores for IA-32 EL relative to native
+    Itanium (native = 100). Returns the rows and the geometric mean. *)
+
+val fig6 : ?scale:int -> unit -> float * float * float * float * float
+(** Figure 6: execution-time distribution over the translated SPEC
+    suite, as (hot, cold, overhead, other, idle) percentages. Paper:
+    roughly 95/3/1/1. *)
+
+val fig7 : ?scale:int -> unit -> float * float * float * float * float
+(** Figure 7: the same distribution for the Sysmark-style interactive
+    workload. Paper: roughly 46/5/12/22/15 — much less time in
+    translated code, much more in kernel and idle. *)
+
+type fig8_row = { suite : string; ratio : float; paper8 : float }
+
+val fig8 : ?scale:int -> unit -> fig8_row list
+(** Figure 8: IA-32 EL on a 1.5 GHz Itanium 2 vs a 1.6 GHz Xeon,
+    relative wall-clock performance in percent (higher = EL faster).
+    Paper: INT 105.0, FP 132.6, Sysmark 98.9. *)
+
+val misalign_anecdote : ?scale:int -> unit -> int * int
+(** §4.5 anecdote: (cycles without, cycles with) the misalignment
+    machinery on the packed-record server kernel. Paper: 1236 s vs
+    133 s, about 9.3x. *)
+
+(** The scalar statistics quoted in §2 and §5, with the paper's values
+    in the comments. *)
+type stats = {
+  cold_block_insns : float;  (** paper: 4-5 *)
+  hot_block_insns : float;  (** paper: ~20 *)
+  pct_blocks_heated : float;  (** paper: 5-10% *)
+  hot_cold_overhead_ratio : float;  (** paper: ~20x per instruction *)
+  native_insns_per_commit : float;  (** paper: ~10 *)
+  hot_time_pct : float;  (** paper: ~95% on SPEC *)
+  spec_checks : int;  (** dynamic TOS/TAG/mode/SSE check executions *)
+  spec_misses : int;
+  spec_success : float;  (** paper: 99-100% *)
+}
+
+val stats : ?scale:int -> unit -> stats

@@ -1,0 +1,1 @@
+lib/ia32/asm.ml: Buffer Char Encode Fpconv Hashtbl Insn Int64 List Memory Printf State String Word

@@ -1,0 +1,1 @@
+lib/ia32/asm.mli: Insn Memory State

@@ -1,0 +1,1 @@
+lib/ia32/decode.ml: Insn Memory Word

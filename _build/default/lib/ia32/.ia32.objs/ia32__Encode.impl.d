@@ -1,0 +1,1 @@
+lib/ia32/encode.ml: Buffer Char Insn List Printf String Word

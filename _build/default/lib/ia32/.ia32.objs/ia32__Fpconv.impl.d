@@ -1,0 +1,1 @@
+lib/ia32/fpconv.ml: Float Int32 Int64 Word

@@ -1,0 +1,1 @@
+lib/ia32/fpu.ml: Array Bool Fault Float Fmt Int64 List String

@@ -1,0 +1,1 @@
+lib/ia32/fpu.mli: Format

@@ -1,0 +1,1 @@
+lib/ia32/insn.ml: Array Fmt Printf String Word

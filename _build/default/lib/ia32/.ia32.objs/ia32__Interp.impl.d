@@ -1,0 +1,1 @@
+lib/ia32/interp.ml: Decode Fault Float Fpconv Fpu Insn Int64 Memory State Word

@@ -1,0 +1,1 @@
+lib/ia32/interp.mli: Fault State

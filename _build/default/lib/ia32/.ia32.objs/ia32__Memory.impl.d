@@ -1,0 +1,1 @@
+lib/ia32/memory.ml: Bytes Char Fault Hashtbl Int32 Int64 List String Word

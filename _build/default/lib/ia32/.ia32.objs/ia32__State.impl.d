@@ -1,0 +1,1 @@
+lib/ia32/state.ml: Array Fmt Fpu Insn Int64 List Memory Word

@@ -1,0 +1,1 @@
+lib/ia32/state.mli: Format Fpu Insn Memory

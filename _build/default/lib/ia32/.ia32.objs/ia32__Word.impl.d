@@ -1,0 +1,1 @@
+lib/ia32/word.ml: Int64 Printf

@@ -1,0 +1,421 @@
+(* IA-32 decoder: machine code in guest memory -> Insn.insn. Handles every
+   form the encoder emits plus the common short branch forms. Undecodable
+   bytes yield [Ud2]-like behaviour via [Invalid]. *)
+
+open Insn
+
+exception Invalid of int (* address of the undecodable instruction *)
+
+type cursor = { mem : Memory.t; start : int; mutable pos : int }
+
+let u8 c =
+  let v = Memory.fetch8 c.mem c.pos in
+  c.pos <- c.pos + 1;
+  v
+
+let s8 c = Word.signed8 (u8 c)
+
+let u16 c =
+  let lo = u8 c in
+  let hi = u8 c in
+  lo lor (hi lsl 8)
+
+let u32 c =
+  let a = u8 c in
+  let b = u8 c in
+  let d = u8 c in
+  let e = u8 c in
+  a lor (b lsl 8) lor (d lsl 16) lor (e lsl 24)
+
+let s32 c = Word.signed32 (u32 c)
+
+let invalid c = raise (Invalid c.start)
+
+let scale_of_bits = function 0 -> 1 | 1 -> 2 | 2 -> 4 | _ -> 8
+
+(* Returns (reg_field, rm_operand). *)
+let read_modrm c =
+  let m = u8 c in
+  let md = m lsr 6 and reg = (m lsr 3) land 7 and rm = m land 7 in
+  if md = 3 then (reg, `Reg rm)
+  else begin
+    let base, index =
+      if rm = 4 then begin
+        let sib = u8 c in
+        let ss = sib lsr 6 and idx = (sib lsr 3) land 7 and b = sib land 7 in
+        let index =
+          if idx = 4 then None else Some (reg_of_index idx, scale_of_bits ss)
+        in
+        let base =
+          if b = 5 && md = 0 then None else Some (reg_of_index b)
+        in
+        (base, index)
+      end
+      else if rm = 5 && md = 0 then (None, None)
+      else (Some (reg_of_index rm), None)
+    in
+    let disp =
+      match md with
+      | 1 -> s8 c
+      | 2 -> s32 c
+      | 0 -> if base = None && rm <> 4 then s32 c
+             else if base = None && rm = 4 then s32 c
+             else 0
+      | _ -> 0
+    in
+    (* no-base SIB always carries disp32 *)
+    (reg, `Mem { base; index; disp = Word.mask32 disp })
+  end
+
+let to_operand = function
+  | `Reg i -> R (reg_of_index i)
+  | `Mem m -> M m
+
+let to_mem c = function
+  | `Mem m -> m
+  | `Reg _ -> invalid c
+
+let imm_of_size c = function
+  | S8 -> u8 c
+  | S16 -> u16 c
+  | S32 -> u32 c
+
+(* ------------------------------------------------------------------ *)
+
+let decode_0f c ~osz ~rep_f2 ~rep_f3 =
+  let op = u8 c in
+  let xfmt_arith () =
+    if rep_f3 then Scalar_single
+    else if rep_f2 then Scalar_double
+    else if osz then Packed_double
+    else Packed_single
+  in
+  let xmm_rm v = match v with `Reg i -> XM i | `Mem m -> XMem m in
+  let mmx_rm v = match v with `Reg i -> MM i | `Mem m -> MMem m in
+  match op with
+  | 0x0B -> Ud2
+  | op when op >= 0x80 && op <= 0x8F ->
+    let cnd = cond_of_index (op - 0x80) in
+    let d = s32 c in
+    Jcc (cnd, Word.mask32 (c.pos + d))
+  | op when op >= 0x90 && op <= 0x9F ->
+    let cnd = cond_of_index (op - 0x90) in
+    let _, rm = read_modrm c in
+    Setcc (cnd, to_operand rm)
+  | op when op >= 0x40 && op <= 0x4F ->
+    let cnd = cond_of_index (op - 0x40) in
+    let reg, rm = read_modrm c in
+    Cmovcc (cnd, reg_of_index reg, to_operand rm)
+  | 0xB6 -> let reg, rm = read_modrm c in Movzx (S8, reg_of_index reg, to_operand rm)
+  | 0xB7 -> let reg, rm = read_modrm c in Movzx (S16, reg_of_index reg, to_operand rm)
+  | 0xBE -> let reg, rm = read_modrm c in Movsx (S8, reg_of_index reg, to_operand rm)
+  | 0xBF -> let reg, rm = read_modrm c in Movsx (S16, reg_of_index reg, to_operand rm)
+  | 0xAF -> let reg, rm = read_modrm c in Imul_rr (reg_of_index reg, to_operand rm)
+  | 0xA4 ->
+    let reg, rm = read_modrm c in
+    let n = u8 c in
+    Shld (to_operand rm, reg_of_index reg, Amt_imm n)
+  | 0xA5 -> let reg, rm = read_modrm c in Shld (to_operand rm, reg_of_index reg, Amt_cl)
+  | 0xAC ->
+    let reg, rm = read_modrm c in
+    let n = u8 c in
+    Shrd (to_operand rm, reg_of_index reg, Amt_imm n)
+  | 0xAD -> let reg, rm = read_modrm c in Shrd (to_operand rm, reg_of_index reg, Amt_cl)
+  (* SSE moves *)
+  | 0x28 -> let r, rm = read_modrm c in Sse (Movaps (XM r, xmm_rm rm))
+  | 0x29 -> let r, rm = read_modrm c in Sse (Movaps (xmm_rm rm, XM r))
+  | 0x10 when rep_f3 -> let r, rm = read_modrm c in Sse (Movss (XM r, xmm_rm rm))
+  | 0x11 when rep_f3 -> let r, rm = read_modrm c in Sse (Movss (xmm_rm rm, XM r))
+  | 0x10 when rep_f2 -> let r, rm = read_modrm c in Sse (Movsd_x (XM r, xmm_rm rm))
+  | 0x11 when rep_f2 -> let r, rm = read_modrm c in Sse (Movsd_x (xmm_rm rm, XM r))
+  | 0x10 -> let r, rm = read_modrm c in Sse (Movups (XM r, xmm_rm rm))
+  | 0x11 -> let r, rm = read_modrm c in Sse (Movups (xmm_rm rm, XM r))
+  | 0x58 -> let r, rm = read_modrm c in Sse (Sse_arith (SAdd, xfmt_arith (), r, xmm_rm rm))
+  | 0x59 -> let r, rm = read_modrm c in Sse (Sse_arith (SMul, xfmt_arith (), r, xmm_rm rm))
+  | 0x5C -> let r, rm = read_modrm c in Sse (Sse_arith (SSub, xfmt_arith (), r, xmm_rm rm))
+  | 0x5D -> let r, rm = read_modrm c in Sse (Sse_arith (SMin, xfmt_arith (), r, xmm_rm rm))
+  | 0x5E -> let r, rm = read_modrm c in Sse (Sse_arith (SDiv, xfmt_arith (), r, xmm_rm rm))
+  | 0x5F -> let r, rm = read_modrm c in Sse (Sse_arith (SMax, xfmt_arith (), r, xmm_rm rm))
+  | 0x51 -> let r, rm = read_modrm c in Sse (Sqrtps (r, xmm_rm rm))
+  | 0x54 -> let r, rm = read_modrm c in Sse (Andps (r, xmm_rm rm))
+  | 0x56 -> let r, rm = read_modrm c in Sse (Orps (r, xmm_rm rm))
+  | 0x57 -> let r, rm = read_modrm c in Sse (Xorps (r, xmm_rm rm))
+  | 0x2E -> let r, rm = read_modrm c in Sse (Ucomiss (r, xmm_rm rm))
+  | 0x2A when rep_f3 -> let r, rm = read_modrm c in Sse (Cvtsi2ss (r, to_operand rm))
+  | 0x2C when rep_f3 -> let r, rm = read_modrm c in Sse (Cvttss2si (reg_of_index r, xmm_rm rm))
+  | 0x5A when rep_f3 -> let r, rm = read_modrm c in Sse (Cvtss2sd (r, xmm_rm rm))
+  | 0x5A when rep_f2 -> let r, rm = read_modrm c in Sse (Cvtsd2ss (r, xmm_rm rm))
+  (* MMX / SSE2 integer *)
+  | 0x6E -> let r, rm = read_modrm c in Mmx (Movd_to_mm (r, to_operand rm))
+  | 0x7E -> let r, rm = read_modrm c in Mmx (Movd_from_mm (to_operand rm, r))
+  | 0x6F -> let r, rm = read_modrm c in Mmx (Movq_to_mm (r, mmx_rm rm))
+  | 0x7F -> let r, rm = read_modrm c in Mmx (Movq_from_mm (mmx_rm rm, r))
+  | 0xFC -> let r, rm = read_modrm c in Mmx (Padd (1, r, mmx_rm rm))
+  | 0xFD -> let r, rm = read_modrm c in Mmx (Padd (2, r, mmx_rm rm))
+  | 0xFE when osz -> let r, rm = read_modrm c in Sse (Paddd_x (r, xmm_rm rm))
+  | 0xFE -> let r, rm = read_modrm c in Mmx (Padd (4, r, mmx_rm rm))
+  | 0xD4 -> let r, rm = read_modrm c in Mmx (Padd (8, r, mmx_rm rm))
+  | 0xF8 -> let r, rm = read_modrm c in Mmx (Psub (1, r, mmx_rm rm))
+  | 0xF9 -> let r, rm = read_modrm c in Mmx (Psub (2, r, mmx_rm rm))
+  | 0xFA when osz -> let r, rm = read_modrm c in Sse (Psubd_x (r, xmm_rm rm))
+  | 0xFA -> let r, rm = read_modrm c in Mmx (Psub (4, r, mmx_rm rm))
+  | 0xFB -> let r, rm = read_modrm c in Mmx (Psub (8, r, mmx_rm rm))
+  | 0xD5 -> let r, rm = read_modrm c in Mmx (Pmullw (r, mmx_rm rm))
+  | 0xDB -> let r, rm = read_modrm c in Mmx (Pand (r, mmx_rm rm))
+  | 0xEB -> let r, rm = read_modrm c in Mmx (Por (r, mmx_rm rm))
+  | 0xEF -> let r, rm = read_modrm c in Mmx (Pxor (r, mmx_rm rm))
+  | 0x74 -> let r, rm = read_modrm c in Mmx (Pcmpeq (1, r, mmx_rm rm))
+  | 0x75 -> let r, rm = read_modrm c in Mmx (Pcmpeq (2, r, mmx_rm rm))
+  | 0x76 -> let r, rm = read_modrm c in Mmx (Pcmpeq (4, r, mmx_rm rm))
+  | 0x71 | 0x72 | 0x73 ->
+    let w = match op with 0x71 -> 2 | 0x72 -> 4 | _ -> 8 in
+    let ext, rm = read_modrm c in
+    let mm = match rm with `Reg i -> i | `Mem _ -> invalid c in
+    let n = u8 c in
+    if ext = 6 then Mmx (Psll (w, mm, n))
+    else if ext = 2 then Mmx (Psrl (w, mm, n))
+    else invalid c
+  | 0x77 -> Mmx Emms
+  | _ -> invalid c
+
+let decode_fp c escape =
+  let m = u8 c in
+  if m < 0xC0 then begin
+    (* memory forms: re-read as modrm *)
+    c.pos <- c.pos - 1;
+    let ext, rm = read_modrm c in
+    let mem = to_mem c rm in
+    match (escape, ext) with
+    | 0xD8, 0 -> Fp (Fop_m (FAdd, F32, mem))
+    | 0xD8, 1 -> Fp (Fop_m (FMul, F32, mem))
+    | 0xD8, 2 -> Fp (Fcom_m (F32, mem, 0))
+    | 0xD8, 3 -> Fp (Fcom_m (F32, mem, 1))
+    | 0xD8, 4 -> Fp (Fop_m (FSub, F32, mem))
+    | 0xD8, 5 -> Fp (Fop_m (FSubr, F32, mem))
+    | 0xD8, 6 -> Fp (Fop_m (FDiv, F32, mem))
+    | 0xD8, 7 -> Fp (Fop_m (FDivr, F32, mem))
+    | 0xD9, 0 -> Fp (Fld_m (F32, mem))
+    | 0xD9, 2 -> Fp (Fst_m (F32, mem, false))
+    | 0xD9, 3 -> Fp (Fst_m (F32, mem, true))
+    | 0xDB, 0 -> Fp (Fild (I32, mem))
+    | 0xDB, 2 -> Fp (Fist_m (I32, mem, false))
+    | 0xDB, 3 -> Fp (Fist_m (I32, mem, true))
+    | 0xDC, 0 -> Fp (Fop_m (FAdd, F64, mem))
+    | 0xDC, 1 -> Fp (Fop_m (FMul, F64, mem))
+    | 0xDC, 2 -> Fp (Fcom_m (F64, mem, 0))
+    | 0xDC, 3 -> Fp (Fcom_m (F64, mem, 1))
+    | 0xDC, 4 -> Fp (Fop_m (FSub, F64, mem))
+    | 0xDC, 5 -> Fp (Fop_m (FSubr, F64, mem))
+    | 0xDC, 6 -> Fp (Fop_m (FDiv, F64, mem))
+    | 0xDC, 7 -> Fp (Fop_m (FDivr, F64, mem))
+    | 0xDD, 0 -> Fp (Fld_m (F64, mem))
+    | 0xDD, 2 -> Fp (Fst_m (F64, mem, false))
+    | 0xDD, 3 -> Fp (Fst_m (F64, mem, true))
+    | 0xDF, 0 -> Fp (Fild (I16, mem))
+    | 0xDF, 2 -> Fp (Fist_m (I16, mem, false))
+    | 0xDF, 3 -> Fp (Fist_m (I16, mem, true))
+    | _ -> invalid c
+  end
+  else begin
+    let i = m land 7 in
+    match (escape, m land 0xF8, m) with
+    | 0xD8, 0xC0, _ -> Fp (Fop_st0_st (FAdd, i))
+    | 0xD8, 0xC8, _ -> Fp (Fop_st0_st (FMul, i))
+    | 0xD8, 0xD0, _ -> Fp (Fcom_st (i, 0))
+    | 0xD8, 0xD8, _ -> Fp (Fcom_st (i, 1))
+    | 0xD8, 0xE0, _ -> Fp (Fop_st0_st (FSub, i))
+    | 0xD8, 0xE8, _ -> Fp (Fop_st0_st (FSubr, i))
+    | 0xD8, 0xF0, _ -> Fp (Fop_st0_st (FDiv, i))
+    | 0xD8, 0xF8, _ -> Fp (Fop_st0_st (FDivr, i))
+    | 0xD9, 0xC0, _ -> Fp (Fld_st i)
+    | 0xD9, 0xC8, _ -> Fp (Fxch i)
+    | 0xD9, _, 0xE0 -> Fp Fchs
+    | 0xD9, _, 0xE1 -> Fp Fabs
+    | 0xD9, _, 0xE8 -> Fp Fld1
+    | 0xD9, _, 0xEB -> Fp Fldpi
+    | 0xD9, _, 0xEE -> Fp Fldz
+    | 0xD9, _, 0xF6 -> Fp Fdecstp
+    | 0xD9, _, 0xF7 -> Fp Fincstp
+    | 0xD9, _, 0xFA -> Fp Fsqrt
+    | 0xD9, _, 0xFC -> Fp Frndint
+    | 0xDC, 0xC0, _ -> Fp (Fop_st_st0 (FAdd, i, false))
+    | 0xDC, 0xC8, _ -> Fp (Fop_st_st0 (FMul, i, false))
+    | 0xDC, 0xE0, _ -> Fp (Fop_st_st0 (FSubr, i, false))
+    | 0xDC, 0xE8, _ -> Fp (Fop_st_st0 (FSub, i, false))
+    | 0xDC, 0xF0, _ -> Fp (Fop_st_st0 (FDivr, i, false))
+    | 0xDC, 0xF8, _ -> Fp (Fop_st_st0 (FDiv, i, false))
+    | 0xDD, 0xC0, _ -> Fp (Ffree i)
+    | 0xDD, 0xD0, _ -> Fp (Fst_st (i, false))
+    | 0xDD, 0xD8, _ -> Fp (Fst_st (i, true))
+    | 0xDE, _, 0xD9 -> Fp (Fcom_st (1, 2)) (* fcompp *)
+    | 0xDE, 0xC0, _ -> Fp (Fop_st_st0 (FAdd, i, true))
+    | 0xDE, 0xC8, _ -> Fp (Fop_st_st0 (FMul, i, true))
+    | 0xDE, 0xE0, _ -> Fp (Fop_st_st0 (FSubr, i, true))
+    | 0xDE, 0xE8, _ -> Fp (Fop_st_st0 (FSub, i, true))
+    | 0xDE, 0xF0, _ -> Fp (Fop_st_st0 (FDivr, i, true))
+    | 0xDE, 0xF8, _ -> Fp (Fop_st_st0 (FDiv, i, true))
+    | 0xDF, _, 0xE0 -> Fp Fnstsw_ax
+    | _ -> invalid c
+  end
+
+let decode_at c =
+  (* prefix loop *)
+  let osz = ref false and f2 = ref false and f3 = ref false in
+  let rec prefixes () =
+    match Memory.fetch8 c.mem c.pos with
+    | 0x66 -> c.pos <- c.pos + 1; osz := true; prefixes ()
+    | 0xF2 -> c.pos <- c.pos + 1; f2 := true; prefixes ()
+    | 0xF3 -> c.pos <- c.pos + 1; f3 := true; prefixes ()
+    | _ -> ()
+  in
+  prefixes ();
+  let size = if !osz then S16 else S32 in
+  let rep_for = function
+    | `Movs | `Stos | `Lods -> if !f3 then Rep else if !f2 then Repne else No_rep
+    | `Scas -> if !f3 then Repe else if !f2 then Repne else No_rep
+  in
+  let op = u8 c in
+  (* generic ALU rows: 00-3D excluding the x87/prefix gaps we don't emit *)
+  if op < 0x40 && op land 7 < 6 && op <> 0x0F && (op land 7) < 4 then begin
+    let a = alu_of_index (op lsr 3) in
+    let form = op land 7 in
+    let reg, rm = read_modrm c in
+    let r = R (reg_of_index reg) in
+    match form with
+    | 0 -> Alu (a, S8, to_operand rm, r)
+    | 1 -> Alu (a, size, to_operand rm, r)
+    | 2 -> Alu (a, S8, r, to_operand rm)
+    | 3 -> Alu (a, size, r, to_operand rm)
+    | _ -> invalid c
+  end
+  else
+    match op with
+    | 0x0F -> decode_0f c ~osz:!osz ~rep_f2:!f2 ~rep_f3:!f3
+    | 0x80 | 0x81 | 0x83 ->
+      let sz = if op = 0x80 then S8 else size in
+      let ext, rm = read_modrm c in
+      let v =
+        if op = 0x83 then Word.mask32 (s8 c)
+        else Word.mask (size_bytes sz) (imm_of_size c sz)
+      in
+      Alu (alu_of_index ext, sz, to_operand rm, I v)
+    | 0x84 -> let reg, rm = read_modrm c in Test (S8, to_operand rm, R (reg_of_index reg))
+    | 0x85 -> let reg, rm = read_modrm c in Test (size, to_operand rm, R (reg_of_index reg))
+    | 0x86 -> (
+      let reg, rm = read_modrm c in
+      Xchg (S8, to_operand rm, reg_of_index reg))
+    | 0x87 -> (
+      let reg, rm = read_modrm c in
+      Xchg (size, to_operand rm, reg_of_index reg))
+    | 0x88 -> let reg, rm = read_modrm c in Mov (S8, to_operand rm, R (reg_of_index reg))
+    | 0x89 -> let reg, rm = read_modrm c in Mov (size, to_operand rm, R (reg_of_index reg))
+    | 0x8A -> let reg, rm = read_modrm c in Mov (S8, R (reg_of_index reg), to_operand rm)
+    | 0x8B -> let reg, rm = read_modrm c in Mov (size, R (reg_of_index reg), to_operand rm)
+    | 0x8D -> (
+      let reg, rm = read_modrm c in
+      match rm with
+      | `Mem m -> Lea (reg_of_index reg, m)
+      | `Reg _ -> invalid c)
+    | 0x8F -> let _, rm = read_modrm c in Pop (to_operand rm)
+    | 0x90 -> Nop
+    | 0x98 -> Cwde
+    | 0x99 -> Cdq
+    | 0x9C -> Pushfd
+    | 0x9D -> Popfd
+    | op when op >= 0x50 && op <= 0x57 -> Push (R (reg_of_index (op - 0x50)))
+    | op when op >= 0x58 && op <= 0x5F -> Pop (R (reg_of_index (op - 0x58)))
+    | 0x68 -> Push (I (u32 c))
+    | 0x6A -> Push (I (Word.mask32 (s8 c)))
+    | 0x69 ->
+      let reg, rm = read_modrm c in
+      Imul_rri (reg_of_index reg, to_operand rm, u32 c)
+    | 0x6B ->
+      let reg, rm = read_modrm c in
+      Imul_rri (reg_of_index reg, to_operand rm, Word.mask32 (s8 c))
+    | op when op >= 0x70 && op <= 0x7F ->
+      let cnd = cond_of_index (op - 0x70) in
+      let d = s8 c in
+      Jcc (cnd, Word.mask32 (c.pos + d))
+    | 0xA4 -> Movs (S8, rep_for `Movs)
+    | 0xA5 -> Movs (size, rep_for `Movs)
+    | 0xA8 -> Test (S8, R Eax, I (u8 c))
+    | 0xA9 -> Test (size, R Eax, I (imm_of_size c size))
+    | 0xAA -> Stos (S8, rep_for `Stos)
+    | 0xAB -> Stos (size, rep_for `Stos)
+    | 0xAC -> Lods (S8, rep_for `Lods)
+    | 0xAD -> Lods (size, rep_for `Lods)
+    | 0xAE -> Scas (S8, rep_for `Scas)
+    | 0xAF -> Scas (size, rep_for `Scas)
+    | op when op >= 0xB0 && op <= 0xB7 ->
+      Mov (S8, R (reg_of_index (op - 0xB0)), I (u8 c))
+    | op when op >= 0xB8 && op <= 0xBF ->
+      Mov (size, R (reg_of_index (op - 0xB8)), I (imm_of_size c size))
+    | 0xC0 | 0xC1 | 0xD0 | 0xD1 | 0xD2 | 0xD3 ->
+      let sz = if op land 1 = 0 then S8 else size in
+      let ext, rm = read_modrm c in
+      let sh =
+        match ext with
+        | 0 -> Rol | 1 -> Ror | 4 -> Shl | 5 -> Shr | 7 -> Sar
+        | _ -> invalid c
+      in
+      let amt =
+        match op with
+        | 0xC0 | 0xC1 -> Amt_imm (u8 c)
+        | 0xD0 | 0xD1 -> Amt_imm 1
+        | _ -> Amt_cl
+      in
+      Shift (sh, sz, to_operand rm, amt)
+    | 0xC2 -> Ret (u16 c)
+    | 0xC3 -> Ret 0
+    | 0xC6 ->
+      let _, rm = read_modrm c in
+      Mov (S8, to_operand rm, I (u8 c))
+    | 0xC7 ->
+      let _, rm = read_modrm c in
+      Mov (size, to_operand rm, I (imm_of_size c size))
+    | 0xCC -> Int_n 3
+    | 0xCD -> Int_n (u8 c)
+    | 0xD8 | 0xD9 | 0xDA | 0xDB | 0xDC | 0xDD | 0xDE | 0xDF -> decode_fp c op
+    | 0xE8 -> let d = s32 c in Call (Word.mask32 (c.pos + d))
+    | 0xE9 -> let d = s32 c in Jmp (Word.mask32 (c.pos + d))
+    | 0xEB -> let d = s8 c in Jmp (Word.mask32 (c.pos + d))
+    | 0xF4 -> Hlt
+    | 0xF6 | 0xF7 -> (
+      let sz = if op = 0xF6 then S8 else size in
+      let ext, rm = read_modrm c in
+      match ext with
+      | 0 -> Test (sz, to_operand rm, I (imm_of_size c sz))
+      | 2 -> Not (sz, to_operand rm)
+      | 3 -> Neg (sz, to_operand rm)
+      | 4 -> Mul1 (sz, to_operand rm)
+      | 5 -> Imul1 (sz, to_operand rm)
+      | 6 -> Div (sz, to_operand rm)
+      | 7 -> Idiv (sz, to_operand rm)
+      | _ -> invalid c)
+    | 0xFC -> Cld
+    | 0xFD -> Std
+    | 0xFE -> (
+      let ext, rm = read_modrm c in
+      match ext with
+      | 0 -> Inc (S8, to_operand rm)
+      | 1 -> Dec (S8, to_operand rm)
+      | _ -> invalid c)
+    | 0xFF -> (
+      let ext, rm = read_modrm c in
+      match ext with
+      | 0 -> Inc (size, to_operand rm)
+      | 1 -> Dec (size, to_operand rm)
+      | 2 -> Call_ind (to_operand rm)
+      | 4 -> Jmp_ind (to_operand rm)
+      | 6 -> Push (to_operand rm)
+      | _ -> invalid c)
+    | op when op >= 0x40 && op <= 0x47 -> Inc (size, R (reg_of_index (op - 0x40)))
+    | op when op >= 0x48 && op <= 0x4F -> Dec (size, R (reg_of_index (op - 0x48)))
+    | _ -> invalid c
+
+(* [decode mem addr] is [(insn, length)]. Raises [Invalid] on undecodable
+   bytes and [Fault.Fault] on unmapped/unexecutable code pages. *)
+let decode mem addr =
+  let c = { mem; start = addr; pos = addr } in
+  let insn = decode_at c in
+  (insn, c.pos - addr)

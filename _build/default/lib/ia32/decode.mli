@@ -1,0 +1,16 @@
+(** IA-32 instruction decoder: real byte-level decoding of the subset
+    ISA — prefixes (operand-size, REP/REPNE), opcodes including the 0x0F
+    map, ModRM/SIB/displacement/immediate forms — from guest memory.
+
+    This is the translator's only view of guest code: both the
+    interpreter and both translation phases decode the same bytes the
+    assembler ({!Asm}) emitted. *)
+
+exception Invalid of int
+(** Raised with the address of an undecodable instruction. *)
+
+val decode : Memory.t -> int -> Insn.insn * int
+(** [decode mem addr] returns the instruction at [addr] and its encoded
+    length in bytes.
+    @raise Invalid on undecodable bytes.
+    @raise Fault.Fault when the bytes cannot be fetched. *)

@@ -1,0 +1,40 @@
+type access = Read | Write | Fetch
+
+type t =
+  | Page_fault of int * access (* linear address *)
+  | Divide_error
+  | Invalid_opcode
+  | Fp_stack_fault (* x87 stack overflow/underflow *)
+  | Fp_fault (* other x87 numeric fault (we model invalid operation) *)
+  | Simd_fault (* unmasked SSE numeric fault *)
+  | Privileged (* hlt in user mode *)
+  | Breakpoint
+
+exception Fault of t
+
+let access_name = function Read -> "read" | Write -> "write" | Fetch -> "fetch"
+
+let pp ppf = function
+  | Page_fault (a, k) -> Fmt.pf ppf "#PF(%s @ 0x%08x)" (access_name k) a
+  | Divide_error -> Fmt.string ppf "#DE"
+  | Invalid_opcode -> Fmt.string ppf "#UD"
+  | Fp_stack_fault -> Fmt.string ppf "#MF(stack)"
+  | Fp_fault -> Fmt.string ppf "#MF"
+  | Simd_fault -> Fmt.string ppf "#XM"
+  | Privileged -> Fmt.string ppf "#GP(priv)"
+  | Breakpoint -> Fmt.string ppf "#BP"
+
+let to_string t = Fmt.str "%a" pp t
+
+(* IA-32 exception vector numbers, used when delivering to the guest
+   application's handler table. *)
+let vector = function
+  | Divide_error -> 0
+  | Breakpoint -> 3
+  | Invalid_opcode -> 6
+  | Fp_stack_fault | Fp_fault -> 16
+  | Page_fault _ -> 14
+  | Privileged -> 13
+  | Simd_fault -> 19
+
+let equal (a : t) (b : t) = a = b

@@ -1,0 +1,45 @@
+(* Shared float/int conversion helpers. Both the reference interpreter and
+   the translated code use exactly these, so the two execution vehicles
+   agree bit-for-bit on conversions and rounding. *)
+
+(* Round to nearest, ties to even — the x87 default rounding mode. *)
+let rint x =
+  if Float.is_integer x || Float.is_nan x then x
+  else
+    let fl = Float.floor x in
+    let d = x -. fl in
+    if d > 0.5 then fl +. 1.0
+    else if d < 0.5 then fl
+    else if Float.rem fl 2.0 = 0.0 then fl
+    else fl +. 1.0
+
+(* x87 FIST/FISTP to a signed integer of [bits] (16 or 32): rounds to
+   nearest-even; out-of-range and NaN store the "integer indefinite". *)
+let fist ~bits x =
+  let lo = -.Float.pow 2.0 (Float.of_int (bits - 1)) in
+  let hi = -.lo -. 1.0 in
+  let indefinite = 1 lsl (bits - 1) in
+  if Float.is_nan x then indefinite
+  else
+    let r = rint x in
+    if r < lo || r > hi then indefinite else Word.mask (bits / 8) (Float.to_int r)
+
+(* CVTTSS2SI: truncation; out-of-range and NaN give the indefinite. *)
+let cvtt32 x =
+  if Float.is_nan x || x >= 2147483648.0 || x < -2147483648.0 then 0x80000000
+  else Word.mask32 (Float.to_int (Float.trunc x))
+
+(* Bit conversions between canonical ints and floats. *)
+let f32_of_bits v = Int32.float_of_bits (Int32.of_int (Word.mask32 v))
+let bits_of_f32 f = Int32.to_int (Int32.bits_of_float f) land 0xFFFFFFFF
+let f64_of_bits = Int64.float_of_bits
+let bits_of_f64 = Int64.bits_of_float
+
+(* Packed-single views of an XMM half (two 32-bit floats in an int64). *)
+let ps_get half i =
+  if i = 0 then f32_of_bits (Word.lo32 half) else f32_of_bits (Word.hi32 half)
+
+let ps_set half i f =
+  let b = bits_of_f32 f in
+  if i = 0 then Word.to_i64 ~lo:b ~hi:(Word.hi32 half)
+  else Word.to_i64 ~lo:(Word.lo32 half) ~hi:b

@@ -1,0 +1,24 @@
+(** Float/integer conversion helpers shared by the reference interpreter and
+    the translated code, guaranteeing bit-identical rounding behaviour
+    between execution vehicles. *)
+
+(** Round to nearest, ties to even (the x87 default rounding mode). *)
+val rint : float -> float
+
+(** FIST/FISTP conversion to a signed integer of [bits] (16 or 32); NaN and
+    out-of-range values produce the integer indefinite. Result is canonical
+    (masked). *)
+val fist : bits:int -> float -> int
+
+(** CVTTSS2SI: truncating conversion to signed 32-bit. *)
+val cvtt32 : float -> int
+
+val f32_of_bits : int -> float
+val bits_of_f32 : float -> int
+val f64_of_bits : int64 -> float
+val bits_of_f64 : float -> int64
+
+(** Lane accessors for two packed 32-bit floats in an int64 XMM half. *)
+val ps_get : int64 -> int -> float
+
+val ps_set : int64 -> int -> float -> int64

@@ -1,0 +1,24 @@
+(** Reference IA-32 interpreter — the golden model.
+
+    Defines the exact architectural semantics (including documented
+    "defined-undefined" flag choices) that the translated code must
+    reproduce. On a fault the architectural state is the precise state
+    before the faulting instruction, exactly as the paper's precise
+    exception machinery must deliver it. *)
+
+type event =
+  | Normal  (** instruction retired, EIP advanced *)
+  | Syscall of int  (** [int n] executed; EIP points after it *)
+  | Faulted of Fault.t  (** state untouched by the faulting instruction *)
+
+(** Execute one instruction at EIP. *)
+val step : State.t -> event
+
+type stop =
+  | Stop_syscall of int
+  | Stop_fault of Fault.t
+  | Stop_fuel
+
+(** Run until a syscall, a fault, or [fuel] retired instructions; returns
+    the stop reason and the retired-instruction count. *)
+val run : ?fuel:int -> State.t -> stop * int

@@ -1,0 +1,181 @@
+(* Sparse paged 32-bit address space shared by the guest application, the
+   reference interpreter and the translated code running on the IPF machine.
+   Pages are 4 KiB. A write-watch callback lets the translator detect
+   self-modifying code on pages it translated from. *)
+
+let page_bits = 12
+let page_size = 1 lsl page_bits
+
+type prot = { read : bool; write : bool; exec : bool }
+
+let prot_rw = { read = true; write = true; exec = false }
+let prot_rx = { read = true; write = false; exec = true }
+let prot_rwx = { read = true; write = true; exec = true }
+
+type page = { data : Bytes.t; mutable prot : prot }
+
+type t = {
+  pages : (int, page) Hashtbl.t;
+  mutable write_watch : (int -> int -> unit) option; (* addr, width *)
+  mutable watched : (int, unit) Hashtbl.t; (* page numbers with watch *)
+}
+
+let create () =
+  { pages = Hashtbl.create 256; write_watch = None; watched = Hashtbl.create 16 }
+
+let page_of addr = Word.mask32 addr lsr page_bits
+let offset_of addr = Word.mask32 addr land (page_size - 1)
+
+let map t ~addr ~len ~prot =
+  let first = page_of addr and last = page_of (addr + len - 1) in
+  for p = first to last do
+    if not (Hashtbl.mem t.pages p) then
+      Hashtbl.replace t.pages p { data = Bytes.make page_size '\000'; prot }
+    else (Hashtbl.find t.pages p).prot <- prot
+  done
+
+let unmap t ~addr ~len =
+  let first = page_of addr and last = page_of (addr + len - 1) in
+  for p = first to last do
+    Hashtbl.remove t.pages p;
+    Hashtbl.remove t.watched p
+  done
+
+let is_mapped t addr = Hashtbl.mem t.pages (page_of addr)
+
+let protect t ~addr ~len ~prot =
+  let first = page_of addr and last = page_of (addr + len - 1) in
+  for p = first to last do
+    match Hashtbl.find_opt t.pages p with
+    | Some pg -> pg.prot <- prot
+    | None -> ()
+  done
+
+let prot_of t addr =
+  match Hashtbl.find_opt t.pages (page_of addr) with
+  | Some pg -> Some pg.prot
+  | None -> None
+
+let set_write_watch t f = t.write_watch <- f
+
+let watch_page t addr = Hashtbl.replace t.watched (page_of addr) ()
+let unwatch_page t addr = Hashtbl.remove t.watched (page_of addr)
+let page_watched t addr = Hashtbl.mem t.watched (page_of addr)
+
+let find_page t addr (acc : Fault.access) =
+  match Hashtbl.find_opt t.pages (page_of addr) with
+  | None -> raise (Fault.Fault (Fault.Page_fault (Word.mask32 addr, acc)))
+  | Some pg ->
+    let ok =
+      match acc with
+      | Fault.Read -> pg.prot.read
+      | Fault.Write -> pg.prot.write
+      | Fault.Fetch -> pg.prot.exec
+    in
+    if ok then pg else raise (Fault.Fault (Fault.Page_fault (Word.mask32 addr, acc)))
+
+(* Byte-granular access; multi-byte accesses may straddle pages. *)
+
+let read8 t addr =
+  let pg = find_page t addr Fault.Read in
+  Char.code (Bytes.get pg.data (offset_of addr))
+
+let fetch8 t addr =
+  let pg = find_page t addr Fault.Fetch in
+  Char.code (Bytes.get pg.data (offset_of addr))
+
+let write8_nowatch t addr v =
+  let pg = find_page t addr Fault.Write in
+  Bytes.set pg.data (offset_of addr) (Char.chr (Word.mask8 v))
+
+let notify_write t addr width =
+  match t.write_watch with
+  | Some f when Hashtbl.mem t.watched (page_of addr) -> f (Word.mask32 addr) width
+  | Some _ | None -> ()
+
+let write8 t addr v =
+  write8_nowatch t addr v;
+  notify_write t addr 1
+
+let read_n t addr n =
+  let rec go acc i =
+    if i < 0 then acc else go ((acc lsl 8) lor read8 t (addr + i)) (i - 1)
+  in
+  go 0 (n - 1)
+
+let write_n t addr n v =
+  for i = 0 to n - 1 do
+    write8_nowatch t (addr + i) ((v lsr (8 * i)) land 0xFF)
+  done;
+  notify_write t addr n
+
+let read16 t addr = read_n t addr 2
+let read32 t addr = read_n t addr 4
+let write16 t addr v = write_n t addr 2 v
+let write32 t addr v = write_n t addr 4 v
+
+let read size t addr = read_n t addr size
+let write size t addr v = write_n t addr size v
+
+let read64 t addr =
+  Word.to_i64 ~lo:(read32 t addr) ~hi:(read32 t (addr + 4))
+
+let write64 t addr v =
+  write_n t addr 4 (Word.lo32 v);
+  write_n t (addr + 4) 4 (Word.hi32 v)
+
+let read_f32 t addr = Int32.float_of_bits (Int32.of_int (read32 t addr))
+let write_f32 t addr f = write32 t addr (Int32.to_int (Int32.bits_of_float f) land 0xFFFFFFFF)
+let read_f64 t addr = Int64.float_of_bits (read64 t addr)
+let write_f64 t addr f = write64 t addr (Int64.bits_of_float f)
+
+(* Loader path: ignores page protections (the "OS" writing the image). *)
+let load_bytes t addr s =
+  for i = 0 to String.length s - 1 do
+    let a = addr + i in
+    match Hashtbl.find_opt t.pages (page_of a) with
+    | Some pg -> Bytes.set pg.data (offset_of a) s.[i]
+    | None -> raise (Fault.Fault (Fault.Page_fault (Word.mask32 a, Fault.Write)))
+  done
+
+let dump_bytes t addr len =
+  String.init len (fun i -> Char.chr (read8 t (addr + i)))
+
+(* Deep copy, for differential testing (golden model vs translator). *)
+let copy t =
+  let pages = Hashtbl.create (Hashtbl.length t.pages) in
+  Hashtbl.iter
+    (fun k pg -> Hashtbl.replace pages k { data = Bytes.copy pg.data; prot = pg.prot })
+    t.pages;
+  { pages; write_watch = None; watched = Hashtbl.copy t.watched }
+
+let equal a b =
+  let pages_of t =
+    Hashtbl.fold (fun k pg acc -> (k, Bytes.to_string pg.data) :: acc) t.pages []
+    |> List.sort compare
+  in
+  pages_of a = pages_of b
+
+(* First differing byte between two equal-shaped memories, for test
+   diagnostics. *)
+let first_diff a b =
+  let result = ref None in
+  let check k pg =
+    if !result = None then
+      match Hashtbl.find_opt b.pages k with
+      | None -> result := Some (k * page_size)
+      | Some pg' ->
+        let rec scan i =
+          if i < page_size then
+            if Bytes.get pg.data i <> Bytes.get pg'.data i then
+              result := Some ((k * page_size) + i)
+            else scan (i + 1)
+        in
+        scan 0
+  in
+  Hashtbl.iter check a.pages;
+  Hashtbl.iter
+    (fun k _ -> if !result = None && not (Hashtbl.mem a.pages k) then
+        result := Some (k * page_size))
+    b.pages;
+  !result

@@ -1,0 +1,66 @@
+(** Sparse paged 32-bit guest address space (4 KiB pages, little endian).
+
+    Unmapped or permission-violating accesses raise
+    [Fault.Fault (Page_fault _)]. A write-watch callback fires on writes to
+    watched pages — the hook the translator uses to detect self-modifying
+    code on pages it has translated from. *)
+
+val page_bits : int
+val page_size : int
+
+type prot = { read : bool; write : bool; exec : bool }
+
+val prot_rw : prot
+val prot_rx : prot
+val prot_rwx : prot
+
+type t
+
+val create : unit -> t
+
+val map : t -> addr:int -> len:int -> prot:prot -> unit
+val unmap : t -> addr:int -> len:int -> unit
+val is_mapped : t -> int -> bool
+val protect : t -> addr:int -> len:int -> prot:prot -> unit
+val prot_of : t -> int -> prot option
+
+(** [set_write_watch t (Some f)] makes every write to a watched page call
+    [f addr width] after the bytes are stored. *)
+val set_write_watch : t -> (int -> int -> unit) option -> unit
+
+val watch_page : t -> int -> unit
+val unwatch_page : t -> int -> unit
+val page_watched : t -> int -> bool
+
+val read8 : t -> int -> int
+
+(** Like {!read8} but checks execute permission. *)
+val fetch8 : t -> int -> int
+
+val write8 : t -> int -> int -> unit
+val read16 : t -> int -> int
+val read32 : t -> int -> int
+val write16 : t -> int -> int -> unit
+val write32 : t -> int -> int -> unit
+
+(** [read size t addr] / [write size t addr v] with [size] in bytes (1-4). *)
+val read : int -> t -> int -> int
+val write : int -> t -> int -> int -> unit
+
+val read64 : t -> int -> int64
+val write64 : t -> int -> int64 -> unit
+val read_f32 : t -> int -> float
+val write_f32 : t -> int -> float -> unit
+val read_f64 : t -> int -> float
+val write_f64 : t -> int -> float -> unit
+
+(** Bulk initialisation that bypasses the write watch. *)
+val load_bytes : t -> int -> string -> unit
+
+val dump_bytes : t -> int -> int -> string
+
+val copy : t -> t
+val equal : t -> t -> bool
+
+(** Address of the first differing byte, if any — for test diagnostics. *)
+val first_diff : t -> t -> int option

@@ -1,0 +1,62 @@
+let mask8 v = v land 0xFF
+let mask16 v = v land 0xFFFF
+let mask32 v = v land 0xFFFFFFFF
+
+let mask size v =
+  match size with
+  | 1 -> mask8 v
+  | 2 -> mask16 v
+  | 4 -> mask32 v
+  | n -> invalid_arg (Printf.sprintf "Word.mask: bad size %d" n)
+
+let signed8 v =
+  let v = mask8 v in
+  if v >= 0x80 then v - 0x100 else v
+
+let signed16 v =
+  let v = mask16 v in
+  if v >= 0x8000 then v - 0x10000 else v
+
+let signed32 v =
+  let v = mask32 v in
+  if v >= 0x80000000 then v - 0x100000000 else v
+
+let signed size v =
+  match size with
+  | 1 -> signed8 v
+  | 2 -> signed16 v
+  | 4 -> signed32 v
+  | n -> invalid_arg (Printf.sprintf "Word.signed: bad size %d" n)
+
+let bits size = size * 8
+
+let sign_bit size v = (mask size v) lsr (bits size - 1) = 1
+
+let parity v =
+  let rec count acc v = if v = 0 then acc else count (acc + (v land 1)) (v lsr 1) in
+  count 0 (mask8 v) land 1 = 0
+
+(* Apply [f] lane-wise on [w]-byte lanes of two int64s (SIMD helper shared
+   by the IA-32 MMX model and the IPF parallel-ALU model). *)
+let lanes_map2 w f a b =
+  let lanes = 8 / w in
+  let bits = w * 8 in
+  let lane_mask =
+    if bits = 64 then -1L else Int64.sub (Int64.shift_left 1L bits) 1L
+  in
+  let out = ref 0L in
+  for i = 0 to lanes - 1 do
+    let sh = i * bits in
+    let la = Int64.logand (Int64.shift_right_logical a sh) lane_mask in
+    let lb = Int64.logand (Int64.shift_right_logical b sh) lane_mask in
+    let r = Int64.logand (f la lb) lane_mask in
+    out := Int64.logor !out (Int64.shift_left r sh)
+  done;
+  !out
+
+let lo32 v = Int64.to_int (Int64.logand v 0xFFFFFFFFL)
+let hi32 v = Int64.to_int (Int64.logand (Int64.shift_right_logical v 32) 0xFFFFFFFFL)
+let to_i64 ~lo ~hi =
+  Int64.logor
+    (Int64.shift_left (Int64.of_int (mask32 hi)) 32)
+    (Int64.of_int (mask32 lo))

@@ -1,0 +1,39 @@
+(** 32-bit machine arithmetic on top of OCaml's native [int].
+
+    All IA-32 architectural values are stored as OCaml [int]s in the range
+    [0, 2^32-1] ("canonical form"). These helpers mask, sign-extend and
+    perform flag-relevant arithmetic. *)
+
+val mask8 : int -> int
+val mask16 : int -> int
+val mask32 : int -> int
+
+(** [mask size v] masks [v] to [size] bytes (1, 2 or 4). *)
+val mask : int -> int -> int
+
+(** [signed size v] reinterprets the canonical unsigned value [v] of [size]
+    bytes as a signed OCaml int. *)
+val signed : int -> int -> int
+
+val signed8 : int -> int
+val signed16 : int -> int
+val signed32 : int -> int
+
+(** [sign_bit size v] is the most significant bit of [v] at [size] bytes. *)
+val sign_bit : int -> int -> bool
+
+(** [parity v] is the IA-32 parity flag of the low byte of [v]:
+    [true] when the number of set bits is even. *)
+val parity : int -> bool
+
+(** [bits size] is [size * 8]. *)
+val bits : int -> int
+
+(** [lanes_map2 w f a b] applies [f] independently on each [w]-byte lane of
+    the two int64s (SIMD helper). *)
+val lanes_map2 : int -> (int64 -> int64 -> int64) -> int64 -> int64 -> int64
+
+(** Low/high 32-bit halves of a 64-bit quantity represented as Int64. *)
+val lo32 : int64 -> int
+val hi32 : int64 -> int
+val to_i64 : lo:int -> hi:int -> int64

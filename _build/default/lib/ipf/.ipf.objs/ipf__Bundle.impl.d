@@ -1,0 +1,1 @@
+lib/ipf/bundle.ml: Array Fmt Insn List Option Printf

@@ -1,0 +1,1 @@
+lib/ipf/bundle.mli: Format Insn

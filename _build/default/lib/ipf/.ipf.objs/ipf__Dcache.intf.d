@@ -1,0 +1,1 @@
+lib/ipf/dcache.mli:

@@ -1,0 +1,1 @@
+lib/ipf/insn.ml: Fmt Option Printf

@@ -1,0 +1,1 @@
+lib/ipf/insn.mli: Format

@@ -1,0 +1,1 @@
+lib/ipf/machine.ml: Array Bundle Cost Dcache Float Hashtbl Ia32 Insn Int64 List Printf String Sys Tcache

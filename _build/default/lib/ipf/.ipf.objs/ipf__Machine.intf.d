@@ -1,0 +1,1 @@
+lib/ipf/machine.mli: Cost Dcache Hashtbl Ia32 Insn Tcache

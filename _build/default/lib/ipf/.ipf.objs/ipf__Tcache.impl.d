@@ -1,0 +1,1 @@
+lib/ipf/tcache.ml: Array Bundle Insn List Printf

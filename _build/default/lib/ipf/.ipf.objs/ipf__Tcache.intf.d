@@ -1,0 +1,1 @@
+lib/ipf/tcache.mli: Bundle Insn

@@ -1,0 +1,103 @@
+(* Two-level set-associative LRU data-cache model. Only timing is modeled
+   (contents live in guest memory); each access returns the extra stall
+   cycles beyond the pipeline's L1 load latency.
+
+   The second level is what makes the paper's mcf observation reproducible:
+   the 32-bit-data IA-32 version of a pointer-chasing workload fits where
+   the 64-bit native version does not. *)
+
+type level = {
+  sets : int;
+  assoc : int;
+  line_bits : int;
+  tags : int array array; (* [set].[way]; -1 = invalid *)
+  lru : int array array; (* smaller = older *)
+  mutable tick : int;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let make_level ~size ~assoc ~line =
+  let sets = size / (assoc * line) in
+  let line_bits =
+    let rec bits n acc = if n <= 1 then acc else bits (n lsr 1) (acc + 1) in
+    bits line 0
+  in
+  {
+    sets;
+    assoc;
+    line_bits;
+    tags = Array.init sets (fun _ -> Array.make assoc (-1));
+    lru = Array.init sets (fun _ -> Array.make assoc 0);
+    tick = 0;
+    hits = 0;
+    misses = 0;
+  }
+
+(* true = hit; on miss the line is filled. *)
+let access_level l addr =
+  let line = addr lsr l.line_bits in
+  let set = line mod l.sets in
+  let tags = l.tags.(set) and lru = l.lru.(set) in
+  l.tick <- l.tick + 1;
+  let rec find w =
+    if w >= l.assoc then None else if tags.(w) = line then Some w else find (w + 1)
+  in
+  match find 0 with
+  | Some w ->
+    lru.(w) <- l.tick;
+    l.hits <- l.hits + 1;
+    true
+  | None ->
+    let victim = ref 0 in
+    for w = 1 to l.assoc - 1 do
+      if lru.(w) < lru.(!victim) then victim := w
+    done;
+    tags.(!victim) <- line;
+    lru.(!victim) <- l.tick;
+    l.misses <- l.misses + 1;
+    false
+
+type t = {
+  l1 : level;
+  l2 : level;
+  l2_penalty : int;
+  mem_penalty : int;
+}
+
+let create ?(l1_size = 16 * 1024) ?(l1_assoc = 4) ?(l1_line = 64)
+    ?(l2_size = 256 * 1024) ?(l2_assoc = 8) ?(l2_line = 128) ?(l2_penalty = 7)
+    ?(mem_penalty = 80) () =
+  {
+    l1 = make_level ~size:l1_size ~assoc:l1_assoc ~line:l1_line;
+    l2 = make_level ~size:l2_size ~assoc:l2_assoc ~line:l2_line;
+    l2_penalty;
+    mem_penalty;
+  }
+
+(* Extra stall cycles for an access at [addr] (0 on an L1 hit). *)
+let access t addr =
+  if access_level t.l1 addr then 0
+  else if access_level t.l2 addr then t.l2_penalty
+  else t.l2_penalty + t.mem_penalty
+
+type stats = {
+  l1_hits : int;
+  l1_misses : int;
+  l2_hits : int;
+  l2_misses : int;
+}
+
+let stats t =
+  {
+    l1_hits = t.l1.hits;
+    l1_misses = t.l1.misses;
+    l2_hits = t.l2.hits;
+    l2_misses = t.l2.misses;
+  }
+
+let reset_stats t =
+  t.l1.hits <- 0;
+  t.l1.misses <- 0;
+  t.l2.hits <- 0;
+  t.l2.misses <- 0

@@ -1,0 +1,38 @@
+(** Two-level set-associative LRU data-cache timing model.
+
+    Only timing is modeled (contents live in guest memory); each access
+    returns the extra stall cycles beyond the pipeline's L1 load latency.
+    The second level is what makes the paper's mcf observation
+    reproducible: the 32-bit-data IA-32 version of a pointer-chasing
+    workload fits in cache where the LP64 native version does not. *)
+
+type t
+
+val create :
+  ?l1_size:int ->
+  ?l1_assoc:int ->
+  ?l1_line:int ->
+  ?l2_size:int ->
+  ?l2_assoc:int ->
+  ?l2_line:int ->
+  ?l2_penalty:int ->
+  ?mem_penalty:int ->
+  unit ->
+  t
+(** Defaults: 16 KiB 4-way 64-byte L1; 256 KiB 8-way 128-byte L2;
+    7-cycle L2 penalty; 80-cycle memory penalty. *)
+
+val access : t -> int -> int
+(** [access t addr] simulates one access and returns the extra stall
+    cycles: 0 on an L1 hit, [l2_penalty] on an L2 hit, and
+    [l2_penalty + mem_penalty] on a full miss. Fills lines on misses. *)
+
+type stats = {
+  l1_hits : int;
+  l1_misses : int;
+  l2_hits : int;
+  l2_misses : int;
+}
+
+val stats : t -> stats
+val reset_stats : t -> unit

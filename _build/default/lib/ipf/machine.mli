@@ -1,0 +1,105 @@
+(** The EPIC machine: executes bundles from a {!Tcache} against guest
+    memory, with grouped-issue timing.
+
+    Semantics are sequential per slot; {e timing} models the in-order
+    grouped pipeline: each instruction group (delimited by stop bits)
+    issues when its source registers are ready, spans
+    [ceil(weight / issue_slots)] cycles, and writes its destinations'
+    ready cycles at issue + latency. An intra-group RAW dependence
+    conservatively splits the group. Data-cache stalls extend the
+    group of the load that missed.
+
+    Every cycle charged is attributed to a bucket chosen by [bucket_fn]
+    from the current bundle index, which is how the engine splits time
+    between cold and hot translated code without leaving the machine. *)
+
+type fault_kind =
+  | F_misalign  (** access not naturally aligned *)
+  | F_page  (** access to unmapped / protection-violating memory *)
+  | F_nat  (** NaT consumption by a non-speculative instruction *)
+
+type fault = {
+  kind : fault_kind;
+  addr : int;
+  size : int;
+  store : bool;
+  ip : int;  (** bundle index of the faulting instruction *)
+  slot : int;
+}
+
+(** Why {!run} returned. *)
+type stop = Exited of Insn.exit_reason | Faulted of fault | Fuel
+
+exception Machine_fault of fault_kind * int * int * bool
+(** Internal signal for memory faults: kind, addr, size, store. *)
+
+type stats = {
+  mutable cycles : int;
+  mutable groups : int;
+  mutable slots_retired : int;  (** non-nop slots *)
+  mutable loads : int;
+  mutable stores : int;
+  mutable taken_branches : int;
+  mutable dcache_stall : int;
+  mutable spec_checks : int;  (** executed speculation-check branches *)
+}
+
+val fresh_stats : unit -> stats
+
+type t = {
+  gr : int64 array;  (** 128 general registers; [r0] reads as zero *)
+  nat : bool array;
+  fr : float array;  (** 128 floating registers; [f0]=0.0, [f1]=1.0 *)
+  fnat : bool array;
+  pr : bool array;  (** 64 predicates; [p0] is always true *)
+  br : int array;  (** 8 branch registers holding bundle indices *)
+  mem : Ia32.Memory.t;
+  tcache : Tcache.t;
+  dcache : Dcache.t;
+  cost : Cost.t;
+  alat : (int, int * int) Hashtbl.t;  (** ALAT: GR -> (addr, size) *)
+  ready : int array;  (** ready cycle per GR (timing only) *)
+  fready : int array;  (** ready cycle per FR *)
+  stats : stats;
+  mutable ip : int;  (** current bundle index *)
+  mutable slot : int;
+  mutable bucket_fn : int -> int;
+      (** maps a bundle index to a cycle-attribution bucket (0..7) *)
+  buckets : int array;
+  mutable last_exit : int * int;
+      (** bundle/slot of the most recent [Out _] exit branch taken, used
+          by the engine to chain blocks *)
+  watch : (int * int list) option;
+      (** IPF_WATCH debug hook, parsed once from the environment *)
+}
+
+val create : ?cost:Cost.t -> ?dcache:Dcache.t -> Ia32.Memory.t -> Tcache.t -> t
+
+(** {1 Register access} *)
+
+val get : t -> Insn.gr -> int64
+val get_nat : t -> Insn.gr -> bool
+val set : t -> Insn.gr -> int64 -> unit
+
+val set_nat : t -> Insn.gr -> unit
+(** Mark a GR's NaT bit (deferred speculative fault). *)
+
+val getf : t -> Insn.fr -> float
+val setf : t -> Insn.fr -> float -> unit
+val getp : t -> Insn.pr -> bool
+val setp : t -> Insn.pr -> bool -> unit
+
+val get32 : t -> Insn.gr -> int
+(** Low 32 bits of a GR as a non-negative int (IA-32 state lives in the
+    low halves of canonic GRs). *)
+
+val set32 : t -> Insn.gr -> int -> unit
+
+val charge : t -> int -> unit
+(** Advance the cycle counter, attributing to the current bundle's
+    bucket. The engine uses this to price runtime events (translation,
+    dispatch, OS work) in machine time. *)
+
+val run : ?fuel:int -> t -> stop
+(** Execute from [t.ip] until an exit branch leaves the translation
+    cache, a fault is raised, or [fuel] retired slots are spent. *)

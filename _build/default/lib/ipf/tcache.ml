@@ -1,0 +1,75 @@
+(* The translation cache: a growable array of bundles that the machine
+   executes from. Block chaining patches branch targets in place, exactly
+   like the real translator patches its "branch to translator" stubs into
+   direct block-to-block branches. *)
+
+type t = {
+  mutable bundles : Bundle.t array;
+  mutable len : int;
+}
+
+let create () = { bundles = Array.make 1024 (Bundle.make []); len = 0 }
+
+let length t = t.len
+
+(* Drop every bundle (translation-cache flush). Indices embedded in
+   chained branches all dangle after this, so callers must also discard
+   every block-cache structure that references them. *)
+let clear t = t.len <- 0
+
+let get t i =
+  if i < 0 || i >= t.len then invalid_arg (Printf.sprintf "Tcache.get %d" i);
+  t.bundles.(i)
+
+(* Append a bundle, returning its index. *)
+let append t b =
+  if t.len = Array.length t.bundles then begin
+    let bigger = Array.make (2 * t.len) b in
+    Array.blit t.bundles 0 bigger 0 t.len;
+    t.bundles <- bigger
+  end;
+  t.bundles.(t.len) <- b;
+  t.len <- t.len + 1;
+  t.len - 1
+
+let append_list t bs =
+  match bs with
+  | [] -> t.len
+  | first :: _ ->
+    ignore first;
+    let start = t.len in
+    List.iter (fun b -> ignore (append t b)) bs;
+    start
+
+(* Patch slot [slot] of bundle [idx] — used to chain a freshly translated
+   block into its predecessor's exit branch. *)
+let patch_slot t ~idx ~slot insn =
+  let b = get t idx in
+  b.Bundle.slots.(slot) <- insn
+
+(* Find-and-patch every [Out (Dispatch target)] branch in bundle [idx] into
+   a direct branch to [dest]. Returns how many slots were patched. *)
+let patch_dispatch t ~idx ~target ~dest =
+  let b = get t idx in
+  let n = ref 0 in
+  Array.iteri
+    (fun i slot ->
+      match slot.Insn.sem with
+      | Insn.Br (Insn.Out (Insn.Dispatch a)) when a = target ->
+        b.Bundle.slots.(i) <- { slot with Insn.sem = Insn.Br (Insn.To dest) };
+        incr n
+      | _ -> ())
+    b.Bundle.slots;
+  !n
+
+(* Overwrite a whole block's bundles with exits (used when a block is
+   invalidated by SMC or misalignment regeneration): every entry becomes a
+   dispatch-out so stale chained predecessors fall back to the runtime. *)
+let invalidate_range t ~start ~stop ~target =
+  for idx = start to stop - 1 do
+    let b = get t idx in
+    b.Bundle.slots.(0) <- Insn.mk (Insn.Nop Insn.M);
+    b.Bundle.slots.(1) <- Insn.mk (Insn.Nop Insn.I);
+    b.Bundle.slots.(2) <- Insn.mk (Insn.Br (Insn.Out (Insn.Dispatch target)));
+    b.Bundle.stops.(2) <- true
+  done

@@ -1,0 +1,38 @@
+(** The translation cache: a growable array of bundles that the machine
+    executes from. Block chaining patches branch targets in place,
+    exactly like the real translator patches its branch-to-translator
+    stubs into direct block-to-block branches. *)
+
+type t
+
+val create : unit -> t
+
+val length : t -> int
+(** Number of bundles; also the index the next {!append} returns. *)
+
+val clear : t -> unit
+(** Drop every bundle (translation-cache flush, paper §2: the cache is a
+    fixed-size resource flushed wholesale when exhausted). Callers must
+    also discard every structure holding bundle indices. *)
+
+val get : t -> int -> Bundle.t
+(** @raise Invalid_argument on an out-of-range index. *)
+
+val append : t -> Bundle.t -> int
+(** Append one bundle and return its index. *)
+
+val append_list : t -> Bundle.t list -> int
+(** Append bundles in order and return the index of the first. *)
+
+val patch_slot : t -> idx:int -> slot:int -> Insn.t -> unit
+(** Overwrite one slot, used to chain a freshly translated block into its
+    predecessor's exit branch. *)
+
+val patch_dispatch : t -> idx:int -> target:int -> dest:int -> int
+(** Rewrite every [Out (Dispatch target)] branch in bundle [idx] into a
+    direct branch to bundle [dest]. Returns how many slots changed. *)
+
+val invalidate_range : t -> start:int -> stop:int -> target:int -> unit
+(** Overwrite bundles [start, stop) with dispatch-out exits to [target],
+    so stale chained predecessors of an invalidated block (SMC,
+    misalignment regeneration) fall back to the runtime. *)

@@ -1,0 +1,1 @@
+lib/workloads/baselines.ml: Btlib Common Ia32 Ia32el Ipf Printf

@@ -1,0 +1,1 @@
+lib/workloads/baselines.mli: Common Ia32el Ipf

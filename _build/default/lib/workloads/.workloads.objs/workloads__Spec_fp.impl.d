@@ -1,0 +1,1 @@
+lib/workloads/spec_fp.ml: Common Float Ia32 List

@@ -1,0 +1,1 @@
+lib/workloads/spec_int.ml: Char Common Ia32 List Printf String

@@ -1,0 +1,1 @@
+lib/workloads/sysmark.ml: Common Ia32 List Printf

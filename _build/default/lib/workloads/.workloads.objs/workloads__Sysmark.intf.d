@@ -1,0 +1,1 @@
+lib/workloads/sysmark.mli: Common

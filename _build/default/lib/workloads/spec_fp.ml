@@ -1,0 +1,167 @@
+(* Synthetic analogues of SPEC CPU2000 floating-point behaviour, used for
+   the Figure 8 FP comparison. They exercise the translator's x87 stack
+   machinery (TOS speculation, FXCHG elimination) and SSE modeling on
+   kernels shaped like the FP suite: stencils, reductions, sparse products
+   and packed-single vector work. *)
+
+open Ia32.Insn
+module A = Ia32.Asm
+open Common
+
+let mix b i s d = { base = Some b; index = Some (i, s); disp = d }
+
+(* swim-like: 2D shallow-water stencil over an f64 grid. *)
+let swim =
+  let build ~scale ~wide:_ =
+    let n = 64 in
+    let code =
+      [ A.mov_ri_lab Esi "grid"; A.mov_ri_lab Edi "out" ]
+      @ counted_mem "sweep" "ctr" (500 * scale)
+          ([
+             a32 (Mov (S32, R Ecx, I 8));
+             A.label "row";
+             (* out[i] = 0.25*(g[i-1] + g[i+1] + g[i-8] + g[i+8]) *)
+             a32 (Fp (Fld_m (F64, mix Esi Ecx 8 (-8))));
+             a32 (Fp (Fop_m (FAdd, F64, mix Esi Ecx 8 8)));
+             a32 (Fp (Fld_m (F64, mix Esi Ecx 8 (-64))));
+             a32 (Fp (Fop_m (FAdd, F64, mix Esi Ecx 8 64)));
+             a32 (Fp (Fop_st_st0 (FAdd, 1, true)));
+             A.with_lab "quarter" (fun a -> Fp (Fop_m (FMul, F64, mem_abs a)));
+             a32 (Fp (Fst_m (F64, mix Edi Ecx 8 0, true)));
+             a32 (Inc (S32, R Ecx));
+             a32 (Alu (Cmp, S32, R Ecx, I (n - 8)));
+             A.jcc Ne "row";
+           ])
+    in
+    let data =
+      [ A.label "grid" ]
+      @ List.init n (fun k -> A.df64 (Float.of_int k *. 0.37))
+      @ [ A.label "out"; A.space (n * 8); A.label "quarter"; A.df64 0.25;
+          A.label "ctr"; A.space 4 ]
+    in
+    build_image code data
+  in
+  { name = "swim"; build; paper_score = None }
+
+(* mgrid-like: multigrid relaxation — long fmul/fadd chains with fxch. *)
+let mgrid =
+  let build ~scale ~wide:_ =
+    let code =
+      [ a32 (Fp Fldz) ]
+      @ counted_mem "relax" "ctr" (8000 * scale)
+          [
+            A.with_lab "c" (fun a -> Fp (Fld_m (F64, mem_abs a)));
+            A.with_lab "c" (fun a -> Fp (Fld_m (F64, mem_abs (a + 8))));
+            a32 (Fp (Fxch 1));
+            a32 (Fp (Fop_st0_st (FMul, 1)));
+            a32 (Fp (Fxch 1));
+            A.with_lab "c" (fun a -> Fp (Fop_m (FAdd, F64, mem_abs (a + 16))));
+            a32 (Fp (Fop_st_st0 (FMul, 1, true)));
+            a32 (Fp (Fop_st_st0 (FAdd, 1, true)));
+          ]
+      @ [ A.with_lab "res" (fun a -> Fp (Fst_m (F64, mem_abs a, true))) ]
+    in
+    let data =
+      [ A.label "c"; A.df64 1.0001; A.df64 0.9997; A.df64 0.00001;
+        A.label "res"; A.space 8; A.label "ctr"; A.space 4 ]
+    in
+    build_image code data
+  in
+  { name = "mgrid"; build; paper_score = None }
+
+(* equake-like: sparse matrix-vector product — indexed loads + x87. *)
+let equake =
+  let build ~scale ~wide:_ =
+    let nz = 48 in
+    let code =
+      [ A.mov_ri_lab Esi "vals"; A.mov_ri_lab Edi "cols" ]
+      @ counted_mem "smvp" "ctr" (1500 * scale)
+          ([
+             a32 (Fp Fldz);
+             a32 (Mov (S32, R Ecx, I 0));
+             A.label "nzl";
+             a32 (Mov (S32, R Ebx, M (mix Edi Ecx 4 0)));
+             a32 (Fp (Fld_m (F64, mix Esi Ecx 8 0)));
+             A.with_lab "x" (fun a ->
+                 Fp (Fop_m (FMul, F64, { base = None; index = Some (Ebx, 8); disp = a })));
+             a32 (Fp (Fop_st_st0 (FAdd, 1, true)));
+             a32 (Inc (S32, R Ecx));
+             a32 (Alu (Cmp, S32, R Ecx, I nz));
+             A.jcc Ne "nzl";
+             A.with_lab "y" (fun a -> Fp (Fst_m (F64, mem_abs a, true)));
+           ])
+    in
+    let data =
+      [ A.label "vals" ]
+      @ List.init nz (fun k -> A.df64 (0.5 +. (Float.of_int k /. 17.0)))
+      @ [ A.label "cols" ]
+      @ List.init nz (fun k -> A.dd (k * 5 mod 16))
+      @ [ A.label "x" ]
+      @ List.init 16 (fun k -> A.df64 (1.0 +. (Float.of_int k *. 0.125)))
+      @ [ A.label "y"; A.space 8; A.label "ctr"; A.space 4 ]
+    in
+    build_image code data
+  in
+  { name = "equake"; build; paper_score = None }
+
+(* art-like: neural-net match — SSE packed-single dot products. *)
+let art =
+  let build ~scale ~wide:_ =
+    let code =
+      [
+        A.with_lab "w" (fun a -> Sse (Movups (XM 0, XMem (mem_abs a))));
+        A.with_lab "w" (fun a -> Sse (Movups (XM 1, XMem (mem_abs (a + 16)))));
+        a32 (Sse (Xorps (2, XM 2)));
+      ]
+      @ counted_mem "f1" "ctr" (6000 * scale)
+          [
+            A.with_lab "inp" (fun a -> Sse (Movups (XM 3, XMem (mem_abs a))));
+            a32 (Sse (Sse_arith (SMul, Packed_single, 3, XM 0)));
+            a32 (Sse (Sse_arith (SAdd, Packed_single, 2, XM 3)));
+            A.with_lab "inp" (fun a -> Sse (Movups (XM 4, XMem (mem_abs (a + 16)))));
+            a32 (Sse (Sse_arith (SMul, Packed_single, 4, XM 1)));
+            a32 (Sse (Sse_arith (SMax, Packed_single, 2, XM 4)));
+          ]
+      @ [ A.with_lab "out" (fun a -> Sse (Movups (XMem (mem_abs a), XM 2))) ]
+    in
+    let data =
+      [ A.label "w"; A.df32 0.5; A.df32 0.25; A.df32 0.125; A.df32 1.5;
+        A.df32 0.9; A.df32 1.1; A.df32 0.7; A.df32 1.3;
+        A.label "inp"; A.df32 1.0; A.df32 2.0; A.df32 3.0; A.df32 4.0;
+        A.df32 0.1; A.df32 0.2; A.df32 0.3; A.df32 0.4;
+        A.label "out"; A.space 16; A.label "ctr"; A.space 4 ]
+    in
+    build_image code data
+  in
+  { name = "art"; build; paper_score = None }
+
+(* ammp-like: molecular dynamics — distance computations with sqrt and
+   divides. *)
+let ammp =
+  let build ~scale ~wide:_ =
+    let code =
+      counted_mem "pairs" "ctr" (5000 * scale)
+        [
+          A.with_lab "p" (fun a -> Fp (Fld_m (F64, mem_abs a)));
+          A.with_lab "p" (fun a -> Fp (Fop_m (FSub, F64, mem_abs (a + 8))));
+          a32 (Fp (Fld_st 0));
+          a32 (Fp (Fop_st0_st (FMul, 1)));
+          A.with_lab "p" (fun a -> Fp (Fop_m (FAdd, F64, mem_abs (a + 16))));
+          a32 (Fp Fsqrt);
+          a32 (Fp Fld1);
+          a32 (Fp (Fxch 1));
+          a32 (Fp (Fop_st_st0 (FDivr, 1, true)));
+          A.with_lab "force" (fun a -> Fp (Fop_m (FAdd, F64, mem_abs a)));
+          A.with_lab "force" (fun a -> Fp (Fst_m (F64, mem_abs a, false)));
+          a32 (Fp (Fcom_st (1, 2)));
+        ]
+    in
+    let data =
+      [ A.label "p"; A.df64 3.5; A.df64 1.25; A.df64 0.8;
+        A.label "force"; A.df64 0.0; A.label "ctr"; A.space 4 ]
+    in
+    build_image code data
+  in
+  { name = "ammp"; build; paper_score = None }
+
+let all = [ swim; mgrid; equake; art; ammp ]

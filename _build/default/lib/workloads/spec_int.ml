@@ -1,0 +1,690 @@
+(* Synthetic analogues of the SPEC CPU2000 integer benchmarks (paper
+   Figure 5). Each kernel imitates the documented character of its
+   namesake — the instruction mix, branching behaviour, data-access
+   pattern and footprint that make the corresponding bar in Figure 5 land
+   where it does. The translator only ever sees the assembled IA-32 bytes.
+
+   The [wide] variant models the natively recompiled LP64 program where
+   that matters: bigger pointers/data (mcf's footprint), or 64-bit-native
+   idioms (crafty's bitboards use MMX in the wide variant, which the
+   native cost model executes as single 64-bit ALU ops). *)
+
+open Ia32.Insn
+module A = Ia32.Asm
+open Common
+
+let m = mem_b
+let md = mem_bd
+let mix b i s d = { base = Some b; index = Some (i, s); disp = d }
+
+(* ------------------------------------------------------------------ *)
+
+(* gzip: LZ-style scanning and copying — byte compares, table lookups,
+   rep-copies, occasional misaligned dword loads. Memory-bound: the
+   translation tax is small (paper: 86%). *)
+let gzip =
+  let build ~scale ~wide =
+    let hash_step off =
+      [
+        a32 (Movzx (S8, Edx, M (mix Esi Ecx 1 off)));
+        a32 (Shift (Shl, S32, R Eax, Amt_imm 5));
+        a32 (Alu (Xor, S32, R Eax, R Edx));
+        a32 (Alu (And, S32, R Eax, I 1023));
+        (* dict chain probe *)
+        a32 (Mov (S32, R Edx, M (mix Edi Eax 4 0)));
+        a32 (Mov (S32, M (mix Edi Eax 4 0), R Ecx));
+        (* misaligned dword peek at the match candidate *)
+        a32 (Alu (And, S32, R Edx, I 63));
+        a32 (Mov (S32, R Edx, M (mix Esi Edx 1 1)));
+      ]
+    in
+    (* the native compiler unrolls the hash loop and halves its control
+       overhead; the IA-32 binary keeps the rolled form *)
+    let hash_loop =
+      if wide then
+        counted "hashl" Ebx 32
+          (hash_step 0 @ [ a32 (Inc (S32, R Ecx)) ] @ hash_step 0
+          @ [ a32 (Inc (S32, R Ecx)) ])
+      else
+        counted "hashl" Ebx 64 (hash_step 0 @ [ a32 (Inc (S32, R Ecx)) ])
+    in
+    let code =
+      [
+        A.mov_ri_lab Esi "src";
+        A.mov_ri_lab Edi "dict";
+      ]
+      @ counted "outer" Ebp (450 * scale)
+          ([
+             A.label "scan";
+             (* hash 3 bytes: h = (b0<<10 ^ b1<<5 ^ b2) & 1023 *)
+             a32 (Mov (S32, R Ecx, I 0));
+             a32 (Mov (S32, R Eax, I 0));
+           ]
+          @ hash_loop
+          @ [
+              (* copy a run: the IA-32 binary uses rep movsb; natively
+                 compiled code copies the same 24 bytes word-wide *)
+              a32 (Push (R Esi));
+              a32 (Push (R Edi));
+              A.mov_ri_lab Esi "src";
+              A.mov_ri_lab Edi "out";
+              a32 (Mov (S32, R Ecx, I (if wide then 6 else 24)));
+              a32 Cld;
+              a32 (Movs ((if wide then S32 else S8), Rep));
+              a32 (Pop (R Edi));
+              a32 (Pop (R Esi));
+            ])
+      @ []
+    in
+    let data =
+      [ A.label "src"; A.raw (String.init 128 (fun i -> Char.chr (i * 7 land 0xFF)));
+        A.label "dict"; A.space 4096; A.label "out"; A.space 64 ]
+    in
+    build_image code data
+  in
+  { name = "gzip"; build; paper_score = Some 86 }
+
+(* vpr: place-and-route — cost evaluation with abs-differences, conditional
+   accept via cmov, LCG randomness, light x87 cost accumulation. *)
+let vpr =
+  let build ~scale ~wide =
+    let code =
+      [ A.mov_ri_lab Esi "cells"; a32 (Mov (S32, R Eax, I 12345)); a32 (Fp Fldz) ]
+      @ counted "anneal" Ebp (9000 * scale)
+          (lcg_next
+          @ [
+              a32 (Mov (S32, R Ebx, R Eax));
+              a32 (Alu (And, S32, R Ebx, I 255));
+            ]
+          @ [
+              (* dx = x[i] - x[i+1]; cost += |dx| (cmov idiom) *)
+              a32 (Mov (S32, R Ecx, M (mix Esi Ebx 4 0)));
+              a32 (Alu (Sub, S32, R Ecx, M (mix Esi Ebx 4 4)));
+            ]
+          @ [
+              a32 (Mov (S32, R Edx, R Ecx));
+              a32 (Neg (S32, R Edx));
+              a32 (Test (S32, R Ecx, R Ecx));
+              a32 (Cmovcc (S, Ecx, R Edx));
+              (* swap decision *)
+              a32 (Alu (Cmp, S32, R Ecx, I 128));
+              A.jcc A "reject";
+              a32 (Mov (S32, R Edx, M (mix Esi Ebx 4 0)));
+              a32 (Xchg (S32, M (mix Esi Ebx 4 4), Edx));
+              a32 (Mov (S32, M (mix Esi Ebx 4 0), R Edx));
+              A.label "reject";
+            ]
+          @ (if wide then
+               (* the native compiler keeps the cost in an integer register
+                  and converts to FP once outside the loop *)
+               [ a32 (Alu (Add, S32, R Edi, R Ecx)) ]
+             else
+               (* the IA-32 binary accumulates in x87 via fild/faddp *)
+               [
+                 A.with_lab "fcost" (fun a -> Mov (S32, M (mem_abs a), R Ecx));
+                 A.with_lab "fcost" (fun a -> Fp (Fild (I32, mem_abs a)));
+                 a32 (Fp (Fop_st_st0 (FAdd, 1, true)));
+               ]))
+      @ (if wide then
+           [
+             A.with_lab "fcost" (fun a -> Mov (S32, M (mem_abs a), R Edi));
+             A.with_lab "fcost" (fun a -> Fp (Fild (I32, mem_abs a)));
+             a32 (Fp (Fop_st_st0 (FAdd, 1, true)));
+           ]
+         else [])
+      @ [ A.with_lab "out" (fun a -> Fp (Fst_m (F64, mem_abs a, true))) ]
+    in
+    let data =
+      [ A.label "cells"; A.space 1088; A.label "fcost"; A.space 4;
+        A.label "out"; A.space 8 ]
+    in
+    build_image code data
+  in
+  { name = "vpr"; build; paper_score = Some 69 }
+
+(* gcc: very large, flat code footprint with a big dispatch switch —
+   indirect jumps dominate and most blocks stay cold (paper: 51%). *)
+let gcc =
+  let nfuncs = 96 in
+  let build ~scale ~wide:_ =
+    let case k =
+      [
+        A.label (Printf.sprintf "case%d" k);
+        a32 (Alu (Add, S32, R Eax, I (k * 17)));
+        a32 (Shift (Rol, S32, R Eax, Amt_imm (1 + (k mod 7))));
+        a32 (Alu (Xor, S32, R Eax, I (k * 1299721)));
+        a32 (Mov (S32, R Edx, R Eax));
+        a32 (Shift (Shr, S32, R Edx, Amt_imm 3));
+        a32 (Alu (Add, S32, R Eax, R Edx));
+        A.jmp "dispatch_next";
+      ]
+    in
+    let code =
+      [ a32 (Mov (S32, R Eax, I 7)) ]
+      @ counted_mem "dispatch" "ctr" (22000 * scale)
+          ([
+             a32 (Mov (S32, R Ebx, R Eax));
+             a32 (Alu (And, S32, R Ebx, I (nfuncs - 1)));
+             A.with_lab "table" (fun a ->
+                 Jmp_ind (M { base = None; index = Some (Ebx, 4); disp = a }));
+             A.label "dispatch_next";
+           ])
+      @ [ A.jmp "done" ]
+      @ List.concat (List.init nfuncs case)
+      @ [ A.label "done" ]
+    in
+    let data =
+      (A.label "table" :: List.init nfuncs (fun k -> A.dd_lab (Printf.sprintf "case%d" k)))
+      @ [ A.label "ctr"; A.space 4 ]
+    in
+    build_image code data
+  in
+  { name = "gcc"; build; paper_score = Some 51 }
+
+(* mcf: pointer chasing over a node pool whose footprint depends on the
+   data model — the IA-32 (narrow) variant fits the caches better than the
+   natively recompiled LP64 variant (paper: 104%, above native). *)
+let mcf =
+  let build ~scale ~wide =
+    let nodes = 9500 in
+    let stride = if wide then 24 else 16 in
+    let code =
+      [
+        (* build a strided circular list: node[i].next = &node[(i+7919) mod n] *)
+        A.mov_ri_lab Esi "pool";
+        a32 (Mov (S32, R Ecx, I 0));
+        A.label "init";
+        a32 (Mov (S32, R Eax, R Ecx));
+        a32 (Imul_rri (Eax, R Eax, stride));
+        a32 (Mov (S32, R Ebx, R Ecx));
+        a32 (Alu (Add, S32, R Ebx, I 7919));
+        (* ebx mod nodes *)
+        a32 (Mov (S32, R Edx, I 0));
+        a32 (Push (R Eax));
+        a32 (Mov (S32, R Eax, R Ebx));
+        a32 (Mov (S32, R Ebx, I nodes));
+        a32 (Div (S32, R Ebx));
+        a32 (Mov (S32, R Ebx, R Edx));
+        a32 (Pop (R Eax));
+        a32 (Imul_rri (Ebx, R Ebx, stride));
+        a32 (Alu (Add, S32, R Ebx, R Esi));
+        a32 (Mov (S32, M (mix Esi Eax 1 0), R Ebx));
+        a32 (Mov (S32, M (mix Esi Eax 1 4), R Ecx)); (* val *)
+        a32 (Inc (S32, R Ecx));
+        a32 (Alu (Cmp, S32, R Ecx, I nodes));
+        A.jcc Ne "init";
+        (* chase: accumulate vals *)
+        a32 (Mov (S32, R Ebx, R Esi));
+        a32 (Mov (S32, R Eax, I 0));
+      ]
+      @ counted_mem "chase" "ctr" (70000 * scale)
+          [
+            a32 (Alu (Add, S32, R Eax, M (md Ebx 4)));
+            a32 (Mov (S32, R Ebx, M (m Ebx)));
+          ]
+    in
+    let data =
+      [ A.label "pool"; A.space (nodes * stride); A.label "ctr"; A.space 4 ]
+    in
+    build_image code data
+  in
+  { name = "mcf"; build; paper_score = Some 104 }
+
+(* crafty: chess bitboards — 64-bit logic. The IA-32 variant uses paired
+   32-bit registers with adc/shld chains; the wide (native) variant does
+   the same work with 64-bit MMX operations, which native hardware executes
+   as single ALU ops (paper: 39%, the worst case). *)
+let crafty =
+  let build ~scale ~wide =
+    let iters = 22000 * scale in
+    let code =
+      if wide then
+        [
+          A.with_lab "bb" (fun a -> Mmx (Movq_to_mm (0, MMem (mem_abs a))));
+          A.with_lab "bb" (fun a -> Mmx (Movq_to_mm (1, MMem (mem_abs (a + 8)))));
+        ]
+        @ counted "bbloop" Ebp iters
+            [
+              a32 (Mmx (Padd (8, 0, MM 1)));
+              a32 (Mmx (Pxor (1, MM 0)));
+              a32 (Mmx (Psll (8, 0, 1)));
+              a32 (Mmx (Por (0, MM 1)));
+              a32 (Mmx (Psrl (8, 1, 3)));
+              a32 (Mmx (Padd (8, 1, MM 0)));
+            ]
+        @ [
+            A.with_lab "out" (fun a -> Mmx (Movq_from_mm (MMem (mem_abs a), 0)));
+            a32 (Mmx Emms);
+          ]
+      else
+        [
+          A.with_lab "bb" (fun a -> Mov (S32, R Eax, M (mem_abs a)));
+          A.with_lab "bb" (fun a -> Mov (S32, R Ebx, M (mem_abs (a + 4))));
+          A.with_lab "bb" (fun a -> Mov (S32, R Ecx, M (mem_abs (a + 8))));
+          A.with_lab "bb" (fun a -> Mov (S32, R Edx, M (mem_abs (a + 12))));
+        ]
+        @ counted "bbloop" Ebp iters
+            [
+              (* 64-bit add: (ebx:eax) += (edx:ecx) *)
+              a32 (Alu (Add, S32, R Eax, R Ecx));
+              a32 (Alu (Adc, S32, R Ebx, R Edx));
+              (* 64-bit xor *)
+              a32 (Alu (Xor, S32, R Ecx, R Eax));
+              a32 (Alu (Xor, S32, R Edx, R Ebx));
+              (* 64-bit shl by 1 *)
+              a32 (Shld (R Ebx, Eax, Amt_imm 1));
+              a32 (Shift (Shl, S32, R Eax, Amt_imm 1));
+              (* 64-bit or *)
+              a32 (Alu (Or, S32, R Eax, R Ecx));
+              a32 (Alu (Or, S32, R Ebx, R Edx));
+              (* 64-bit shr by 3 *)
+              a32 (Shrd (R Ecx, Edx, Amt_imm 3));
+              a32 (Shift (Shr, S32, R Edx, Amt_imm 3));
+              (* 64-bit add back *)
+              a32 (Alu (Add, S32, R Ecx, R Eax));
+              a32 (Alu (Adc, S32, R Edx, R Ebx));
+            ]
+        @ [
+            A.with_lab "out" (fun a -> Mov (S32, M (mem_abs a), R Eax));
+            A.with_lab "out" (fun a -> Mov (S32, M (mem_abs (a + 4)), R Ebx));
+          ]
+    in
+    let data =
+      [ A.label "bb"; A.dq 0x123456789ABCDEF0L; A.dq 0x0F0F0F0F33335555L;
+        A.label "out"; A.space 8 ]
+    in
+    build_image code data
+  in
+  { name = "crafty"; build; paper_score = Some 39 }
+
+(* parser: string tokenization — byte scans, class lookups, short calls.
+   Straightforward code translates well (paper: 81%). *)
+let parser =
+  let build ~scale ~wide:_ =
+    let code =
+      counted_mem "sentence" "ctr" (3500 * scale)
+        ([
+           A.mov_ri_lab Esi "text";
+           a32 (Mov (S32, R Ebx, I 0));
+           A.label "token";
+           (* skip spaces *)
+           a32 (Movzx (S8, Eax, M (m Esi)));
+           a32 (Test (S8, R Eax, R Eax));
+           A.jcc E "sent_done";
+           A.with_lab "class" (fun a ->
+               Movzx (S8, Ecx, M { base = None; index = Some (Eax, 1); disp = a }));
+           a32 (Alu (Add, S32, R Ebx, R Ecx));
+           a32 (Inc (S32, R Esi));
+           A.call "accept";
+           A.jmp "token";
+           A.label "sent_done";
+         ]
+        @ [])
+      @ [ A.jmp "fin";
+          A.label "accept";
+          a32 (Shift (Rol, S32, R Ebx, Amt_imm 1));
+          a32 (Alu (Xor, S32, R Ebx, R Ecx));
+          a32 (Ret 0);
+          A.label "fin" ]
+    in
+    let data =
+      [ A.label "text"; A.raw "the quick brown fox jumps over the lazy dog ";
+        A.db 0;
+        A.label "ctr"; A.space 4;
+        A.label "class" ]
+      @ List.init 256 (fun k -> A.db (if k = 32 then 0 else 1 + (k land 7)))
+    in
+    build_image code data
+  in
+  { name = "parser"; build; paper_score = Some 81 }
+
+(* eon: C++ ray tracing — virtual calls (indirect) around short FP-heavy
+   methods; the indirect-branch tax keeps EL low (paper: 41%). *)
+let eon =
+  let build ~scale ~wide =
+    let dispatch =
+      if wide then
+        (* the native compiler devirtualizes and inlines the small shader
+           methods: a predictable branch tree, no calls at all *)
+        [
+          a32 (Mov (S32, R Ebx, R Eax));
+          a32 (Alu (And, S32, R Ebx, I 3));
+          a32 (Alu (Cmp, S32, R Ebx, I 2));
+          A.jcc B "low01";
+          A.jcc E "is2";
+          (* shade3 inlined *)
+          a32 (Fp Fld1);
+          A.with_lab "v" (fun a -> Fp (Fop_m (FSub, F64, mem_abs (a + 8))));
+          A.with_lab "acc" (fun a -> Fp (Fop_m (FAdd, F64, mem_abs a)));
+          A.with_lab "acc" (fun a -> Fp (Fst_m (F64, mem_abs a, true)));
+          A.jmp "disp_done";
+          A.label "is2";
+          (* shade2 inlined *)
+          A.with_lab "v" (fun a -> Fp (Fld_m (F64, mem_abs a)));
+          A.with_lab "v" (fun a -> Fp (Fld_m (F64, mem_abs (a + 8))));
+          a32 (Fp (Fop_st_st0 (FMul, 1, true)));
+          a32 (Fp Fabs);
+          A.with_lab "acc" (fun a -> Fp (Fst_m (F64, mem_abs a, true)));
+          A.jmp "disp_done";
+          A.label "low01";
+          a32 (Test (S32, R Ebx, R Ebx));
+          A.jcc E "is0";
+          (* shade1 inlined *)
+          A.with_lab "v" (fun a -> Fp (Fld_m (F64, mem_abs (a + 8))));
+          a32 (Fp (Fop_st0_st (FMul, 0)));
+          A.with_lab "acc" (fun a -> Fp (Fop_m (FAdd, F64, mem_abs a)));
+          A.with_lab "acc" (fun a -> Fp (Fst_m (F64, mem_abs a, true)));
+          A.jmp "disp_done";
+          A.label "is0";
+          (* shade0 inlined *)
+          A.with_lab "v" (fun a -> Fp (Fld_m (F64, mem_abs a)));
+          a32 (Fp (Fop_st0_st (FMul, 0)));
+          A.with_lab "acc" (fun a -> Fp (Fop_m (FAdd, F64, mem_abs a)));
+          A.with_lab "acc" (fun a -> Fp (Fst_m (F64, mem_abs a, true)));
+          A.label "disp_done";
+        ]
+      else
+        [
+          a32 (Mov (S32, R Ebx, R Eax));
+          a32 (Alu (And, S32, R Ebx, I 3));
+          (* virtual dispatch *)
+          A.with_lab "vtbl" (fun a ->
+              Call_ind (M { base = None; index = Some (Ebx, 4); disp = a }));
+        ]
+    in
+    let code =
+      [ a32 (Mov (S32, R Eax, I 99)) ]
+      @ counted_mem "rays" "ctr" (9000 * scale) (lcg_next @ dispatch)
+      @ [ A.jmp "eon_done";
+          (* four "shaders": small x87 kernels *)
+          A.label "shade0";
+          A.with_lab "v" (fun a -> Fp (Fld_m (F64, mem_abs a)));
+          a32 (Fp (Fop_st0_st (FMul, 0)));
+          A.with_lab "acc" (fun a -> Fp (Fop_m (FAdd, F64, mem_abs a)));
+          A.with_lab "acc" (fun a -> Fp (Fst_m (F64, mem_abs a, true)));
+          a32 (Ret 0);
+          A.label "shade1";
+          A.with_lab "v" (fun a -> Fp (Fld_m (F64, mem_abs (a + 8))));
+          a32 (Fp (Fop_st0_st (FMul, 0)));
+          A.with_lab "acc" (fun a -> Fp (Fop_m (FAdd, F64, mem_abs a)));
+          A.with_lab "acc" (fun a -> Fp (Fst_m (F64, mem_abs a, true)));
+          a32 (Ret 0);
+          A.label "shade2";
+          A.with_lab "v" (fun a -> Fp (Fld_m (F64, mem_abs a)));
+          A.with_lab "v" (fun a -> Fp (Fld_m (F64, mem_abs (a + 8))));
+          a32 (Fp (Fop_st_st0 (FMul, 1, true)));
+          a32 (Fp Fabs);
+          A.with_lab "acc" (fun a -> Fp (Fst_m (F64, mem_abs a, true)));
+          a32 (Ret 0);
+          A.label "shade3";
+          a32 (Fp Fld1);
+          A.with_lab "v" (fun a -> Fp (Fop_m (FSub, F64, mem_abs (a + 8))));
+          A.with_lab "acc" (fun a -> Fp (Fop_m (FAdd, F64, mem_abs a)));
+          A.with_lab "acc" (fun a -> Fp (Fst_m (F64, mem_abs a, true)));
+          a32 (Ret 0);
+          A.label "eon_done" ]
+    in
+    let data =
+      [ A.label "vtbl"; A.dd_lab "shade0"; A.dd_lab "shade1"; A.dd_lab "shade2";
+        A.dd_lab "shade3"; A.label "v"; A.df64 1.25; A.df64 3.5;
+        A.label "acc"; A.df64 0.0; A.label "ctr"; A.space 4 ]
+    in
+    build_image code data
+  in
+  { name = "eon"; build; paper_score = Some 41 }
+
+(* perlbmk: interpreter loop — hashing, bucket chains, an opcode dispatch
+   through a jump table (paper: 64%). *)
+let perlbmk =
+  let build ~scale ~wide =
+    let hash =
+      [
+        (* hash step: h = h*33 ^ key[h & 63] *)
+        a32 (Mov (S32, R Ebx, R Eax));
+        a32 (Alu (And, S32, R Ebx, I 63));
+        a32 (Movzx (S8, Ecx, M (mix Esi Ebx 1 0)));
+        a32 (Mov (S32, R Edx, R Eax));
+        a32 (Shift (Shl, S32, R Eax, Amt_imm 5));
+        a32 (Alu (Add, S32, R Eax, R Edx));
+        a32 (Alu (Xor, S32, R Eax, R Ecx));
+        (* bucket probe *)
+        a32 (Mov (S32, R Ebx, R Eax));
+        a32 (Alu (And, S32, R Ebx, I 255));
+        A.with_lab "buckets" (fun a ->
+            Inc (S32, M { base = None; index = Some (Ebx, 4); disp = a }));
+      ]
+    in
+    let dispatch =
+      if wide then
+        (* the native build uses a branch tree over the low opcode bits
+           (the compiler's switch lowering for a tiny dense switch) *)
+        [
+          a32 (Mov (S32, R Ebx, R Eax));
+          a32 (Alu (And, S32, R Ebx, I 7));
+          a32 (Test (S32, R Ebx, I 4));
+          A.jcc Ne "ophigh";
+          a32 (Alu (Add, S32, R Edx, I 97));
+          a32 (Shift (Ror, S32, R Edx, Amt_imm 1));
+          A.jmp "op_next";
+          A.label "ophigh";
+          a32 (Alu (Xor, S32, R Edx, I 485));
+          a32 (Shift (Ror, S32, R Edx, Amt_imm 3));
+          A.jmp "op_next";
+        ]
+      else
+        [
+          (* opcode dispatch *)
+          a32 (Mov (S32, R Ebx, R Eax));
+          a32 (Alu (And, S32, R Ebx, I 7));
+          A.with_lab "optab" (fun a ->
+              Jmp_ind (M { base = None; index = Some (Ebx, 4); disp = a }));
+        ]
+    in
+    let code =
+      [ a32 (Mov (S32, R Eax, I 5381)); A.mov_ri_lab Esi "keys" ]
+      @ counted_mem "ops" "ctr" (16000 * scale)
+          (hash @ dispatch @ [ A.label "op_next" ])
+      @ [ A.jmp "perl_done" ]
+      @ List.concat
+          (List.init 8 (fun k ->
+               [
+                 A.label (Printf.sprintf "op%d" k);
+                 a32 (Alu ((if k mod 2 = 0 then Add else Xor), S32, R Edx, I (k * 97)));
+                 a32 (Shift (Ror, S32, R Edx, Amt_imm ((k mod 5) + 1)));
+                 A.jmp "op_next";
+               ]))
+      @ [ A.label "perl_done" ]
+    in
+    let data =
+      [ A.label "keys";
+        A.raw (String.init 64 (fun i -> Char.chr (97 + (i * 11 mod 26))));
+        A.label "buckets"; A.space 1024;
+        A.label "optab" ]
+      @ List.init 8 (fun k -> A.dd_lab (Printf.sprintf "op%d" k))
+      @ [ A.label "ctr"; A.space 4 ]
+    in
+    build_image code data
+  in
+  { name = "perlbmk"; build; paper_score = Some 64 }
+
+(* gap: computer algebra — multiword integer arithmetic: add/adc carry
+   chains and 32x32->64 multiplies (paper: 62%). *)
+let gap =
+  let build ~scale ~wide =
+    let words = 16 in
+    let add_chain =
+      if wide then
+        (* native 64-bit limbs: half the iterations, no carry chaining
+           through EFLAGS (modeled with 64-bit MMX adds) *)
+        [
+          a32 (Mov (S32, R Ecx, I 0));
+          A.label "limb";
+          a32 (Mmx (Movq_to_mm (0, MMem (mix Esi Ecx 8 0))));
+          a32 (Mmx (Padd (8, 0, MMem (mix Edi Ecx 8 0))));
+          a32 (Mmx (Movq_from_mm (MMem (mix Edi Ecx 8 0), 0)));
+          a32 (Inc (S32, R Ecx));
+          a32 (Alu (Cmp, S32, R Ecx, I (words / 2)));
+          A.jcc Ne "limb";
+        ]
+      else
+        [
+          (* bigb += biga (multiword adc chain) *)
+          a32 (Mov (S32, R Ecx, I 0));
+          a32 (Alu (Cmp, S32, R Ecx, R Ecx)) (* clear CF *);
+          A.label "limb";
+          a32 (Mov (S32, R Eax, M (mix Esi Ecx 4 0)));
+          a32 (Alu (Adc, S32, M (mix Edi Ecx 4 0), R Eax));
+          a32 (Inc (S32, R Ecx));
+          a32 (Alu (Cmp, S32, R Ecx, I words));
+          A.jcc Ne "limb";
+        ]
+    in
+    let code =
+      [ A.mov_ri_lab Esi "biga"; A.mov_ri_lab Edi "bigb" ]
+      @ counted_mem "mul" "ctr" (6500 * scale)
+          (add_chain
+          @ [
+              (* one 32x32 -> 64 partial product folded in *)
+              a32 (Mov (S32, R Eax, M (m Esi)));
+              a32 (Mul1 (S32, M (m Edi)));
+              a32 (Alu (Add, S32, M (md Edi 4), R Eax));
+              a32 (Alu (Adc, S32, M (md Edi 8), R Edx));
+            ])
+    in
+    let data =
+      [ A.label "biga" ]
+      @ List.init words (fun k -> A.dd (0x89ABCDE0 + k))
+      @ [ A.label "bigb" ]
+      @ List.init (words + 2) (fun k -> A.dd (0x13572468 + (k * 3)))
+      @ [ A.label "ctr"; A.space 4 ]
+    in
+    build_image code data
+  in
+  { name = "gap"; build; paper_score = Some 62 }
+
+(* vortex: object database — structure copies (rep movsd), field updates,
+   call-heavy manipulation (paper: 60%). *)
+let vortex =
+  let build ~scale ~wide:_ =
+    let code =
+      counted_mem "txn" "ctr" (8000 * scale)
+        ([
+           (* copy object from template *)
+           A.mov_ri_lab Esi "template";
+           A.mov_ri_lab Edi "obj";
+           a32 (Mov (S32, R Ecx, I 12));
+           a32 Cld;
+           a32 (Movs (S32, Rep));
+           A.call "update";
+           A.call "update";
+           A.call "index";
+         ]
+        @ [])
+      @ [ A.jmp "vx_done";
+          A.label "update";
+          A.mov_ri_lab Ebx "obj";
+          a32 (Inc (S32, M (md Ebx 0)));
+          a32 (Mov (S32, R Eax, M (md Ebx 4)));
+          a32 (Imul_rri (Eax, R Eax, 13));
+          a32 (Alu (Add, S32, M (md Ebx 8), R Eax));
+          a32 (Mov (S16, M (md Ebx 14), R Eax));
+          a32 (Ret 0);
+          A.label "index";
+          A.mov_ri_lab Ebx "obj";
+          a32 (Mov (S32, R Eax, M (md Ebx 8)));
+          a32 (Alu (And, S32, R Eax, I 127));
+          A.with_lab "idx" (fun a ->
+              Inc (S32, M { base = None; index = Some (Eax, 4); disp = a }));
+          a32 (Ret 0);
+          A.label "vx_done" ]
+    in
+    let data =
+      [ A.label "template" ]
+      @ List.init 12 (fun k -> A.dd (k * 0x01010101))
+      @ [ A.label "obj"; A.space 48; A.label "idx"; A.space 512;
+          A.label "ctr"; A.space 4 ]
+    in
+    build_image code data
+  in
+  { name = "vortex"; build; paper_score = Some 60 }
+
+(* bzip2: block sorting — byte histograms and compare-heavy inner loops
+   (paper: 74%). *)
+let bzip2 =
+  let build ~scale ~wide =
+    let code =
+      [ A.mov_ri_lab Esi "block" ]
+      @ counted_mem "pass" "ctr" (900 * scale)
+          ([
+             (* histogram *)
+             a32 (Mov (S32, R Ecx, I 0));
+             A.label "hist";
+             a32 (Movzx (S8, Eax, M (mix Esi Ecx 1 0)));
+             A.with_lab "freq" (fun a ->
+                 Inc (S32, M { base = None; index = Some (Eax, 4); disp = a }));
+           ]
+          @ (if wide then
+               [
+                 (* native: unrolled histogram, halved loop overhead *)
+                 a32 (Movzx (S8, Eax, M (mix Esi Ecx 1 1)));
+                 A.with_lab "freq" (fun a ->
+                     Inc (S32, M { base = None; index = Some (Eax, 4); disp = a }));
+                 a32 (Alu (Add, S32, R Ecx, I 2));
+               ]
+             else [ a32 (Inc (S32, R Ecx)) ])
+          @ [
+             a32 (Alu (Cmp, S32, R Ecx, I 96));
+             A.jcc Ne "hist";
+             (* bubble pass over 32 bytes *)
+             a32 (Mov (S32, R Ecx, I 0));
+             A.label "sortp";
+             a32 (Movzx (S8, Eax, M (mix Esi Ecx 1 0)));
+             a32 (Movzx (S8, Ebx, M (mix Esi Ecx 1 1)));
+             a32 (Alu (Cmp, S32, R Eax, R Ebx));
+             A.jcc Be "noswap";
+             a32 (Mov (S8, M (mix Esi Ecx 1 0), R Ebx));
+             a32 (Mov (S8, M (mix Esi Ecx 1 1), R Eax));
+             A.label "noswap";
+             a32 (Inc (S32, R Ecx));
+             a32 (Alu (Cmp, S32, R Ecx, I 31));
+             A.jcc Ne "sortp";
+           ]
+          @ [])
+    in
+    let data =
+      [ A.label "block";
+        A.raw (String.init 96 (fun i -> Char.chr ((i * 37 + 11) land 0x5F)));
+        A.label "freq"; A.space 1024; A.label "ctr"; A.space 4 ]
+    in
+    build_image code data
+  in
+  { name = "bzip2"; build; paper_score = Some 74 }
+
+(* twolf: standard-cell annealing — array updates, LCG random, conditional
+   exchanges (paper: 76%). *)
+let twolf =
+  let build ~scale ~wide:_ =
+    let code =
+      [ A.mov_ri_lab Esi "grid"; a32 (Mov (S32, R Eax, I 777)) ]
+      @ counted_mem "moves" "ctr" (16000 * scale)
+          (lcg_next
+          @ [
+              a32 (Mov (S32, R Ebx, R Eax));
+              a32 (Shift (Shr, S32, R Ebx, Amt_imm 7));
+              a32 (Alu (And, S32, R Ebx, I 255));
+              a32 (Mov (S32, R Ecx, M (mix Esi Ebx 4 0)));
+              a32 (Mov (S32, R Edx, M (mix Esi Ebx 4 4)));
+              a32 (Alu (Cmp, S32, R Ecx, R Edx));
+              A.jcc Le "nomove";
+              a32 (Mov (S32, M (mix Esi Ebx 4 0), R Edx));
+              a32 (Mov (S32, M (mix Esi Ebx 4 4), R Ecx));
+              A.label "nomove";
+              a32 (Alu (Add, S32, M (mix Esi Ebx 4 8), R Ecx));
+            ])
+    in
+    let data = [ A.label "grid"; A.space 2048; A.label "ctr"; A.space 4 ] in
+    build_image code data
+  in
+  { name = "twolf"; build; paper_score = Some 76 }
+
+let all = [ gzip; vpr; gcc; mcf; crafty; parser; eon; perlbmk; gap; vortex; bzip2; twolf ]

@@ -1,0 +1,164 @@
+(* Sysmark-2002-like workload (paper Figures 7 and 8): a large, flat code
+   footprint spread across many small routines; a significant share of time
+   in OS kernel and driver code (which executes natively and is charged to
+   the "other" bucket); and idle time. Only ~45% of execution ends up in
+   hot code, unlike SPEC's 95%. *)
+
+open Ia32.Insn
+module A = Ia32.Asm
+open Common
+
+let md = mem_bd
+
+let office =
+  let nroutines = 80 in
+  let build ~scale ~wide:_ =
+    (* each routine does a little distinctive work and returns *)
+    let routine k =
+      [ A.label (Printf.sprintf "r%d" k) ]
+      @ (match k mod 5 with
+        | 0 ->
+          (* text shuffling *)
+          [
+            A.mov_ri_lab Esi "text";
+            A.mov_ri_lab Edi "scratch";
+            a32 (Mov (S32, R Ecx, I 8));
+            a32 Cld;
+            a32 (Movs (S32, Rep));
+            a32 (Movzx (S8, Eax, M (md Esi (k land 15))));
+            a32 (Alu (Add, S8, M (md Edi (k land 15)), R Eax));
+          ]
+        | 1 ->
+          (* spreadsheet-ish integer math *)
+          [
+            a32 (Mov (S32, R Eax, M (A.default_data_base + 256 + (4 * (k land 31)) |> mem_abs)));
+            a32 (Imul_rri (Eax, R Eax, (k * 7) + 3));
+            a32 (Shift (Sar, S32, R Eax, Amt_imm 2));
+            A.with_lab "cells" (fun a -> Alu (Add, S32, M (mem_abs (a + (4 * (k land 31)))), R Eax));
+          ]
+        | 2 ->
+          (* a bit of x87 (charting) *)
+          [
+            A.with_lab "fval" (fun a -> Fp (Fld_m (F64, mem_abs a)));
+            A.with_lab "fval" (fun a -> Fp (Fop_m (FMul, F64, mem_abs (a + 8))));
+            A.with_lab "fval" (fun a -> Fp (Fst_m (F64, mem_abs (a + 16), true)));
+          ]
+        | 3 ->
+          (* lookup + branch *)
+          [
+            a32 (Mov (S32, R Ebx, I (k land 63)));
+            A.with_lab "cells" (fun a -> Mov (S32, R Eax, M { base = None; index = Some (Ebx, 4); disp = a }));
+            a32 (Test (S32, R Eax, I 1));
+            A.jcc E (Printf.sprintf "r%d_skip" k);
+            a32 (Alu (Add, S32, R Eax, I k));
+            A.label (Printf.sprintf "r%d_skip" k);
+            A.with_lab "cells" (fun a -> Mov (S32, M { base = None; index = Some (Ebx, 4); disp = a }, R Eax));
+          ]
+        | _ ->
+          (* string compare *)
+          [
+            A.mov_ri_lab Edi "text";
+            a32 (Mov (S8, R Eax, I (65 + (k mod 26))));
+            a32 (Mov (S32, R Ecx, I 16));
+            a32 Cld;
+            a32 (Scas (S8, Repne));
+          ])
+      @ [ a32 (Ret 0) ]
+    in
+    (* heavier routines: repeat each body a few times (documents/sheets do
+       more work per UI event than a handful of instructions) *)
+    let routine k =
+      match routine k with
+      | lbl :: body ->
+        let strip = List.filter (fun it -> match it with Ia32.Asm.Label _ -> false | _ -> true) in
+        let body_core = List.filteri (fun i _ -> i < List.length body - 1) body in
+        let rep = strip body_core in
+        lbl :: (body_core @ rep @ rep @ rep @ rep @ [ a32 (Ret 0) ])
+      | [] -> []
+    in
+    let code =
+      [ a32 (Mov (S32, R Eax, I 31415)) ]
+      @ counted_mem "events" "ctr" (4000 * scale)
+          (lcg_next
+          @ [
+              (* skewed routine selection: half the events hit a small hot
+                 set, the rest spread across the whole code footprint *)
+              a32 (Mov (S32, R Ebx, R Eax));
+              a32 (Shift (Shr, S32, R Ebx, Amt_imm 5));
+              a32 (Alu (And, S32, R Ebx, I 255));
+              A.with_lab "skew" (fun a ->
+                  Movzx (S8, Ebx, M { base = None; index = Some (Ebx, 1); disp = a }));
+              A.with_lab "rtab" (fun a ->
+                  Call_ind (M { base = None; index = Some (Ebx, 4); disp = a }));
+              (* a second routine per event *)
+              a32 (Alu (Xor, S32, R Ebx, I 3));
+              A.with_lab "rtab" (fun a ->
+                  Call_ind (M { base = None; index = Some (Ebx, 4); disp = a }));
+            ]
+          @ [
+              (* kernel/driver work every 4th event, idle every 10th *)
+              a32 (Test (S32, R Ebp, I 3));
+              A.jcc Ne "no_kernel";
+            ]
+          @ kernel_work 1200
+          @ [
+              A.label "no_kernel";
+              a32 (Mov (S32, R Ebx, R Ebp));
+              a32 (Mov (S32, R Edx, I 0));
+              a32 (Push (R Eax));
+              a32 (Mov (S32, R Eax, R Ebx));
+              a32 (Mov (S32, R Ebx, I 10));
+              a32 (Div (S32, R Ebx));
+              a32 (Pop (R Eax));
+              a32 (Test (S32, R Edx, R Edx));
+              A.jcc Ne "no_idle";
+            ]
+          @ idle 2600
+          @ [ A.label "no_idle"; a32 (Inc (S32, R Ebp)) ])
+      @ [ A.jmp "office_done" ]
+      @ List.concat (List.init nroutines routine)
+      @ [ A.label "office_done" ]
+    in
+    let data =
+      [ A.label "text"; A.raw "The quick brown fox jumps over LAZY dogs. ";
+        A.space 22;
+        A.label "scratch"; A.space 64;
+        A.label "cells" ]
+      @ List.init 64 (fun k -> A.dd ((k * 377) + 1))
+      @ [ A.label "fval"; A.df64 1.25; A.df64 1.0125; A.space 8;
+          A.label "skew" ]
+      @ List.init 256 (fun k ->
+            A.db (if k < 128 then k land 7 else (k * 13) mod nroutines))
+      @ [ A.label "rtab" ]
+      @ List.init nroutines (fun k -> A.dd_lab (Printf.sprintf "r%d" k))
+      @ [ A.label "ctr"; A.space 4 ]
+    in
+    build_image code data
+  in
+  { name = "sysmark"; build; paper_score = None }
+
+(* ------------------------------------------------------------------ *)
+(* Misalignment stress (the paper's 1236 s -> 133 s anecdote): a loop
+   dominated by misaligned 4- and 8-byte accesses. *)
+let misalign_stress =
+  let build ~scale ~wide:_ =
+    let code =
+      [
+        A.mov_ri_lab Esi "buf";
+        a32 (Alu (Add, S32, R Esi, I 1)); (* odd base: everything misaligns *)
+      ]
+      @ counted_mem "mis" "ctr" (4000 * scale)
+          [
+            a32 (Mov (S32, R Eax, M (md Esi 0)));
+            a32 (Alu (Add, S32, R Eax, M (md Esi 6)));
+            a32 (Mov (S32, M (md Esi 10), R Eax));
+            a32 (Fp (Fld_m (F64, md Esi 16)));
+            a32 (Fp (Fop_st0_st (FAdd, 0)));
+            a32 (Fp (Fst_m (F64, md Esi 24, true)));
+            a32 (Alu (Add, S16, M (md Esi 3), I 7));
+          ]
+    in
+    let data = [ A.label "buf"; A.space 64; A.label "ctr"; A.space 4 ] in
+    build_image code data
+  in
+  { name = "misalign-stress"; build; paper_score = None }

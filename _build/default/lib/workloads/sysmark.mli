@@ -1,0 +1,15 @@
+(** Synthetic Sysmark-style interactive/office workload (Figures 7/8).
+
+    Unlike SPEC, office applications spread time over a large, flat code
+    footprint driven by an event loop, spend real time in the kernel and
+    in drivers, and idle waiting for the user. [office] models exactly
+    that distribution: many small routines dispatched by a skewed random
+    event stream, periodic kernel work and idle time — which is what
+    pushes the paper's Figure 7 "translated code" share down and the
+    "other/idle" share up relative to SPEC (Figure 6).
+
+    [misalign_stress] is the §4.5 anecdote: a server-style kernel whose
+    packed records misalign nearly every access. *)
+
+val office : Common.t
+val misalign_stress : Common.t

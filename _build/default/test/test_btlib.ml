@@ -1,0 +1,148 @@
+(* Tests for the virtual-OS substrate: BTOS version handshake, syscall
+   decoding per BTLib, Vos services, and guest exception delivery. *)
+
+open Btlib
+
+let check = Alcotest.check
+let int = Alcotest.int
+let bool = Alcotest.bool
+
+let handshake_tests =
+  let v maj min = { Btos.major = maj; minor = min } in
+  [
+    Alcotest.test_case "equal versions compatible" `Quick (fun () ->
+        check bool "ok" true (Btos.handshake_ok ~btlib:(v 2 3) ~btgeneric:(v 2 3)));
+    Alcotest.test_case "newer btlib minor compatible" `Quick (fun () ->
+        check bool "ok" true (Btos.handshake_ok ~btlib:(v 2 9) ~btgeneric:(v 2 3)));
+    Alcotest.test_case "older btlib minor rejected" `Quick (fun () ->
+        check bool "no" false (Btos.handshake_ok ~btlib:(v 2 1) ~btgeneric:(v 2 3)));
+    Alcotest.test_case "major mismatch rejected both ways" `Quick (fun () ->
+        check bool "no" false (Btos.handshake_ok ~btlib:(v 1 9) ~btgeneric:(v 2 0));
+        check bool "no" false (Btos.handshake_ok ~btlib:(v 3 0) ~btgeneric:(v 2 9)));
+    Alcotest.test_case "init accepts shipped btlibs" `Quick (fun () ->
+        ignore (Btos.init (module Linuxsim));
+        ignore (Btos.init (module Winsim)));
+    Alcotest.test_case "init rejects ancient btlib" `Quick (fun () ->
+        let module Old = struct
+          include Linuxsim
+
+          let version = { Btos.major = 1; minor = 0 }
+        end in
+        try
+          ignore (Btos.init (module Old));
+          Alcotest.fail "expected Version_mismatch"
+        with Btos.Version_mismatch _ -> ());
+  ]
+
+let fresh_state () =
+  let mem = Ia32.Memory.create () in
+  Ia32.Memory.map mem ~addr:0x1000 ~len:0x10000 ~prot:Ia32.Memory.prot_rw;
+  let st = Ia32.State.create mem in
+  Ia32.State.set32 st Ia32.Insn.Esp 0x10000;
+  (Vos.create mem, st)
+
+let set32 = Ia32.State.set32
+let get32 = Ia32.State.get32
+
+let syscall_decode_tests =
+  [
+    Alcotest.test_case "linuxsim exit convention" `Quick (fun () ->
+        let _, st = fresh_state () in
+        set32 st Ia32.Insn.Eax 1;
+        set32 st Ia32.Insn.Ebx 42;
+        match Linuxsim.decode_syscall st with
+        | Syscall.Exit 42 -> ()
+        | c -> Alcotest.failf "decoded %s" (Fmt.str "%a" Syscall.pp c));
+    Alcotest.test_case "winsim exit convention differs" `Quick (fun () ->
+        let _, st = fresh_state () in
+        set32 st Ia32.Insn.Eax 0x01;
+        set32 st Ia32.Insn.Edx 7;
+        match Winsim.decode_syscall st with
+        | Syscall.Exit 7 -> ()
+        | c -> Alcotest.failf "decoded %s" (Fmt.str "%a" Syscall.pp c));
+    Alcotest.test_case "vectors differ" `Quick (fun () ->
+        check int "linux" 0x80 Linuxsim.syscall_vector;
+        check int "win" 0x2E Winsim.syscall_vector);
+    Alcotest.test_case "unknown syscall" `Quick (fun () ->
+        let _, st = fresh_state () in
+        set32 st Ia32.Insn.Eax 9999;
+        match Linuxsim.decode_syscall st with
+        | Syscall.Unknown 9999 -> ()
+        | _ -> Alcotest.fail "expected Unknown");
+  ]
+
+let vos_tests =
+  [
+    Alcotest.test_case "sbrk grows mapped heap" `Quick (fun () ->
+        let vos, st = fresh_state () in
+        (match Vos.perform vos st (Syscall.Sbrk 8192) with
+        | Syscall.Ret base ->
+          check int "base" Vos.heap_base_default base;
+          Ia32.Memory.write32 st.Ia32.State.mem base 7;
+          check int "usable" 7 (Ia32.Memory.read32 st.Ia32.State.mem base)
+        | _ -> Alcotest.fail "ret");
+        match Vos.perform vos st (Syscall.Sbrk 0) with
+        | Syscall.Ret brk -> check int "brk moved" (Vos.heap_base_default + 8192) brk
+        | _ -> Alcotest.fail "ret");
+    Alcotest.test_case "sbrk over limit fails" `Quick (fun () ->
+        let vos, st = fresh_state () in
+        match Vos.perform vos st (Syscall.Sbrk 0x10000000) with
+        | Syscall.Ret v -> check int "ENOMEM" (Ia32.Word.mask32 (-12)) v
+        | _ -> Alcotest.fail "ret");
+    Alcotest.test_case "write captures output" `Quick (fun () ->
+        let vos, st = fresh_state () in
+        Ia32.Memory.load_bytes st.Ia32.State.mem 0x1000 "hi!";
+        (match Vos.perform vos st (Syscall.Write { buf = 0x1000; len = 3 }) with
+        | Syscall.Ret 3 -> ()
+        | _ -> Alcotest.fail "ret");
+        check Alcotest.string "output" "hi!" (Vos.output vos));
+    Alcotest.test_case "exit records code" `Quick (fun () ->
+        let vos, st = fresh_state () in
+        (match Vos.perform vos st (Syscall.Exit 3) with
+        | Syscall.Exited 3 -> ()
+        | _ -> Alcotest.fail "exited");
+        check (Alcotest.option int) "code" (Some 3) vos.Vos.exit_code);
+    Alcotest.test_case "kernel and idle accounting" `Quick (fun () ->
+        let vos, st = fresh_state () in
+        ignore (Vos.perform vos st (Syscall.Kernel_work 500));
+        ignore (Vos.perform vos st (Syscall.Idle 100));
+        check int "kernel" 500 vos.Vos.kernel_cycles;
+        check int "idle" 100 vos.Vos.idle_cycles);
+    Alcotest.test_case "unhandled exception kills" `Quick (fun () ->
+        let vos, st = fresh_state () in
+        match Vos.deliver_exception vos st Ia32.Fault.Divide_error with
+        | Vos.Unhandled Ia32.Fault.Divide_error -> ()
+        | _ -> Alcotest.fail "expected unhandled");
+    Alcotest.test_case "handler receives conventional frame" `Quick (fun () ->
+        let vos, st = fresh_state () in
+        ignore (Vos.perform vos st (Syscall.Signal { vector = 14; handler = 0x5000 }));
+        st.Ia32.State.eip <- 0x4444;
+        let esp0 = get32 st Ia32.Insn.Esp in
+        (match
+           Vos.deliver_exception vos st
+             (Ia32.Fault.Page_fault (0xABCD, Ia32.Fault.Write))
+         with
+        | Vos.Resumed -> ()
+        | _ -> Alcotest.fail "expected resumed");
+        check int "eip = handler" 0x5000 st.Ia32.State.eip;
+        let esp = get32 st Ia32.Insn.Esp in
+        check int "3 words pushed" (esp0 - 12) esp;
+        check int "fault addr" 0xABCD (Ia32.Memory.read32 st.Ia32.State.mem esp);
+        check int "vector" 14 (Ia32.Memory.read32 st.Ia32.State.mem (esp + 4));
+        check int "return eip" 0x4444 (Ia32.Memory.read32 st.Ia32.State.mem (esp + 8)));
+    Alcotest.test_case "signal(0) unregisters" `Quick (fun () ->
+        let vos, st = fresh_state () in
+        ignore (Vos.perform vos st (Syscall.Signal { vector = 0; handler = 0x5000 }));
+        ignore (Vos.perform vos st (Syscall.Signal { vector = 0; handler = 0 }));
+        match Vos.deliver_exception vos st Ia32.Fault.Divide_error with
+        | Vos.Unhandled _ -> ()
+        | _ -> Alcotest.fail "expected unhandled");
+  ]
+
+let () =
+  Alcotest.run "btlib"
+    [
+      ("handshake", handshake_tests);
+      ("syscall-decode", syscall_decode_tests);
+      ("vos", vos_tests);
+    ]

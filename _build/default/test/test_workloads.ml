@@ -1,0 +1,70 @@
+(* Workload sanity: every synthetic benchmark (and its LP64 "wide"
+   variant used by the native baseline) must assemble, load, and run to a
+   clean exit on the reference interpreter, and the quickest ones are
+   also run end-to-end under the translator. This keeps the bench
+   harness's inputs trustworthy: a workload that faults or spins would
+   silently poison every figure built on it. *)
+
+open Workloads
+
+let check = Alcotest.check
+let bool = Alcotest.bool
+
+let all_named =
+  List.map (fun w -> (w.Common.name, w)) (Spec_int.all @ Spec_fp.all)
+  @ [ ("office", Sysmark.office); ("misalign_stress", Sysmark.misalign_stress) ]
+
+let run_ref (w : Common.t) ~wide =
+  let image = w.Common.build ~scale:1 ~wide in
+  let mem = Ia32.Memory.create () in
+  let st = Ia32.Asm.load image mem in
+  let vos = Btlib.Vos.create mem in
+  match
+    Ia32el.Refvehicle.run ~fuel:100_000_000 ~btlib:(module Btlib.Linuxsim) vos
+      st
+  with
+  | Ia32el.Refvehicle.Exited (0, _), insns -> insns
+  | Ia32el.Refvehicle.Exited (c, _), _ ->
+    Alcotest.failf "%s: exit code %d" w.Common.name c
+  | Ia32el.Refvehicle.Unhandled_fault (f, st), _ ->
+    Alcotest.failf "%s: fault %s at 0x%x" w.Common.name
+      (Ia32.Fault.to_string f) st.Ia32.State.eip
+  | Ia32el.Refvehicle.Out_of_fuel, _ ->
+    Alcotest.failf "%s: out of fuel" w.Common.name
+
+let ref_cases =
+  List.concat_map
+    (fun (name, w) ->
+      [
+        Alcotest.test_case (name ^ " runs clean") `Quick (fun () ->
+            let insns = run_ref w ~wide:false in
+            check bool (name ^ ": does real work") true (insns > 1000));
+        Alcotest.test_case (name ^ " (wide) runs clean") `Quick (fun () ->
+            ignore (run_ref w ~wide:true));
+      ])
+    all_named
+
+(* A few fast end-to-end translator runs (the benches cover the rest). *)
+let el_cases =
+  List.map
+    (fun (name, w) ->
+      Alcotest.test_case (name ^ " under the translator") `Quick (fun () ->
+          let r = Baselines.run_el w ~scale:1 in
+          check bool (name ^ ": consumed cycles") true (r.Baselines.cycles > 0);
+          match r.Baselines.engine with
+          | Some eng ->
+            check bool
+              (name ^ ": the translator actually translated")
+              true
+              (eng.Ia32el.Engine.acct.Ia32el.Account.cold_blocks > 0)
+          | None -> ()))
+    [
+      ("crafty", Spec_int.crafty);
+      ("vpr", Spec_int.vpr);
+      ("mgrid", Spec_fp.mgrid);
+      ("art", Spec_fp.art);
+    ]
+
+let () =
+  Alcotest.run "ia32el-workloads"
+    [ ("reference", ref_cases); ("translator", el_cases) ]
