@@ -10,7 +10,9 @@
      ia32el-run run gzip
      ia32el-run run gzip --model cold-only --scale 2 --stats
      ia32el-run run swim --model native
-     ia32el-run run office --model xeon *)
+     ia32el-run run office --model xeon
+     ia32el-run run gzip --lockstep
+     ia32el-run run gzip --lockstep --inject 3 *)
 
 module B = Workloads.Baselines
 module C = Workloads.Common
@@ -101,9 +103,63 @@ let print_stats (a : Ia32el.Account.t) =
     a.Ia32el.Account.smc_invalidations;
   if a.Ia32el.Account.cache_flushes > 0 then
     Printf.printf "translation-cache flushes: %d\n"
-      a.Ia32el.Account.cache_flushes
+      a.Ia32el.Account.cache_flushes;
+  if
+    a.Ia32el.Account.degrade_interp_entries > 0
+    || a.Ia32el.Account.degrade_smc_storms > 0
+  then
+    Printf.printf
+      "degradation: interp-only entries %d   SMC-storm pages %d\n"
+      a.Ia32el.Account.degrade_interp_entries
+      a.Ia32el.Account.degrade_smc_storms
 
-let run_cmd name model scale stats =
+let print_inject_stats = function
+  | Some s -> Fmt.pr "%a@." Harness.Inject.pp_stats s
+  | None -> ()
+
+(* --lockstep: run the engine against the reference interpreter, with the
+   chaos injector when --inject SEED is given. *)
+let run_lockstep_cmd w config desc scale stats seed =
+  let r = Harness.Resilience.run_lockstep ~config ?seed w ~scale in
+  (match r.Harness.Resilience.report.Ia32el.Lockstep.divergence with
+  | Some d ->
+    Fmt.epr "%s under %s DIVERGED:@.%a@." w.C.name desc
+      Ia32el.Lockstep.pp_divergence d;
+    print_inject_stats r.Harness.Resilience.inject_stats;
+    exit 1
+  | None -> ());
+  (match r.Harness.Resilience.report.Ia32el.Lockstep.outcome with
+  | Some (Ia32el.Engine.Exited (code, _)) ->
+    Printf.printf "%s under %s in lockstep: exit %d, %d commit points agree\n"
+      w.C.name desc code r.Harness.Resilience.report.Ia32el.Lockstep.commits
+  | Some (Ia32el.Engine.Unhandled_fault (f, st)) ->
+    Printf.printf
+      "%s under %s in lockstep: unhandled %s at 0x%x (both vehicles), %d \
+       commit points agree\n"
+      w.C.name desc (Ia32.Fault.to_string f) st.Ia32.State.eip
+      r.Harness.Resilience.report.Ia32el.Lockstep.commits
+  | Some Ia32el.Engine.Out_of_fuel | None ->
+    Printf.printf "%s under %s in lockstep: out of fuel\n" w.C.name desc);
+  print_inject_stats r.Harness.Resilience.inject_stats;
+  if stats then print_stats r.Harness.Resilience.engine.Ia32el.Engine.acct
+
+(* --inject SEED without --lockstep: chaos, engine only. *)
+let run_injected_cmd w config desc scale stats seed =
+  let r = Harness.Resilience.run_plain ~config ~seed w ~scale in
+  (match r.Harness.Resilience.outcome with
+  | Ia32el.Engine.Exited (code, _) ->
+    Printf.printf "%s under %s with injection seed %d: exit %d\n" w.C.name
+      desc seed code
+  | Ia32el.Engine.Unhandled_fault (f, st) ->
+    Printf.printf "%s under %s with injection seed %d: unhandled %s at 0x%x\n"
+      w.C.name desc seed (Ia32.Fault.to_string f) st.Ia32.State.eip
+  | Ia32el.Engine.Out_of_fuel ->
+    Printf.printf "%s under %s with injection seed %d: out of fuel\n" w.C.name
+      desc seed);
+  print_inject_stats r.Harness.Resilience.inject_stats;
+  if stats then print_stats r.Harness.Resilience.engine.Ia32el.Engine.acct
+
+let run_cmd name model scale stats lockstep inject =
   match find_workload name with
   | None ->
     Printf.eprintf "unknown workload %S; try `ia32el-run list'\n" name;
@@ -111,6 +167,14 @@ let run_cmd name model scale stats =
   | Some w -> (
     try
       match model with
+      | (M_native | M_circuitry | M_xeon) when lockstep || inject <> None ->
+        Printf.eprintf
+          "--lockstep/--inject only apply to the translator models\n";
+        exit 1
+      | M_el (config, desc) when lockstep ->
+        run_lockstep_cmd w config desc scale stats inject
+      | M_el (config, desc) when inject <> None ->
+        run_injected_cmd w config desc scale stats (Option.get inject)
       | M_el (config, desc) ->
         let r = B.run_el ~config w ~scale in
         Printf.printf "%s under %s: %d cycles\n" w.C.name desc r.B.cycles;
@@ -174,7 +238,32 @@ let stats_arg =
     value & flag
     & info [ "stats" ] ~doc:"Print the full translator statistics.")
 
-let run_t = Term.(const run_cmd $ workload_arg $ model_arg $ scale_arg $ stats_arg)
+let lockstep_arg =
+  Arg.(
+    value & flag
+    & info [ "lockstep" ]
+        ~doc:
+          "Run the translator against the reference interpreter in \
+           lockstep, comparing the full architectural state at every \
+           commit point (syscalls, faults, exit). Exits non-zero on the \
+           first divergence, with a structured diagnosis.")
+
+let inject_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "inject" ] ~docv:"SEED"
+        ~doc:
+          "Attach the deterministic fault injector with the given seed: \
+           forced speculation misses, spurious SMC invalidations, \
+           translation-cache eviction storms and transient system-call \
+           failures. Combine with $(b,--lockstep) to verify the run \
+           stays semantics-preserving.")
+
+let run_t =
+  Term.(
+    const run_cmd $ workload_arg $ model_arg $ scale_arg $ stats_arg
+    $ lockstep_arg $ inject_arg)
 
 let run_info =
   Cmd.info "run" ~doc:"Run one workload under a chosen execution model."

@@ -21,6 +21,11 @@ type t = {
   mutable syscalls : int;
   mutable exceptions_delivered : int;
   mutable clock : int -> int; (* provided by the harness: virtual cycles *)
+  (* transient-failure injection hook: consulted once per attempt; [true]
+     means this attempt of the service fails transiently and the OS
+     retries after a backoff. Guest-transparent: only kernel time moves. *)
+  mutable transient_fault : (Syscall.call -> bool) option;
+  mutable transient_retries : int; (* attempts that failed transiently *)
 }
 
 let heap_base_default = 0x10000000
@@ -40,6 +45,8 @@ let create mem =
     syscalls = 0;
     exceptions_delivered = 0;
     clock = (fun _ -> 0);
+    transient_fault = None;
+    transient_retries = 0;
   }
 
 let output t = Buffer.contents t.output
@@ -47,21 +54,50 @@ let output t = Buffer.contents t.output
 let round_page n =
   (n + Ia32.Memory.page_size - 1) land lnot (Ia32.Memory.page_size - 1)
 
+(* Bounded retry with exponential backoff for injected transient kernel
+   failures. The hook decides per attempt; after [max_transient_retries]
+   failed attempts the service proceeds anyway — the guest never observes
+   a transient failure, only the kernel bucket absorbs the retries. *)
+let max_transient_retries = 4
+let transient_backoff_cycles = 200
+
+let ride_out_transients t call =
+  match t.transient_fault with
+  | None -> ()
+  | Some failing ->
+    let rec go attempt =
+      if attempt < max_transient_retries && failing call then begin
+        t.transient_retries <- t.transient_retries + 1;
+        (* exponential backoff, charged as native kernel time *)
+        t.kernel_cycles <- t.kernel_cycles + (transient_backoff_cycles lsl attempt);
+        go (attempt + 1)
+      end
+    in
+    go 0
+
 (* Execute a system service against guest state [st]. The service itself
    "runs natively" — the cycle cost is charged by the caller to the
    other/kernel bucket. *)
 let perform t (st : Ia32.State.t) (call : Syscall.call) : Syscall.result =
   t.syscalls <- t.syscalls + 1;
+  ride_out_transients t call;
   match call with
   | Syscall.Exit code ->
     t.exit_code <- Some code;
     Syscall.Exited code
   | Syscall.Write { buf; len } ->
+    (* All-or-nothing (POSIX-ish: a write that faults mid-buffer returns
+       -EFAULT without transferring anything): stage the bytes in a
+       scratch buffer and commit to the console atomically, so a page
+       fault halfway through cannot leave a partial write visible. *)
     let len = min len 1_000_000 in
+    let scratch = Buffer.create (min len 4096) in
     (try
        for k = 0 to len - 1 do
-         Buffer.add_char t.output (Char.chr (Ia32.Memory.read8 st.Ia32.State.mem (buf + k)))
+         Buffer.add_char scratch
+           (Char.chr (Ia32.Memory.read8 st.Ia32.State.mem (buf + k)))
        done;
+       Buffer.add_buffer t.output scratch;
        Syscall.Ret len
      with Ia32.Fault.Fault _ -> Syscall.Ret (Ia32.Word.mask32 (-14)))
   | Syscall.Sbrk n ->
@@ -71,7 +107,15 @@ let perform t (st : Ia32.State.t) (call : Syscall.call) : Syscall.result =
       Syscall.Ret (Ia32.Word.mask32 (-12))
     else begin
       if n > 0 then
-        Ia32.Memory.map t.mem ~addr:old ~len:(round_page n) ~prot:Ia32.Memory.prot_rw;
+        Ia32.Memory.map t.mem ~addr:old ~len:(round_page n) ~prot:Ia32.Memory.prot_rw
+      else if n < 0 then begin
+        (* shrink: unmap the fully freed pages so stale heap accesses
+           fault instead of silently reading dead data. The page holding
+           the new break (if partially used) stays mapped. *)
+        let keep_to = round_page nbrk in
+        let freed = round_page old - keep_to in
+        if freed > 0 then Ia32.Memory.unmap t.mem ~addr:keep_to ~len:freed
+      end;
       t.brk <- nbrk;
       Syscall.Ret old
     end

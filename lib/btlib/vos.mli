@@ -24,6 +24,12 @@ type t = {
   mutable exceptions_delivered : int;
   mutable clock : int -> int;
       (** virtual cycle source, installed by the harness *)
+  mutable transient_fault : (Syscall.call -> bool) option;
+      (** transient-failure injection hook, consulted once per attempt;
+          [true] fails that attempt and the OS retries after a backoff
+          (bounded; guest-transparent — only kernel time moves) *)
+  mutable transient_retries : int;
+      (** attempts that failed transiently and were retried *)
 }
 
 val heap_base_default : int
@@ -36,7 +42,17 @@ val output : t -> string
 
 val perform : t -> Ia32.State.t -> Syscall.call -> Syscall.result
 (** Execute a system service against guest state. The service "runs
-    natively"; the caller charges its cycle cost to the kernel bucket. *)
+    natively"; the caller charges its cycle cost to the kernel bucket.
+
+    [Write] is all-or-nothing (POSIX-ish): a page fault mid-buffer
+    returns [-EFAULT] with nothing transferred. A negative [Sbrk] unmaps
+    the fully freed heap pages. Injected transient failures (see
+    {!t.transient_fault}) are retried with exponential backoff, at most
+    {!max_transient_retries} times, then the service proceeds — the
+    guest never observes them. *)
+
+val max_transient_retries : int
+val transient_backoff_cycles : int
 
 val deliver_exception : t -> Ia32.State.t -> Ia32.Fault.t -> exception_outcome
 (** Deliver an IA-32 exception whose precise state has been reconstructed

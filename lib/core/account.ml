@@ -45,6 +45,9 @@ type t = {
   mutable rollforwards : int;
   mutable smc_invalidations : int;
   mutable cache_flushes : int; (* wholesale translation-cache flushes *)
+  (* graceful degradation (resilience subsystem) *)
+  mutable degrade_interp_entries : int; (* entries gone interpret-only *)
+  mutable degrade_smc_storms : int; (* source pages degraded by SMC storms *)
 }
 
 let create () =
@@ -81,6 +84,8 @@ let create () =
     rollforwards = 0;
     smc_invalidations = 0;
     cache_flushes = 0;
+    degrade_interp_entries = 0;
+    degrade_smc_storms = 0;
   }
 
 type distribution = {

@@ -45,6 +45,10 @@ type t = {
       (** commit restores followed by interpreter roll-forward *)
   mutable smc_invalidations : int;
   mutable cache_flushes : int;  (** wholesale translation-cache flushes *)
+  mutable degrade_interp_entries : int;
+      (** entries blacklisted to interpret-only by the degradation ladder *)
+  mutable degrade_smc_storms : int;
+      (** source pages degraded to interpretation by SMC-storm detection *)
 }
 
 val create : unit -> t

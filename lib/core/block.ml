@@ -116,7 +116,9 @@ let alloc_arena cache n =
   let base = cache.arena_next in
   cache.arena_next <- base + (4 * n);
   if cache.arena_next > arena_base + arena_size then
-    failwith "profile arena exhausted";
+    Bt_error.fail ~component:"block"
+      ~detail:(Printf.sprintf "next %#x" cache.arena_next)
+      "profile arena exhausted";
   base
 
 let register cache block =

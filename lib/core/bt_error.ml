@@ -1,0 +1,42 @@
+(* Structured translator errors. Internal invariant violations used to be
+   bare [failwith]/[invalid_arg] calls whose messages carried no context;
+   the lockstep differential vehicle and the chaos harness need to render
+   *where* the translator gave up (component, guest EIP, block id) in their
+   diagnosis reports, so every such site raises [Error] instead. *)
+
+type t = {
+  component : string; (* "engine", "cold", "hot", "block", "cgen", ... *)
+  what : string; (* short description of the violated invariant *)
+  eip : int option; (* guest address involved, when known *)
+  block : int option; (* translated-block id involved, when known *)
+  detail : string option; (* free-form extra context *)
+}
+
+exception Error of t
+
+let make ?eip ?block ?detail ~component what =
+  { component; what; eip; block; detail }
+
+let fail ?eip ?block ?detail ~component what =
+  raise (Error (make ?eip ?block ?detail ~component what))
+
+let to_string e =
+  let b = Buffer.create 64 in
+  Buffer.add_string b ("bt_error[" ^ e.component ^ "]: " ^ e.what);
+  (match e.eip with
+  | Some a -> Buffer.add_string b (Printf.sprintf " (eip=0x%x)" a)
+  | None -> ());
+  (match e.block with
+  | Some id -> Buffer.add_string b (Printf.sprintf " (block=%d)" id)
+  | None -> ());
+  (match e.detail with
+  | Some d -> Buffer.add_string b (" — " ^ d)
+  | None -> ());
+  Buffer.contents b
+
+let pp ppf e = Fmt.string ppf (to_string e)
+
+let () =
+  Printexc.register_printer (function
+    | Error e -> Some (to_string e)
+    | _ -> None)

@@ -1,0 +1,27 @@
+(** Structured translator errors.
+
+    Replaces the bare [failwith]/[invalid_arg] sites in the translator
+    core: an internal invariant violation carries the component it came
+    from plus the guest EIP / block id involved, so the lockstep
+    differential vehicle and the chaos harness can render a useful
+    diagnosis instead of an anonymous string. *)
+
+type t = {
+  component : string;  (** "engine", "cold", "hot", "block", "cgen", ... *)
+  what : string;  (** short description of the violated invariant *)
+  eip : int option;  (** guest address involved, when known *)
+  block : int option;  (** translated-block id involved, when known *)
+  detail : string option;  (** free-form extra context *)
+}
+
+exception Error of t
+
+val make :
+  ?eip:int -> ?block:int -> ?detail:string -> component:string -> string -> t
+
+val fail :
+  ?eip:int -> ?block:int -> ?detail:string -> component:string -> string -> 'a
+(** @raise Error always. *)
+
+val to_string : t -> string
+val pp : t Fmt.t

@@ -120,7 +120,10 @@ let lower t tcache =
       let l = -1 - n in
       match Hashtbl.find_opt labels l with
       | Some rel -> Ipf.Insn.To (start + rel)
-      | None -> invalid_arg "Cgen.lower: unbound local label")
+      | None ->
+        Bt_error.fail ~component:"cgen"
+          ~detail:(Printf.sprintf "label %d" l)
+          "lower: unbound local label")
     | t -> t
   in
   let fix_insn i =

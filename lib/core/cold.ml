@@ -69,19 +69,22 @@ let make_ctx env cg ~block_id ~entry_tos ~stage2 ~ma_base ~edge_addr ~is_cond =
       fresh =
         (fun () ->
           let r = !scratch in
-          if r > Regs.hot_pool_last then failwith "cold scratch overflow";
+          if r > Regs.hot_pool_last then
+            Bt_error.fail ~component:"cold" ~block:block_id "scratch overflow";
           scratch := r + 1;
           r);
       ffresh =
         (fun () ->
           let r = !fscratch in
-          if r > Regs.cold_fscratch_last then failwith "cold fscratch overflow";
+          if r > Regs.cold_fscratch_last then
+            Bt_error.fail ~component:"cold" ~block:block_id "fscratch overflow";
           fscratch := r + 1;
           r);
       pfresh =
         (fun () ->
           let p = !pscratch in
-          if p > Regs.hot_pr_last then failwith "cold pscratch overflow";
+          if p > Regs.hot_pr_last then
+            Bt_error.fail ~component:"cold" ~block:block_id "pscratch overflow";
           pscratch := p + 1;
           p);
       ea = default_ea;

@@ -44,6 +44,18 @@ type t = {
          that never reach their check are filtered (paper §4.2) *)
   enable_flag_elim : bool;
   enable_cse : bool;
+  (* graceful degradation (resilience subsystem): bound the retranslation
+     churn a single entry / source page can cause before the engine stops
+     translating it and falls back to interpretation *)
+  retrans_avoid_limit : int;
+      (* per-entry invalidation-driven retranslations before the entry is
+         escalated to full (stage-2 + stage-3) avoidance *)
+  retrans_interp_limit : int;
+      (* per-entry retranslations before the entry goes interpret-only *)
+  smc_storm_window : int; (* dispatch-count window for storm detection *)
+  smc_storm_limit : int;
+      (* SMC invalidation events on one source page within the window
+         before the whole page goes interpret-only *)
 }
 
 let default =
@@ -73,6 +85,10 @@ let default =
     enable_control_spec = true;
     enable_flag_elim = true;
     enable_cse = true;
+    retrans_avoid_limit = 6;
+    retrans_interp_limit = 12;
+    smc_storm_window = 512;
+    smc_storm_limit = 16;
   }
 
 (* Cold-only translator (no hot phase at all). *)

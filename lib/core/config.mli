@@ -53,6 +53,17 @@ type t = {
   enable_flag_elim : bool;
       (** EFLAGS liveness elimination + compare/branch fusion *)
   enable_cse : bool;  (** effective-address CSE in hot code *)
+  retrans_avoid_limit : int;
+      (** per-entry invalidation-driven retranslations before the entry is
+          escalated to full (stage-2 + stage-3) avoidance *)
+  retrans_interp_limit : int;
+      (** per-entry retranslations before the entry goes interpret-only
+          (the last rung of the graceful-degradation ladder) *)
+  smc_storm_window : int;
+      (** dispatch-count window for SMC-storm detection *)
+  smc_storm_limit : int;
+      (** SMC invalidation events on one source page within the window
+          before the whole page is degraded to interpretation *)
 }
 
 val default : t

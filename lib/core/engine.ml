@@ -11,6 +11,15 @@ type outcome =
   | Unhandled_fault of Ia32.Fault.t * Ia32.State.t
   | Out_of_fuel
 
+(* Commit events: the points where the engine materialises a full precise
+   IA-32 state and the guest's behaviour becomes observable. The lockstep
+   differential vehicle compares the engine against the reference
+   interpreter exactly here. *)
+type commit_event =
+  | Commit_syscall of int (* the OS's syscall vector *)
+  | Commit_fault of Ia32.Fault.t (* precise architectural fault *)
+  | Commit_exit of int
+
 type t = {
   config : Config.t;
   mem : Ia32.Memory.t;
@@ -34,6 +43,19 @@ type t = {
   if_counts : (int, int ref) Hashtbl.t;
   if_taken : (int, int ref) Hashtbl.t;
   mutable fuel : int;
+  (* resilience subsystem ------------------------------------------------ *)
+  (* observer called with the precise state at every commit event (the
+     lockstep differential vehicle hangs off this) *)
+  mutable on_commit : (commit_event -> Ia32.State.t -> unit) option;
+  (* called with the target EIP at every slow-path dispatch (the chaos
+     injector hangs off this; only the chaos primitives below are safe to
+     call from it) *)
+  mutable on_dispatch : (int -> unit) option;
+  (* graceful-degradation ladder: entries/pages demoted to interpretation *)
+  interp_only : (int, unit) Hashtbl.t;
+  interp_only_pages : (int, unit) Hashtbl.t;
+  retrans_counts : (int, int) Hashtbl.t; (* entry -> churn count *)
+  smc_page_hits : (int, int * int) Hashtbl.t; (* page -> window start, hits *)
 }
 
 exception Smc_abort
@@ -47,6 +69,87 @@ let cost t = t.machine.M.cost
 let now t =
   t.machine.M.stats.M.cycles + t.acct.Account.overhead_cycles
   + t.acct.Account.other_cycles + t.acct.Account.idle_cycles
+
+(* ---- graceful degradation ---------------------------------------------- *)
+
+(* The degradation ladder bounds how much retranslation churn one entry or
+   source page can cause: stage-2 avoidance -> stage-3 avoidance ->
+   interpret-only. Under an SMC (or injected invalidation) storm the engine
+   loses throughput but keeps making forward progress instead of
+   retranslating the same code forever. *)
+
+let interp_only_at t eip =
+  Hashtbl.mem t.interp_only eip
+  || Hashtbl.mem t.interp_only_pages (eip lsr Ia32.Memory.page_bits)
+
+(* Last rung: stop translating [entry] at all; the dispatcher interprets
+   it from now on. *)
+let blacklist_entry t entry =
+  if not (Hashtbl.mem t.interp_only entry) then begin
+    Hashtbl.replace t.interp_only entry ();
+    t.acct.Account.degrade_interp_entries <-
+      t.acct.Account.degrade_interp_entries + 1;
+    match Block.find_entry t.cache entry with
+    | Some b -> Block.invalidate t.cache t.tcache b
+    | None -> ()
+  end
+
+(* Count an invalidation-driven retranslation of [entry] and escalate:
+   beyond [retrans_avoid_limit] the entry is regenerated with full
+   misalignment avoidance (the conservative translation), beyond
+   [retrans_interp_limit] it goes interpret-only. *)
+let note_retranslation t entry =
+  let n =
+    1
+    + (match Hashtbl.find_opt t.retrans_counts entry with
+      | Some n -> n
+      | None -> 0)
+  in
+  Hashtbl.replace t.retrans_counts entry n;
+  if n >= t.config.Config.retrans_interp_limit then blacklist_entry t entry
+  else if n >= t.config.Config.retrans_avoid_limit then begin
+    Hashtbl.replace t.stage2_entries entry ();
+    Hashtbl.replace t.avoid_entries entry ()
+  end
+
+(* Degrade a whole source page to interpretation: invalidate every live
+   block on it, deferring the currently running block to [smc_pending]
+   exactly like a direct self-modification. Returns true when the running
+   block was deferred, i.e. a caller inside translated code must abort the
+   machine. *)
+let degrade_page_to_interp t page =
+  if Hashtbl.mem t.interp_only_pages page then false
+  else begin
+    Hashtbl.replace t.interp_only_pages page ();
+    t.acct.Account.degrade_smc_storms <- t.acct.Account.degrade_smc_storms + 1;
+    let self = ref false in
+    List.iter
+      (fun b ->
+        match t.running_block with
+        | Some cur when cur.Block.id = b.Block.id ->
+          b.Block.live <- false;
+          t.smc_pending <- b :: t.smc_pending;
+          self := true
+        | _ -> Block.invalidate t.cache t.tcache b)
+      (Block.live_blocks_on_page t.cache page);
+    !self
+  end
+
+(* SMC-storm detection: count invalidation events per source page within a
+   dispatch window; a page that keeps invalidating is degraded wholesale.
+   Returns true when the running block had to be deferred. *)
+let note_smc_invalidation t page =
+  let here = t.acct.Account.dispatches in
+  let start, count =
+    match Hashtbl.find_opt t.smc_page_hits page with
+    | Some (start, count) when here - start <= t.config.Config.smc_storm_window
+      ->
+      (start, count + 1)
+    | _ -> (here, 1)
+  in
+  Hashtbl.replace t.smc_page_hits page (start, count);
+  if count >= t.config.Config.smc_storm_limit then degrade_page_to_interp t page
+  else false
 
 let create ?(config = Config.default) ?cost:(mcost = Ipf.Cost.default) ?dcache
     ~btlib mem =
@@ -80,6 +183,12 @@ let create ?(config = Config.default) ?cost:(mcost = Ipf.Cost.default) ?dcache
       if_counts = Hashtbl.create 64;
       if_taken = Hashtbl.create 64;
       fuel = max_int;
+      on_commit = None;
+      on_dispatch = None;
+      interp_only = Hashtbl.create 16;
+      interp_only_pages = Hashtbl.create 8;
+      retrans_counts = Hashtbl.create 16;
+      smc_page_hits = Hashtbl.create 16;
     }
   in
   vos.Btlib.Vos.clock <- (fun _ -> now t);
@@ -100,6 +209,7 @@ let create ?(config = Config.default) ?cost:(mcost = Ipf.Cost.default) ?dcache
            let self = ref false in
            List.iter
              (fun b ->
+               note_retranslation t b.Block.entry;
                match t.running_block with
                | Some cur when cur.Block.id = b.Block.id ->
                  (* the executing block modified itself: abort the machine
@@ -109,7 +219,12 @@ let create ?(config = Config.default) ?cost:(mcost = Ipf.Cost.default) ?dcache
                  self := true
                | _ -> Block.invalidate cache tcache b)
              victims;
-           if !self then raise Smc_abort
+           (* storm bookkeeping may additionally defer the running block
+              (page degraded under our feet) — abort in that case too *)
+           let stormed =
+             note_smc_invalidation t (addr lsr Ia32.Memory.page_bits)
+           in
+           if !self || stormed then raise Smc_abort
          end));
   t
 
@@ -172,9 +287,65 @@ let flush_translations t =
   t.smc_pending <- [];
   t.running_block <- None
 
+(* ---- chaos primitives --------------------------------------------------
+   Semantics-preserving perturbations for the deterministic fault injector
+   (Harness.Inject). Each one forces a slow path the guest's own behaviour
+   might never exercise, without changing the architectural state the
+   translated code observes. They are only safe at dispatch boundaries
+   (the [on_dispatch] hook), never while the machine is mid-block. *)
+
+(* Rotate the physical FP stack so every block-head TOS check misses and
+   the engine must recover via [Reconstruct.rotate_tos]. The rotation is
+   architecture-preserving (ST(i) maps to the same value before and
+   after); it only invalidates the translator's TOS speculation. *)
+let force_tos_rotation t ~by =
+  if t.config.Config.fp_stack_speculation then begin
+    let tos = M.get32 t.machine Regs.r_tos in
+    Reconstruct.rotate_tos t.machine ~expected:((tos + by) land 7)
+  end
+
+(* Rewrite every XMM register to the packed-double container format: a
+   bit-exact change of representation that defeats the translator's SSE
+   format speculation at the next format-checked block head. *)
+let force_sse_scramble t =
+  if t.config.Config.sse_format_speculation then
+    ignore
+      (Reconstruct.convert_sse_formats t.machine
+         ~required:(Array.make 8 Regs.fmt_pd))
+
+(* Invalidate up to [max] live blocks as if their source pages had been
+   written: exercises the retranslation, storm-detection and degradation
+   paths without any guest store. Returns the number invalidated. *)
+let spurious_smc_invalidate t ~max =
+  let victims =
+    Hashtbl.fold (fun _ b acc -> if b.Block.live then b :: acc else acc)
+      t.cache.Block.by_id []
+    |> List.sort (fun a b -> compare a.Block.id b.Block.id)
+  in
+  let n = ref 0 in
+  List.iter
+    (fun b ->
+      if !n < max then begin
+        incr n;
+        t.acct.Account.smc_invalidations <-
+          t.acct.Account.smc_invalidations + 1;
+        note_retranslation t b.Block.entry;
+        Block.invalidate t.cache t.tcache b;
+        ignore
+          (note_smc_invalidation t (b.Block.entry lsr Ia32.Memory.page_bits))
+      end)
+    victims;
+  !n
+
+(* Force a wholesale translation-cache flush (eviction storm). *)
+let force_cache_flush t = flush_translations t
+
+let tcache_full t =
+  Ipf.Tcache.length t.tcache > t.config.Config.tcache_limit
+  || Ipf.Tcache.over_capacity t.tcache
+
 let translate_cold t entry =
-  if Ipf.Tcache.length t.tcache > t.config.Config.tcache_limit then
-    flush_translations t;
+  if tcache_full t then flush_translations t;
   let stage2 = Hashtbl.mem t.stage2_entries entry in
   let entry_tos = M.get32 t.machine Regs.r_tos in
   let b = Cold.translate t.cold_env ~entry ~entry_tos ~stage2 in
@@ -202,8 +373,7 @@ let chain t target block =
    a cache flush invalidated every bundle index the machine holds. *)
 let run_hot_session t =
   let flushes0 = t.acct.Account.cache_flushes in
-  if Ipf.Tcache.length t.tcache > t.config.Config.tcache_limit then
-    flush_translations t;
+  if tcache_full t then flush_translations t;
   let profile = hot_profile t in
   let entry_tos = M.get32 t.machine Regs.r_tos in
   let replaced_current = ref false in
@@ -285,6 +455,10 @@ let reconstruct_at t block ~bundle =
 (* Interpret forward from [st] until leaving [lo,hi) or a fault/syscall, or
    at most [max_steps]. Returns the stop condition. *)
 let rollforward t st ~lo ~hi ~max_steps =
+  (* the interpreter writes guest memory directly: clear [running_block] so
+     a store onto a translated page invalidates normally instead of raising
+     Smc_abort outside [M.run] *)
+  t.running_block <- None;
   let steps = ref 0 in
   let rec go () =
     if !steps >= max_steps then `Boundary
@@ -307,6 +481,9 @@ let rollforward t st ~lo ~hi ~max_steps =
 
 let deliver_fault t st fault k =
   let module L = (val t.btlib : Btlib.Btos.S) in
+  (match t.on_commit with
+  | Some f -> f (Commit_fault fault) st
+  | None -> ());
   charge_overhead t (cost t).Ipf.Cost.exception_filter_cost;
   t.acct.Account.exceptions_filtered <- t.acct.Account.exceptions_filtered + 1;
   match L.deliver_exception t.vos st fault with
@@ -323,6 +500,9 @@ let do_syscall t st n k =
     (* not this OS's system-call vector: the guest gets a trap *)
     deliver_fault t st Ia32.Fault.Breakpoint k
   else begin
+    (match t.on_commit with
+    | Some f -> f (Commit_syscall n) st
+    | None -> ());
     let call = L.decode_syscall st in
     charge_other t (cost t).Ipf.Cost.syscall_cost;
     let k0 = t.vos.Btlib.Vos.kernel_cycles and i0 = t.vos.Btlib.Vos.idle_cycles in
@@ -334,7 +514,11 @@ let do_syscall t st n k =
       r
     in
     match fin (L.perform t.vos st call) with
-    | Btlib.Syscall.Exited code -> Exited (code, st)
+    | Btlib.Syscall.Exited code ->
+      (match t.on_commit with
+      | Some f -> f (Commit_exit code) st
+      | None -> ());
+      Exited (code, st)
     | Btlib.Syscall.Ret v ->
       L.encode_result st v;
       Reconstruct.inject t.machine st;
@@ -363,7 +547,12 @@ let run ?(fuel = max_int) t (st0 : Ia32.State.t) =
         (M.get32 t.machine (Regs.gr_of_reg Ia32.Insn.Ecx));
     t.acct.Account.dispatches <- t.acct.Account.dispatches + 1;
     charge_overhead t (cost t).Ipf.Cost.dispatch_cost;
+    t.running_block <- None;
     flush_smc_pending t;
+    (match t.on_dispatch with Some f -> f eip | None -> ());
+    flush_smc_pending t;
+    if interp_only_at t eip then interp_step_blocks eip
+    else
     match Block.find_entry t.cache eip with
     | Some b -> enter b
     | None
@@ -414,7 +603,12 @@ let run ?(fuel = max_int) t (st0 : Ia32.State.t) =
     end
     else interp_step_blocks eip
   and interp_step_blocks eip =
-    (* interpret one basic block, maintaining the engine-side edge profile *)
+    (* interpret one basic block, maintaining the engine-side edge profile.
+       The interpreter writes guest memory directly: clear [running_block]
+       so a write that lands on a translated page cannot look like the
+       running block modifying itself (Smc_abort may only be raised while
+       the machine is actually inside [M.run]). *)
+    t.running_block <- None;
     let snapshot =
       Block.identity_snapshot ~entry_tos:(M.get32 t.machine Regs.r_tos)
     in
@@ -506,10 +700,20 @@ let run ?(fuel = max_int) t (st0 : Ia32.State.t) =
     | M.Fuel -> Out_of_fuel
     | M.Exited (I.Dispatch target) -> (
       flush_smc_pending t;
+      (* block boundary: safe injection point (the machine is not
+         mid-block, so chaos invalidations cannot pull a running block
+         out from under us) *)
+      t.running_block <- None;
+      (match t.on_dispatch with Some f -> f target | None -> ());
+      flush_smc_pending t;
       match Block.find_entry t.cache target with
       | Some b ->
         chain t target b;
         enter b
+      | None when interp_only_at t target ->
+        (* degraded entry: no fast-path retranslation, go through the
+           dispatcher to the interpreter *)
+        dispatch target
       | None ->
         t.acct.Account.dispatches <- t.acct.Account.dispatches + 1;
         charge_overhead t (cost t).Ipf.Cost.dispatch_cost;
@@ -526,6 +730,9 @@ let run ?(fuel = max_int) t (st0 : Ia32.State.t) =
          exiting block's bucket; only a MISS falls into the runtime and
          counts as overhead *)
       M.charge t.machine (cost t).Ipf.Cost.indirect_lookup_cost;
+      flush_smc_pending t;
+      t.running_block <- None;
+      (match t.on_dispatch with Some f -> f target | None -> ());
       flush_smc_pending t;
       (match Block.find_entry t.cache target with
       | Some b -> enter b
@@ -550,6 +757,7 @@ let run ?(fuel = max_int) t (st0 : Ia32.State.t) =
         let st = reconstruct_at t b ~bundle:t.machine.M.ip in
         (* regenerate as a stage-2 avoiding block from the faulting IP (and
            from the block entry, for future entries) *)
+        note_retranslation t b.Block.entry;
         Hashtbl.replace t.stage2_entries b.Block.entry ();
         Hashtbl.replace t.stage2_entries st.Ia32.State.eip ();
         Block.invalidate t.cache t.tcache b;
@@ -630,7 +838,9 @@ let run ?(fuel = max_int) t (st0 : Ia32.State.t) =
          covering commit point and roll forward so the real fault (or a
          transient one that no longer occurs) is raised precisely *)
       match Block.find_by_id t.cache id with
-      | None -> failwith "nat-recover from unknown block"
+      | None ->
+        Bt_error.fail ~component:"engine" ~block:id
+          "nat-recover from unknown block"
       | Some b -> (
         let bundle = fst t.machine.M.last_exit in
         let st = reconstruct_at t b ~bundle in
@@ -647,10 +857,21 @@ let run ?(fuel = max_int) t (st0 : Ia32.State.t) =
       let snapshot =
         Block.identity_snapshot ~entry_tos:(M.get32 t.machine Regs.r_tos)
       in
-      Exited (0, Reconstruct.extract t.machine ~eip:(M.get32 t.machine Regs.r_state) ~snapshot)
+      let st =
+        Reconstruct.extract t.machine
+          ~eip:(M.get32 t.machine Regs.r_state)
+          ~snapshot
+      in
+      (match t.on_commit with
+      | Some f -> f (Commit_exit 0) st
+      | None -> ());
+      Exited (0, st)
     | M.Faulted f -> (
       match Block.find_by_bundle t.cache f.M.ip with
-      | None -> failwith "fault outside any translated block"
+      | None ->
+        Bt_error.fail ~component:"engine"
+          ~detail:(Printf.sprintf "bundle %d" f.M.ip)
+          "fault outside any translated block"
       | Some b -> (
         let st = reconstruct_at t b ~bundle:f.M.ip in
         if trace_exits then begin
@@ -671,13 +892,16 @@ let run ?(fuel = max_int) t (st0 : Ia32.State.t) =
            | Block.Cold -> ())
         end;
         match f.M.kind with
-        | M.F_nat -> failwith "translator bug: NaT consumption fault"
+        | M.F_nat ->
+          Bt_error.fail ~component:"engine" ~eip:b.Block.entry
+            ~block:b.Block.id "translator bug: NaT consumption fault"
         | M.F_misalign -> (
           (* IA-32 never faults here: emulate through the interpreter at
              the OS-handler price, and trigger regeneration with avoidance *)
           charge_overhead t (cost t).Ipf.Cost.os_misalign_cost;
           t.acct.Account.misalign_os_faults <-
             t.acct.Account.misalign_os_faults + 1;
+          note_retranslation t b.Block.entry;
           (if b.Block.kind = Block.Hot then begin
              (* stage 3: discard the hot block; regenerate with avoidance *)
              t.acct.Account.hot_discards <- t.acct.Account.hot_discards + 1;

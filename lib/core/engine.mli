@@ -24,6 +24,15 @@ type outcome =
   | Unhandled_fault of Ia32.Fault.t * Ia32.State.t
   | Out_of_fuel
 
+(** Commit events: the points where the engine materialises a full precise
+    IA-32 state and the guest's behaviour becomes observable. The lockstep
+    differential vehicle ({!Lockstep}) compares the engine against the
+    reference interpreter exactly here. *)
+type commit_event =
+  | Commit_syscall of int  (** about to perform the OS's syscall *)
+  | Commit_fault of Ia32.Fault.t  (** precise architectural fault *)
+  | Commit_exit of int
+
 type t = {
   config : Config.t;
   mem : Ia32.Memory.t;
@@ -44,6 +53,19 @@ type t = {
   if_counts : (int, int ref) Hashtbl.t;  (** interpret-first profile *)
   if_taken : (int, int ref) Hashtbl.t;
   mutable fuel : int;
+  mutable on_commit : (commit_event -> Ia32.State.t -> unit) option;
+      (** observer called with the precise state at every commit event *)
+  mutable on_dispatch : (int -> unit) option;
+      (** called with the target EIP at every slow-path dispatch; only the
+          chaos primitives below are safe to call from it *)
+  interp_only : (int, unit) Hashtbl.t;
+      (** entries demoted to interpret-only by the degradation ladder *)
+  interp_only_pages : (int, unit) Hashtbl.t;
+      (** source pages degraded wholesale by SMC-storm detection *)
+  retrans_counts : (int, int) Hashtbl.t;
+      (** per-entry invalidation-driven retranslation counts *)
+  smc_page_hits : (int, int * int) Hashtbl.t;
+      (** per-page SMC-storm window: window start (in dispatches), hits *)
 }
 
 exception Smc_abort
@@ -65,6 +87,53 @@ val create :
 val run : ?fuel:int -> t -> Ia32.State.t -> outcome
 (** Execute the guest from a precise IA-32 state until it exits, dies on
     an unhandled fault, or exhausts [fuel] (simulated machine slots). *)
+
+(** {2 Graceful degradation}
+
+    The degradation ladder bounds how much retranslation churn one entry
+    or source page can cause: repeated invalidation-driven retranslations
+    escalate an entry to stage-2 then stage-3 misalignment avoidance and
+    finally to interpret-only; an SMC storm (too many invalidation events
+    on one source page within a dispatch window) degrades the whole page
+    to interpretation. Under attack the engine loses throughput but keeps
+    making forward progress. *)
+
+val interp_only_at : t -> int -> bool
+(** [interp_only_at t eip] is true when the degradation ladder has demoted
+    [eip] (or its source page) to interpretation. *)
+
+val blacklist_entry : t -> int -> unit
+(** Force an entry onto the last rung: interpret-only from now on. *)
+
+val degrade_page_to_interp : t -> int -> bool
+(** Degrade a whole source page (page number, not address) to
+    interpretation. Returns true when the currently running block had to
+    be deferred, i.e. a caller inside translated code must abort. *)
+
+(** {2 Chaos primitives}
+
+    Semantics-preserving perturbations for the deterministic fault
+    injector ({!Harness.Inject}): each forces a slow recovery path
+    without changing the architectural state the guest observes. Only
+    safe at dispatch boundaries (the [on_dispatch] hook), never while the
+    machine is mid-block. *)
+
+val force_tos_rotation : t -> by:int -> unit
+(** Rotate the physical FP stack so the next block-head TOS check misses.
+    Architecture-preserving: every ST(i) keeps its value. No-op unless
+    FP-stack speculation is enabled. *)
+
+val force_sse_scramble : t -> unit
+(** Rewrite every XMM register to the packed-double container format
+    (bit-exact), defeating SSE format speculation at the next checked
+    block head. No-op unless SSE format speculation is enabled. *)
+
+val spurious_smc_invalidate : t -> max:int -> int
+(** Invalidate up to [max] live blocks as if their source pages had been
+    written. Returns the number invalidated. *)
+
+val force_cache_flush : t -> unit
+(** Force a wholesale translation-cache flush (eviction storm). *)
 
 val distribution : t -> Account.distribution
 (** Final execution-time distribution (Figures 6/7). *)

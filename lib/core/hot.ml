@@ -850,7 +850,7 @@ let translate_exn (env : Cold.env) ~entry ~entry_tos ~profile ~avoid =
       bind =
         (fun l ->
           match !stub_sink with
-          | Some _ -> invalid_arg "hot: no labels inside stubs"
+          | Some _ -> Bt_error.fail ~component:"hot" "no labels inside stubs"
           | None -> hs.cur <- R_lbl l :: hs.cur);
       local = (fun l -> I.To (-1 - l));
       fresh =

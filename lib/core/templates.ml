@@ -357,7 +357,7 @@ let rmw_operand ctx size op =
     let addr = ctx.ea ctx m in
     let v = mem_load ctx ~width:(bytes_of size) addr in
     (v, fun res -> mem_store ctx ~width:(bytes_of size) addr res)
-  | I _ -> invalid_arg "rmw on immediate"
+  | I _ -> Bt_error.fail ~component:"templates" "rmw on immediate"
 
 let write_operand ctx size op v =
   match op with
@@ -365,7 +365,7 @@ let write_operand ctx size op v =
   | M m ->
     let addr = ctx.ea ctx m in
     mem_store ctx ~width:(bytes_of size) addr v
-  | I _ -> invalid_arg "write to immediate"
+  | I _ -> Bt_error.fail ~component:"templates" "write to immediate"
 
 (* ---- EFLAGS machinery -------------------------------------------------- *)
 
@@ -951,7 +951,7 @@ let emit_shld ctx ~left dst r amount =
       (match dst with
       | R rr -> emitp ctx p (I.Mov (Regs.gr_of_reg rr, res))
       | M _ -> writeback res (* value unchanged when cnt=0; store is safe *)
-      | I _ -> invalid_arg "shld imm dst");
+      | I _ -> Bt_error.fail ~component:"templates" "shld imm dst");
       stop ctx);
     let flags =
       match ctx.plan with
@@ -2155,7 +2155,7 @@ let emit_string ctx insn =
     (match ctx.plan with
     | Plan_fuse (c, _) -> ctx.fused_pred <- Some (cond_pred_canonic ctx c)
     | _ -> ())
-  | _ -> invalid_arg "emit_string"
+  | _ -> Bt_error.fail ~component:"templates" "emit_string: not a string op"
 
 (* ---- flag image (pushfd/popfd) ----------------------------------------- *)
 

@@ -1,0 +1,154 @@
+(* Deterministic fault injector: a seed-driven chaos source for the
+   translator's recovery machinery. Attached to an engine it perturbs
+   execution at dispatch boundaries through the engine's
+   semantics-preserving chaos primitives, plus the Vos transient-failure
+   hook and the Tcache capacity mode. Everything is driven by a splitmix64
+   stream from the seed, so a run is exactly reproducible from
+   (guest image, seed).
+
+   Injection points:
+   - [tos_rotation]      forced FP-stack speculation misses
+   - [sse_scramble]      forced SSE format-speculation misses
+   - [smc_invalidate]    spurious invalidation of live blocks
+   - [cache_flush]       wholesale translation-cache flushes
+   - [capacity_squeeze]  eviction storms via a tiny Tcache capacity window
+   - [transient_syscall] transient kernel failures with bounded retry *)
+
+module Engine = Ia32el.Engine
+
+type stats = {
+  mutable dispatches_seen : int;
+  mutable tos_rotations : int;
+  mutable sse_scrambles : int;
+  mutable smc_invalidations : int;
+  mutable cache_flushes : int;
+  mutable capacity_squeezes : int;
+  mutable transient_faults : int;
+}
+
+type t = {
+  seed : int;
+  mutable state : int64;
+  stats : stats;
+  (* eviction-storm window: dispatch count at which to lift the squeeze *)
+  mutable squeeze_until : int;
+  (* injection rates, as 1-in-N per dispatch (0 disables the point) *)
+  rate_tos : int;
+  rate_sse : int;
+  rate_smc : int;
+  rate_flush : int;
+  rate_squeeze : int;
+  rate_transient : int;
+}
+
+(* Default rates are aggressive: the synthetic workloads chain their hot
+   loops quickly, so block-boundary events (slow dispatches, indirect
+   branches, syscall returns) are scarce — a handful to a few dozen per
+   run. High per-event probabilities keep every injection point exercised
+   on every run. *)
+let create ?(rate_tos = 2) ?(rate_sse = 3) ?(rate_smc = 4) ?(rate_flush = 8)
+    ?(rate_squeeze = 16) ?(rate_transient = 2) ~seed () =
+  {
+    seed;
+    (* decorrelate small consecutive seeds *)
+    state = Int64.mul (Int64.of_int (seed + 1)) 0x9E3779B97F4A7C15L;
+    stats =
+      {
+        dispatches_seen = 0;
+        tos_rotations = 0;
+        sse_scrambles = 0;
+        smc_invalidations = 0;
+        cache_flushes = 0;
+        capacity_squeezes = 0;
+        transient_faults = 0;
+      };
+    squeeze_until = 0;
+    rate_tos;
+    rate_sse;
+    rate_smc;
+    rate_flush;
+    rate_squeeze;
+    rate_transient;
+  }
+
+(* splitmix64 *)
+let next t =
+  t.state <- Int64.add t.state 0x9E3779B97F4A7C15L;
+  let z = t.state in
+  let z =
+    Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30))
+      0xBF58476D1CE4E5B9L
+  in
+  let z =
+    Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27))
+      0x94D049BB133111EBL
+  in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+(* uniform draw in [0, n) *)
+let rand t n =
+  Int64.to_int (Int64.rem (Int64.logand (next t) Int64.max_int) (Int64.of_int n))
+
+let chance t n = n > 0 && rand t n = 0
+
+(* Eviction-storm parameters: while squeezed, the Tcache reports full at a
+   tiny size, so every translation beyond it triggers a wholesale flush. *)
+let squeeze_capacity = 256 (* bundles *)
+let squeeze_window = 128 (* dispatches *)
+
+let attach t (engine : Engine.t) =
+  (* transient kernel failures, riding the Vos retry/backoff machinery *)
+  engine.Engine.vos.Btlib.Vos.transient_fault <-
+    Some
+      (fun _call ->
+        let fail = chance t t.rate_transient in
+        if fail then t.stats.transient_faults <- t.stats.transient_faults + 1;
+        fail);
+  engine.Engine.on_dispatch <-
+    Some
+      (fun _eip ->
+        t.stats.dispatches_seen <- t.stats.dispatches_seen + 1;
+        let here = t.stats.dispatches_seen in
+        if t.squeeze_until > 0 && here >= t.squeeze_until then begin
+          t.squeeze_until <- 0;
+          Ipf.Tcache.set_capacity engine.Engine.tcache None
+        end;
+        if chance t t.rate_tos then begin
+          t.stats.tos_rotations <- t.stats.tos_rotations + 1;
+          Engine.force_tos_rotation engine ~by:(1 + rand t 7)
+        end;
+        if chance t t.rate_sse then begin
+          t.stats.sse_scrambles <- t.stats.sse_scrambles + 1;
+          Engine.force_sse_scramble engine
+        end;
+        if chance t t.rate_smc then
+          t.stats.smc_invalidations <-
+            t.stats.smc_invalidations
+            + Engine.spurious_smc_invalidate engine ~max:(1 + rand t 2);
+        if chance t t.rate_flush then begin
+          t.stats.cache_flushes <- t.stats.cache_flushes + 1;
+          Engine.force_cache_flush engine
+        end;
+        if t.squeeze_until = 0 && chance t t.rate_squeeze then begin
+          t.stats.capacity_squeezes <- t.stats.capacity_squeezes + 1;
+          t.squeeze_until <- here + squeeze_window;
+          Ipf.Tcache.set_capacity engine.Engine.tcache (Some squeeze_capacity)
+        end)
+
+let stats t = t.stats
+
+let total_injections s =
+  s.tos_rotations + s.sse_scrambles + s.smc_invalidations + s.cache_flushes
+  + s.capacity_squeezes + s.transient_faults
+
+let pp_stats ppf s =
+  Fmt.pf ppf
+    "@[<v>injections over %d dispatches:@,\
+    \  tos rotations      %d@,\
+    \  sse scrambles      %d@,\
+    \  smc invalidations  %d@,\
+    \  cache flushes      %d@,\
+    \  capacity squeezes  %d@,\
+    \  transient syscalls %d@]"
+    s.dispatches_seen s.tos_rotations s.sse_scrambles s.smc_invalidations
+    s.cache_flushes s.capacity_squeezes s.transient_faults

@@ -1,0 +1,60 @@
+(** Deterministic fault injector.
+
+    A seed-driven chaos source for the translator's recovery machinery:
+    attached to an engine, it perturbs execution at dispatch boundaries
+    through the engine's semantics-preserving chaos primitives. Every
+    decision comes from a splitmix64 stream seeded by [seed], so a run is
+    exactly reproducible from (guest image, seed) — a failing injection
+    run is a test case, not an anecdote.
+
+    Injection points (each a named rate, 1-in-N per dispatch, 0 disables):
+    - [rate_tos]: rotate the physical FP stack so the next block-head TOS
+      check misses ({!Ia32el.Engine.force_tos_rotation});
+    - [rate_sse]: rewrite XMM registers to the packed-double container
+      format, defeating SSE format speculation
+      ({!Ia32el.Engine.force_sse_scramble});
+    - [rate_smc]: spuriously invalidate live blocks as if their source
+      pages had been written ({!Ia32el.Engine.spurious_smc_invalidate}),
+      also exercising SMC-storm degradation;
+    - [rate_flush]: wholesale translation-cache flushes;
+    - [rate_squeeze]: eviction storms — clamp the translation cache to a
+      tiny capacity for a window of dispatches;
+    - [rate_transient]: transient kernel failures on system services,
+      ridden out by the Vos bounded retry/backoff
+      ({!Btlib.Vos.t.transient_fault}).
+
+    All points preserve guest-visible semantics: under any seed the guest
+    must produce byte-identical output and exit code, which is what the
+    lockstep vehicle ({!Ia32el.Lockstep}) checks. *)
+
+type stats = {
+  mutable dispatches_seen : int;
+  mutable tos_rotations : int;
+  mutable sse_scrambles : int;
+  mutable smc_invalidations : int;
+  mutable cache_flushes : int;
+  mutable capacity_squeezes : int;
+  mutable transient_faults : int;
+}
+
+type t
+
+val create :
+  ?rate_tos:int ->
+  ?rate_sse:int ->
+  ?rate_smc:int ->
+  ?rate_flush:int ->
+  ?rate_squeeze:int ->
+  ?rate_transient:int ->
+  seed:int ->
+  unit ->
+  t
+
+val attach : t -> Ia32el.Engine.t -> unit
+(** Install the injector on an engine: hooks
+    {!Ia32el.Engine.t.on_dispatch} and the engine Vos's transient-failure
+    hook. Call before {!Ia32el.Engine.run}. *)
+
+val stats : t -> stats
+val total_injections : stats -> int
+val pp_stats : Format.formatter -> stats -> unit

@@ -1,0 +1,67 @@
+(* Resilience harness: one-call runners tying a workload to the lockstep
+   differential vehicle and the deterministic fault injector. Used by the
+   CLI driver (--lockstep / --inject) and the resilience test suite. *)
+
+module C = Workloads.Common
+module E = Ia32el.Engine
+
+let default_fuel = 2_000_000_000
+
+type lockstep_result = {
+  report : Ia32el.Lockstep.report;
+  engine : E.t; (* for output, accounting, degradation counters *)
+  inject_stats : Inject.stats option;
+  output : string; (* guest console output (engine side) *)
+}
+
+(* Run [w] under the engine with the reference interpreter in lockstep,
+   optionally with the chaos injector attached. [attach_extra] runs after
+   the injector (test hook for seeding deliberate bugs). *)
+let run_lockstep ?config ?cost ?dcache ?seed ?(fuel = default_fuel)
+    ?(attach_extra = fun (_ : E.t) -> ()) (w : C.t) ~scale =
+  let image = w.C.build ~scale ~wide:false in
+  let mem = Ia32.Memory.create () in
+  let st = Ia32.Asm.load image mem in
+  let injector = Option.map (fun seed -> Inject.create ~seed ()) seed in
+  let captured = ref None in
+  let attach eng =
+    captured := Some eng;
+    Option.iter (fun i -> Inject.attach i eng) injector;
+    attach_extra eng
+  in
+  let report =
+    Ia32el.Lockstep.run ?config ?cost ?dcache ~fuel ~attach
+      ~btlib:(module Btlib.Linuxsim)
+      mem st
+  in
+  let engine = Option.get !captured in
+  {
+    report;
+    engine;
+    inject_stats = Option.map Inject.stats injector;
+    output = Btlib.Vos.output engine.E.vos;
+  }
+
+type plain_result = {
+  outcome : E.outcome;
+  engine : E.t;
+  inject_stats : Inject.stats option;
+  output : string;
+}
+
+(* Run [w] under the engine alone (no reference), optionally injected. *)
+let run_plain ?config ?cost ?dcache ?seed ?(fuel = default_fuel) (w : C.t)
+    ~scale =
+  let image = w.C.build ~scale ~wide:false in
+  let mem = Ia32.Memory.create () in
+  let st = Ia32.Asm.load image mem in
+  let engine = E.create ?config ?cost ?dcache ~btlib:(module Btlib.Linuxsim) mem in
+  let injector = Option.map (fun seed -> Inject.create ~seed ()) seed in
+  Option.iter (fun i -> Inject.attach i engine) injector;
+  let outcome = E.run ~fuel engine st in
+  {
+    outcome;
+    engine;
+    inject_stats = Option.map Inject.stats injector;
+    output = Btlib.Vos.output engine.E.vos;
+  }

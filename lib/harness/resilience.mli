@@ -1,0 +1,45 @@
+(** Resilience harness: one-call runners tying a workload to the lockstep
+    differential vehicle ({!Ia32el.Lockstep}) and the deterministic fault
+    injector ({!Inject}). *)
+
+val default_fuel : int
+
+type lockstep_result = {
+  report : Ia32el.Lockstep.report;
+  engine : Ia32el.Engine.t;
+  inject_stats : Inject.stats option;
+  output : string;  (** guest console output (engine side) *)
+}
+
+val run_lockstep :
+  ?config:Ia32el.Config.t ->
+  ?cost:Ipf.Cost.t ->
+  ?dcache:Ipf.Dcache.t ->
+  ?seed:int ->
+  ?fuel:int ->
+  ?attach_extra:(Ia32el.Engine.t -> unit) ->
+  Workloads.Common.t ->
+  scale:int ->
+  lockstep_result
+(** Run a workload under the engine with the reference interpreter in
+    lockstep. [seed] attaches the chaos injector; [attach_extra] runs
+    after it (test hook for seeding deliberate bugs). *)
+
+type plain_result = {
+  outcome : Ia32el.Engine.outcome;
+  engine : Ia32el.Engine.t;
+  inject_stats : Inject.stats option;
+  output : string;
+}
+
+val run_plain :
+  ?config:Ia32el.Config.t ->
+  ?cost:Ipf.Cost.t ->
+  ?dcache:Ipf.Dcache.t ->
+  ?seed:int ->
+  ?fuel:int ->
+  Workloads.Common.t ->
+  scale:int ->
+  plain_result
+(** Run a workload under the engine alone (no reference), optionally with
+    the injector attached. *)

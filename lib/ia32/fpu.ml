@@ -162,6 +162,22 @@ let equal a b =
   done;
   !ok
 
+(* ST(i)-relative equality: the physical TOP may legitimately differ
+   between two correct executions (a TOS-speculation recovery physically
+   rotates one side's register file); what must agree is the logical stack
+   the guest sees. *)
+let logical_equal a b =
+  a.c0 = b.c0 && a.c1 = b.c1 && a.c2 = b.c2 && a.c3 = b.c3
+  &&
+  let ok = ref true in
+  for i = 0 to 7 do
+    let pa = (a.top + i) land 7 and pb = (b.top + i) land 7 in
+    if a.tags.(pa) <> b.tags.(pb) then ok := false
+    else if a.tags.(pa) = Valid && not (Int64.equal a.ival.(pa) b.ival.(pb))
+    then ok := false
+  done;
+  !ok
+
 let pp ppf t =
   Fmt.pf ppf "top=%d tags=[%s] cc=%d%d%d%d"
     t.top

@@ -49,4 +49,11 @@ val emms : t -> unit
 
 val copy : t -> t
 val equal : t -> t -> bool
+
+val logical_equal : t -> t -> bool
+(** ST(i)-relative equality: ignores the physical TOP rotation, comparing
+    the logical stack the guest sees. Two correct executions may differ in
+    physical TOP after a TOS-speculation recovery rotated one register
+    file; [logical_equal] treats them as equal where {!equal} would not. *)
+
 val pp : Format.formatter -> t -> unit

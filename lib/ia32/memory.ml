@@ -149,19 +149,22 @@ let copy t =
     t.pages;
   { pages; write_watch = None; watched = Hashtbl.copy t.watched }
 
-let equal a b =
+let equal ?(skip = fun _ -> false) a b =
   let pages_of t =
-    Hashtbl.fold (fun k pg acc -> (k, Bytes.to_string pg.data) :: acc) t.pages []
+    Hashtbl.fold
+      (fun k pg acc -> if skip k then acc else (k, Bytes.to_string pg.data) :: acc)
+      t.pages []
     |> List.sort compare
   in
   pages_of a = pages_of b
 
 (* First differing byte between two equal-shaped memories, for test
-   diagnostics. *)
-let first_diff a b =
+   diagnostics. [skip] excludes page numbers (runtime-private regions such
+   as the translator's profile arena) from the comparison. *)
+let first_diff ?(skip = fun _ -> false) a b =
   let result = ref None in
   let check k pg =
-    if !result = None then
+    if !result = None && not (skip k) then
       match Hashtbl.find_opt b.pages k with
       | None -> result := Some (k * page_size)
       | Some pg' ->
@@ -175,7 +178,8 @@ let first_diff a b =
   in
   Hashtbl.iter check a.pages;
   Hashtbl.iter
-    (fun k _ -> if !result = None && not (Hashtbl.mem a.pages k) then
+    (fun k _ ->
+      if !result = None && (not (skip k)) && not (Hashtbl.mem a.pages k) then
         result := Some (k * page_size))
     b.pages;
   !result

@@ -60,7 +60,11 @@ val load_bytes : t -> int -> string -> unit
 val dump_bytes : t -> int -> int -> string
 
 val copy : t -> t
-val equal : t -> t -> bool
 
-(** Address of the first differing byte, if any — for test diagnostics. *)
-val first_diff : t -> t -> int option
+val equal : ?skip:(int -> bool) -> t -> t -> bool
+(** Page-wise content equality. [skip] excludes page numbers
+    (runtime-private regions such as the translator's profile arena). *)
+
+(** Address of the first differing byte, if any — for test diagnostics.
+    [skip] as for {!equal}. *)
+val first_diff : ?skip:(int -> bool) -> t -> t -> int option

@@ -6,11 +6,22 @@
 type t = {
   mutable bundles : Bundle.t array;
   mutable len : int;
+  (* Optional hard bundle capacity. The paper's translation cache is a
+     fixed-size resource flushed wholesale when it fills; the engine
+     normally models that with a config limit, but the chaos harness can
+     clamp the capacity here to force eviction storms. *)
+  mutable capacity : int option;
 }
 
-let create () = { bundles = Array.make 1024 (Bundle.make []); len = 0 }
+let create () =
+  { bundles = Array.make 1024 (Bundle.make []); len = 0; capacity = None }
 
 let length t = t.len
+
+let set_capacity t c = t.capacity <- c
+
+let over_capacity t =
+  match t.capacity with Some c -> t.len >= c | None -> false
 
 (* Drop every bundle (translation-cache flush). Indices embedded in
    chained branches all dangle after this, so callers must also discard

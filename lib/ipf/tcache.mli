@@ -10,6 +10,14 @@ val create : unit -> t
 val length : t -> int
 (** Number of bundles; also the index the next {!append} returns. *)
 
+val set_capacity : t -> int option -> unit
+(** Clamp the cache to a hard bundle capacity (or lift the clamp with
+    [None]). The engine flushes wholesale once {!over_capacity} holds —
+    the knob the chaos harness uses to force eviction storms. *)
+
+val over_capacity : t -> bool
+(** [true] when a capacity is set and the cache has reached it. *)
+
 val clear : t -> unit
 (** Drop every bundle (translation-cache flush, paper §2: the cache is a
     fixed-size resource flushed wholesale when exhausted). Callers must

@@ -39,17 +39,9 @@ let dump_space = Asm.[ label "dump"; space 64 ]
 (* Logical x87 equality: the translator's TOS-rotation recovery can leave
    the stack at a different absolute TOP with identical ST(i) contents;
    that difference is only observable through FNSTSW's TOP field, which the
-   paper's recovery also accepts (see DESIGN.md). *)
-let fpu_logical_equal (a : Fpu.t) (b : Fpu.t) =
-  a.Fpu.c0 = b.Fpu.c0 && a.Fpu.c1 = b.Fpu.c1 && a.Fpu.c2 = b.Fpu.c2
-  && a.Fpu.c3 = b.Fpu.c3
-  && List.for_all
-       (fun i ->
-         let pa = (a.Fpu.top + i) land 7 and pb = (b.Fpu.top + i) land 7 in
-         a.Fpu.tags.(pa) = b.Fpu.tags.(pb)
-         && (a.Fpu.tags.(pa) = Fpu.Empty
-            || Int64.equal a.Fpu.ival.(pa) b.Fpu.ival.(pb)))
-       [ 0; 1; 2; 3; 4; 5; 6; 7 ]
+   paper's recovery also accepts (see DESIGN.md). Now lives in the ia32
+   library so the lockstep vehicle shares it. *)
+let fpu_logical_equal = Fpu.logical_equal
 
 type side = {
   outcome : [ `Exit of int | `Fault of Fault.t ];
