@@ -1,0 +1,146 @@
+(* ia32el-fuzz: coverage-steered differential fuzzing of the translator.
+
+   Generates well-formed guest programs over the Asm DSL from weighted
+   feature pools, runs each under the lockstep differential vehicle with
+   a clean run plus a set of fault-injection seeds, steers generation
+   with an opcode/operand-shape/engine-event coverage map, and shrinks
+   any finding to a minimal paste-ready reproducer.
+
+     ia32el-fuzz --smoke
+     ia32el-fuzz --seed 7 --runs 2000 --max-insns 48
+     ia32el-fuzz --inject-seeds 0-8 --corpus my-corpus *)
+
+module F = Harness.Fuzz
+
+let main seed runs max_insns inject_spec shrink smoke corpus max_findings fuel
+    verbose =
+  let inject_seeds =
+    match F.parse_seed_spec inject_spec with
+    | Ok [] -> [ 1; 2 ]
+    | Ok l -> l
+    | Error msg ->
+      Printf.eprintf "ia32el-fuzz: %s\n" msg;
+      exit 2
+  in
+  (* --smoke: fixed seeds, bounded runs, CI-sized budget *)
+  let runs = if smoke then max runs 500 else runs in
+  let inject_seeds = if smoke then [ 1; 2 ] else inject_seeds in
+  let corpus_dir =
+    if smoke then None else if corpus = "" then None else Some corpus
+  in
+  let cfg =
+    {
+      F.default_campaign with
+      F.seed;
+      runs;
+      max_insns;
+      inject_seeds;
+      shrink_findings = shrink;
+      corpus_dir;
+      max_findings;
+      fuel;
+      log = (if verbose then prerr_endline else ignore);
+    }
+  in
+  let t0 = Sys.time () in
+  let r = F.campaign cfg in
+  Printf.printf
+    "fuzz: %d programs (seed %d, <= %d insns), %d lockstep executions (%d \
+     inject seeds), %.1fs cpu\n"
+    r.F.programs seed max_insns r.F.executions
+    (List.length inject_seeds)
+    (Sys.time () -. t0);
+  Printf.printf "pools:";
+  List.iter (fun (n, c) -> Printf.printf " %s=%d" n c) r.F.pools_hit;
+  Printf.printf "\ncoverage: %d buckets\n" (List.length r.F.coverage);
+  if r.F.corpus_saved > 0 then
+    Printf.printf "corpus: %d interesting programs saved to %s\n"
+      r.F.corpus_saved
+      (Option.value ~default:"?" corpus_dir);
+  match r.F.findings with
+  | [] ->
+    Printf.printf "no divergences, crashes or livelocks\n";
+    exit 0
+  | fs ->
+    Printf.printf "%d finding(s):\n" (List.length fs);
+    List.iter (fun f -> Fmt.pr "%a@." F.pp_finding f) fs;
+    exit 1
+
+open Cmdliner
+
+let seed_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "seed" ] ~docv:"SEED" ~doc:"Campaign seed (deterministic).")
+
+let runs_arg =
+  Arg.(
+    value & opt int 200
+    & info [ "n"; "runs" ] ~docv:"N" ~doc:"Programs to generate.")
+
+let max_insns_arg =
+  Arg.(
+    value & opt int 32
+    & info [ "max-insns" ] ~docv:"N"
+        ~doc:"Instruction budget per generated program.")
+
+let inject_arg =
+  Arg.(
+    value & opt string "1,2"
+    & info [ "inject-seeds" ] ~docv:"SPEC"
+        ~doc:
+          "Fault-injection seeds per program, in addition to a clean run: \
+           a list and/or ranges ($(b,3), $(b,0-8), $(b,3,7,11)).")
+
+let shrink_arg =
+  Arg.(
+    value & opt bool true
+    & info [ "shrink" ] ~docv:"BOOL"
+        ~doc:"Shrink findings to minimal reproducers (default true).")
+
+let smoke_arg =
+  Arg.(
+    value & flag
+    & info [ "smoke" ]
+        ~doc:
+          "CI smoke mode: fixed seeds, at least 500 programs, clean run \
+           plus 2 injection seeds each, bounded well under a minute.")
+
+let corpus_arg =
+  Arg.(
+    value & opt string "fuzz-corpus"
+    & info [ "corpus" ] ~docv:"DIR"
+        ~doc:
+          "Directory for programs that light up new coverage buckets \
+           (empty string disables; disabled in $(b,--smoke)).")
+
+let max_findings_arg =
+  Arg.(
+    value & opt int 5
+    & info [ "max-findings" ] ~docv:"N"
+        ~doc:"Stop the campaign after this many findings.")
+
+let fuel_arg =
+  Arg.(
+    value & opt int 12_000_000
+    & info [ "fuel" ] ~docv:"N" ~doc:"Engine fuel per lockstep run.")
+
+let verbose_arg =
+  Arg.(
+    value & flag
+    & info [ "v"; "verbose" ] ~doc:"Log findings and shrink progress.")
+
+let main_t =
+  Term.(
+    const main $ seed_arg $ runs_arg $ max_insns_arg $ inject_arg $ shrink_arg
+    $ smoke_arg $ corpus_arg $ max_findings_arg $ fuel_arg $ verbose_arg)
+
+let cmd =
+  Cmd.v
+    (Cmd.info "ia32el-fuzz" ~version:"1.0.0"
+       ~doc:
+         "Differential fuzzing: random well-formed IA-32 guests under \
+          lockstep with fault injection, with automatic shrinking.")
+    main_t
+
+let () = exit (Cmd.eval cmd)

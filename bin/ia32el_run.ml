@@ -12,7 +12,8 @@
      ia32el-run run swim --model native
      ia32el-run run office --model xeon
      ia32el-run run gzip --lockstep
-     ia32el-run run gzip --lockstep --inject 3 *)
+     ia32el-run run gzip --lockstep --inject 3
+     ia32el-run run gzip --lockstep --inject 1,4-8 *)
 
 module B = Workloads.Baselines
 module C = Workloads.Common
@@ -160,6 +161,19 @@ let run_injected_cmd w config desc scale stats seed =
   if stats then print_stats r.Harness.Resilience.engine.Ia32el.Engine.acct
 
 let run_cmd name model scale stats lockstep inject =
+  let inject_seeds =
+    match inject with
+    | None -> None
+    | Some spec -> (
+      match Harness.Fuzz.parse_seed_spec spec with
+      | Ok [] ->
+        Printf.eprintf "--inject: empty seed spec %S\n" spec;
+        exit 2
+      | Ok seeds -> Some seeds
+      | Error msg ->
+        Printf.eprintf "--inject: %s\n" msg;
+        exit 2)
+  in
   match find_workload name with
   | None ->
     Printf.eprintf "unknown workload %S; try `ia32el-run list'\n" name;
@@ -167,14 +181,22 @@ let run_cmd name model scale stats lockstep inject =
   | Some w -> (
     try
       match model with
-      | (M_native | M_circuitry | M_xeon) when lockstep || inject <> None ->
+      | (M_native | M_circuitry | M_xeon)
+        when lockstep || inject_seeds <> None ->
         Printf.eprintf
           "--lockstep/--inject only apply to the translator models\n";
         exit 1
-      | M_el (config, desc) when lockstep ->
-        run_lockstep_cmd w config desc scale stats inject
-      | M_el (config, desc) when inject <> None ->
-        run_injected_cmd w config desc scale stats (Option.get inject)
+      | M_el (config, desc) when lockstep -> (
+        match inject_seeds with
+        | None -> run_lockstep_cmd w config desc scale stats None
+        | Some seeds ->
+          List.iter
+            (fun s -> run_lockstep_cmd w config desc scale stats (Some s))
+            seeds)
+      | M_el (config, desc) when inject_seeds <> None ->
+        List.iter
+          (fun s -> run_injected_cmd w config desc scale stats s)
+          (Option.get inject_seeds)
       | M_el (config, desc) ->
         let r = B.run_el ~config w ~scale in
         Printf.printf "%s under %s: %d cycles\n" w.C.name desc r.B.cycles;
@@ -251,14 +273,15 @@ let lockstep_arg =
 let inject_arg =
   Arg.(
     value
-    & opt (some int) None
-    & info [ "inject" ] ~docv:"SEED"
+    & opt (some string) None
+    & info [ "inject" ] ~docv:"SEEDS"
         ~doc:
-          "Attach the deterministic fault injector with the given seed: \
-           forced speculation misses, spurious SMC invalidations, \
-           translation-cache eviction storms and transient system-call \
-           failures. Combine with $(b,--lockstep) to verify the run \
-           stays semantics-preserving.")
+          "Attach the deterministic fault injector: forced speculation \
+           misses, spurious SMC invalidations, translation-cache eviction \
+           storms and transient system-call failures. $(docv) is a seed, a \
+           range or a list ($(b,3), $(b,0-8), $(b,1,4-6)); the workload \
+           runs once per seed. Combine with $(b,--lockstep) to verify each \
+           run stays semantics-preserving.")
 
 let run_t =
   Term.(

@@ -88,6 +88,38 @@ let create () =
     degrade_smc_storms = 0;
   }
 
+(* Event-counter view for coverage consumers (the fuzzer's steering map):
+   every statistic that marks an engine *event* rather than a cycle charge,
+   as (name, value) pairs. Names are stable identifiers. *)
+let counters t =
+  [
+    ("cold_blocks", t.cold_blocks);
+    ("cold_regens", t.cold_regens);
+    ("hot_blocks", t.hot_blocks);
+    ("hot_discards", t.hot_discards);
+    ("heat_triggers", t.heat_triggers);
+    ("commit_points", t.commit_points);
+    ("chain_patches", t.chain_patches);
+    ("indirect_lookups", t.indirect_lookups);
+    ("indirect_misses", t.indirect_misses);
+    ("tos_checks", t.tos_checks);
+    ("tos_misses", t.tos_misses);
+    ("tag_misses", t.tag_misses);
+    ("mode_checks", t.mode_checks);
+    ("mode_misses", t.mode_misses);
+    ("sse_checks", t.sse_checks);
+    ("sse_misses", t.sse_misses);
+    ("misalign_stage1_hits", t.misalign_stage1_hits);
+    ("misalign_os_faults", t.misalign_os_faults);
+    ("misalign_avoided", t.misalign_avoided);
+    ("exceptions_filtered", t.exceptions_filtered);
+    ("rollforwards", t.rollforwards);
+    ("smc_invalidations", t.smc_invalidations);
+    ("cache_flushes", t.cache_flushes);
+    ("degrade_interp_entries", t.degrade_interp_entries);
+    ("degrade_smc_storms", t.degrade_smc_storms);
+  ]
+
 type distribution = {
   hot : int;
   cold : int;

@@ -53,6 +53,11 @@ type t = {
 
 val create : unit -> t
 
+val counters : t -> (string * int) list
+(** Event-counter view for coverage consumers (fuzzer steering): every
+    statistic that marks an engine event rather than a cycle charge, as
+    stable [(name, value)] pairs. *)
+
 (** Execution-time split in the shape of the paper's Figures 6/7. *)
 type distribution = {
   hot : int;

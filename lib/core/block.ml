@@ -13,7 +13,14 @@ type fp_snapshot = {
   s_set_empty : int;
   s_written : int; (* slots written since block entry (x87 or MMX) *)
   s_mmx : bool; (* MMX block: TOS = 0, tags = s_set_valid *)
+  s_xmm_fmt : int array;
+      (* static XMM format at this point (-1: unchanged since entry, use the
+         runtime format word). A block converts representations mid-flight
+         but only writes [Regs.r_ssefmt] at exits, so reconstruction inside
+         the block must read the static view. *)
 }
+
+let no_xmm_fmt = Array.make 8 (-1)
 
 let identity_snapshot ~entry_tos =
   {
@@ -23,6 +30,7 @@ let identity_snapshot ~entry_tos =
     s_set_empty = 0;
     s_written = 0;
     s_mmx = false;
+    s_xmm_fmt = no_xmm_fmt;
   }
 
 let snapshot_of_fpmap (fp : Fpmap.t) =
@@ -33,6 +41,7 @@ let snapshot_of_fpmap (fp : Fpmap.t) =
     s_set_empty = fp.Fpmap.known_empty;
     s_written = fp.Fpmap.written;
     s_mmx = false;
+    s_xmm_fmt = no_xmm_fmt;
   }
 
 (* Where an IA-32 register's pre-commit value lives at a hot commit point. *)

@@ -13,6 +13,10 @@ type fp_snapshot = {
   s_set_empty : int;
   s_written : int;  (** x87 slots written so far by the block *)
   s_mmx : bool;  (** the block runs in MMX mode (TAG from exit mask) *)
+  s_xmm_fmt : int array;
+      (** static XMM representation format at this point, per register;
+          [-1] means unchanged since block entry (read the runtime format
+          word instead) *)
 }
 (** Enough x87/MMX static state to reconstruct the FPU at one point. *)
 

@@ -252,6 +252,7 @@ let translate env ~entry ~entry_tos ~stage2 =
             Block.s_mmx = true }
         else Block.snapshot_of_fpmap ctx.fp
       in
+      let snap = { snap with Block.s_xmm_fmt = Array.copy ctx.xmm_fmt } in
       Hashtbl.replace fp_recovery addr snap
     end;
     (try Templates.emit_insn ctx insn
@@ -286,9 +287,17 @@ let translate env ~entry ~entry_tos ~stage2 =
     if ctx.uses_mmx then emit_mode_check hctx ~block_id:id ~mmx:true
     else if ctx.fp.Fpmap.used then emit_mode_check hctx ~block_id:id ~mmx:false
   end;
-  if env.config.fp_stack_speculation && not ctx.uses_mmx then begin
-    emit_fp_entry_check hctx ~block_id:id;
-    if ctx.fp.Fpmap.used then env.acct.Account.tos_checks <- env.acct.Account.tos_checks + 1
+  if env.config.fp_stack_speculation then begin
+    if ctx.uses_mmx then begin
+      (* MMX accesses are absolute: require canonic parking *)
+      emit_park_check hctx ~block_id:id;
+      env.acct.Account.tos_checks <- env.acct.Account.tos_checks + 1
+    end
+    else begin
+      emit_fp_entry_check hctx ~block_id:id;
+      if ctx.fp.Fpmap.used then
+        env.acct.Account.tos_checks <- env.acct.Account.tos_checks + 1
+    end
   end;
   if env.config.sse_format_speculation then emit_sse_entry_check hctx ~block_id:id;
   (* use counter + heat trigger — also in interpret-first mode, where cold

@@ -5,8 +5,9 @@
 
    Basic blocks additionally end:
    - before an instruction whose unit class switches between x87 and MMX
-     (so each translated block is pure and the MMX/FP aliasing speculation
-     applies block-wise), and
+     anywhere earlier in the block, however many integer/SSE instructions
+     sit in between (so each translated block is pure and the MMX/FP
+     aliasing speculation applies block-wise), and
    - after [max_bb_insns] instructions (long straight-line code is split).
 *)
 
@@ -46,6 +47,9 @@ let max_bb_insns = 24
    bytes end the block with T_fault (reached only if executed). *)
 let decode_bb mem start =
   let buf = ref [] in
+  (* Last x87/MMX unit class seen in the block so far: sticky, so a flip is
+     detected even across intervening integer or SSE instructions. *)
+  let unit_cls = ref None in
   let rec go addr count =
     if count >= max_bb_insns then (T_fallthrough addr, addr)
     else
@@ -55,13 +59,14 @@ let decode_bb mem start =
       | insn, len ->
         let next = Ia32.Word.mask32 (addr + len) in
         let cls = class_of insn in
-        let prev_conflicts =
-          match !buf with
-          | (_, p) :: _ -> class_conflict (class_of p) cls
-          | [] -> false
+        let conflicts =
+          match !unit_cls with
+          | Some u -> class_conflict u cls
+          | None -> false
         in
-        if prev_conflicts then (T_fallthrough addr, addr)
+        if conflicts then (T_fallthrough addr, addr)
         else begin
+          (match cls with C_fpu | C_mmx -> unit_cls := Some cls | _ -> ());
           buf := (addr, insn) :: !buf;
           match insn with
           | Ia32.Insn.Jmp t -> (T_jmp t, next)
@@ -152,16 +157,23 @@ let flags_liveness region =
           if Hashtbl.mem region.blocks s then get_live_in s else all_flags_mask)
         0 ss
   in
-  (* one backward pass over a block; returns new live_in *)
+  (* One backward pass over a block; returns new live_in. A potentially
+     faulting instruction observes the full EFLAGS in its before-state (the
+     fault is delivered there with precise flags, and cold recovery
+     reconstructs at that IP without re-executing earlier instructions), so
+     its live-in is all flags. *)
   let pass_block bb =
     let live = ref (block_live_out bb) in
     (* calls clobber conservatively: flags live into the callee *)
     (match bb.term with T_call _ -> live := all_flags_mask | _ -> ());
     for k = Array.length bb.insns - 1 downto 0 do
       let _, insn = bb.insns.(k) in
-      let def = mask_of_flags (Ia32.Insn.flags_def_must insn) in
-      let use = mask_of_flags (Ia32.Insn.flags_use insn) in
-      live := !live land lnot def lor use
+      if Ia32.Insn.may_fault insn then live := all_flags_mask
+      else begin
+        let def = mask_of_flags (Ia32.Insn.flags_def_must insn) in
+        let use = mask_of_flags (Ia32.Insn.flags_use insn) in
+        live := !live land lnot def lor use
+      end
     done;
     !live
   in
@@ -188,9 +200,12 @@ let flags_liveness region =
       for k = Array.length bb.insns - 1 downto 0 do
         let addr, insn = bb.insns.(k) in
         Hashtbl.replace live_out addr !live;
-        let def = mask_of_flags (Ia32.Insn.flags_def_must insn) in
-        let use = mask_of_flags (Ia32.Insn.flags_use insn) in
-        live := !live land lnot def lor use
+        if Ia32.Insn.may_fault insn then live := all_flags_mask
+        else begin
+          let def = mask_of_flags (Ia32.Insn.flags_def_must insn) in
+          let use = mask_of_flags (Ia32.Insn.flags_use insn) in
+          live := !live land lnot def lor use
+        end
       done)
     region.blocks;
   live_out

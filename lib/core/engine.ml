@@ -304,6 +304,20 @@ let force_tos_rotation t ~by =
     Reconstruct.rotate_tos t.machine ~expected:((tos + by) land 7)
   end
 
+(* The architectural x87 top: the runtime TOS minus any outstanding
+   recovery rotation. Translation-time speculation must be expressed in
+   architectural terms, or a block trained right after a rotation bakes
+   the parking bias into its static FP map. *)
+let arch_tos t =
+  (M.get32 t.machine Regs.r_tos - M.get32 t.machine Regs.r_park) land 7
+
+(* Identity snapshot of the here-and-now state, expressed against canonic
+   parking: any outstanding recovery rotation is undone first, so the
+   runtime TOS read below is the architectural top again. *)
+let here_snapshot t =
+  Reconstruct.canonicalize t.machine;
+  Block.identity_snapshot ~entry_tos:(M.get32 t.machine Regs.r_tos)
+
 (* Rewrite every XMM register to the packed-double container format: a
    bit-exact change of representation that defeats the translator's SSE
    format speculation at the next format-checked block head. *)
@@ -347,7 +361,7 @@ let tcache_full t =
 let translate_cold t entry =
   if tcache_full t then flush_translations t;
   let stage2 = Hashtbl.mem t.stage2_entries entry in
-  let entry_tos = M.get32 t.machine Regs.r_tos in
+  let entry_tos = arch_tos t in
   let b = Cold.translate t.cold_env ~entry ~entry_tos ~stage2 in
   charge_overhead t
     (Array.length b.Block.insns * (cost t).Ipf.Cost.cold_translate_per_insn);
@@ -375,7 +389,7 @@ let run_hot_session t =
   let flushes0 = t.acct.Account.cache_flushes in
   if tcache_full t then flush_translations t;
   let profile = hot_profile t in
-  let entry_tos = M.get32 t.machine Regs.r_tos in
+  let entry_tos = arch_tos t in
   let replaced_current = ref false in
   List.iter
     (fun id ->
@@ -566,9 +580,15 @@ let run ?(fuel = max_int) t (st0 : Ia32.State.t) =
         (* undecodable or unfetchable entry: architectural fault *)
         let snapshot = Block.identity_snapshot ~entry_tos:0 in
         let st = Reconstruct.extract t.machine ~eip ~snapshot in
+        (* Re-decode to find the precise architectural fault: a truncated
+           instruction at the end of a mapped page is a fetch page fault on
+           the *following* page, not #UD; only a byte sequence the decoder
+           itself rejects is #UD. *)
         let fault =
-          if Ia32.Memory.is_mapped t.mem eip then Ia32.Fault.Invalid_opcode
-          else Ia32.Fault.Page_fault (eip, Ia32.Fault.Fetch)
+          match Ia32.Decode.decode t.mem eip with
+          | _ -> Ia32.Fault.Invalid_opcode (* decodable, untranslatable *)
+          | exception Ia32.Fault.Fault f -> f
+          | exception _ -> Ia32.Fault.Invalid_opcode
         in
         deliver_fault t st fault dispatch)
   and interpret_first eip =
@@ -589,7 +609,7 @@ let run ?(fuel = max_int) t (st0 : Ia32.State.t) =
     incr count;
     if !count >= threshold then begin
       let profile = hot_profile t in
-      let entry_tos = M.get32 t.machine Regs.r_tos in
+      let entry_tos = arch_tos t in
       match Hot.translate t.cold_env ~entry:eip ~entry_tos ~profile ~avoid:false with
       | Some hb ->
         charge_overhead t
@@ -609,15 +629,14 @@ let run ?(fuel = max_int) t (st0 : Ia32.State.t) =
        running block modifying itself (Smc_abort may only be raised while
        the machine is actually inside [M.run]). *)
     t.running_block <- None;
-    let snapshot =
-      Block.identity_snapshot ~entry_tos:(M.get32 t.machine Regs.r_tos)
-    in
+    let snapshot = here_snapshot t in
     let st = Reconstruct.extract t.machine ~eip ~snapshot in
     let rec steps budget =
       if budget = 0 then `Continue
       else begin
         let at = st.Ia32.State.eip in
         match Ia32.Decode.decode t.mem at with
+        | exception Ia32.Fault.Fault f -> `Fault f
         | exception _ -> `Fault Ia32.Fault.Invalid_opcode
         | insn, len -> (
           let fall = Ia32.Word.mask32 (at + len) in
@@ -746,7 +765,7 @@ let run ?(fuel = max_int) t (st0 : Ia32.State.t) =
       | None -> continue ())
     | M.Exited (I.Syscall n) ->
       let eip = M.get32 t.machine Regs.r_state in
-      let snapshot = Block.identity_snapshot ~entry_tos:(M.get32 t.machine Regs.r_tos) in
+      let snapshot = here_snapshot t in
       let st = Reconstruct.extract t.machine ~eip ~snapshot in
       do_syscall t st n dispatch
     | M.Exited (I.Misalign_regen id) -> (
@@ -774,14 +793,20 @@ let run ?(fuel = max_int) t (st0 : Ia32.State.t) =
           Reconstruct.rotate_tos t.machine ~expected:b.Block.entry_tos;
           enter b
         end
+        else if check = Templates.check_park then begin
+          (* MMX block entered with the file rotated off its canonic
+             parking: undo the rotation, then the absolute accesses are
+             right again *)
+          t.acct.Account.tos_misses <- t.acct.Account.tos_misses + 1;
+          Reconstruct.canonicalize t.machine;
+          enter b
+        end
         else if check = Templates.check_tag then begin
           (* TAG mismatch: run the block's source code through the
              interpreter, which raises the precise stack fault if any
              (the paper rebuilds a special fault-catching block) *)
           t.acct.Account.tag_misses <- t.acct.Account.tag_misses + 1;
-          let snapshot =
-            Block.identity_snapshot ~entry_tos:(M.get32 t.machine Regs.r_tos)
-          in
+          let snapshot = here_snapshot t in
           let st = Reconstruct.extract t.machine ~eip:b.Block.entry ~snapshot in
           match
             rollforward t st ~lo:b.Block.entry ~hi:b.Block.code_end
@@ -854,9 +879,7 @@ let run ?(fuel = max_int) t (st0 : Ia32.State.t) =
           Reconstruct.inject t.machine st;
           dispatch st.Ia32.State.eip))
     | M.Exited I.Exit_program ->
-      let snapshot =
-        Block.identity_snapshot ~entry_tos:(M.get32 t.machine Regs.r_tos)
-      in
+      let snapshot = here_snapshot t in
       let st =
         Reconstruct.extract t.machine
           ~eip:(M.get32 t.machine Regs.r_state)
@@ -949,7 +972,5 @@ let distribution t = Account.distribution t.acct t.machine
 
 (* Snapshot the current architectural state (block-boundary precision). *)
 let capture t =
-  let snapshot =
-    Block.identity_snapshot ~entry_tos:(M.get32 t.machine Regs.r_tos)
-  in
+  let snapshot = here_snapshot t in
   Reconstruct.extract t.machine ~eip:(M.get32 t.machine Regs.r_state) ~snapshot

@@ -722,13 +722,17 @@ let translate_exn (env : Cold.env) ~entry ~entry_tos ~profile ~avoid =
   let uses_mmx_ref = ref false in
   let mmx_exit_tag_ref = ref 0xFF in
   let mmx_written_ref = ref 0 in
+  let xmm_fmt_ref = ref (Array.make 8 (-1)) in
   let snapshot_now () =
-    if !uses_mmx_ref then
-      { (Block.identity_snapshot ~entry_tos:0) with
-        Block.s_set_valid = !mmx_exit_tag_ref;
-        Block.s_written = !mmx_written_ref;
-        Block.s_mmx = true }
-    else Block.snapshot_of_fpmap fp
+    let base =
+      if !uses_mmx_ref then
+        { (Block.identity_snapshot ~entry_tos:0) with
+          Block.s_set_valid = !mmx_exit_tag_ref;
+          Block.s_written = !mmx_written_ref;
+          Block.s_mmx = true }
+      else Block.snapshot_of_fpmap fp
+    in
+    { base with Block.s_xmm_fmt = Array.copy !xmm_fmt_ref }
   in
   (* --- emission sink with backups, versions, store detection ---------- *)
   let stub_sink = ref None in
@@ -1141,11 +1145,12 @@ let translate_exn (env : Cold.env) ~entry ~entry_tos ~profile ~avoid =
     in
     find (k + 1)
   in
-  (* track uses_mmx via ctx after each step *)
+  (* track uses_mmx / xmm formats via ctx after each step *)
   let sync_mmx_refs () =
     uses_mmx_ref := ctx.uses_mmx;
     mmx_exit_tag_ref := ctx.mmx_exit_tag;
-    mmx_written_ref := ctx.mmx_written
+    mmx_written_ref := ctx.mmx_written;
+    xmm_fmt_ref := ctx.xmm_fmt
   in
   Array.iteri
     (fun k step ->
@@ -1170,10 +1175,17 @@ let translate_exn (env : Cold.env) ~entry ~entry_tos ~profile ~avoid =
     if ctx.uses_mmx then emit_mode_check ctx ~block_id:id ~mmx:true
     else if fp.Fpmap.used then emit_mode_check ctx ~block_id:id ~mmx:false
   end;
-  if config.Config.fp_stack_speculation && not ctx.uses_mmx then begin
-    emit_fp_entry_check ctx ~block_id:id;
-    if fp.Fpmap.used then
+  if config.Config.fp_stack_speculation then begin
+    if ctx.uses_mmx then begin
+      (* MMX accesses are absolute: require canonic parking *)
+      emit_park_check ctx ~block_id:id;
       env.Cold.acct.Account.tos_checks <- env.Cold.acct.Account.tos_checks + 1
+    end
+    else begin
+      emit_fp_entry_check ctx ~block_id:id;
+      if fp.Fpmap.used then
+        env.Cold.acct.Account.tos_checks <- env.Cold.acct.Account.tos_checks + 1
+    end
   end;
   if config.Config.sse_format_speculation then emit_sse_entry_check ctx ~block_id:id;
   stub_sink := None;

@@ -17,6 +17,50 @@ let gr32 m r = M.get32 m (Regs.gr_of_reg r)
 
 let flag_of m f = not (Int64.equal (M.get m (Regs.gr_of_flag f)) 0L)
 
+(* Engine-side recovery actions for speculation misses --------------------- *)
+
+(* TOS mismatch: rotate the FP registers (and TAG bits) so the runtime TOS
+   becomes the block's speculated TOS (paper: "on TOS mismatch, rotate
+   register values"). The rotation preserves stack-relative access (ST(i)
+   stays where blocks speculated for [expected] look for it) but moves
+   slots off their canonic parking; [r_park] accumulates the offset so
+   the file can be re-canonicalized before any absolute-indexed use. *)
+let rotate_tos m ~expected =
+  let actual = M.get32 m Regs.r_tos in
+  let shift = (expected - actual) land 7 in
+  if shift <> 0 then begin
+    (* physical slot s currently holds stack slot (s - actual); it must
+       move to physical (s + shift) so that slot index arithmetic relative
+       to the new TOS is unchanged *)
+    let frs = Array.init 8 (fun s -> M.getf m (Regs.fr_of_phys s)) in
+    let mms = Array.init 8 (fun s -> M.get m (Regs.gr_of_mmx s)) in
+    let rot mask =
+      let out = ref 0 in
+      for s = 0 to 7 do
+        if mask land (1 lsl s) <> 0 then out := !out lor (1 lsl ((s + shift) land 7))
+      done;
+      !out
+    in
+    for s = 0 to 7 do
+      let d = (s + shift) land 7 in
+      M.setf m (Regs.fr_of_phys d) frs.(s);
+      M.set m (Regs.gr_of_mmx d) mms.(s)
+    done;
+    M.set32 m Regs.r_tag (rot (M.get32 m Regs.r_tag));
+    M.set32 m Regs.r_fstale (rot (M.get32 m Regs.r_fstale));
+    M.set32 m Regs.r_mstale (rot (M.get32 m Regs.r_mstale));
+    M.set32 m Regs.r_park ((M.get32 m Regs.r_park + shift) land 7);
+    M.set32 m Regs.r_tos expected
+  end
+
+(* Undo any accumulated parking rotation: move every architectural slot
+   back to its canonic index. The runtime TOS then equals the
+   architectural top again. Idempotent. *)
+let canonicalize m =
+  let park = M.get32 m Regs.r_park in
+  if park <> 0 then
+    rotate_tos m ~expected:((M.get32 m Regs.r_tos - park) land 7)
+
 (* x87/MMX/XMM extraction per the runtime status registers and snapshot. *)
 let extract_fpu m (snapshot : Block.fp_snapshot) (fpu : Ia32.Fpu.t) =
   let entry_tag = M.get32 m Regs.r_tag in
@@ -57,10 +101,15 @@ let extract_fpu m (snapshot : Block.fp_snapshot) (fpu : Ia32.Fpu.t) =
   fpu.Ia32.Fpu.c2 <- cc land 0x400 <> 0;
   fpu.Ia32.Fpu.c3 <- cc land 0x4000 <> 0
 
-let extract_xmm m (st : Ia32.State.t) =
+let extract_xmm m (snapshot : Block.fp_snapshot) (st : Ia32.State.t) =
   let fmts = M.get32 m Regs.r_ssefmt in
   for i = 0 to 7 do
-    let fmt = Regs.fmt_of_nibbles fmts i in
+    (* mid-block representation changes are static: prefer the snapshot's
+       format over the runtime word (updated only at block exits) *)
+    let fmt =
+      if snapshot.Block.s_xmm_fmt.(i) >= 0 then snapshot.Block.s_xmm_fmt.(i)
+      else Regs.fmt_of_nibbles fmts i
+    in
     if fmt = Regs.fmt_int then
       Ia32.State.set_xmm st i
         (M.get m (Regs.gr_of_xmm_lo i), M.get m (Regs.gr_of_xmm_hi i))
@@ -79,6 +128,9 @@ let extract_xmm m (st : Ia32.State.t) =
 (* Build the precise IA-32 state for source address [eip], under the given
    FP snapshot (identity at block boundaries). Shares guest memory. *)
 let extract m ~eip ~snapshot =
+  (* snapshots are expressed against canonic parking: undo any recovery
+     rotation first, so absolute slot indices line up again *)
+  canonicalize m;
   let st = Ia32.State.create m.M.mem in
   List.iter
     (fun r -> Ia32.State.set32 st r (gr32 m r))
@@ -92,7 +144,7 @@ let extract m ~eip ~snapshot =
   st.Ia32.State.of_ <- flag_of m Ia32.Insn.OF;
   st.Ia32.State.df <- flag_of m Ia32.Insn.DF;
   extract_fpu m snapshot st.Ia32.State.fpu;
-  extract_xmm m st;
+  extract_xmm m snapshot st;
   st
 
 (* Restore a hot commit point: copy each backup into its canonic location,
@@ -133,9 +185,10 @@ let inject m (st : Ia32.State.t) =
     M.set m (Regs.gr_of_mmx s) fpu.Ia32.Fpu.ival.(s)
   done;
   M.set32 m Regs.r_tag !tag;
-  (* both views are loaded fresh: nothing is stale *)
+  (* both views are loaded fresh: nothing is stale, parking is canonic *)
   M.set32 m Regs.r_fstale 0;
   M.set32 m Regs.r_mstale 0;
+  M.set32 m Regs.r_park 0;
   let cc =
     (if fpu.Ia32.Fpu.c0 then 0x100 else 0)
     lor (if fpu.Ia32.Fpu.c1 then 0x200 else 0)
@@ -153,38 +206,6 @@ let inject m (st : Ia32.State.t) =
   done;
   M.set32 m Regs.r_ssefmt !fmts;
   M.set32 m Regs.r_state st.Ia32.State.eip
-
-(* Engine-side recovery actions for speculation misses --------------------- *)
-
-(* TOS mismatch: rotate the FP registers (and TAG bits) so the runtime TOS
-   becomes the block's speculated TOS (paper: "on TOS mismatch, rotate
-   register values"). *)
-let rotate_tos m ~expected =
-  let actual = M.get32 m Regs.r_tos in
-  let shift = (expected - actual) land 7 in
-  if shift <> 0 then begin
-    (* physical slot s currently holds stack slot (s - actual); it must
-       move to physical (s + shift) so that slot index arithmetic relative
-       to the new TOS is unchanged *)
-    let frs = Array.init 8 (fun s -> M.getf m (Regs.fr_of_phys s)) in
-    let mms = Array.init 8 (fun s -> M.get m (Regs.gr_of_mmx s)) in
-    let rot mask =
-      let out = ref 0 in
-      for s = 0 to 7 do
-        if mask land (1 lsl s) <> 0 then out := !out lor (1 lsl ((s + shift) land 7))
-      done;
-      !out
-    in
-    for s = 0 to 7 do
-      let d = (s + shift) land 7 in
-      M.setf m (Regs.fr_of_phys d) frs.(s);
-      M.set m (Regs.gr_of_mmx d) mms.(s)
-    done;
-    M.set32 m Regs.r_tag (rot (M.get32 m Regs.r_tag));
-    M.set32 m Regs.r_fstale (rot (M.get32 m Regs.r_fstale));
-    M.set32 m Regs.r_mstale (rot (M.get32 m Regs.r_mstale));
-    M.set32 m Regs.r_tos expected
-  end
 
 (* MMX/FP mode sync (paper: "recovery code copies FP values to MMX
    registers or vice versa, and toggles the Boolean"). Only the stale side

@@ -29,7 +29,14 @@ val inject : Ipf.Machine.t -> Ia32.State.t -> unit
 val rotate_tos : Ipf.Machine.t -> expected:int -> unit
 (** TOS-check miss: rotate the FP/MMX register files and status masks so
     the runtime TOS becomes the block's speculated TOS ("on TOS
-    mismatch, rotate register values"). *)
+    mismatch, rotate register values"). {!Regs.r_park} accumulates the
+    rotation away from canonic parking. *)
+
+val canonicalize : Ipf.Machine.t -> unit
+(** Undo any outstanding parking rotation ({!Regs.r_park} back to 0), so
+    every architectural x87/MMX slot sits at its canonic index and the
+    runtime TOS equals the architectural top. Idempotent; called by
+    [extract] and by the MMX parking-check recovery. *)
 
 val sync_mode : Ipf.Machine.t -> to_mmx:bool -> unit
 (** FP/MMX staleness-check miss: refresh the stale side (copy FP bit

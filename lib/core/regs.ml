@@ -44,6 +44,14 @@ let r_ssefmt = 44
 (* Indirect-branch target (IA-32 address) communicated to the runtime. *)
 let r_btarget = 45
 
+(* FP parking offset: how far the physical x87/MMX register file is rotated
+   away from its canonic parking (slot i of the architectural FPU in
+   FR/GR index i). [Reconstruct.rotate_tos] maintains it; only engine-side
+   recovery code ever writes it — translated code treats parking as an
+   invariant and MMX block heads check it is 0 before relying on absolute
+   register indices. *)
+let r_park = 47
+
 (* MMX registers (integer view): mm0..mm7 -> r48..r55. *)
 let gr_of_mmx i = 48 + (i land 7)
 
@@ -63,9 +71,12 @@ let fr_of_phys i = 8 + (i land 7)
    - packed/scalar double: lo double in base, hi double in base+1 *)
 let fr_of_xmm_base i = 16 + (4 * (i land 7))
 
-(* Cold FP scratch. *)
-let cold_fscratch_first = 120
-let cold_fscratch_last = 126
+(* Cold FP scratch. The widest single-instruction demand is a packed-single
+   SSE op with a memory source: 4 lane loads plus a rounding temp per lane
+   (8 live FRs), so the pool spans the full f119..f127 gap above the hot
+   FP temp pool. *)
+let cold_fscratch_first = 119
+let cold_fscratch_last = 127
 
 (* Hot FP temp pool. *)
 let hot_fpool_first = 48

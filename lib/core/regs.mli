@@ -41,6 +41,12 @@ val r_ssefmt : int
 val r_btarget : int
 (** Indirect-branch target (IA-32 address) passed to the runtime. *)
 
+val r_park : int
+(** FP parking offset (r47): rotation of the physical x87/MMX file away
+    from canonic parking (architectural slot i in FR/GR index i).
+    Maintained by {!Reconstruct.rotate_tos}; 0 means canonic. MMX block
+    heads check it because their register accesses are absolute. *)
+
 val gr_of_mmx : int -> int
 (** MMX integer view: mm0..mm7 -> r48..r55. *)
 

@@ -1761,9 +1761,21 @@ let emit_sse ctx x =
       stop ctx;
       xmm_define ctx d Regs.fmt_ps
     | XMem m, XM s ->
-      xmm_require ctx s Regs.fmt_ps;
+      (* store from the current representation: converting [s] first would
+         change its parked format before a store that can fault, making the
+         pre-insn recovery snapshot wrong *)
+      let fmt = if ctx.xmm_fmt.(s) = -1 then Regs.fmt_ps else ctx.xmm_fmt.(s) in
+      xmm_require ctx s fmt;
       let addr = ctx.ea ctx m in
-      mem_storef ctx ~width:4 addr (ps_lane s 0)
+      (match fmt with
+      | f when f = Regs.fmt_int ->
+        mem_store ctx ~width:4 addr (Regs.gr_of_xmm_lo s)
+      | f when f = Regs.fmt_pd ->
+        let t = ctx.fresh () in
+        emit ctx (I.Getf_d (t, Regs.fr_of_xmm_base s));
+        stop ctx;
+        mem_store ctx ~width:4 addr t
+      | _ -> mem_storef ctx ~width:4 addr (ps_lane s 0))
     | XMem _, XMem _ -> ctx.guest_fault ctx 6)
   | Movsd_x (dst, src) -> (
     match (dst, src) with
@@ -1779,9 +1791,23 @@ let emit_sse ctx x =
       stop ctx;
       xmm_define ctx d Regs.fmt_pd
     | XMem m, XM s ->
-      xmm_require ctx s Regs.fmt_pd;
+      (* as for movss: no format conversion ahead of a faulting store *)
+      let fmt = if ctx.xmm_fmt.(s) = -1 then Regs.fmt_pd else ctx.xmm_fmt.(s) in
+      xmm_require ctx s fmt;
       let addr = ctx.ea ctx m in
-      mem_storef ctx ~width:8 addr (Regs.fr_of_xmm_base s)
+      (match fmt with
+      | f when f = Regs.fmt_int ->
+        mem_store ctx ~width:8 addr (Regs.gr_of_xmm_lo s)
+      | f when f = Regs.fmt_ps ->
+        let b0 = ctx.fresh () and b1 = ctx.fresh () in
+        emit ctx (I.Getf_s (b0, ps_lane s 0));
+        emit ctx (I.Getf_s (b1, ps_lane s 1));
+        stop ctx;
+        let t = ctx.fresh () in
+        emit ctx (I.Dep (t, b1, b0, 32, 32));
+        stop ctx;
+        mem_store ctx ~width:8 addr t
+      | _ -> mem_storef ctx ~width:8 addr (Regs.fr_of_xmm_base s))
     | XMem _, XMem _ -> ctx.guest_fault ctx 6)
   | Sse_arith (op, fmt, d, src) -> (
     match fmt with
@@ -2008,6 +2034,14 @@ let emit_sse ctx x =
   | Cvtss2sd (d, src) ->
     let b =
       match src with
+      | XM s when s = d ->
+        (* converting [d] below rewrites its lane FRs: copy the source
+           value out first *)
+        xmm_require ctx s Regs.fmt_ps;
+        let f = ctx.ffresh () in
+        emit ctx (I.Fmov (f, ps_lane s 0));
+        stop ctx;
+        f
       | XM s ->
         xmm_require ctx s Regs.fmt_ps;
         ps_lane s 0
@@ -2023,6 +2057,13 @@ let emit_sse ctx x =
   | Cvtsd2ss (d, src) ->
     let b =
       match src with
+      | XM s when s = d ->
+        (* as for cvtss2sd: the [d] conversion clobbers the source FR *)
+        xmm_require ctx s Regs.fmt_pd;
+        let f = ctx.ffresh () in
+        emit ctx (I.Fmov (f, Regs.fr_of_xmm_base s));
+        stop ctx;
+        f
       | XM s ->
         xmm_require ctx s Regs.fmt_pd;
         Regs.fr_of_xmm_base s
@@ -2348,6 +2389,7 @@ let check_tag = 2
 let check_mode_fp = 3
 let check_mode_mmx = 4
 let check_sse = 5
+let check_park = 6
 
 (* Emit the FP-stack entry check: TOS equals the speculated value and the
    TAG satisfies the block's needs. Mismatch exits with [Spec_fail]. *)
@@ -2378,6 +2420,16 @@ let emit_fp_entry_check ctx ~block_id =
     end;
     stop ctx
   end
+
+(* Parking check for MMX blocks: their register accesses are absolute
+   (MMn lives at a fixed GR/FR index), so the physical file must sit at
+   its canonic parking — no recovery rotation outstanding. *)
+let emit_park_check ctx ~block_id =
+  let p_bad = ctx.pfresh () and p_ok = ctx.pfresh () in
+  emit ctx (I.Cmpi (I.Cne, I.Cnorm, p_bad, p_ok, 0, Regs.r_park));
+  stop ctx;
+  emitp ctx p_bad (I.Br (I.Out (I.Spec_fail (block_id, check_park))));
+  stop ctx
 
 (* MMX/FP mode check: an FP block needs no FP-stale registers, an MMX block
    needs no MMX-stale registers. One compare against zero, as in the

@@ -130,6 +130,7 @@ val check_tag : int
 val check_mode_fp : int
 val check_mode_mmx : int
 val check_sse : int
+val check_park : int
 
 val r_fpcc : int
 (** GR holding the x87 condition codes C0-C3 (FCOM results). *)
@@ -140,6 +141,12 @@ val emit_fp_entry_check : ctx -> block_id:int -> unit
 
 val emit_mode_check : ctx -> block_id:int -> mmx:bool -> unit
 (** Block-head check of the FP/MMX staleness masks (aliasing, §4.4). *)
+
+val emit_park_check : ctx -> block_id:int -> unit
+(** Block-head check for MMX blocks that the physical x87/MMX file is at
+    its canonic parking ({!Regs.r_park} = 0): MMX register accesses are
+    absolute, so an outstanding TOS-recovery rotation must be undone
+    before the block may run. *)
 
 val emit_sse_entry_check : ctx -> block_id:int -> unit
 (** Block-head check of speculated XMM register formats. *)

@@ -1,0 +1,188 @@
+(** Coverage-steered differential fuzzer for the whole translation stack.
+
+    A seeded splitmix64 generator produces {e well-formed} guest programs
+    at the {!Ia32.Asm} DSL level (never raw bytes), drawing from weighted
+    feature pools that map to the paper's hard cases: EFLAGS-dependent ALU
+    chains, x87 push/pop churn across the TOS/TAG speculation boundary,
+    MMX<->FP aliasing flips, SSE ops, misaligned and page-straddling
+    accesses, bounded loops (including heat loops that push blocks into
+    the hot phase), and self-modifying stores. Every candidate runs under
+    {!Ia32el.Lockstep} with a set of {!Inject} seeds; a diverging input is
+    minimized by a structural shrinker over the DSL program and emitted as
+    a paste-ready [Asm] reproducer.
+
+    A feature-coverage map (opcode x operand-shape buckets from the
+    generated instructions, engine-event buckets from
+    {!Ia32el.Account.counters}) steers generation toward unexercised
+    paths; programs that light up new buckets are persisted to a corpus
+    directory. *)
+
+(** Deterministic splitmix64 PRNG (same stream discipline as {!Inject}). *)
+module Rng : sig
+  type t
+
+  val create : int -> t
+  val int : t -> int -> int (** uniform in [\[0, n)], [n > 0] *)
+
+  val bool : t -> bool
+  val choose : t -> 'a array -> 'a
+  val imm32 : t -> int (** uniform 32-bit, biased toward small values *)
+end
+
+(** {1 Programs} *)
+
+(** A generated instruction-level item. Branch targets are symbolic so the
+    shrinker can restructure programs without address arithmetic. *)
+type fitem =
+  | FI of Ia32.Insn.insn
+  | FLabel of string
+  | FJmp of string
+  | FJcc of Ia32.Insn.cond * string
+  | FPatch of string * int
+      (** self-modifying store: patch the imm32 of the [mov reg, imm32]
+          sitting at the named label (offset +1 into its encoding) *)
+
+type atom =
+  | Block of { pool : string; items : fitem list }
+  | Loop of { pool : string; id : int; count : int; body : atom list }
+
+type prog = { seed : int; atoms : atom list }
+
+val scratch_base : int
+(** Base of the generated programs' scratch data region (register [ebp]
+    holds this value throughout a generated program). *)
+
+val data_items : Ia32.Asm.item list
+(** The data section every generated program is built with. *)
+
+val to_items : prog -> Ia32.Asm.item list
+(** Lower to assembler items (includes the ["start"] label). *)
+
+val build_image : prog -> Ia32.Asm.image
+val insn_count : prog -> int (** emitted instructions, labels excluded *)
+
+val prog_insns : prog -> Ia32.Insn.insn list
+(** Every instruction the program assembles to, with symbolic branch
+    targets replaced by representative in-range addresses — the input to
+    the encode/decode round-trip property. *)
+
+val pools : prog -> string list
+(** Distinct generator pools the program draws from. *)
+
+val pp_prog_asm : Format.formatter -> prog -> unit
+val pp_prog_ocaml : Format.formatter -> prog -> unit
+(** Paste-ready OCaml [Asm] program (code and data sections). *)
+
+(** {1 Coverage} *)
+
+module Coverage : sig
+  type t
+
+  val create : unit -> t
+  val note : t -> string -> bool (** [true] when the bucket is new *)
+
+  val covered : t -> string -> bool
+  val cardinal : t -> int
+  val to_list : t -> (string * int) list (** sorted [(bucket, hits)] *)
+end
+
+val static_buckets : Ia32.Insn.insn -> string list
+(** Opcode and operand-shape coverage buckets of one instruction. *)
+
+(** {1 Generation} *)
+
+val generate : ?steer:Coverage.t -> rng:Rng.t -> max_insns:int -> int -> prog
+(** [generate ~rng ~max_insns seed] builds one well-formed program of at
+    most [max_insns] emitted instructions. [steer] biases pool selection
+    toward pools whose target buckets are still uncovered. [seed] is
+    recorded in the program for reproduction. *)
+
+val gen_insn : Rng.t -> Ia32.Insn.insn
+(** One random encodable instruction (decoder-surface sampling, used by
+    the boundary fuzz and round-trip tests); not necessarily executable
+    in a well-formed program. *)
+
+(** {1 Running} *)
+
+type run_result =
+  | R_ok of { commits : int; exit_code : int }
+  | R_halted of Ia32.Fault.t
+      (** both vehicles agreed on a terminal architectural fault *)
+  | R_fuel
+  | R_diverged of Ia32el.Lockstep.divergence
+  | R_crash of string (** an OCaml exception escaped the stack *)
+
+type exec = { result : run_result; engine : Ia32el.Engine.t option }
+
+val run_one :
+  ?config:Ia32el.Config.t ->
+  ?fuel:int ->
+  ?inject_seed:int ->
+  ?attach_extra:(Ia32el.Engine.t -> unit) ->
+  prog ->
+  exec
+(** Build the program image and run it under lockstep, optionally with
+    the chaos injector at [inject_seed]; [attach_extra] runs after the
+    injector (it must chain [on_dispatch] if both are used). *)
+
+(** {1 Findings and shrinking} *)
+
+type classification = Diverged | Crashed | Livelocked
+
+type finding = {
+  prog : prog;
+  inject_seed : int option;
+  classification : classification;
+  detail : string;
+  window : string list; (** lockstep reproducer window, when diverged *)
+}
+
+val shrink :
+  ?budget:int ->
+  ?config:Ia32el.Config.t ->
+  ?fuel:int ->
+  ?attach_extra:(Ia32el.Engine.t -> unit) ->
+  finding ->
+  finding
+(** Structural minimization: drop injection seed, drop atoms (ordered by
+    the lockstep reproducer window — atoms not implicated are tried
+    first), flatten loops and shrink trip counts, drop single
+    instructions, simplify operands. Each candidate re-runs lockstep and
+    is kept only when the same failure class persists; [budget] bounds
+    the number of re-runs. Deterministic. *)
+
+val pp_finding : Format.formatter -> finding -> unit
+
+(** {1 Campaigns} *)
+
+type campaign_config = {
+  seed : int;
+  runs : int; (** programs to generate *)
+  max_insns : int;
+  inject_seeds : int list; (** chaos seeds per program (plus a clean run) *)
+  shrink_findings : bool;
+  shrink_budget : int;
+  fuel : int;
+  max_findings : int; (** stop the campaign after this many findings *)
+  corpus_dir : string option;
+  attach_extra : (Ia32el.Engine.t -> unit) option;
+  log : string -> unit;
+}
+
+val default_campaign : campaign_config
+
+type campaign_result = {
+  programs : int;
+  executions : int; (** program x seed lockstep runs *)
+  pools_hit : (string * int) list;
+  coverage : (string * int) list;
+  findings : finding list; (** shrunk when [shrink_findings] *)
+  corpus_saved : int;
+}
+
+val campaign : campaign_config -> campaign_result
+
+(** {1 CLI helpers} *)
+
+val parse_seed_spec : string -> (int list, string) result
+(** Accepts ["3"], ["0-8"], ["3,7,11"] and combinations (["1,4-6"]). *)

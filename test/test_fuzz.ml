@@ -1,0 +1,184 @@
+(* Tests for the differential fuzzer itself: the shrinker must reduce a
+   seeded engine bug to a tiny reproducer, truncated instructions at a page
+   boundary must fault precisely in both vehicles, and a small campaign
+   over the healthy translator must come back clean. *)
+
+module F = Harness.Fuzz
+module E = Ia32el.Engine
+module M = Ipf.Machine
+module L = Ia32el.Lockstep
+
+(* ---------------------------------------------------------------- *)
+(* Shrinker regression: seed a deterministic engine bug              *)
+(* ---------------------------------------------------------------- *)
+
+(* The seeded bug: every engine dispatch forces CF to 1, so any program
+   diverges at its first commit point. Chains any previously attached
+   dispatch hook, as run_one requires. *)
+let seeded_bug (e : E.t) =
+  let prev = e.E.on_dispatch in
+  e.E.on_dispatch <-
+    Some
+      (fun eip ->
+        (match prev with Some f -> f eip | None -> ());
+        M.set e.E.machine (Ia32el.Regs.gr_of_flag Ia32.Insn.CF) 1L)
+
+let shrinker_tests =
+  [
+    Alcotest.test_case "seeded bug found and shrunk small" `Quick (fun () ->
+        let r =
+          F.campaign
+            {
+              F.default_campaign with
+              F.seed = 11;
+              runs = 5;
+              max_insns = 24;
+              inject_seeds = [];
+              max_findings = 1;
+              attach_extra = Some seeded_bug;
+              corpus_dir = None;
+            }
+        in
+        (match r.F.findings with
+        | [ f ] ->
+          (match f.F.classification with
+          | F.Diverged -> ()
+          | _ -> Alcotest.fail "expected a divergence finding");
+          let n = F.insn_count f.F.prog in
+          if n > 8 then
+            Alcotest.failf "shrunk reproducer still has %d instructions" n
+        | fs -> Alcotest.failf "expected exactly one finding, got %d"
+                  (List.length fs)));
+    Alcotest.test_case "shrinking is deterministic" `Quick (fun () ->
+        let run () =
+          let r =
+            F.campaign
+              {
+                F.default_campaign with
+                F.seed = 11;
+                runs = 2;
+                inject_seeds = [];
+                max_findings = 1;
+                attach_extra = Some seeded_bug;
+                corpus_dir = None;
+              }
+          in
+          List.map
+            (fun f -> Fmt.str "%a" F.pp_prog_asm f.F.prog)
+            r.F.findings
+        in
+        Alcotest.(check (list string)) "same shrunk programs" (run ()) (run ()));
+  ]
+
+(* ---------------------------------------------------------------- *)
+(* Decoder boundary: truncated instruction at the end of a page      *)
+(* ---------------------------------------------------------------- *)
+
+(* Assemble a program whose last bytes are a truncated instruction ending
+   exactly at a page boundary with the next page unmapped. Both vehicles
+   must agree on the outcome (normally a precise fetch fault) and never
+   diverge or throw. *)
+let truncated_at_page_end insn =
+  let page = 0x1000 in
+  let bytes = Ia32.Encode.encode ~ip:0 insn in
+  let len = String.length bytes in
+  if len < 2 then None
+  else begin
+    let keep = len - 1 in
+    let truncated = String.sub bytes 0 keep in
+    (* jmp rel32 is 5 bytes; land the truncated bytes at page end *)
+    let code =
+      Ia32.Asm.
+        [
+          label "start";
+          jmp "tail";
+          space (page - 5 - keep);
+          label "tail";
+          raw truncated;
+        ]
+    in
+    let image = Ia32.Asm.build ~code ~data:Ia32.Asm.[ space 16 ] () in
+    let mem = Ia32.Memory.create () in
+    let st0 = Ia32.Asm.load image mem in
+    let report =
+      L.run ~fuel:100_000 ~btlib:(module Btlib.Linuxsim) mem st0
+    in
+    Some report
+  end
+
+let boundary_tests =
+  [
+    Alcotest.test_case "truncated insns at page end fault precisely" `Quick
+      (fun () ->
+        let rng = F.Rng.create 2024 in
+        let tried = ref 0 in
+        while !tried < 50 do
+          let insn = F.gen_insn rng in
+          match truncated_at_page_end insn with
+          | None -> () (* 1-byte encoding: nothing to truncate *)
+          | Some report ->
+            incr tried;
+            (match report.L.divergence with
+            | Some d ->
+              Alcotest.failf "diverged on truncated [%s]: %a"
+                (Ia32.Insn.to_string insn) L.pp_divergence d
+            | None -> ());
+            (match report.L.outcome with
+            | Some (E.Unhandled_fault _) | Some (E.Exited _) -> ()
+            | Some E.Out_of_fuel | None ->
+              Alcotest.failf "livelock on truncated [%s]"
+                (Ia32.Insn.to_string insn))
+        done);
+  ]
+
+(* ---------------------------------------------------------------- *)
+(* Campaign smoke: the healthy translator survives a small campaign  *)
+(* ---------------------------------------------------------------- *)
+
+let campaign_tests =
+  [
+    Alcotest.test_case "small campaign is clean" `Slow (fun () ->
+        let r =
+          F.campaign
+            {
+              F.default_campaign with
+              F.seed = 5;
+              runs = 40;
+              max_insns = 24;
+              inject_seeds = [ 1 ];
+              corpus_dir = None;
+            }
+        in
+        Alcotest.(check int) "programs" 40 r.F.programs;
+        if r.F.executions < 80 then
+          Alcotest.failf "expected >= 80 executions, got %d" r.F.executions;
+        if List.length r.F.pools_hit < 5 then
+          Alcotest.failf "expected >= 5 pools, got %d"
+            (List.length r.F.pools_hit);
+        (match r.F.findings with
+        | [] -> ()
+        | f :: _ ->
+          Alcotest.failf "campaign found a bug:@.%a" F.pp_finding f);
+        if List.length r.F.coverage < 20 then
+          Alcotest.failf "expected >= 20 coverage buckets, got %d"
+            (List.length r.F.coverage));
+    Alcotest.test_case "seed spec parsing" `Quick (fun () ->
+        let ok s = match F.parse_seed_spec s with
+          | Ok l -> l
+          | Error e -> Alcotest.failf "unexpected parse error on %S: %s" s e
+        in
+        Alcotest.(check (list int)) "single" [ 3 ] (ok "3");
+        Alcotest.(check (list int)) "range" [ 0; 1; 2 ] (ok "0-2");
+        Alcotest.(check (list int)) "mixed" [ 1; 4; 5; 6 ] (ok "1,4-6");
+        (match F.parse_seed_spec "x" with
+        | Error _ -> ()
+        | Ok _ -> Alcotest.fail "expected parse error on \"x\""));
+  ]
+
+let () =
+  Alcotest.run "fuzz"
+    [
+      ("shrinker", shrinker_tests);
+      ("decoder-boundary", boundary_tests);
+      ("campaign", campaign_tests);
+    ]

@@ -1126,6 +1126,27 @@ let asm_tests =
         check int "eax" 6 (State.get32 st Insn.Eax));
   ]
 
+(* ---------------------------------------------------------------- *)
+(* Encoder/decoder round-trip over the fuzzer's generators           *)
+(* ---------------------------------------------------------------- *)
+
+(* The differential fuzzer samples the instruction surface with its own
+   generators; every instruction it can emit must survive encode/decode. *)
+let fuzzgen_roundtrip_tests =
+  [
+    Alcotest.test_case "gen_insn surface roundtrips" `Quick (fun () ->
+        let rng = Harness.Fuzz.Rng.create 42 in
+        for _ = 1 to 2000 do
+          roundtrip (Harness.Fuzz.gen_insn rng)
+        done);
+    Alcotest.test_case "generated program insns roundtrip" `Quick (fun () ->
+        let rng = Harness.Fuzz.Rng.create 7 in
+        for seed = 0 to 19 do
+          let p = Harness.Fuzz.generate ~rng ~max_insns:32 seed in
+          List.iter roundtrip (Harness.Fuzz.prog_insns p)
+        done);
+  ]
+
 let () =
   Alcotest.run "ia32"
     [
@@ -1136,6 +1157,7 @@ let () =
       ("encode-vectors", encode_vector_tests);
       ("roundtrip-unit", roundtrip_unit_tests);
       ("roundtrip-qcheck", [ QCheck_alcotest.to_alcotest qcheck_roundtrip ]);
+      ("roundtrip-fuzzgen", fuzzgen_roundtrip_tests);
       ("interp", interp_tests);
       ("asm", asm_tests);
     ]
