@@ -7,6 +7,7 @@
      bench/main.exe fig5            one experiment
      bench/main.exe --scale 2 all   bigger workloads
      bench/main.exe --bechamel      Bechamel micro-benchmarks
+     bench/main.exe --json          write BENCH_results.json (no text report)
 *)
 
 module B = Workloads.Baselines
@@ -221,6 +222,119 @@ let ablations ~scale () =
       sse_format_speculation = false };
   Printf.printf "\n"
 
+(* ---------------- machine-readable report (--json) ---------------- *)
+
+let json_file = "BENCH_results.json"
+
+let json_report ~scale () =
+  let open Obs.Metrics in
+  let rows, geomean = F.fig5 ~scale () in
+  let fig5_json =
+    Obj
+      [
+        ("geomean", Float geomean);
+        ( "rows",
+          List
+            (List.map
+               (fun (r : F.fig5_row) ->
+                 Obj
+                   [
+                     ("name", Str r.F.name);
+                     ("el_cycles", Int r.F.el_cycles);
+                     ("native_cycles", Int r.F.native_cycles);
+                     ("score", Float r.F.score);
+                     ( "paper",
+                       match r.F.paper with Some p -> Int p | None -> Null );
+                   ])
+               rows) );
+      ]
+  in
+  let dist (h, c, o, x, i) =
+    Obj
+      [
+        ("hot", Float h); ("cold", Float c); ("overhead", Float o);
+        ("other", Float x); ("idle", Float i);
+      ]
+  in
+  let fig8_json =
+    List
+      (List.map
+         (fun (r : F.fig8_row) ->
+           Obj
+             [
+               ("suite", Str r.F.suite); ("ratio", Float r.F.ratio);
+               ("paper", Float r.F.paper8);
+             ])
+         (F.fig8 ~scale ()))
+  in
+  let off, on_ = F.misalign_anecdote ~scale () in
+  let s = F.stats ~scale () in
+  let stats_json =
+    Obj
+      [
+        ("cold_block_insns", Float s.F.cold_block_insns);
+        ("hot_block_insns", Float s.F.hot_block_insns);
+        ("pct_blocks_heated", Float s.F.pct_blocks_heated);
+        ("hot_cold_overhead_ratio", Float s.F.hot_cold_overhead_ratio);
+        ("native_insns_per_commit", Float s.F.native_insns_per_commit);
+        ("hot_time_pct", Float s.F.hot_time_pct);
+        ("spec_checks", Int s.F.spec_checks);
+        ("spec_misses", Int s.F.spec_misses);
+        ("spec_success", Float s.F.spec_success);
+      ]
+  in
+  let workload_json w =
+    let r = B.run_el w ~scale in
+    let fields =
+      [ ("cycles", Int r.B.cycles) ]
+      @ (match r.B.distribution with
+        | Some d ->
+          [
+            ( "distribution",
+              Obj
+                [
+                  ("hot", Int d.Ia32el.Account.hot);
+                  ("cold", Int d.Ia32el.Account.cold);
+                  ("overhead", Int d.Ia32el.Account.overhead);
+                  ("other", Int d.Ia32el.Account.other);
+                  ("idle", Int d.Ia32el.Account.idle);
+                  ("total", Int d.Ia32el.Account.total);
+                ] );
+          ]
+        | None -> [])
+      @
+      match r.B.engine with
+      | Some e ->
+        [
+          ( "counters",
+            Obj
+              (List.map
+                 (fun (k, v) -> (k, Int v))
+                 (counters (Ia32el.Engine.metrics e))) );
+        ]
+      | None -> []
+    in
+    (w.Workloads.Common.name, Obj fields)
+  in
+  let report =
+    Obj
+      [
+        ("schema", Str "ia32el-bench/1");
+        ("scale", Int scale);
+        ("fig5", fig5_json);
+        ("fig6", dist (F.fig6 ~scale ()));
+        ("fig7", dist (F.fig7 ~scale ()));
+        ("fig8", fig8_json);
+        ("misalign", Obj [ ("off_cycles", Int off); ("on_cycles", Int on_) ]);
+        ("stats", stats_json);
+        ("workloads", Obj (List.map workload_json Workloads.Spec_int.all));
+      ]
+  in
+  let oc = open_out json_file in
+  output_string oc (json_to_string report);
+  close_out oc;
+  Printf.printf "wrote %s\n" json_file
+
 (* ---------------- Bechamel micro-benchmarks ---------------- *)
 
 let bechamel () =
@@ -309,9 +423,13 @@ let bechamel () =
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
   let scale = ref 1 in
+  let json = ref false in
   let rec parse = function
     | "--scale" :: n :: rest ->
       scale := int_of_string n;
+      parse rest
+    | "--json" :: rest ->
+      json := true;
       parse rest
     | x :: rest -> x :: parse rest
     | [] -> []
@@ -329,8 +447,8 @@ let () =
     circuitry ~scale ();
     ablations ~scale ()
   in
-  match cmds with
-  | [] | [ "all" ] -> all ()
+  (match cmds with
+  | [] | [ "all" ] -> if not !json then all ()
   | [ "--bechamel" ] -> bechamel ()
   | cmds ->
     List.iter
@@ -346,4 +464,5 @@ let () =
         | "ablations" -> ablations ~scale ()
         | "all" -> all ()
         | other -> Printf.eprintf "unknown command %S\n" other)
-      cmds
+      cmds);
+  if !json then json_report ~scale ()

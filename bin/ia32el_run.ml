@@ -13,7 +13,10 @@
      ia32el-run run office --model xeon
      ia32el-run run gzip --lockstep
      ia32el-run run gzip --lockstep --inject 3
-     ia32el-run run gzip --lockstep --inject 1,4-8 *)
+     ia32el-run run gzip --lockstep --inject 1,4-8
+     ia32el-run run gzip --trace trace.json --metrics metrics.json
+     ia32el-run run gzip --profile
+     ia32el-run run gzip --trace-stderr *)
 
 module B = Workloads.Baselines
 module C = Workloads.Common
@@ -69,50 +72,74 @@ let model_conv =
           | M_circuitry -> "circuitry"
           | M_xeon -> "xeon") )
 
-let print_stats (a : Ia32el.Account.t) =
-  Printf.printf "translation:\n";
-  Printf.printf "  cold blocks %d (%d insns, %.1f insns/block)\n"
-    a.Ia32el.Account.cold_blocks a.Ia32el.Account.cold_insns
-    (Float.of_int a.Ia32el.Account.cold_insns
-    /. Float.of_int (max 1 a.Ia32el.Account.cold_blocks));
-  Printf.printf "  stage-2 regenerations %d   hot discards %d\n"
-    a.Ia32el.Account.cold_regens a.Ia32el.Account.hot_discards;
-  Printf.printf "  hot traces %d (%d source insns -> %d target insns)\n"
-    a.Ia32el.Account.hot_blocks a.Ia32el.Account.hot_insns
-    a.Ia32el.Account.hot_target_insns;
-  Printf.printf "  heat triggers %d   commit points %d\n"
-    a.Ia32el.Account.heat_triggers a.Ia32el.Account.commit_points;
-  Printf.printf "engine:\n";
-  Printf.printf "  dispatches %d   chain patches %d   indirect %d (%d miss)\n"
-    a.Ia32el.Account.dispatches a.Ia32el.Account.chain_patches
-    a.Ia32el.Account.indirect_lookups a.Ia32el.Account.indirect_misses;
-  Printf.printf "speculation:\n";
-  Printf.printf "  TOS checks %d (miss %d)   tag miss %d\n"
-    a.Ia32el.Account.tos_checks a.Ia32el.Account.tos_misses
-    a.Ia32el.Account.tag_misses;
-  Printf.printf "  mode checks %d (miss %d)   SSE checks %d (miss %d)\n"
-    a.Ia32el.Account.mode_checks a.Ia32el.Account.mode_misses
-    a.Ia32el.Account.sse_checks a.Ia32el.Account.sse_misses;
-  Printf.printf "misalignment:\n";
-  Printf.printf
-    "  stage-1 hits %d   avoidance sequences %d   OS-priced traps %d\n"
-    a.Ia32el.Account.misalign_stage1_hits a.Ia32el.Account.misalign_avoided
-    a.Ia32el.Account.misalign_os_faults;
-  Printf.printf "exceptions:\n";
-  Printf.printf "  filtered %d   rollforwards %d   SMC invalidations %d\n"
-    a.Ia32el.Account.exceptions_filtered a.Ia32el.Account.rollforwards
-    a.Ia32el.Account.smc_invalidations;
-  if a.Ia32el.Account.cache_flushes > 0 then
-    Printf.printf "translation-cache flushes: %d\n"
-      a.Ia32el.Account.cache_flushes;
-  if
-    a.Ia32el.Account.degrade_interp_entries > 0
-    || a.Ia32el.Account.degrade_smc_storms > 0
-  then
-    Printf.printf
-      "degradation: interp-only entries %d   SMC-storm pages %d\n"
-      a.Ia32el.Account.degrade_interp_entries
-      a.Ia32el.Account.degrade_smc_storms
+(* One source of truth for statistics: the same Obs.Metrics snapshot that
+   backs --metrics JSON export and the fuzzer's coverage steering, here
+   rendered as grouped text. *)
+let print_stats (eng : Ia32el.Engine.t) =
+  Fmt.pr "%a" Obs.Metrics.pp_text (Ia32el.Engine.metrics eng)
+
+(* ------------------------------------------------------------------ *)
+(* observability plumbing                                              *)
+(* ------------------------------------------------------------------ *)
+
+type obs_opts = {
+  trace_file : string option;
+  trace_stderr : bool;
+  profile_top : int option;
+  metrics_file : string option;
+}
+
+let obs_requested o =
+  o.trace_file <> None || o.trace_stderr || o.profile_top <> None
+  || o.metrics_file <> None
+
+(* Attach trace/profile per the flags; called with the fresh engine
+   before the run starts. *)
+let obs_attach o eng =
+  if o.trace_file <> None || o.trace_stderr then begin
+    let tr = Obs.Trace.create () in
+    Ia32el.Engine.attach_trace eng tr;
+    if o.trace_stderr then
+      Obs.Trace.set_echo tr (fun e -> Fmt.epr "%a@." Obs.Trace.pp_event e)
+  end;
+  if o.profile_top <> None then
+    Ia32el.Engine.attach_profile eng (Obs.Profile.create ())
+
+(* Map a guest entry EIP to a symbolic name using the workload image's
+   label table: exact label, or nearest label below as label+0xOFF. *)
+let name_of labels entry =
+  let best =
+    List.fold_left
+      (fun acc (n, a) -> if a <= entry then Some (n, a) else acc)
+      None labels
+  in
+  match best with
+  | Some (n, a) when a = entry -> Some n
+  | Some (n, a) when entry - a < 0x10000 ->
+    Some (Printf.sprintf "%s+0x%x" n (entry - a))
+  | _ -> None
+
+(* Emit the requested artifacts after the run. *)
+let obs_finish o labels eng =
+  (match (o.trace_file, Ia32el.Engine.trace eng) with
+  | Some file, Some tr ->
+    let oc = open_out file in
+    Obs.Trace.write_chrome tr oc;
+    close_out oc;
+    Printf.printf "trace: %d events (%d dropped) -> %s\n" (Obs.Trace.length tr)
+      (Obs.Trace.dropped tr) file
+  | _ -> ());
+  (match (o.profile_top, Ia32el.Engine.profile eng) with
+  | Some n, Some p ->
+    Fmt.pr "%a" (fun ppf -> Obs.Profile.render ~top:n ~name_of:(name_of labels) ppf) p
+  | _ -> ());
+  match o.metrics_file with
+  | Some file ->
+    let oc = open_out file in
+    Obs.Metrics.write (Ia32el.Engine.metrics eng) oc;
+    close_out oc;
+    Printf.printf "metrics -> %s\n" file
+  | None -> ()
 
 let print_inject_stats = function
   | Some s -> Fmt.pr "%a@." Harness.Inject.pp_stats s
@@ -120,8 +147,11 @@ let print_inject_stats = function
 
 (* --lockstep: run the engine against the reference interpreter, with the
    chaos injector when --inject SEED is given. *)
-let run_lockstep_cmd w config desc scale stats seed =
-  let r = Harness.Resilience.run_lockstep ~config ?seed w ~scale in
+let run_lockstep_cmd w config desc scale stats obs labels seed =
+  let r =
+    Harness.Resilience.run_lockstep ~config ?seed
+      ~attach_extra:(obs_attach obs) w ~scale
+  in
   (match r.Harness.Resilience.report.Ia32el.Lockstep.divergence with
   | Some d ->
     Fmt.epr "%s under %s DIVERGED:@.%a@." w.C.name desc
@@ -142,11 +172,15 @@ let run_lockstep_cmd w config desc scale stats seed =
   | Some Ia32el.Engine.Out_of_fuel | None ->
     Printf.printf "%s under %s in lockstep: out of fuel\n" w.C.name desc);
   print_inject_stats r.Harness.Resilience.inject_stats;
-  if stats then print_stats r.Harness.Resilience.engine.Ia32el.Engine.acct
+  if stats then print_stats r.Harness.Resilience.engine;
+  obs_finish obs labels r.Harness.Resilience.engine
 
 (* --inject SEED without --lockstep: chaos, engine only. *)
-let run_injected_cmd w config desc scale stats seed =
-  let r = Harness.Resilience.run_plain ~config ~seed w ~scale in
+let run_injected_cmd w config desc scale stats obs labels seed =
+  let r =
+    Harness.Resilience.run_plain ~config ~seed ~attach:(obs_attach obs) w
+      ~scale
+  in
   (match r.Harness.Resilience.outcome with
   | Ia32el.Engine.Exited (code, _) ->
     Printf.printf "%s under %s with injection seed %d: exit %d\n" w.C.name
@@ -158,9 +192,12 @@ let run_injected_cmd w config desc scale stats seed =
     Printf.printf "%s under %s with injection seed %d: out of fuel\n" w.C.name
       desc seed);
   print_inject_stats r.Harness.Resilience.inject_stats;
-  if stats then print_stats r.Harness.Resilience.engine.Ia32el.Engine.acct
+  if stats then print_stats r.Harness.Resilience.engine;
+  obs_finish obs labels r.Harness.Resilience.engine
 
-let run_cmd name model scale stats lockstep inject =
+let run_cmd name model scale stats lockstep inject trace_file trace_stderr
+    profile_top metrics_file =
+  let obs = { trace_file; trace_stderr; profile_top; metrics_file } in
   let inject_seeds =
     match inject with
     | None -> None
@@ -180,32 +217,41 @@ let run_cmd name model scale stats lockstep inject =
     exit 1
   | Some w -> (
     try
+      let labels =
+        if obs_requested obs then (w.C.build ~scale ~wide:false).Ia32.Asm.labels
+        else []
+      in
       match model with
       | (M_native | M_circuitry | M_xeon)
-        when lockstep || inject_seeds <> None ->
+        when lockstep || inject_seeds <> None || obs_requested obs ->
         Printf.eprintf
-          "--lockstep/--inject only apply to the translator models\n";
+          "--lockstep/--inject/--trace/--profile/--metrics only apply to \
+           the translator models\n";
         exit 1
       | M_el (config, desc) when lockstep -> (
         match inject_seeds with
-        | None -> run_lockstep_cmd w config desc scale stats None
+        | None -> run_lockstep_cmd w config desc scale stats obs labels None
         | Some seeds ->
           List.iter
-            (fun s -> run_lockstep_cmd w config desc scale stats (Some s))
+            (fun s ->
+              run_lockstep_cmd w config desc scale stats obs labels (Some s))
             seeds)
       | M_el (config, desc) when inject_seeds <> None ->
         List.iter
-          (fun s -> run_injected_cmd w config desc scale stats s)
+          (fun s -> run_injected_cmd w config desc scale stats obs labels s)
           (Option.get inject_seeds)
       | M_el (config, desc) ->
-        let r = B.run_el ~config w ~scale in
+        let r = B.run_el ~config ~attach:(obs_attach obs) w ~scale in
         Printf.printf "%s under %s: %d cycles\n" w.C.name desc r.B.cycles;
         (match r.B.distribution with
         | Some d -> Fmt.pr "%a@." Ia32el.Account.pp_distribution d
         | None -> ());
         (match (stats, r.B.engine) with
-        | true, Some eng -> print_stats eng.Ia32el.Engine.acct
-        | _ -> ())
+        | true, Some eng -> print_stats eng
+        | _ -> ());
+        (match r.B.engine with
+        | Some eng -> obs_finish obs labels eng
+        | None -> ())
       | M_native ->
         let r = B.run_native w ~scale in
         Printf.printf "%s natively compiled (model): %d cycles\n" w.C.name
@@ -283,10 +329,52 @@ let inject_arg =
            runs once per seed. Combine with $(b,--lockstep) to verify each \
            run stays semantics-preserving.")
 
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Record structured engine events (dispatch, translation, heat, \
+           speculation misses, faults, SMC, syscalls, degradation) and \
+           write the retained window as Chrome trace_event JSON to \
+           $(docv), loadable in chrome://tracing or Perfetto.")
+
+let trace_stderr_arg =
+  Arg.(
+    value & flag
+    & info [ "trace-stderr" ]
+        ~doc:
+          "Pretty-print every trace event to stderr live (replaces the \
+           old IA32EL_TRACE environment hook).")
+
+let profile_arg =
+  Arg.(
+    value
+    & opt ~vopt:(Some 10) (some int) None
+    & info [ "profile" ] ~docv:"N"
+        ~doc:
+          "Attribute executed cycles to guest blocks and print the top \
+           $(docv) (default 10) hot spots: self cycles split hot/cold, \
+           translation overhead, recovery cycles, with symbolic labels \
+           from the workload's assembler label table.")
+
+let metrics_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics" ] ~docv:"FILE"
+        ~doc:
+          "Write the full metrics snapshot (cycle distribution, counters, \
+           machine/tcache/dcache/OS statistics, profile summary when \
+           $(b,--profile) is active) as JSON to $(docv), schema \
+           $(b,ia32el-metrics/1).")
+
 let run_t =
   Term.(
     const run_cmd $ workload_arg $ model_arg $ scale_arg $ stats_arg
-    $ lockstep_arg $ inject_arg)
+    $ lockstep_arg $ inject_arg $ trace_arg $ trace_stderr_arg $ profile_arg
+    $ metrics_arg)
 
 let run_info =
   Cmd.info "run" ~doc:"Run one workload under a chosen execution model."

@@ -1,0 +1,138 @@
+(* metrics-smoke: validate the observability artifacts of one traced run.
+
+   Usage: metrics_smoke TRACE.json METRICS.json
+
+   Checks, in order:
+   1. TRACE.json parses and is a Chrome trace_event array: a non-empty
+      JSON list whose elements carry name/ph/ts/pid/tid with the right
+      types (ph "X" events also need dur).
+   2. METRICS.json parses against the ia32el-metrics/1 schema: required
+      sections present, cycles.total an integer, counters non-empty.
+   3. Determinism guard: re-run the same workload with no observability
+      attached and require bit-identical total cycles and counters —
+      tracing must not perturb the simulation. *)
+
+module J = Obs.Metrics
+
+let workload_name = "gzip"
+
+let fail fmt =
+  Printf.ksprintf
+    (fun msg ->
+      Printf.eprintf "metrics-smoke: %s\n" msg;
+      exit 1)
+    fmt
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let parse_file path =
+  match J.parse (read_file path) with
+  | Ok j -> j
+  | Error msg -> fail "%s: %s" path msg
+
+let expect_int path ctx = function
+  | Some (J.Int _) -> ()
+  | Some _ -> fail "%s: %s is not an integer" path ctx
+  | None -> fail "%s: missing %s" path ctx
+
+let expect_str path ctx = function
+  | Some (J.Str s) -> s
+  | Some _ -> fail "%s: %s is not a string" path ctx
+  | None -> fail "%s: missing %s" path ctx
+
+let check_trace path =
+  match parse_file path with
+  | J.List [] -> fail "%s: empty trace_event array" path
+  | J.List events ->
+    List.iteri
+      (fun i ev ->
+        let ctx what = Printf.sprintf "event %d: %s" i what in
+        ignore (expect_str path (ctx "name") (J.member "name" ev));
+        let ph = expect_str path (ctx "ph") (J.member "ph" ev) in
+        expect_int path (ctx "ts") (J.member "ts" ev);
+        expect_int path (ctx "pid") (J.member "pid" ev);
+        expect_int path (ctx "tid") (J.member "tid" ev);
+        if ph = "X" then expect_int path (ctx "dur") (J.member "dur" ev)
+        else if ph <> "i" then fail "%s: %s" path (ctx ("bad ph " ^ ph)))
+      events;
+    List.length events
+  | _ -> fail "%s: top level is not an array" path
+
+let get_section path metrics name =
+  match J.member name metrics with
+  | Some (J.Obj fields) -> fields
+  | Some _ -> fail "%s: section %s is not an object" path name
+  | None -> fail "%s: missing section %s" path name
+
+let check_metrics path =
+  let m = parse_file path in
+  let schema = expect_str path "schema" (J.member "schema" m) in
+  if schema <> "ia32el-metrics/1" then
+    fail "%s: unexpected schema %s" path schema;
+  let cycles = get_section path m "cycles" in
+  let total =
+    match List.assoc_opt "total" cycles with
+    | Some (J.Int n) -> n
+    | _ -> fail "%s: cycles.total missing or not an integer" path
+  in
+  let counters =
+    List.filter_map
+      (fun (k, v) -> match v with J.Int n -> Some (k, n) | _ -> None)
+      (get_section path m "counters")
+  in
+  if counters = [] then fail "%s: counters section is empty" path;
+  List.iter
+    (fun s -> ignore (get_section path m s))
+    [ "machine"; "tcache"; "dcache"; "vos" ];
+  (total, counters)
+
+let () =
+  let trace_path, metrics_path =
+    match Sys.argv with
+    | [| _; t; m |] -> (t, m)
+    | _ -> fail "usage: metrics_smoke TRACE.json METRICS.json"
+  in
+  let n_events = check_trace trace_path in
+  let traced_total, traced_counters = check_metrics metrics_path in
+  (* determinism guard: a fresh run with no observability attached must
+     report exactly the cycles and counters the traced run exported *)
+  let w =
+    match
+      List.find_opt
+        (fun w -> w.Workloads.Common.name = workload_name)
+        Workloads.Spec_int.all
+    with
+    | Some w -> w
+    | None -> fail "workload %s not found" workload_name
+  in
+  let r = Workloads.Baselines.run_el w ~scale:1 in
+  let eng =
+    match r.Workloads.Baselines.engine with
+    | Some e -> e
+    | None -> fail "no engine from plain run"
+  in
+  let plain = Ia32el.Engine.metrics eng in
+  let plain_total =
+    match J.member "total" (J.Obj (List.assoc "cycles" (J.sections plain))) with
+    | Some (J.Int n) -> n
+    | _ -> fail "plain run: no cycles.total"
+  in
+  if plain_total <> traced_total then
+    fail "tracing perturbed the run: %d cycles traced vs %d plain"
+      traced_total plain_total;
+  List.iter
+    (fun (k, v) ->
+      match List.assoc_opt k (J.counters plain) with
+      | Some v' when v' = v -> ()
+      | Some v' -> fail "counter %s: %d traced vs %d plain" k v v'
+      | None -> fail "counter %s missing from plain run" k)
+    traced_counters;
+  Printf.printf
+    "metrics-smoke OK: %d trace events, %d cycles, %d counters identical \
+     with and without observability\n"
+    n_events traced_total (List.length traced_counters)

@@ -26,6 +26,9 @@ type t = {
      retries after a backoff. Guest-transparent: only kernel time moves. *)
   mutable transient_fault : (Syscall.call -> bool) option;
   mutable transient_retries : int; (* attempts that failed transiently *)
+  (* observability: when set, syscall entry/exit events are emitted here.
+     Recording only — never affects service behavior or accounting. *)
+  mutable trace : Obs.Trace.t option;
 }
 
 let heap_base_default = 0x10000000
@@ -47,6 +50,7 @@ let create mem =
     clock = (fun _ -> 0);
     transient_fault = None;
     transient_retries = 0;
+    trace = None;
   }
 
 let output t = Buffer.contents t.output
@@ -75,10 +79,22 @@ let ride_out_transients t call =
     in
     go 0
 
+let call_name = function
+  | Syscall.Exit _ -> "exit"
+  | Syscall.Write _ -> "write"
+  | Syscall.Sbrk _ -> "sbrk"
+  | Syscall.Map _ -> "map"
+  | Syscall.Unmap _ -> "unmap"
+  | Syscall.Signal _ -> "signal"
+  | Syscall.Getclock -> "getclock"
+  | Syscall.Kernel_work _ -> "kernel_work"
+  | Syscall.Idle _ -> "idle"
+  | Syscall.Unknown _ -> "unknown"
+
 (* Execute a system service against guest state [st]. The service itself
    "runs natively" — the cycle cost is charged by the caller to the
    other/kernel bucket. *)
-let perform t (st : Ia32.State.t) (call : Syscall.call) : Syscall.result =
+let perform_call t (st : Ia32.State.t) (call : Syscall.call) : Syscall.result =
   t.syscalls <- t.syscalls + 1;
   ride_out_transients t call;
   match call with
@@ -137,6 +153,23 @@ let perform t (st : Ia32.State.t) (call : Syscall.call) : Syscall.result =
     t.idle_cycles <- t.idle_cycles + max 0 n;
     Syscall.Ret 0
   | Syscall.Unknown _ -> Syscall.Ret (Ia32.Word.mask32 (-38))
+
+let perform t st call =
+  match t.trace with
+  | None -> perform_call t st call
+  | Some tr ->
+    let name = call_name call in
+    Obs.Trace.emit tr (Obs.Trace.Syscall_enter { name });
+    let k0 = t.kernel_cycles and i0 = t.idle_cycles in
+    let r = perform_call t st call in
+    Obs.Trace.emit tr
+      (Obs.Trace.Syscall_exit
+         {
+           name;
+           kernel_cycles = t.kernel_cycles - k0;
+           idle_cycles = t.idle_cycles - i0;
+         });
+    r
 
 (* Deliver an IA-32 exception whose precise state has already been
    reconstructed into [st] (st.eip = faulting instruction). If the guest

@@ -30,6 +30,9 @@ type t = {
           (bounded; guest-transparent — only kernel time moves) *)
   mutable transient_retries : int;
       (** attempts that failed transiently and were retried *)
+  mutable trace : Obs.Trace.t option;
+      (** when set, syscall entry/exit events are emitted here; recording
+          only — service behavior and accounting are unaffected *)
 }
 
 val heap_base_default : int

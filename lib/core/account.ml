@@ -98,7 +98,9 @@ let counters t =
     ("hot_blocks", t.hot_blocks);
     ("hot_discards", t.hot_discards);
     ("heat_triggers", t.heat_triggers);
+    ("heated_blocks", t.heated_blocks);
     ("commit_points", t.commit_points);
+    ("dispatches", t.dispatches);
     ("chain_patches", t.chain_patches);
     ("indirect_lookups", t.indirect_lookups);
     ("indirect_misses", t.indirect_misses);
@@ -118,6 +120,62 @@ let counters t =
     ("cache_flushes", t.cache_flushes);
     ("degrade_interp_entries", t.degrade_interp_entries);
     ("degrade_smc_storms", t.degrade_smc_storms);
+  ]
+
+(* Every field of [t], in declaration order. The drift-guard test checks
+   this list against the record's physical layout (via [Obj.size]) and
+   that [counters] plus [non_event_fields] partition it, so a counter
+   added to the record but forgotten here — or in [counters] — fails
+   `dune runtest` instead of silently vanishing from fuzzer steering. *)
+let all_fields t =
+  [
+    ("overhead_cycles", t.overhead_cycles);
+    ("other_cycles", t.other_cycles);
+    ("idle_cycles", t.idle_cycles);
+    ("interp_cycles", t.interp_cycles);
+    ("cold_blocks", t.cold_blocks);
+    ("cold_insns", t.cold_insns);
+    ("cold_regens", t.cold_regens);
+    ("hot_blocks", t.hot_blocks);
+    ("hot_insns", t.hot_insns);
+    ("hot_discards", t.hot_discards);
+    ("heat_triggers", t.heat_triggers);
+    ("heated_blocks", t.heated_blocks);
+    ("commit_points", t.commit_points);
+    ("hot_target_insns", t.hot_target_insns);
+    ("dispatches", t.dispatches);
+    ("chain_patches", t.chain_patches);
+    ("indirect_lookups", t.indirect_lookups);
+    ("indirect_misses", t.indirect_misses);
+    ("tos_checks", t.tos_checks);
+    ("tos_misses", t.tos_misses);
+    ("tag_misses", t.tag_misses);
+    ("mode_checks", t.mode_checks);
+    ("mode_misses", t.mode_misses);
+    ("sse_checks", t.sse_checks);
+    ("sse_misses", t.sse_misses);
+    ("misalign_stage1_hits", t.misalign_stage1_hits);
+    ("misalign_os_faults", t.misalign_os_faults);
+    ("misalign_avoided", t.misalign_avoided);
+    ("exceptions_filtered", t.exceptions_filtered);
+    ("rollforwards", t.rollforwards);
+    ("smc_invalidations", t.smc_invalidations);
+    ("cache_flushes", t.cache_flushes);
+    ("degrade_interp_entries", t.degrade_interp_entries);
+    ("degrade_smc_storms", t.degrade_smc_storms);
+  ]
+
+(* Fields that are cycle charges or volume tallies, not event marks —
+   deliberately excluded from [counters]. *)
+let non_event_fields =
+  [
+    "overhead_cycles";
+    "other_cycles";
+    "idle_cycles";
+    "interp_cycles";
+    "cold_insns";
+    "hot_insns";
+    "hot_target_insns";
   ]
 
 type distribution = {

@@ -58,6 +58,16 @@ val counters : t -> (string * int) list
     statistic that marks an engine event rather than a cycle charge, as
     stable [(name, value)] pairs. *)
 
+val all_fields : t -> (string * int) list
+(** Every field of [t] in declaration order. Kept complete by the
+    drift-guard test in [test_obs], which compares it against the
+    record's physical layout and requires [counters] and
+    {!non_event_fields} to partition it. *)
+
+val non_event_fields : string list
+(** Fields deliberately excluded from {!counters}: cycle charges and
+    instruction-volume tallies that mark no discrete engine event. *)
+
 (** Execution-time split in the shape of the paper's Figures 6/7. *)
 type distribution = {
   hot : int;

@@ -56,6 +56,12 @@ type t = {
   interp_only_pages : (int, unit) Hashtbl.t;
   retrans_counts : (int, int) Hashtbl.t; (* entry -> churn count *)
   smc_page_hits : (int, int * int) Hashtbl.t; (* page -> window start, hits *)
+  (* observability ------------------------------------------------------- *)
+  (* Both hooks only record — they never charge cycles or alter control
+     flow, so cycle counts and Account totals are bit-identical with or
+     without them attached. *)
+  mutable trace : Obs.Trace.t option;
+  mutable profile : Obs.Profile.t option;
 }
 
 exception Smc_abort
@@ -89,6 +95,11 @@ let blacklist_entry t entry =
     Hashtbl.replace t.interp_only entry ();
     t.acct.Account.degrade_interp_entries <-
       t.acct.Account.degrade_interp_entries + 1;
+    (match t.trace with
+    | Some tr ->
+      Obs.Trace.emit tr
+        (Obs.Trace.Degrade { kind = "interp_entry"; key = entry })
+    | None -> ());
     match Block.find_entry t.cache entry with
     | Some b -> Block.invalidate t.cache t.tcache b
     | None -> ()
@@ -122,6 +133,11 @@ let degrade_page_to_interp t page =
   else begin
     Hashtbl.replace t.interp_only_pages page ();
     t.acct.Account.degrade_smc_storms <- t.acct.Account.degrade_smc_storms + 1;
+    (match t.trace with
+    | Some tr ->
+      Obs.Trace.emit tr
+        (Obs.Trace.Degrade { kind = "smc_storm_page"; key = page })
+    | None -> ());
     let self = ref false in
     List.iter
       (fun b ->
@@ -189,6 +205,8 @@ let create ?(config = Config.default) ?cost:(mcost = Ipf.Cost.default) ?dcache
       interp_only_pages = Hashtbl.create 8;
       retrans_counts = Hashtbl.create 16;
       smc_page_hits = Hashtbl.create 16;
+      trace = None;
+      profile = None;
     }
   in
   vos.Btlib.Vos.clock <- (fun _ -> now t);
@@ -206,6 +224,12 @@ let create ?(config = Config.default) ?cost:(mcost = Ipf.Cost.default) ?dcache
          if victims <> [] then begin
            t.acct.Account.smc_invalidations <-
              t.acct.Account.smc_invalidations + List.length victims;
+           (match t.trace with
+           | Some tr ->
+             Obs.Trace.emit tr
+               (Obs.Trace.Smc_invalidation
+                  { addr; victims = List.length victims })
+           | None -> ());
            let self = ref false in
            List.iter
              (fun b ->
@@ -343,6 +367,11 @@ let spurious_smc_invalidate t ~max =
         incr n;
         t.acct.Account.smc_invalidations <-
           t.acct.Account.smc_invalidations + 1;
+        (match t.trace with
+        | Some tr ->
+          Obs.Trace.emit tr
+            (Obs.Trace.Smc_invalidation { addr = b.Block.entry; victims = 1 })
+        | None -> ());
         note_retranslation t b.Block.entry;
         Block.invalidate t.cache t.tcache b;
         ignore
@@ -362,9 +391,29 @@ let translate_cold t entry =
   if tcache_full t then flush_translations t;
   let stage2 = Hashtbl.mem t.stage2_entries entry in
   let entry_tos = arch_tos t in
+  (match t.trace with
+  | Some tr ->
+    Obs.Trace.emit tr (Obs.Trace.Trans_begin { phase = Obs.Trace.Cold; entry })
+  | None -> ());
   let b = Cold.translate t.cold_env ~entry ~entry_tos ~stage2 in
-  charge_overhead t
-    (Array.length b.Block.insns * (cost t).Ipf.Cost.cold_translate_per_insn);
+  let cycles =
+    Array.length b.Block.insns * (cost t).Ipf.Cost.cold_translate_per_insn
+  in
+  charge_overhead t cycles;
+  (match t.profile with
+  | Some p -> Obs.Profile.note_translate p ~entry ~cycles
+  | None -> ());
+  (match t.trace with
+  | Some tr ->
+    Obs.Trace.emit tr
+      (Obs.Trace.Trans_end
+         {
+           phase = Obs.Trace.Cold;
+           entry;
+           insns = Array.length b.Block.insns;
+           cycles;
+         })
+  | None -> ());
   b
 
 (* Chain the exit branch that just fired into the fresh target block. *)
@@ -395,14 +444,37 @@ let run_hot_session t =
     (fun id ->
       match Block.find_by_id t.cache id with
       | Some b when b.Block.live && b.Block.kind = Block.Cold -> (
+        (match t.trace with
+        | Some tr ->
+          Obs.Trace.emit tr
+            (Obs.Trace.Trans_begin
+               { phase = Obs.Trace.Hot; entry = b.Block.entry })
+        | None -> ());
         match
           Hot.translate t.cold_env ~entry:b.Block.entry ~entry_tos ~profile
             ~avoid:(Hashtbl.mem t.avoid_entries b.Block.entry)
         with
         | Some hot_block ->
-          charge_overhead t
-            (Array.length hot_block.Block.insns
-            * (cost t).Ipf.Cost.hot_translate_per_insn);
+          let cycles =
+            Array.length hot_block.Block.insns
+            * (cost t).Ipf.Cost.hot_translate_per_insn
+          in
+          charge_overhead t cycles;
+          (match t.profile with
+          | Some p ->
+            Obs.Profile.note_translate p ~entry:b.Block.entry ~cycles
+          | None -> ());
+          (match t.trace with
+          | Some tr ->
+            Obs.Trace.emit tr
+              (Obs.Trace.Trans_end
+                 {
+                   phase = Obs.Trace.Hot;
+                   entry = b.Block.entry;
+                   insns = Array.length hot_block.Block.insns;
+                   cycles;
+                 })
+          | None -> ());
           t.acct.Account.hot_insns <-
             t.acct.Account.hot_insns + Array.length hot_block.Block.insns;
           (* the cold block is superseded *)
@@ -429,6 +501,12 @@ let on_heat t id =
     if b.Block.registered = 0 then
       t.acct.Account.heated_blocks <- t.acct.Account.heated_blocks + 1;
     b.Block.registered <- b.Block.registered + 1;
+    (match t.trace with
+    | Some tr ->
+      Obs.Trace.emit tr
+        (Obs.Trace.Heat_trigger
+           { entry = b.Block.entry; registered = b.Block.registered })
+    | None -> ());
     if not (List.mem id t.candidates) then t.candidates <- id :: t.candidates;
     charge_overhead t 50;
     (* "when enough blocks have registered or one block has registered
@@ -482,6 +560,11 @@ let rollforward t st ~lo ~hi ~max_steps =
       | Ia32.Interp.Normal ->
         incr steps;
         charge_overhead t 10;
+        (* roll-forward always starts at a block entry, so [lo] is the
+           entry to bill the recovery to *)
+        (match t.profile with
+        | Some p -> Obs.Profile.note_recovery p ~entry:lo ~cycles:10
+        | None -> ());
         go ()
       | Ia32.Interp.Syscall n ->
         incr steps;
@@ -500,6 +583,12 @@ let deliver_fault t st fault k =
   | None -> ());
   charge_overhead t (cost t).Ipf.Cost.exception_filter_cost;
   t.acct.Account.exceptions_filtered <- t.acct.Account.exceptions_filtered + 1;
+  (match t.trace with
+  | Some tr ->
+    Obs.Trace.emit tr
+      (Obs.Trace.Fault_delivered
+         { fault = Ia32.Fault.to_string fault; eip = st.Ia32.State.eip })
+  | None -> ());
   match L.deliver_exception t.vos st fault with
   | Btlib.Vos.Resumed ->
     Reconstruct.inject t.machine st;
@@ -532,6 +621,9 @@ let do_syscall t st n k =
       (match t.on_commit with
       | Some f -> f (Commit_exit code) st
       | None -> ());
+      (match t.trace with
+      | Some tr -> Obs.Trace.emit tr (Obs.Trace.Exit_program { code })
+      | None -> ());
       Exited (code, st)
     | Btlib.Syscall.Ret v ->
       L.encode_result st v;
@@ -548,17 +640,14 @@ let vector_fault = function
   | 16 -> Ia32.Fault.Fp_stack_fault
   | _ -> Ia32.Fault.Invalid_opcode
 
-let trace_exits = Sys.getenv_opt "IA32EL_TRACE" <> None
-
 (* Start running the guest whose initial architectural state is [st]. *)
 let run ?(fuel = max_int) t (st0 : Ia32.State.t) =
   t.fuel <- fuel;
   Reconstruct.inject t.machine st0;
   let rec dispatch eip =
-    if trace_exits then
-      Printf.eprintf "[dispatch %x ebx=%x ecx=%x]\n%!" eip
-        (M.get32 t.machine (Regs.gr_of_reg Ia32.Insn.Ebx))
-        (M.get32 t.machine (Regs.gr_of_reg Ia32.Insn.Ecx));
+    (match t.trace with
+    | Some tr -> Obs.Trace.emit tr (Obs.Trace.Dispatch { eip })
+    | None -> ());
     t.acct.Account.dispatches <- t.acct.Account.dispatches + 1;
     charge_overhead t (cost t).Ipf.Cost.dispatch_cost;
     t.running_block <- None;
@@ -703,18 +792,20 @@ let run ?(fuel = max_int) t (st0 : Ia32.State.t) =
       handle stop
     end
   and handle stop =
-    if trace_exits then begin
-      (match stop with
-      | M.Exited r ->
-        Printf.eprintf "[exit %s] r_tos=%d r_tag=%02x\n%!"
-          (I.exit_reason_name r) (M.get32 t.machine Regs.r_tos)
-          (M.get32 t.machine Regs.r_tag)
-      | M.Faulted f ->
-        Printf.eprintf "[fault k=%d addr=%x]\n%!"
-          (match f.M.kind with M.F_misalign -> 0 | M.F_page -> 1 | M.F_nat -> 2)
-          f.M.addr
-      | M.Fuel -> ())
-    end;
+    (match (t.trace, stop) with
+    | Some tr, M.Faulted f ->
+      Obs.Trace.emit tr
+        (Obs.Trace.Machine_fault
+           {
+             kind =
+               (match f.M.kind with
+               | M.F_misalign -> "misalign"
+               | M.F_page -> "page"
+               | M.F_nat -> "nat");
+             addr = f.M.addr;
+             bundle = f.M.ip;
+           })
+    | _ -> ());
     match stop with
     | M.Fuel -> Out_of_fuel
     | M.Exited (I.Dispatch target) -> (
@@ -734,6 +825,9 @@ let run ?(fuel = max_int) t (st0 : Ia32.State.t) =
            dispatcher to the interpreter *)
         dispatch target
       | None ->
+        (match t.trace with
+        | Some tr -> Obs.Trace.emit tr (Obs.Trace.Dispatch { eip = target })
+        | None -> ());
         t.acct.Account.dispatches <- t.acct.Account.dispatches + 1;
         charge_overhead t (cost t).Ipf.Cost.dispatch_cost;
         (match translate_cold t target with
@@ -774,6 +868,12 @@ let run ?(fuel = max_int) t (st0 : Ia32.State.t) =
       | None -> dispatch (M.get32 t.machine Regs.r_state)
       | Some b ->
         let st = reconstruct_at t b ~bundle:t.machine.M.ip in
+        (match t.trace with
+        | Some tr ->
+          Obs.Trace.emit tr
+            (Obs.Trace.Recovery
+               { path = "misalign_regen"; eip = st.Ia32.State.eip })
+        | None -> ());
         (* regenerate as a stage-2 avoiding block from the faulting IP (and
            from the block entry, for future entries) *)
         note_retranslation t b.Block.entry;
@@ -788,6 +888,24 @@ let run ?(fuel = max_int) t (st0 : Ia32.State.t) =
       | None -> dispatch (M.get32 t.machine Regs.r_state)
       | Some b ->
         charge_overhead t 40;
+        (match t.profile with
+        | Some p -> Obs.Profile.note_recovery p ~entry:b.Block.entry ~cycles:40
+        | None -> ());
+        (match t.trace with
+        | Some tr ->
+          let kind =
+            if check = Templates.check_tos then "tos"
+            else if check = Templates.check_park then "park"
+            else if check = Templates.check_tag then "tag"
+            else if
+              check = Templates.check_mode_fp
+              || check = Templates.check_mode_mmx
+            then "mode"
+            else "sse"
+          in
+          Obs.Trace.emit tr
+            (Obs.Trace.Spec_miss { kind; entry = b.Block.entry })
+        | None -> ());
         if check = Templates.check_tos then begin
           t.acct.Account.tos_misses <- t.acct.Account.tos_misses + 1;
           Reconstruct.rotate_tos t.machine ~expected:b.Block.entry_tos;
@@ -831,6 +949,10 @@ let run ?(fuel = max_int) t (st0 : Ia32.State.t) =
             Reconstruct.convert_sse_formats t.machine ~required:b.Block.sse_entry
           in
           charge_overhead t (20 * n);
+          (match t.profile with
+          | Some p when n > 0 ->
+            Obs.Profile.note_recovery p ~entry:b.Block.entry ~cycles:(20 * n)
+          | _ -> ());
           enter b
         end)
     | M.Exited (I.Guest_fault (ip, vec)) -> (
@@ -841,6 +963,12 @@ let run ?(fuel = max_int) t (st0 : Ia32.State.t) =
            interpreter raises the precise architectural fault *)
         let bundle, _ = t.machine.M.last_exit in
         let st = reconstruct_at t b ~bundle in
+        (match t.trace with
+        | Some tr ->
+          Obs.Trace.emit tr
+            (Obs.Trace.Recovery
+               { path = "guest_fault_rollforward"; eip = st.Ia32.State.eip })
+        | None -> ());
         match
           rollforward t st ~lo:b.Block.entry ~hi:b.Block.code_end
             ~max_steps:(Array.length b.Block.insns + 2)
@@ -869,6 +997,12 @@ let run ?(fuel = max_int) t (st0 : Ia32.State.t) =
       | Some b -> (
         let bundle = fst t.machine.M.last_exit in
         let st = reconstruct_at t b ~bundle in
+        (match t.trace with
+        | Some tr ->
+          Obs.Trace.emit tr
+            (Obs.Trace.Recovery
+               { path = "nat_recover"; eip = st.Ia32.State.eip })
+        | None -> ());
         match
           rollforward t st ~lo:b.Block.entry ~hi:b.Block.code_end
             ~max_steps:(Array.length b.Block.insns + 2)
@@ -888,6 +1022,9 @@ let run ?(fuel = max_int) t (st0 : Ia32.State.t) =
       (match t.on_commit with
       | Some f -> f (Commit_exit 0) st
       | None -> ());
+      (match t.trace with
+      | Some tr -> Obs.Trace.emit tr (Obs.Trace.Exit_program { code = 0 })
+      | None -> ());
       Exited (0, st)
     | M.Faulted f -> (
       match Block.find_by_bundle t.cache f.M.ip with
@@ -897,23 +1034,6 @@ let run ?(fuel = max_int) t (st0 : Ia32.State.t) =
           "fault outside any translated block"
       | Some b -> (
         let st = reconstruct_at t b ~bundle:f.M.ip in
-        if trace_exits then begin
-          Printf.eprintf "[fault-rec blk=0x%x kind=%s fip=%d tstart=%d st.eip=%x ebx=%x ecx=%x]\n%!"
-            b.Block.entry
-            (match b.Block.kind with Block.Hot -> "hot" | Block.Cold -> "cold")
-            f.M.ip b.Block.tstart st.Ia32.State.eip
-            (Ia32.State.get32 st Ia32.Insn.Ebx) (Ia32.State.get32 st Ia32.Insn.Ecx);
-          (match b.Block.kind with
-           | Block.Hot ->
-             let off = f.M.ip - b.Block.tstart in
-             let ci = if off >= 0 && off < Array.length b.Block.bundle_commit
-                      then b.Block.bundle_commit.(off) else 0 in
-             let cm = b.Block.commit_maps.(ci) in
-             Printf.eprintf "  commit idx=%d cm_ip=%x saved=%d of %d maps\n%!"
-               ci cm.Block.cm_ip (List.length cm.Block.cm_saved)
-               (Array.length b.Block.commit_maps)
-           | Block.Cold -> ())
-        end;
         match f.M.kind with
         | M.F_nat ->
           Bt_error.fail ~component:"engine" ~eip:b.Block.entry
@@ -922,8 +1042,19 @@ let run ?(fuel = max_int) t (st0 : Ia32.State.t) =
           (* IA-32 never faults here: emulate through the interpreter at
              the OS-handler price, and trigger regeneration with avoidance *)
           charge_overhead t (cost t).Ipf.Cost.os_misalign_cost;
+          (match t.profile with
+          | Some p ->
+            Obs.Profile.note_recovery p ~entry:b.Block.entry
+              ~cycles:(cost t).Ipf.Cost.os_misalign_cost
+          | None -> ());
           t.acct.Account.misalign_os_faults <-
             t.acct.Account.misalign_os_faults + 1;
+          (match t.trace with
+          | Some tr ->
+            Obs.Trace.emit tr
+              (Obs.Trace.Recovery
+                 { path = "os_misalign"; eip = st.Ia32.State.eip })
+          | None -> ());
           note_retranslation t b.Block.entry;
           (if b.Block.kind = Block.Hot then begin
              (* stage 3: discard the hot block; regenerate with avoidance *)
@@ -942,17 +1073,12 @@ let run ?(fuel = max_int) t (st0 : Ia32.State.t) =
             Reconstruct.inject t.machine st;
             dispatch st.Ia32.State.eip)
         | M.F_page -> (
-          if trace_exits then begin
-            Printf.eprintf "[pgfault addr=%x size=%d store=%b blk=0x%x kind=%s st.eip=%x]\n%!"
-              f.M.addr f.M.size f.M.store b.Block.entry
-              (match b.Block.kind with Block.Hot -> "hot" | Block.Cold -> "cold")
-              st.Ia32.State.eip;
-            Array.iteri
-              (fun i (a, insn) ->
-                if i < 12 then
-                  Printf.eprintf "    %x: %s\n%!" a (Ia32.Insn.to_string insn))
-              b.Block.insns
-          end;
+          (match t.trace with
+          | Some tr ->
+            Obs.Trace.emit tr
+              (Obs.Trace.Recovery
+                 { path = "page_rollforward"; eip = st.Ia32.State.eip })
+          | None -> ());
           (* roll forward to the precise faulting instruction; a premature
              speculative fault is nullified by simply not recurring *)
           match
@@ -974,3 +1100,121 @@ let distribution t = Account.distribution t.acct t.machine
 let capture t =
   let snapshot = here_snapshot t in
   Reconstruct.extract t.machine ~eip:(M.get32 t.machine Regs.r_state) ~snapshot
+
+(* ---- observability ----------------------------------------------------- *)
+
+let attach_trace t tr =
+  t.trace <- Some tr;
+  Obs.Trace.set_clock tr (fun () -> now t);
+  Ipf.Tcache.set_trace t.tcache (Some tr);
+  t.vos.Btlib.Vos.trace <- Some tr
+
+let attach_profile t p =
+  t.profile <- Some p;
+  (* mirror every machine charge onto the owning guest block, using the
+     same [find_by_bundle] lookup as the cold/hot bucket split *)
+  t.machine.M.charge_probe <-
+    Some
+      (fun bundle cycles ->
+        match Block.find_by_bundle t.cache bundle with
+        | Some b ->
+          let phase =
+            match b.Block.kind with
+            | Block.Hot -> Obs.Profile.Hot
+            | Block.Cold -> Obs.Profile.Cold
+          in
+          Obs.Profile.note_exec p ~entry:b.Block.entry ~phase ~cycles
+        | None -> Obs.Profile.note_runtime p ~cycles)
+
+let trace t = t.trace
+let profile t = t.profile
+
+let live_blocks t =
+  Hashtbl.fold
+    (fun _ b n -> if b.Block.live then n + 1 else n)
+    t.cache.Block.by_id 0
+
+let metrics t =
+  let m = Obs.Metrics.make ~schema:"ia32el-metrics/1" in
+  let i n = Obs.Metrics.Int n in
+  let d = distribution t in
+  Obs.Metrics.section m "cycles"
+    [
+      ("total", i d.Account.total);
+      ("hot", i d.Account.hot);
+      ("cold", i d.Account.cold);
+      ("overhead", i d.Account.overhead);
+      ("other", i d.Account.other);
+      ("idle", i d.Account.idle);
+      ("interp", i t.acct.Account.interp_cycles);
+    ];
+  Obs.Metrics.section m "counters"
+    (List.map (fun (k, v) -> (k, i v)) (Account.counters t.acct));
+  Obs.Metrics.section m "volume"
+    [
+      ("cold_insns", i t.acct.Account.cold_insns);
+      ("hot_insns", i t.acct.Account.hot_insns);
+      ("hot_target_insns", i t.acct.Account.hot_target_insns);
+    ];
+  let ms = t.machine.M.stats in
+  Obs.Metrics.section m "machine"
+    [
+      ("cycles", i ms.M.cycles);
+      ("groups", i ms.M.groups);
+      ("slots_retired", i ms.M.slots_retired);
+      ("loads", i ms.M.loads);
+      ("stores", i ms.M.stores);
+      ("taken_branches", i ms.M.taken_branches);
+      ("dcache_stall", i ms.M.dcache_stall);
+      ("spec_checks", i ms.M.spec_checks);
+    ];
+  Obs.Metrics.section m "tcache"
+    [
+      ("bundles", i (Ipf.Tcache.length t.tcache));
+      ("limit", i t.config.Config.tcache_limit);
+      ("live_blocks", i (live_blocks t));
+    ];
+  let ds = Ipf.Dcache.stats t.machine.M.dcache in
+  Obs.Metrics.section m "dcache"
+    [
+      ("l1_hits", i ds.Ipf.Dcache.l1_hits);
+      ("l1_misses", i ds.Ipf.Dcache.l1_misses);
+      ("l2_hits", i ds.Ipf.Dcache.l2_hits);
+      ("l2_misses", i ds.Ipf.Dcache.l2_misses);
+    ];
+  Obs.Metrics.section m "vos"
+    [
+      ("syscalls", i t.vos.Btlib.Vos.syscalls);
+      ("kernel_cycles", i t.vos.Btlib.Vos.kernel_cycles);
+      ("idle_cycles", i t.vos.Btlib.Vos.idle_cycles);
+      ("exceptions_delivered", i t.vos.Btlib.Vos.exceptions_delivered);
+      ("transient_retries", i t.vos.Btlib.Vos.transient_retries);
+    ];
+  (match t.trace with
+  | Some tr ->
+    Obs.Metrics.section m "trace"
+      [
+        ("events", i (Obs.Trace.length tr));
+        ("dropped", i (Obs.Trace.dropped tr));
+      ]
+  | None -> ());
+  (match t.profile with
+  | Some p ->
+    Obs.Metrics.section m "profile"
+      (("runtime_cycles", i (Obs.Profile.runtime_cycles p))
+      :: ("hot_exec", i (Obs.Profile.hot_exec p))
+      :: ("cold_exec", i (Obs.Profile.cold_exec p))
+      :: List.map
+           (fun (entry, r) ->
+             ( Printf.sprintf "0x%x" entry,
+               Obs.Metrics.Obj
+                 [
+                   ("exec", i (Obs.Profile.exec_cycles r));
+                   ("hot", i r.Obs.Profile.hot_cycles);
+                   ("cold", i r.Obs.Profile.cold_cycles);
+                   ("translate", i r.Obs.Profile.translate_cycles);
+                   ("recovery", i r.Obs.Profile.recovery_cycles);
+                 ] ))
+           (Obs.Profile.top 10 p))
+  | None -> ());
+  m

@@ -66,6 +66,11 @@ type t = {
       (** per-entry invalidation-driven retranslation counts *)
   smc_page_hits : (int, int * int) Hashtbl.t;
       (** per-page SMC-storm window: window start (in dispatches), hits *)
+  mutable trace : Obs.Trace.t option;
+      (** structured event trace; attach with {!attach_trace}. Recording
+          only — never perturbs cycle counts or [Account] totals *)
+  mutable profile : Obs.Profile.t option;
+      (** per-block cycle attribution; attach with {!attach_profile} *)
 }
 
 exception Smc_abort
@@ -141,3 +146,31 @@ val distribution : t -> Account.distribution
 val capture : t -> Ia32.State.t
 (** Snapshot the current architectural state (block-boundary
     precision). *)
+
+(** {2 Observability}
+
+    All hooks only record — they never charge cycles or alter control
+    flow, so cycle counts and [Account] totals are bit-identical with or
+    without them attached. *)
+
+val attach_trace : t -> Obs.Trace.t -> unit
+(** Attach a trace: installs the engine's virtual clock as the trace
+    timestamp source and wires the tcache and Vos emitters to the same
+    buffer. *)
+
+val attach_profile : t -> Obs.Profile.t -> unit
+(** Attach a profile: installs a machine charge probe that mirrors every
+    executed cycle onto the guest block owning the current bundle (same
+    [find_by_bundle] lookup as the cold/hot bucket split). *)
+
+val trace : t -> Obs.Trace.t option
+val profile : t -> Obs.Profile.t option
+
+val live_blocks : t -> int
+(** Number of live blocks in the block cache. *)
+
+val metrics : t -> Obs.Metrics.t
+(** Snapshot everything measurable into the stable ["ia32el-metrics/1"]
+    schema: cycle distribution, [Account] counters, instruction volume,
+    machine stats, tcache/dcache occupancy, Vos totals, and — when
+    attached — trace and top-10 profile summaries. *)

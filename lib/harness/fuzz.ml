@@ -1614,10 +1614,13 @@ let campaign cfg =
          in
          (match ex.engine with
          | Some e ->
+           (* per-program counter deltas via the one metrics snapshot the
+              CLIs and JSON export also use (counter names are stable
+              coverage-bucket keys) *)
            List.iter
              (fun (n, v) ->
                if v > 0 && Coverage.note cov ("ev:" ^ n) then incr fresh)
-             (Ia32el.Account.counters e.E.acct)
+             (Obs.Metrics.counters (E.metrics e))
          | None -> ());
          match classify ex.result with
          | Some c ->

@@ -12,8 +12,9 @@
     a paste-ready [Asm] reproducer.
 
     A feature-coverage map (opcode x operand-shape buckets from the
-    generated instructions, engine-event buckets from
-    {!Ia32el.Account.counters}) steers generation toward unexercised
+    generated instructions, engine-event buckets from the counters
+    section of {!Ia32el.Engine.metrics}) steers generation toward
+    unexercised
     paths; programs that light up new buckets are persisted to a corpus
     directory. *)
 

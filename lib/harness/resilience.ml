@@ -50,14 +50,15 @@ type plain_result = {
 }
 
 (* Run [w] under the engine alone (no reference), optionally injected. *)
-let run_plain ?config ?cost ?dcache ?seed ?(fuel = default_fuel) (w : C.t)
-    ~scale =
+let run_plain ?config ?cost ?dcache ?seed ?(fuel = default_fuel)
+    ?(attach = fun _ -> ()) (w : C.t) ~scale =
   let image = w.C.build ~scale ~wide:false in
   let mem = Ia32.Memory.create () in
   let st = Ia32.Asm.load image mem in
   let engine = E.create ?config ?cost ?dcache ~btlib:(module Btlib.Linuxsim) mem in
   let injector = Option.map (fun seed -> Inject.create ~seed ()) seed in
   Option.iter (fun i -> Inject.attach i engine) injector;
+  attach engine;
   let outcome = E.run ~fuel engine st in
   {
     outcome;

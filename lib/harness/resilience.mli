@@ -38,8 +38,10 @@ val run_plain :
   ?dcache:Ipf.Dcache.t ->
   ?seed:int ->
   ?fuel:int ->
+  ?attach:(Ia32el.Engine.t -> unit) ->
   Workloads.Common.t ->
   scale:int ->
   plain_result
 (** Run a workload under the engine alone (no reference), optionally with
-    the injector attached. *)
+    the injector attached. [attach] runs after the injector, before the
+    run — the CLI uses it to install traces and profiles. *)

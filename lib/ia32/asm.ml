@@ -111,7 +111,7 @@ let resolve_labels sections =
 
 (* [assemble sections] resolves all labels across sections and returns the
    bytes of each section (in order) plus the label table. *)
-let assemble sections =
+let assemble_env sections =
   let env = resolve_labels sections in
   let lookup name =
     match Hashtbl.find_opt env name with
@@ -126,7 +126,11 @@ let assemble sections =
       items;
     (base, Buffer.contents buf)
   in
-  (List.map emit sections, lookup)
+  (List.map emit sections, lookup, env)
+
+let assemble sections =
+  let parts, lookup, _env = assemble_env sections in
+  (parts, lookup)
 
 (* ---- program images --------------------------------------------------- *)
 
@@ -145,12 +149,18 @@ type image = {
   data : string;
   stack_top : int;
   lookup : string -> int;
+  labels : (string * int) list; (* every label, sorted by address *)
 }
 
 let build ?(code_base = default_code_base) ?(data_base = default_data_base)
     ?(entry = "start") ~code ~data () =
-  let parts, lookup =
-    assemble [ section ~base:code_base code; section ~base:data_base data ]
+  let parts, lookup, env =
+    assemble_env [ section ~base:code_base code; section ~base:data_base data ]
+  in
+  let labels =
+    Hashtbl.fold (fun name addr acc -> (name, addr) :: acc) env []
+    |> List.sort (fun (na, a) (nb, b) ->
+           match compare a b with 0 -> compare na nb | c -> c)
   in
   match parts with
   | [ (_, code_bytes); (_, data_bytes) ] ->
@@ -162,6 +172,7 @@ let build ?(code_base = default_code_base) ?(data_base = default_data_base)
       data = data_bytes;
       stack_top = default_stack_top;
       lookup;
+      labels;
     }
   | _ -> assert false
 

@@ -63,6 +63,9 @@ type image = {
   data : string;
   stack_top : int;
   lookup : string -> int;
+  labels : (string * int) list;
+      (** every label with its resolved address, sorted by address — lets
+          observability consumers name guest blocks symbolically *)
 }
 
 (** Build a two-section program image; entry defaults to label ["start"]. *)

@@ -78,6 +78,11 @@ type t = {
      the machine. *)
   mutable bucket_fn : int -> int;
   buckets : int array;
+  (* Observability probe mirroring every charge: called with the current
+     bundle index and the delta. Recording only — the probe must not
+     touch machine state, so cycle totals are identical with or without
+     it. *)
+  mutable charge_probe : (int -> int -> unit) option;
   (* bundle/slot of the most recent [Out _] exit branch, for chaining *)
   mutable last_exit : int * int;
   (* IPF_WATCH debug hook, parsed once: bundle index + registers to print
@@ -107,6 +112,7 @@ let create ?(cost = Cost.default) ?dcache mem tcache =
       slot = 0;
       bucket_fn = (fun _ -> 0);
       buckets = Array.make 8 0;
+      charge_probe = None;
       last_exit = (0, 0);
       watch =
         (match Sys.getenv_opt "IPF_WATCH" with
@@ -617,7 +623,8 @@ let charge m delta =
   if delta > 0 then begin
     m.stats.cycles <- m.stats.cycles + delta;
     let b = m.bucket_fn m.ip in
-    m.buckets.(b land 7) <- m.buckets.(b land 7) + delta
+    m.buckets.(b land 7) <- m.buckets.(b land 7) + delta;
+    match m.charge_probe with Some f -> f m.ip delta | None -> ()
   end
 
 (* Group accounting: called when a group closes. [srcs_ready] is the max

@@ -66,6 +66,9 @@ type t = {
   mutable bucket_fn : int -> int;
       (** maps a bundle index to a cycle-attribution bucket (0..7) *)
   buckets : int array;
+  mutable charge_probe : (int -> int -> unit) option;
+      (** observability probe mirroring every charge (bundle index,
+          delta); must not touch machine state *)
   mutable last_exit : int * int;
       (** bundle/slot of the most recent [Out _] exit branch taken, used
           by the engine to chain blocks *)

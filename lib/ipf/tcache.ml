@@ -11,10 +11,21 @@ type t = {
      normally models that with a config limit, but the chaos harness can
      clamp the capacity here to force eviction storms. *)
   mutable capacity : int option;
+  (* Observability: when set, structural cache events (chain patches,
+     invalidations, flushes) are emitted here. Pure recording — never
+     affects cache contents or cost accounting. *)
+  mutable trace : Obs.Trace.t option;
 }
 
 let create () =
-  { bundles = Array.make 1024 (Bundle.make []); len = 0; capacity = None }
+  {
+    bundles = Array.make 1024 (Bundle.make []);
+    len = 0;
+    capacity = None;
+    trace = None;
+  }
+
+let set_trace t tr = t.trace <- tr
 
 let length t = t.len
 
@@ -26,7 +37,12 @@ let over_capacity t =
 (* Drop every bundle (translation-cache flush). Indices embedded in
    chained branches all dangle after this, so callers must also discard
    every block-cache structure that references them. *)
-let clear t = t.len <- 0
+let clear t =
+  (match t.trace with
+  | Some tr when t.len > 0 ->
+    Obs.Trace.emit tr (Obs.Trace.Tcache_evict { bundles = t.len })
+  | _ -> ());
+  t.len <- 0
 
 let get t i =
   if i < 0 || i >= t.len then invalid_arg (Printf.sprintf "Tcache.get %d" i);
@@ -56,7 +72,10 @@ let append_list t bs =
    block into its predecessor's exit branch. *)
 let patch_slot t ~idx ~slot insn =
   let b = get t idx in
-  b.Bundle.slots.(slot) <- insn
+  b.Bundle.slots.(slot) <- insn;
+  match t.trace with
+  | Some tr -> Obs.Trace.emit tr (Obs.Trace.Chain_patch { bundle = idx; slot })
+  | None -> ()
 
 (* Find-and-patch every [Out (Dispatch target)] branch in bundle [idx] into
    a direct branch to [dest]. Returns how many slots were patched. *)
@@ -71,12 +90,21 @@ let patch_dispatch t ~idx ~target ~dest =
         incr n
       | _ -> ())
     b.Bundle.slots;
+  (match t.trace with
+  | Some tr when !n > 0 ->
+    Obs.Trace.emit tr (Obs.Trace.Chain_patch { bundle = idx; slot = -1 })
+  | _ -> ());
   !n
 
 (* Overwrite a whole block's bundles with exits (used when a block is
    invalidated by SMC or misalignment regeneration): every entry becomes a
    dispatch-out so stale chained predecessors fall back to the runtime. *)
 let invalidate_range t ~start ~stop ~target =
+  (match t.trace with
+  | Some tr ->
+    Obs.Trace.emit tr
+      (Obs.Trace.Tcache_invalidate { start; len = stop - start })
+  | None -> ());
   for idx = start to stop - 1 do
     let b = get t idx in
     b.Bundle.slots.(0) <- Insn.mk (Insn.Nop Insn.M);

@@ -7,6 +7,11 @@ type t
 
 val create : unit -> t
 
+val set_trace : t -> Obs.Trace.t option -> unit
+(** Attach (or detach) a trace; the cache then emits [Chain_patch],
+    [Tcache_invalidate] and [Tcache_evict] events. Recording only —
+    cache behavior and cost accounting are unaffected. *)
+
 val length : t -> int
 (** Number of bundles; also the index the next {!append} returns. *)
 

@@ -1,0 +1,108 @@
+(* Per-guest-block cycle attribution. The engine's machine charges every
+   executed cycle through [Machine.charge]; with a profile attached, a
+   probe mirrors each charge onto the guest block owning the current
+   bundle, split by phase. Translation and recovery overhead are
+   attributed separately at their charge sites, so a block's row answers
+   "what did this EIP cost us" in all three senses. Cycles charged while
+   no translated block owns the IP (dispatcher, interpreter, runtime
+   glue) accumulate in the runtime bucket. *)
+
+type phase = Cold | Hot
+
+type row = {
+  mutable cold_cycles : int;
+  mutable hot_cycles : int;
+  mutable translate_cycles : int;
+  mutable recovery_cycles : int;
+}
+
+type t = {
+  rows : (int, row) Hashtbl.t; (* guest entry EIP -> row *)
+  mutable runtime_cycles : int;
+}
+
+let create () = { rows = Hashtbl.create 256; runtime_cycles = 0 }
+
+let row t entry =
+  match Hashtbl.find_opt t.rows entry with
+  | Some r -> r
+  | None ->
+    let r =
+      { cold_cycles = 0; hot_cycles = 0; translate_cycles = 0;
+        recovery_cycles = 0 }
+    in
+    Hashtbl.add t.rows entry r;
+    r
+
+let note_exec t ~entry ~phase ~cycles =
+  let r = row t entry in
+  match phase with
+  | Cold -> r.cold_cycles <- r.cold_cycles + cycles
+  | Hot -> r.hot_cycles <- r.hot_cycles + cycles
+
+let note_translate t ~entry ~cycles =
+  let r = row t entry in
+  r.translate_cycles <- r.translate_cycles + cycles
+
+let note_recovery t ~entry ~cycles =
+  let r = row t entry in
+  r.recovery_cycles <- r.recovery_cycles + cycles
+
+let note_runtime t ~cycles = t.runtime_cycles <- t.runtime_cycles + cycles
+
+let exec_cycles r = r.cold_cycles + r.hot_cycles
+
+let rows t =
+  Hashtbl.fold (fun entry r acc -> (entry, r) :: acc) t.rows []
+  |> List.sort (fun (_, a) (_, b) -> compare (exec_cycles b) (exec_cycles a))
+
+let top n t =
+  let rec take n = function
+    | [] -> []
+    | _ when n <= 0 -> []
+    | x :: tl -> x :: take (n - 1) tl
+  in
+  take n (rows t)
+
+let runtime_cycles t = t.runtime_cycles
+
+let hot_exec t =
+  Hashtbl.fold (fun _ r acc -> acc + r.hot_cycles) t.rows 0
+
+let cold_exec t =
+  Hashtbl.fold (fun _ r acc -> acc + r.cold_cycles) t.rows 0
+
+let total_exec t = hot_exec t + cold_exec t
+
+let render ?(top = 10) ?(name_of = fun _ -> None) ppf t =
+  let all = rows t in
+  let total = total_exec t + runtime_cycles t in
+  let pct c = if total = 0 then 0.0 else 100.0 *. float_of_int c /. float_of_int total in
+  Fmt.pf ppf "top %d guest blocks by executed cycles (of %d exec + %d runtime):@."
+    top total (runtime_cycles t);
+  Fmt.pf ppf "  %-28s %12s %6s %12s %12s %10s %10s@." "block" "exec" "%" "hot"
+    "cold" "translate" "recovery";
+  let shown = ref 0 in
+  List.iteri
+    (fun i (entry, r) ->
+      if i < top then begin
+        incr shown;
+        let label =
+          match name_of entry with
+          | Some s -> s
+          | None -> Printf.sprintf "0x%x" entry
+        in
+        Fmt.pf ppf "  %-28s %12d %5.1f%% %12d %12d %10d %10d@." label
+          (exec_cycles r) (pct (exec_cycles r)) r.hot_cycles r.cold_cycles
+          r.translate_cycles r.recovery_cycles
+      end)
+    all;
+  let rest = List.length all - !shown in
+  if rest > 0 then
+    let rest_cycles =
+      List.fold_left
+        (fun acc (_, r) -> acc + exec_cycles r)
+        0
+        (List.filteri (fun i _ -> i >= top) all)
+    in
+    Fmt.pf ppf "  ... %d more blocks (%d cycles)@." rest rest_cycles

@@ -1,0 +1,208 @@
+(* Structured engine tracing: a fixed-capacity ring buffer of typed
+   events, stamped with the engine's virtual clock. The buffer is a leaf
+   data structure — producers (engine, tcache, Vos) hold a [t option] and
+   emit only under [Some], so a disabled trace costs one branch and zero
+   allocation per potential event. The recorded window exports as Chrome
+   [trace_event] JSON (chrome://tracing, Perfetto) or pretty-prints line
+   by line for [--trace-stderr]. *)
+
+type phase = Cold | Hot
+
+type ev =
+  | Dispatch of { eip : int }
+  | Trans_begin of { phase : phase; entry : int }
+  | Trans_end of { phase : phase; entry : int; insns : int; cycles : int }
+  | Heat_trigger of { entry : int; registered : int }
+  | Chain_patch of { bundle : int; slot : int }
+  | Spec_miss of { kind : string; entry : int }
+  | Machine_fault of { kind : string; addr : int; bundle : int }
+  | Fault_delivered of { fault : string; eip : int }
+  | Recovery of { path : string; eip : int }
+  | Smc_invalidation of { addr : int; victims : int }
+  | Tcache_evict of { bundles : int }
+  | Tcache_invalidate of { start : int; len : int }
+  | Syscall_enter of { name : string }
+  | Syscall_exit of { name : string; kernel_cycles : int; idle_cycles : int }
+  | Degrade of { kind : string; key : int }
+  | Exit_program of { code : int }
+
+type event = { at : int; ev : ev }
+
+type t = {
+  buf : event array;
+  cap : int;
+  mutable total : int; (* events ever emitted; buffer index = total mod cap *)
+  mutable clock : unit -> int;
+  mutable echo : (event -> unit) option;
+}
+
+let default_capacity = 65536
+
+let create ?(capacity = default_capacity) () =
+  let cap = max 1 capacity in
+  {
+    buf = Array.make cap { at = 0; ev = Dispatch { eip = 0 } };
+    cap;
+    total = 0;
+    clock = (fun () -> 0);
+    echo = None;
+  }
+
+let set_clock t f = t.clock <- f
+let set_echo t f = t.echo <- Some f
+
+let emit t ev =
+  let e = { at = t.clock (); ev } in
+  t.buf.(t.total mod t.cap) <- e;
+  t.total <- t.total + 1;
+  match t.echo with Some f -> f e | None -> ()
+
+let capacity t = t.cap
+let length t = min t.total t.cap
+let dropped t = max 0 (t.total - t.cap)
+
+(* Retained events, oldest first. *)
+let events t =
+  let n = length t in
+  let first = t.total - n in
+  List.init n (fun k -> t.buf.((first + k) mod t.cap))
+
+let phase_name = function Cold -> "cold" | Hot -> "hot"
+
+let name = function
+  | Dispatch _ -> "dispatch"
+  | Trans_begin { phase = Cold; _ } -> "translate_cold_begin"
+  | Trans_begin { phase = Hot; _ } -> "translate_hot_begin"
+  | Trans_end { phase = Cold; _ } -> "translate_cold"
+  | Trans_end { phase = Hot; _ } -> "translate_hot"
+  | Heat_trigger _ -> "heat_trigger"
+  | Chain_patch _ -> "chain_patch"
+  | Spec_miss _ -> "spec_miss"
+  | Machine_fault _ -> "machine_fault"
+  | Fault_delivered _ -> "fault_delivered"
+  | Recovery _ -> "recovery"
+  | Smc_invalidation _ -> "smc_invalidation"
+  | Tcache_evict _ -> "tcache_evict"
+  | Tcache_invalidate _ -> "tcache_invalidate"
+  | Syscall_enter _ -> "syscall_enter"
+  | Syscall_exit _ -> "syscall"
+  | Degrade _ -> "degrade"
+  | Exit_program _ -> "exit_program"
+
+(* The argument payload as (key, value) pairs; strings are tagged so the
+   JSON export can quote them. *)
+type arg = Anum of int | Astr of string
+
+let args = function
+  | Dispatch { eip } -> [ ("eip", Anum eip) ]
+  | Trans_begin { phase; entry } ->
+    [ ("phase", Astr (phase_name phase)); ("entry", Anum entry) ]
+  | Trans_end { phase; entry; insns; cycles } ->
+    [
+      ("phase", Astr (phase_name phase));
+      ("entry", Anum entry);
+      ("insns", Anum insns);
+      ("cycles", Anum cycles);
+    ]
+  | Heat_trigger { entry; registered } ->
+    [ ("entry", Anum entry); ("registered", Anum registered) ]
+  | Chain_patch { bundle; slot } ->
+    [ ("bundle", Anum bundle); ("slot", Anum slot) ]
+  | Spec_miss { kind; entry } -> [ ("kind", Astr kind); ("entry", Anum entry) ]
+  | Machine_fault { kind; addr; bundle } ->
+    [ ("kind", Astr kind); ("addr", Anum addr); ("bundle", Anum bundle) ]
+  | Fault_delivered { fault; eip } ->
+    [ ("fault", Astr fault); ("eip", Anum eip) ]
+  | Recovery { path; eip } -> [ ("path", Astr path); ("eip", Anum eip) ]
+  | Smc_invalidation { addr; victims } ->
+    [ ("addr", Anum addr); ("victims", Anum victims) ]
+  | Tcache_evict { bundles } -> [ ("bundles", Anum bundles) ]
+  | Tcache_invalidate { start; len } ->
+    [ ("start", Anum start); ("len", Anum len) ]
+  | Syscall_enter { name } -> [ ("call", Astr name) ]
+  | Syscall_exit { name; kernel_cycles; idle_cycles } ->
+    [
+      ("call", Astr name);
+      ("kernel_cycles", Anum kernel_cycles);
+      ("idle_cycles", Anum idle_cycles);
+    ]
+  | Degrade { kind; key } -> [ ("kind", Astr kind); ("key", Anum key) ]
+  | Exit_program { code } -> [ ("code", Anum code) ]
+
+(* Keys whose numeric payload is a guest address: pretty-print in hex. *)
+let hex_keys = [ "eip"; "entry"; "addr"; "key" ]
+
+let pp_event ppf { at; ev } =
+  Fmt.pf ppf "[%d] %s" at (name ev);
+  List.iter
+    (fun (k, v) ->
+      match v with
+      | Astr s -> Fmt.pf ppf " %s=%s" k s
+      | Anum n when List.mem k hex_keys -> Fmt.pf ppf " %s=0x%x" k n
+      | Anum n -> Fmt.pf ppf " %s=%d" k n)
+    (args ev)
+
+(* ---- Chrome trace_event export ---------------------------------------- *)
+
+let json_escape buf s =
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s
+
+(* Events with an intrinsic span render as complete ("X") trace events;
+   everything else is an instant ("i"). Timestamps are virtual cycles,
+   reported in the trace_event microsecond field. *)
+let span = function
+  | Trans_end { cycles; _ } -> Some cycles
+  | Syscall_exit { kernel_cycles; idle_cycles; _ } ->
+    Some (kernel_cycles + idle_cycles)
+  | _ -> None
+
+let to_chrome t =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "[";
+  let first = ref true in
+  List.iter
+    (fun { at; ev } ->
+      if not !first then Buffer.add_string buf ",\n" else Buffer.add_char buf '\n';
+      first := false;
+      Buffer.add_string buf "{\"name\":\"";
+      json_escape buf (name ev);
+      Buffer.add_string buf "\",\"pid\":1,\"tid\":1,";
+      (match span ev with
+      | Some dur ->
+        Buffer.add_string buf
+          (Printf.sprintf "\"ph\":\"X\",\"ts\":%d,\"dur\":%d,"
+             (max 0 (at - dur)) dur)
+      | None ->
+        Buffer.add_string buf
+          (Printf.sprintf "\"ph\":\"i\",\"s\":\"t\",\"ts\":%d," at));
+      Buffer.add_string buf "\"args\":{";
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_char buf ',';
+          Buffer.add_char buf '"';
+          json_escape buf k;
+          Buffer.add_string buf "\":";
+          match v with
+          | Anum n -> Buffer.add_string buf (string_of_int n)
+          | Astr s ->
+            Buffer.add_char buf '"';
+            json_escape buf s;
+            Buffer.add_char buf '"')
+        (args ev);
+      Buffer.add_string buf "}}")
+    (events t);
+  Buffer.add_string buf "\n]\n";
+  buf
+
+let write_chrome t oc = Buffer.output_buffer oc (to_chrome t)

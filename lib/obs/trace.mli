@@ -1,0 +1,69 @@
+(** Structured engine tracing.
+
+    A fixed-capacity ring buffer of typed events stamped with the
+    engine's virtual cycle clock. Producers hold a [t option] and emit
+    only under [Some], so disabled tracing costs a single branch and no
+    allocation. The retained window exports as Chrome [trace_event]
+    JSON (loadable in chrome://tracing or Perfetto). *)
+
+type phase = Cold | Hot
+
+type ev =
+  | Dispatch of { eip : int }
+  | Trans_begin of { phase : phase; entry : int }
+  | Trans_end of { phase : phase; entry : int; insns : int; cycles : int }
+  | Heat_trigger of { entry : int; registered : int }
+  | Chain_patch of { bundle : int; slot : int }
+  | Spec_miss of { kind : string; entry : int }
+      (** [kind] is one of ["tos"], ["park"], ["tag"], ["mode"], ["sse"]. *)
+  | Machine_fault of { kind : string; addr : int; bundle : int }
+  | Fault_delivered of { fault : string; eip : int }
+  | Recovery of { path : string; eip : int }
+  | Smc_invalidation of { addr : int; victims : int }
+  | Tcache_evict of { bundles : int }
+  | Tcache_invalidate of { start : int; len : int }
+  | Syscall_enter of { name : string }
+  | Syscall_exit of { name : string; kernel_cycles : int; idle_cycles : int }
+  | Degrade of { kind : string; key : int }
+  | Exit_program of { code : int }
+
+type event = { at : int; ev : ev }
+
+type t
+
+val default_capacity : int
+
+val create : ?capacity:int -> unit -> t
+(** [create ()] makes a trace with the default 65536-event window. *)
+
+val set_clock : t -> (unit -> int) -> unit
+(** Install the virtual clock used to stamp [event.at]. The engine sets
+    this to its own [now]; secondary producers (tcache, Vos) inherit the
+    stamp through the shared trace value. *)
+
+val set_echo : t -> (event -> unit) -> unit
+(** Install a hook called on every emitted event (used by
+    [--trace-stderr] for live pretty-printing). *)
+
+val emit : t -> ev -> unit
+
+val capacity : t -> int
+val length : t -> int
+(** Number of events currently retained (≤ capacity). *)
+
+val dropped : t -> int
+(** Number of events that fell out of the ring window. *)
+
+val events : t -> event list
+(** Retained events, oldest first. *)
+
+val name : ev -> string
+val pp_event : event Fmt.t
+
+val to_chrome : t -> Buffer.t
+(** Render the retained window as a Chrome [trace_event] JSON array.
+    Timestamps are virtual cycles placed in the microsecond field;
+    translation and syscall events become complete ("X") spans, the rest
+    instants. *)
+
+val write_chrome : t -> out_channel -> unit

@@ -29,13 +29,15 @@ exception Workload_failed of string
 (* IA-32 EL itself                                                     *)
 (* ------------------------------------------------------------------ *)
 
-let run_el ?(config = Ia32el.Config.default) ?cost ?dcache (w : Common.t) ~scale =
+let run_el ?(config = Ia32el.Config.default) ?cost ?dcache
+    ?(attach = fun _ -> ()) (w : Common.t) ~scale =
   let image = w.Common.build ~scale ~wide:false in
   let mem = Ia32.Memory.create () in
   let st = Ia32.Asm.load image mem in
   let eng =
     Ia32el.Engine.create ~config ?cost ?dcache ~btlib:(module Btlib.Linuxsim) mem
   in
+  attach eng;
   match Ia32el.Engine.run ~fuel:2_000_000_000 eng st with
   | Ia32el.Engine.Exited (0, _) ->
     let d = Ia32el.Engine.distribution eng in

@@ -28,10 +28,13 @@ val run_el :
   ?config:Ia32el.Config.t ->
   ?cost:Ipf.Cost.t ->
   ?dcache:Ipf.Dcache.t ->
+  ?attach:(Ia32el.Engine.t -> unit) ->
   Common.t ->
   scale:int ->
   result
-(** Run a workload under IA-32 EL (the narrow, IA-32 build). *)
+(** Run a workload under IA-32 EL (the narrow, IA-32 build). [attach] is
+    called with the fresh engine before the run — the hook observability
+    consumers use to install traces and profiles. *)
 
 val native_config : Ia32el.Config.t
 val native_cost : Ipf.Cost.t

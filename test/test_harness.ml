@@ -1,0 +1,64 @@
+(* Shape-sanity checks over the Figures drivers at scale 1: the claims
+   under test are structural (row counts, percentages summing to 100,
+   hot code dominating SPEC) rather than exact cycle values, so these
+   run in `dune runtest` without pinning the cost model. *)
+
+module F = Harness.Figures
+
+let check = Alcotest.check
+let checkb = check Alcotest.bool
+
+let sum5 (h, c, o, x, i) = h +. c +. o +. x +. i
+
+let each5 f (h, c, o, x, i) =
+  List.iter2 f [ "hot"; "cold"; "overhead"; "other"; "idle" ] [ h; c; o; x; i ]
+
+let test_fig5_shape () =
+  let rows, geomean = F.fig5 ~scale:1 () in
+  check Alcotest.int "one row per SPEC INT benchmark" 12 (List.length rows);
+  List.iter
+    (fun (r : F.fig5_row) ->
+      checkb (r.F.name ^ " el cycles positive") true (r.F.el_cycles > 0);
+      checkb (r.F.name ^ " native cycles positive") true
+        (r.F.native_cycles > 0);
+      checkb (r.F.name ^ " score sane") true
+        (r.F.score > 10.0 && r.F.score < 400.0);
+      checkb (r.F.name ^ " paper value recorded") true (r.F.paper <> None))
+    rows;
+  let names = List.map (fun (r : F.fig5_row) -> r.F.name) rows in
+  check Alcotest.int "benchmark names distinct"
+    (List.length names)
+    (List.length (List.sort_uniq compare names));
+  checkb "geomean in a plausible band" true (geomean > 20.0 && geomean < 200.0)
+
+let test_fig6_shape () =
+  let d = F.fig6 ~scale:1 () in
+  checkb "components sum to 100%" true (abs_float (sum5 d -. 100.0) < 0.6);
+  each5
+    (fun name v -> checkb (name ^ " non-negative") true (v >= 0.0))
+    d;
+  let hot, _, _, _, _ = d in
+  checkb "hot code dominates SPEC (paper: ~95%)" true (hot > 50.0)
+
+let test_fig7_shape () =
+  let d = F.fig7 ~scale:1 () in
+  checkb "components sum to 100%" true (abs_float (sum5 d -. 100.0) < 0.6);
+  each5
+    (fun name v -> checkb (name ^ " non-negative") true (v >= 0.0))
+    d;
+  (* the interactive workload spends materially less time in hot code
+     than SPEC does (paper: 46% vs 95%) *)
+  let hot6, _, _, _, _ = F.fig6 ~scale:1 () in
+  let hot7, _, _, _, _ = d in
+  checkb "sysmark less hot than SPEC" true (hot7 < hot6)
+
+let () =
+  Alcotest.run "harness"
+    [
+      ( "figures",
+        [
+          Alcotest.test_case "fig5-shape" `Quick test_fig5_shape;
+          Alcotest.test_case "fig6-shape" `Quick test_fig6_shape;
+          Alcotest.test_case "fig7-shape" `Quick test_fig7_shape;
+        ] );
+    ]

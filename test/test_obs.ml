@@ -1,0 +1,306 @@
+(* Observability subsystem tests: the hand-rolled JSON layer, the trace
+   ring buffer and its Chrome export, the Account drift guard that keeps
+   [counters]/[all_fields] honest against the record's physical layout,
+   and the end-to-end guarantees (tracing never perturbs a run; the
+   profiler attributes hot cycles to named guest blocks). *)
+
+module J = Obs.Metrics
+module T = Obs.Trace
+module P = Obs.Profile
+module B = Workloads.Baselines
+module E = Ia32el.Engine
+
+let check = Alcotest.check
+let checki = check Alcotest.int
+let checkb = check Alcotest.bool
+
+(* ---------------- JSON ---------------- *)
+
+let test_json_round_trip () =
+  let v =
+    J.Obj
+      [
+        ("s", J.Str "a\"b\\c\nd");
+        ("n", J.Int (-42));
+        ("t", J.Bool true);
+        ("z", J.Null);
+        ("l", J.List [ J.Int 1; J.Str "x"; J.Obj [] ]);
+        ("o", J.Obj [ ("inner", J.List []) ]);
+      ]
+  in
+  (match J.parse (J.json_to_string v) with
+  | Ok v' -> checkb "round trip" true (v = v')
+  | Error e -> Alcotest.failf "reparse failed: %s" e);
+  match J.parse (J.json_to_string ~pretty:false v) with
+  | Ok v' -> checkb "compact round trip" true (v = v')
+  | Error e -> Alcotest.failf "compact reparse failed: %s" e
+
+let test_json_parse () =
+  (match J.parse {| {"a": [1, 2.5, "A\n", false, null]} |} with
+  | Ok (J.Obj [ ("a", J.List [ J.Int 1; J.Float f; J.Str s; J.Bool false; J.Null ]) ])
+    ->
+    checkb "float" true (abs_float (f -. 2.5) < 1e-9);
+    check Alcotest.string "escape" "A\n" s
+  | Ok _ -> Alcotest.fail "unexpected shape"
+  | Error e -> Alcotest.failf "parse failed: %s" e);
+  (match J.parse "{} trailing" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "trailing garbage accepted");
+  match J.parse "[1, ]" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "trailing comma accepted"
+
+let test_metrics_snapshot () =
+  let m = J.make ~schema:"test/1" in
+  J.section m "counters" [ ("a", J.Int 3); ("b", J.Int 0); ("c", J.Str "x") ];
+  J.section m "cycles" [ ("total", J.Int 7) ];
+  check
+    Alcotest.(list (pair string int))
+    "counters" [ ("a", 3); ("b", 0) ] (J.counters m);
+  match J.parse (J.to_string m) with
+  | Ok j ->
+    (match J.member "schema" j with
+    | Some (J.Str "test/1") -> ()
+    | _ -> Alcotest.fail "schema lost");
+    (match J.member "cycles" j with
+    | Some (J.Obj [ ("total", J.Int 7) ]) -> ()
+    | _ -> Alcotest.fail "cycles section lost")
+  | Error e -> Alcotest.failf "snapshot JSON invalid: %s" e
+
+(* ---------------- trace ring ---------------- *)
+
+let test_ring_wrap () =
+  let tr = T.create ~capacity:8 () in
+  let clock = ref 0 in
+  T.set_clock tr (fun () ->
+      incr clock;
+      !clock);
+  for i = 0 to 19 do
+    T.emit tr (T.Dispatch { eip = i })
+  done;
+  checki "capacity" 8 (T.capacity tr);
+  checki "length" 8 (T.length tr);
+  checki "dropped" 12 (T.dropped tr);
+  let evs = T.events tr in
+  checki "retained" 8 (List.length evs);
+  List.iteri
+    (fun i (e : T.event) ->
+      match e.T.ev with
+      | T.Dispatch { eip } ->
+        checki "oldest-first eip" (12 + i) eip;
+        checki "clock stamp" (13 + i) e.T.at
+      | _ -> Alcotest.fail "wrong event")
+    evs
+
+let test_echo_hook () =
+  let tr = T.create ~capacity:4 () in
+  let seen = ref 0 in
+  T.set_echo tr (fun _ -> incr seen);
+  T.emit tr (T.Heat_trigger { entry = 0x1000; registered = 1 });
+  T.emit tr (T.Tcache_evict { bundles = 9 });
+  checki "echo called per emit" 2 !seen
+
+let test_chrome_export () =
+  let tr = T.create ~capacity:16 () in
+  let clock = ref 0 in
+  T.set_clock tr (fun () ->
+      clock := !clock + 100;
+      !clock);
+  T.emit tr (T.Dispatch { eip = 0x8048000 });
+  T.emit tr
+    (T.Trans_end { phase = T.Cold; entry = 0x8048000; insns = 5; cycles = 60 });
+  T.emit tr (T.Syscall_enter { name = "write" });
+  T.emit tr
+    (T.Syscall_exit { name = "write"; kernel_cycles = 40; idle_cycles = 0 });
+  let s = Buffer.contents (T.to_chrome tr) in
+  match J.parse s with
+  | Ok (J.List evs) ->
+    checki "event count" 4 (List.length evs);
+    let spans =
+      List.filter (fun e -> J.member "ph" e = Some (J.Str "X")) evs
+    in
+    checki "span events" 2 (List.length spans);
+    List.iter
+      (fun e ->
+        (match J.member "dur" e with
+        | Some (J.Int d) -> checkb "positive dur" true (d > 0)
+        | _ -> Alcotest.fail "span without dur");
+        match (J.member "ts" e, J.member "name" e) with
+        | Some (J.Int ts), Some (J.Str _) -> checkb "ts >= 0" true (ts >= 0)
+        | _ -> Alcotest.fail "span missing ts/name")
+      spans
+  | Ok _ -> Alcotest.fail "chrome export is not an array"
+  | Error e -> Alcotest.failf "chrome export invalid: %s" e
+
+(* ---------------- Account drift guard ---------------- *)
+
+(* [Account.t] is all-int, so its heap block has one word per field.
+   Write a distinctive value into every word through [Obj] and require
+   [all_fields] to read back exactly those values in order: any field
+   added to the record without being added to [all_fields] (and so
+   invisible to metrics and fuzzer coverage) trips the size check; any
+   reordering or duplication trips the value check. *)
+let test_all_fields_complete () =
+  let a = Ia32el.Account.create () in
+  let fields = Ia32el.Account.all_fields a in
+  let r = Obj.repr a in
+  checkb "flat int record" true (Obj.tag r = 0);
+  checki "all_fields covers every record field" (Obj.size r)
+    (List.length fields);
+  for k = 0 to Obj.size r - 1 do
+    Obj.set_field r k (Obj.repr ((1000 * k) + 7))
+  done;
+  List.iteri
+    (fun k (name, v) ->
+      checki (Printf.sprintf "field %s in declaration order" name)
+        ((1000 * k) + 7)
+        v)
+    (Ia32el.Account.all_fields a)
+
+let test_counters_partition () =
+  let a = Ia32el.Account.create () in
+  let all = List.map fst (Ia32el.Account.all_fields a) in
+  let counters = List.map fst (Ia32el.Account.counters a) in
+  let non_event = Ia32el.Account.non_event_fields in
+  let sorted l = List.sort compare l in
+  List.iter
+    (fun n ->
+      checkb (Printf.sprintf "counter %s is a real field" n) true
+        (List.mem n all))
+    counters;
+  List.iter
+    (fun n ->
+      checkb (Printf.sprintf "non-event %s is a real field" n) true
+        (List.mem n all);
+      checkb (Printf.sprintf "non-event %s not double-counted" n) false
+        (List.mem n counters))
+    non_event;
+  check
+    Alcotest.(list string)
+    "counters + non_event partition all fields" (sorted all)
+    (sorted (counters @ non_event))
+
+(* ---------------- end-to-end guarantees ---------------- *)
+
+let run_gzip ?attach () =
+  let r = B.run_el ?attach Workloads.Spec_int.gzip ~scale:1 in
+  match r.B.engine with
+  | Some e -> (r.B.cycles, e)
+  | None -> Alcotest.fail "no engine"
+
+let test_tracing_is_free () =
+  let plain_cycles, plain_eng = run_gzip () in
+  let tr = T.create () in
+  let p = P.create () in
+  let traced_cycles, traced_eng =
+    run_gzip
+      ~attach:(fun e ->
+        E.attach_trace e tr;
+        E.attach_profile e p)
+      ()
+  in
+  checki "cycles identical with observability" plain_cycles traced_cycles;
+  check
+    Alcotest.(list (pair string int))
+    "counters identical with observability"
+    (Ia32el.Account.counters plain_eng.E.acct)
+    (Ia32el.Account.counters traced_eng.E.acct);
+  checkb "trace saw events" true (T.length tr > 0)
+
+let test_profile_attribution () =
+  let p = P.create () in
+  let _, eng = run_gzip ~attach:(fun e -> E.attach_profile e p) () in
+  let m = eng.E.machine in
+  let hot_bucket = m.Ipf.Machine.buckets.(Ia32el.Account.bucket_hot) in
+  let cold_bucket = m.Ipf.Machine.buckets.(Ia32el.Account.bucket_cold) in
+  checkb "gzip runs hot code" true (hot_bucket > 0);
+  (* the probe mirrors bucket_fn exactly, so totals must match 1:1 *)
+  checki "hot attribution exact" hot_bucket (P.hot_exec p);
+  checki "cold attribution exact" cold_bucket (P.cold_exec p);
+  (* acceptance criterion: top 10 blocks own >= 90% of hot-phase cycles *)
+  let top_hot =
+    List.fold_left
+      (fun acc (_, (row : P.row)) -> acc + row.P.hot_cycles)
+      0 (P.top 10 p)
+  in
+  checkb "top-10 owns >= 90% of hot cycles" true
+    (top_hot * 10 >= hot_bucket * 9);
+  (* every top entry must resolve to a guest block start *)
+  let image =
+    Workloads.Spec_int.gzip.Workloads.Common.build ~scale:1 ~wide:false
+  in
+  List.iter
+    (fun (entry, _) ->
+      checkb
+        (Printf.sprintf "entry 0x%x within guest code" entry)
+        true
+        (entry >= image.Ia32.Asm.entry - 0x100000
+        && entry < image.Ia32.Asm.entry + 0x1000000))
+    (P.top 10 p)
+
+let test_engine_metrics_shape () =
+  let tr = T.create () in
+  let p = P.create () in
+  let _, eng =
+    run_gzip
+      ~attach:(fun e ->
+        E.attach_trace e tr;
+        E.attach_profile e p)
+      ()
+  in
+  let m = E.metrics eng in
+  match J.parse (J.to_string m) with
+  | Error e -> Alcotest.failf "metrics JSON invalid: %s" e
+  | Ok j ->
+    List.iter
+      (fun s ->
+        match J.member s j with
+        | Some (J.Obj _) -> ()
+        | _ -> Alcotest.failf "missing section %s" s)
+      [
+        "cycles"; "counters"; "volume"; "machine"; "tcache"; "dcache"; "vos";
+        "trace"; "profile";
+      ];
+    (match J.member "cycles" j with
+    | Some c -> (
+      match J.member "total" c with
+      | Some (J.Int n) -> checkb "cycles.total > 0" true (n > 0)
+      | _ -> Alcotest.fail "no cycles.total")
+    | None -> assert false);
+    check
+      Alcotest.(list (pair string int))
+      "metrics counters mirror Account.counters"
+      (Ia32el.Account.counters eng.E.acct)
+      (J.counters m)
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "json",
+        [
+          Alcotest.test_case "round-trip" `Quick test_json_round_trip;
+          Alcotest.test_case "parse" `Quick test_json_parse;
+          Alcotest.test_case "snapshot" `Quick test_metrics_snapshot;
+        ] );
+      ( "trace",
+        [
+          Alcotest.test_case "ring-wrap" `Quick test_ring_wrap;
+          Alcotest.test_case "echo-hook" `Quick test_echo_hook;
+          Alcotest.test_case "chrome-export" `Quick test_chrome_export;
+        ] );
+      ( "drift-guard",
+        [
+          Alcotest.test_case "all-fields-complete" `Quick
+            test_all_fields_complete;
+          Alcotest.test_case "counters-partition" `Quick
+            test_counters_partition;
+        ] );
+      ( "end-to-end",
+        [
+          Alcotest.test_case "tracing-is-free" `Quick test_tracing_is_free;
+          Alcotest.test_case "profile-attribution" `Quick
+            test_profile_attribution;
+          Alcotest.test_case "engine-metrics-shape" `Quick
+            test_engine_metrics_shape;
+        ] );
+    ]
