@@ -196,8 +196,23 @@ let run_injected_cmd w config desc scale stats obs labels seed =
   obs_finish obs labels r.Harness.Resilience.engine
 
 let run_cmd name model scale stats lockstep inject trace_file trace_stderr
-    profile_top metrics_file =
+    profile_top metrics_file no_predecode no_decode_cache =
   let obs = { trace_file; trace_stderr; profile_top; metrics_file } in
+  (* host-speed escape hatches; simulated results are bit-identical *)
+  let model =
+    match model with
+    | M_el (c, d) ->
+      M_el
+        ( {
+            c with
+            Ia32el.Config.enable_predecode =
+              c.Ia32el.Config.enable_predecode && not no_predecode;
+            Ia32el.Config.enable_decode_cache =
+              c.Ia32el.Config.enable_decode_cache && not no_decode_cache;
+          },
+          d )
+    | m -> m
+  in
   let inject_seeds =
     match inject with
     | None -> None
@@ -370,11 +385,30 @@ let metrics_arg =
            $(b,--profile) is active) as JSON to $(docv), schema \
            $(b,ia32el-metrics/1).")
 
+let no_predecode_arg =
+  Arg.(
+    value & flag
+    & info [ "no-predecode" ]
+        ~doc:
+          "Run translated code through the interpretive machine loop \
+           instead of the pre-decoded direct-threaded core. Purely a \
+           host-speed switch: simulated cycles and statistics are \
+           bit-identical either way (escape hatch / A-B check).")
+
+let no_decode_cache_arg =
+  Arg.(
+    value & flag
+    & info [ "no-decode-cache" ]
+        ~doc:
+          "Disable the reference interpreter's decoded-instruction cache \
+           (every step re-decodes from guest bytes). Purely a host-speed \
+           switch: results are bit-identical either way.")
+
 let run_t =
   Term.(
     const run_cmd $ workload_arg $ model_arg $ scale_arg $ stats_arg
     $ lockstep_arg $ inject_arg $ trace_arg $ trace_stderr_arg $ profile_arg
-    $ metrics_arg)
+    $ metrics_arg $ no_predecode_arg $ no_decode_cache_arg)
 
 let run_info =
   Cmd.info "run" ~doc:"Run one workload under a chosen execution model."

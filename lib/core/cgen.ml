@@ -9,13 +9,20 @@ type item =
   | Stop (* close the current instruction group *)
   | Lbl of int (* local label id *)
 
+(* Catenation tree over items, stored in REVERSED program order (the
+   newest item is the leftmost leaf). O(1) emit and O(1) prepend; lowering
+   flattens once. The old representation was a reversed list whose
+   [prepend] copied the whole body ([items @ head.items]) — quadratic when
+   a translation session prepends heads to ever-growing buffers. *)
+type seq = Nil | One of item | Cat of seq * seq
+
 type t = {
-  mutable items : item list; (* reversed *)
+  mutable items : seq; (* reversed *)
   mutable next_label : int;
   mutable ninsns : int;
 }
 
-let create () = { items = []; next_label = 0; ninsns = 0 }
+let create () = { items = Nil; next_label = 0; ninsns = 0 }
 
 let new_label t =
   let l = t.next_label in
@@ -23,18 +30,33 @@ let new_label t =
   l
 
 let emit ?(tag = -1) t insn =
-  t.items <- I (insn, tag) :: t.items;
+  t.items <- Cat (One (I (insn, tag)), t.items);
   t.ninsns <- t.ninsns + 1
 
-let stop t = t.items <- Stop :: t.items
+let stop t = t.items <- Cat (One Stop, t.items)
 
-let bind t l = t.items <- Lbl l :: t.items
+let bind t l = t.items <- Cat (One (Lbl l), t.items)
 
 let length t = t.ninsns
 
 (* Prepend previously generated items (used to put block-head checks in
-   front of an already generated body). *)
-let prepend t (head : t) = t.items <- t.items @ head.items
+   front of an already generated body). In reversed storage the head's
+   items come after the body's. Label ids stay per-buffer, so the merged
+   counter takes the max to keep future labels fresh. *)
+let prepend t (head : t) =
+  t.items <- Cat (t.items, head.items);
+  t.ninsns <- t.ninsns + head.ninsns;
+  t.next_label <- max t.next_label head.next_label
+
+(* Flatten a reversed seq into a forward (program-order) item list.
+   [reverse (flatten (Cat (a, b))) = reverse b @ reverse a], so the deep
+   right spine produced by repeated [emit] is consumed by tail calls;
+   non-tail depth is bounded by the number of [prepend]s. *)
+let rec rev_flatten s acc =
+  match s with
+  | Nil -> acc
+  | One x -> x :: acc
+  | Cat (a, b) -> rev_flatten b (rev_flatten a acc)
 
 (* Branch-target placeholder: local labels are encoded as [To (-1 - l)]
    during generation and fixed up at lowering time. *)
@@ -52,7 +74,7 @@ let local l = Ipf.Insn.To (-1 - l)
    the commit tag covering bundle [first_bundle + k] (carried forward from
    the last tagged instruction). *)
 let lower t tcache =
-  let items = List.rev t.items in
+  let items = rev_flatten t.items [] in
   (* first pass: split into bundles of (insns, stop_end) plus label binds *)
   let bundles = ref [] in (* reversed: (insn list, stop, tag) *)
   let labels = Hashtbl.create 8 in

@@ -13,8 +13,12 @@ type item =
   | Stop  (** close the current instruction group *)
   | Lbl of int  (** local label id *)
 
+type seq = Nil | One of item | Cat of seq * seq
+(** Catenation tree in reversed program order: O(1) {!emit} and O(1)
+    {!prepend}, flattened once at {!lower}. *)
+
 type t = {
-  mutable items : item list;  (** reversed *)
+  mutable items : seq;  (** reversed *)
   mutable next_label : int;
   mutable ninsns : int;
 }
@@ -31,7 +35,8 @@ val length : t -> int
 
 val prepend : t -> t -> unit
 (** [prepend t head] puts [head]'s items before [t]'s (block-head checks
-    in front of an already generated body). *)
+    in front of an already generated body) in O(1); [length] counts both
+    buffers afterwards. *)
 
 val local : int -> Ipf.Insn.target
 (** Branch-target placeholder for a local label, encoded as

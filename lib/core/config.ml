@@ -56,6 +56,14 @@ type t = {
   smc_storm_limit : int;
       (* SMC invalidation events on one source page within the window
          before the whole page goes interpret-only *)
+  (* execution cores *)
+  enable_predecode : bool;
+      (* run translated code through the pre-decoded direct-threaded core
+         (Ipf.Exec) instead of the interpretive Machine.run loop; results
+         are bit-identical, this is purely a host-speed switch *)
+  enable_decode_cache : bool;
+      (* cache decoded IA-32 instructions per (eip, page generation) in
+         the reference interpreter *)
 }
 
 let default =
@@ -89,6 +97,8 @@ let default =
     retrans_interp_limit = 12;
     smc_storm_window = 512;
     smc_storm_limit = 16;
+    enable_predecode = true;
+    enable_decode_cache = true;
   }
 
 (* Cold-only translator (no hot phase at all). *)

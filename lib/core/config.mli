@@ -64,6 +64,13 @@ type t = {
   smc_storm_limit : int;
       (** SMC invalidation events on one source page within the window
           before the whole page is degraded to interpretation *)
+  enable_predecode : bool;
+      (** run translated code through the pre-decoded direct-threaded core
+          ({!Ipf.Exec}) instead of the interpretive [Machine.run] loop;
+          bit-identical results, purely a host-speed switch *)
+  enable_decode_cache : bool;
+      (** cache decoded IA-32 instructions per (eip, page generation) in
+          the reference interpreter *)
 }
 
 val default : t

@@ -27,6 +27,7 @@ type t = {
   cache : Block.cache;
   acct : Account.t;
   machine : M.t;
+  exec : Ipf.Exec.t; (* pre-decoded fast path over [machine] *)
   vos : Btlib.Vos.t;
   btlib : (module Btlib.Btos.S);
   cold_env : Cold.env;
@@ -188,6 +189,7 @@ let create ?(config = Config.default) ?cost:(mcost = Ipf.Cost.default) ?dcache
       cache;
       acct;
       machine;
+      exec = Ipf.Exec.create machine;
       vos;
       btlib;
       cold_env = { Cold.config; tcache; cache; mem; acct };
@@ -546,11 +548,18 @@ let reconstruct_at t block ~bundle =
 
 (* Interpret forward from [st] until leaving [lo,hi) or a fault/syscall, or
    at most [max_steps]. Returns the stop condition. *)
+(* Honour [enable_decode_cache] on any state the engine is about to drive
+   through the interpreter. *)
+let sync_icache t (st : Ia32.State.t) =
+  Ia32.Icache.set_enabled st.Ia32.State.icache
+    t.config.Config.enable_decode_cache
+
 let rollforward t st ~lo ~hi ~max_steps =
   (* the interpreter writes guest memory directly: clear [running_block] so
      a store onto a translated page invalidates normally instead of raising
      Smc_abort outside [M.run] *)
   t.running_block <- None;
+  sync_icache t st;
   let steps = ref 0 in
   let rec go () =
     if !steps >= max_steps then `Boundary
@@ -720,6 +729,7 @@ let run ?(fuel = max_int) t (st0 : Ia32.State.t) =
     t.running_block <- None;
     let snapshot = here_snapshot t in
     let st = Reconstruct.extract t.machine ~eip ~snapshot in
+    sync_icache t st;
     let rec steps budget =
       if budget = 0 then `Continue
       else begin
@@ -777,7 +787,10 @@ let run ?(fuel = max_int) t (st0 : Ia32.State.t) =
       | None -> ());
       let before = t.machine.M.stats.M.slots_retired in
       let stop =
-        try M.run ~fuel:t.fuel t.machine
+        try
+          if t.config.Config.enable_predecode then
+            Ipf.Exec.run ~fuel:t.fuel t.exec
+          else M.run ~fuel:t.fuel t.machine
         with Smc_abort ->
           (* self-modifying store: memory effect is committed; restart the
              current IA-32 instruction from its precise state *)

@@ -791,15 +791,31 @@ let exec (st : State.t) insn next_eip =
 
 (* Execute one instruction at EIP. On [Faulted] the architectural state is
    the precise state before the faulting instruction (modulo committed REP
-   progress). *)
+   progress).
+
+   The decode-cache fast path skips [Decode.decode] when the state's
+   {!Icache} holds a generation-valid entry for EIP; a valid entry implies
+   the source bytes and page protections are unchanged since a successful
+   decode, so the fetch-permission check is subsumed by the generation
+   compare. The hit path allocates nothing. *)
 let step (st : State.t) =
-  match Decode.decode st.mem st.eip with
-  | exception Decode.Invalid _ -> Faulted Fault.Invalid_opcode
-  | exception Fault.Fault f -> Faulted f
-  | insn, len -> (
-    match exec st insn (Word.mask32 (st.eip + len)) with
+  let eip = st.eip in
+  let slot = Icache.find st.icache st.mem eip in
+  if slot >= 0 then begin
+    let insn = Icache.insn st.icache slot and len = Icache.len st.icache slot in
+    match exec st insn (Word.mask32 (eip + len)) with
     | event -> event
-    | exception Fault.Fault f -> Faulted f)
+    | exception Fault.Fault f -> Faulted f
+  end
+  else
+    match Decode.decode st.mem eip with
+    | exception Decode.Invalid _ -> Faulted Fault.Invalid_opcode
+    | exception Fault.Fault f -> Faulted f
+    | insn, len -> (
+      Icache.fill st.icache st.mem eip insn len;
+      match exec st insn (Word.mask32 (eip + len)) with
+      | event -> event
+      | exception Fault.Fault f -> Faulted f)
 
 type stop =
   | Stop_syscall of int

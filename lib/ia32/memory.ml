@@ -12,16 +12,47 @@ let prot_rw = { read = true; write = true; exec = false }
 let prot_rx = { read = true; write = false; exec = true }
 let prot_rwx = { read = true; write = true; exec = true }
 
-type page = { data : Bytes.t; mutable prot : prot }
+(* [gen] is the page's write generation: drawn from the memory's global
+   monotonic counter on every mutation (byte store, remap, protection
+   change, loader write). Consumers that cache per-address derived data
+   (the interpreter's decode cache) validate entries with one compare;
+   because the counter is global and never reused, an unmap/remap cycle
+   can never resurrect a stale generation (no ABA). *)
+type page = { data : Bytes.t; mutable prot : prot; mutable gen : int }
 
 type t = {
   pages : (int, page) Hashtbl.t;
   mutable write_watch : (int -> int -> unit) option; (* addr, width *)
   mutable watched : (int, unit) Hashtbl.t; (* page numbers with watch *)
+  mutable gen_counter : int;
+  (* one-entry lookup memo: both simulator inner loops hit the same page
+     repeatedly, and a Hashtbl probe per byte dominates the access cost.
+     [memo_no] is -1 when empty; the memoized record is shared with the
+     table, so in-place protection changes stay visible. *)
+  mutable memo_no : int;
+  mutable memo_pg : page;
 }
 
+let dummy_page =
+  {
+    data = Bytes.create 0;
+    prot = { read = false; write = false; exec = false };
+    gen = 0;
+  }
+
 let create () =
-  { pages = Hashtbl.create 256; write_watch = None; watched = Hashtbl.create 16 }
+  {
+    pages = Hashtbl.create 256;
+    write_watch = None;
+    watched = Hashtbl.create 16;
+    gen_counter = 1;
+    memo_no = -1;
+    memo_pg = dummy_page;
+  }
+
+let bump_gen t pg =
+  t.gen_counter <- t.gen_counter + 1;
+  pg.gen <- t.gen_counter
 
 let page_of addr = Word.mask32 addr lsr page_bits
 let offset_of addr = Word.mask32 addr land (page_size - 1)
@@ -29,9 +60,14 @@ let offset_of addr = Word.mask32 addr land (page_size - 1)
 let map t ~addr ~len ~prot =
   let first = page_of addr and last = page_of (addr + len - 1) in
   for p = first to last do
-    if not (Hashtbl.mem t.pages p) then
-      Hashtbl.replace t.pages p { data = Bytes.make page_size '\000'; prot }
-    else (Hashtbl.find t.pages p).prot <- prot
+    match Hashtbl.find_opt t.pages p with
+    | None ->
+      t.gen_counter <- t.gen_counter + 1;
+      Hashtbl.replace t.pages p
+        { data = Bytes.make page_size '\000'; prot; gen = t.gen_counter }
+    | Some pg ->
+      pg.prot <- prot;
+      bump_gen t pg
   done
 
 let unmap t ~addr ~len =
@@ -39,7 +75,8 @@ let unmap t ~addr ~len =
   for p = first to last do
     Hashtbl.remove t.pages p;
     Hashtbl.remove t.watched p
-  done
+  done;
+  t.memo_no <- -1
 
 let is_mapped t addr = Hashtbl.mem t.pages (page_of addr)
 
@@ -47,9 +84,21 @@ let protect t ~addr ~len ~prot =
   let first = page_of addr and last = page_of (addr + len - 1) in
   for p = first to last do
     match Hashtbl.find_opt t.pages p with
-    | Some pg -> pg.prot <- prot
+    | Some pg ->
+      pg.prot <- prot;
+      bump_gen t pg
     | None -> ()
   done
+
+(* Write generation of the page holding [addr]; -1 when unmapped. Valid
+   generations are >= 1, so a consumer initialising cached generations to
+   0 (or keeping a -1 from an unmapped probe) never false-hits. *)
+(* [Hashtbl.find] rather than [find_opt]: this runs on every cached-decode
+   probe and must not allocate an option in the hit path. *)
+let page_gen t addr =
+  match Hashtbl.find t.pages (page_of addr) with
+  | pg -> pg.gen
+  | exception Not_found -> -1
 
 let prot_of t addr =
   match Hashtbl.find_opt t.pages (page_of addr) with
@@ -62,17 +111,28 @@ let watch_page t addr = Hashtbl.replace t.watched (page_of addr) ()
 let unwatch_page t addr = Hashtbl.remove t.watched (page_of addr)
 let page_watched t addr = Hashtbl.mem t.watched (page_of addr)
 
+(* Exception-based lookup plus the memo: the hot path (same page as the
+   previous access) is two compares and allocates nothing. *)
 let find_page t addr (acc : Fault.access) =
-  match Hashtbl.find_opt t.pages (page_of addr) with
-  | None -> raise (Fault.Fault (Fault.Page_fault (Word.mask32 addr, acc)))
-  | Some pg ->
-    let ok =
-      match acc with
-      | Fault.Read -> pg.prot.read
-      | Fault.Write -> pg.prot.write
-      | Fault.Fetch -> pg.prot.exec
-    in
-    if ok then pg else raise (Fault.Fault (Fault.Page_fault (Word.mask32 addr, acc)))
+  let no = page_of addr in
+  let pg =
+    if no = t.memo_no then t.memo_pg
+    else
+      match Hashtbl.find t.pages no with
+      | pg ->
+        t.memo_no <- no;
+        t.memo_pg <- pg;
+        pg
+      | exception Not_found ->
+        raise (Fault.Fault (Fault.Page_fault (Word.mask32 addr, acc)))
+  in
+  let ok =
+    match acc with
+    | Fault.Read -> pg.prot.read
+    | Fault.Write -> pg.prot.write
+    | Fault.Fetch -> pg.prot.exec
+  in
+  if ok then pg else raise (Fault.Fault (Fault.Page_fault (Word.mask32 addr, acc)))
 
 (* Byte-granular access; multi-byte accesses may straddle pages. *)
 
@@ -86,7 +146,8 @@ let fetch8 t addr =
 
 let write8_nowatch t addr v =
   let pg = find_page t addr Fault.Write in
-  Bytes.set pg.data (offset_of addr) (Char.chr (Word.mask8 v))
+  Bytes.set pg.data (offset_of addr) (Char.chr (Word.mask8 v));
+  bump_gen t pg
 
 let notify_write t addr width =
   match t.write_watch with
@@ -97,16 +158,41 @@ let write8 t addr v =
   write8_nowatch t addr v;
   notify_write t addr 1
 
+(* Top-level little-endian byte loops: no closure per access. The fast
+   path handles an access contained in one page with direct Bytes reads;
+   offsets come from [find_page], so unsafe_get stays in bounds. *)
+let rec rd_le d base acc i =
+  if i < 0 then acc
+  else
+    rd_le d base
+      ((acc lsl 8) lor Char.code (Bytes.unsafe_get d (base + i)))
+      (i - 1)
+
+let rec rd_slow t addr acc i =
+  if i < 0 then acc else rd_slow t addr ((acc lsl 8) lor read8 t (addr + i)) (i - 1)
+
 let read_n t addr n =
-  let rec go acc i =
-    if i < 0 then acc else go ((acc lsl 8) lor read8 t (addr + i)) (i - 1)
-  in
-  go 0 (n - 1)
+  if offset_of addr + n <= page_size then
+    let pg = find_page t addr Fault.Read in
+    rd_le pg.data (offset_of addr) 0 (n - 1)
+  else rd_slow t addr 0 (n - 1)
+
+let rec wr_le d base v i n =
+  if i < n then begin
+    Bytes.unsafe_set d (base + i) (Char.unsafe_chr ((v lsr (8 * i)) land 0xFF));
+    wr_le d base v (i + 1) n
+  end
 
 let write_n t addr n v =
-  for i = 0 to n - 1 do
-    write8_nowatch t (addr + i) ((v lsr (8 * i)) land 0xFF)
-  done;
+  (if offset_of addr + n <= page_size then begin
+     let pg = find_page t addr Fault.Write in
+     wr_le pg.data (offset_of addr) v 0 n;
+     bump_gen t pg
+   end
+   else
+     for i = 0 to n - 1 do
+       write8_nowatch t (addr + i) ((v lsr (8 * i)) land 0xFF)
+     done);
   notify_write t addr n
 
 let read16 t addr = read_n t addr 2
@@ -134,7 +220,9 @@ let load_bytes t addr s =
   for i = 0 to String.length s - 1 do
     let a = addr + i in
     match Hashtbl.find_opt t.pages (page_of a) with
-    | Some pg -> Bytes.set pg.data (offset_of a) s.[i]
+    | Some pg ->
+      Bytes.set pg.data (offset_of a) s.[i];
+      bump_gen t pg
     | None -> raise (Fault.Fault (Fault.Page_fault (Word.mask32 a, Fault.Write)))
   done
 
@@ -145,9 +233,18 @@ let dump_bytes t addr len =
 let copy t =
   let pages = Hashtbl.create (Hashtbl.length t.pages) in
   Hashtbl.iter
-    (fun k pg -> Hashtbl.replace pages k { data = Bytes.copy pg.data; prot = pg.prot })
+    (fun k pg ->
+      Hashtbl.replace pages k
+        { data = Bytes.copy pg.data; prot = pg.prot; gen = pg.gen })
     t.pages;
-  { pages; write_watch = None; watched = Hashtbl.copy t.watched }
+  {
+    pages;
+    write_watch = None;
+    watched = Hashtbl.copy t.watched;
+    gen_counter = t.gen_counter;
+    memo_no = -1;
+    memo_pg = dummy_page;
+  }
 
 let equal ?(skip = fun _ -> false) a b =
   let pages_of t =

@@ -32,6 +32,13 @@ val watch_page : t -> int -> unit
 val unwatch_page : t -> int -> unit
 val page_watched : t -> int -> bool
 
+val page_gen : t -> int -> int
+(** Write generation of the page holding the given address: bumped from a
+    global monotonic counter on every mutation (byte store, remap,
+    protection change, loader write); [-1] when unmapped. Generations are
+    never reused, so caches of decoded instructions keyed on them cannot
+    false-hit across an unmap/remap cycle. Valid generations are >= 1. *)
+
 val read8 : t -> int -> int
 
 (** Like {!read8} but checks execute permission. *)

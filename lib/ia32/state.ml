@@ -17,6 +17,7 @@ type t = {
   xmm_lo : int64 array; (* 8 registers x 128 bits *)
   xmm_hi : int64 array;
   mem : Memory.t;
+  icache : Icache.t; (* interpreter decode cache; private to this state *)
 }
 
 let create mem =
@@ -34,6 +35,7 @@ let create mem =
     xmm_lo = Array.make 8 0L;
     xmm_hi = Array.make 8 0L;
     mem;
+    icache = Icache.create ();
   }
 
 let get32 t r = t.regs.(Insn.reg_index r)
@@ -155,6 +157,7 @@ let copy t =
     xmm_lo = Array.copy t.xmm_lo;
     xmm_hi = Array.copy t.xmm_hi;
     mem = t.mem;
+    icache = Icache.create ();
   }
 
 (* Architectural equality, ignoring memory (compared separately) and EIP if

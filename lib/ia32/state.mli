@@ -15,6 +15,9 @@ type t = {
   xmm_lo : int64 array;
   xmm_hi : int64 array;
   mem : Memory.t;
+  icache : Icache.t;
+      (** interpreter decode cache; private to this state — {!copy} gives
+          the copy a fresh one *)
 }
 
 val create : Memory.t -> t

@@ -1,0 +1,761 @@
+(* Pre-decoded, direct-threaded execution core (DESIGN.md §10).
+
+   [Machine.run] re-matches nested [Insn.t] variants, rebuilds read/write
+   resource lists and walks hashtables for every slot it executes. This
+   module lowers each tcache bundle ONCE into a flat micro-op array: the
+   semantic action becomes a preallocated closure with operand indices
+   resolved, and the qualifying predicate, issue weight, latency class,
+   read/write resource sets and stop bit are all precomputed. The
+   group-costing write set becomes an epoch-marked int array instead of
+   a polymorphic hashtable, so the steady-state step loop allocates
+   nothing beyond what Int64 arithmetic itself boxes.
+
+   Lowered bundles are cached per tcache stamp: every tcache mutation
+   ([append], [patch_slot], [patch_dispatch], [invalidate_range],
+   [clear]) bumps the generation and stamps the touched index, so one
+   integer compare per slot validates the cache — chain patching and SMC
+   invalidation invalidate exactly the bundles they rewrite.
+
+   Correctness bar: simulated cycles, bucket attribution, every stats
+   counter and the observable fault/exit behaviour are bit-identical to
+   [Machine.run] — the determinism suite (test_exec.ml) and the engine's
+   --no-predecode escape hatch exist to enforce and debug exactly that. *)
+
+module M = Machine
+
+(* Resource ids, flattened: GR 0-127, FR 128-255, PR 256-319, BR 320-327,
+   memory 328. *)
+let nres = 329
+
+let enc = function
+  | Insn.Rgr r -> r
+  | Insn.Rfr f -> 128 + f
+  | Insn.Rpr p -> 256 + p
+  | Insn.Rbr b -> 320 + b
+  | Insn.Rmem -> 328
+
+(* One pre-decoded slot. [run] executes the semantic action and encodes
+   control flow as an int — no [flow] variant to allocate:
+   -1 = fall through, -2 = leave the cache ([exit_] has the reason),
+   n >= 0 = jump to bundle n. *)
+type uop = {
+  run : unit -> int;
+  qp : int; (* -1 = always enabled *)
+  fast_nop : bool;
+      (* unpredicated nop: no reads/writes/retire/stall — the step loop
+         only adds its slot weight and advances *)
+  nonnop : bool; (* retires a slot *)
+  spec_check : bool; (* Br (Out (Spec_fail _)): counted even if disabled *)
+  weight : int;
+  latency : int;
+  is_br_ind : bool;
+  reads : int array; (* encoded resources, qualifying predicate included *)
+  writes : int array;
+  exit_ : Insn.exit_reason option; (* reason when [run] returns -2 *)
+}
+
+type dbundle = { uops : uop array; stops : bool array }
+
+type t = {
+  m : M.t;
+  tc : Tcache.t;
+  (* per-bundle lowering cache, validated by tcache stamp *)
+  mutable dec : dbundle array;
+  mutable dstamp : int array;
+  (* group-costing scratch, replacing Machine.run's per-call hashtable:
+     epoch-marked membership + latency per resource, plus the write list
+     of the open group *)
+  wmark : int array;
+  wlat : int array;
+  wlist : int array;
+  mutable wn : int;
+  mutable wepoch : int;
+  mutable gweight : int;
+  mutable gsrcs : int;
+  mutable gextra : int;
+  mutable stall_before : int;
+}
+
+let empty_dbundle = { uops = [||]; stops = [||] }
+
+let create m =
+  {
+    m;
+    tc = m.M.tcache;
+    dec = Array.make 1024 empty_dbundle;
+    dstamp = Array.make 1024 0;
+    wmark = Array.make nres 0;
+    wlat = Array.make nres 0;
+    wlist = Array.make nres 0;
+    wn = 0;
+    wepoch = 1;
+    gweight = 0;
+    gsrcs = 0;
+    gextra = 0;
+    stall_before = 0;
+  }
+
+(* ---- lowering ---------------------------------------------------------- *)
+
+(* Top-level so per-step calls don't build closures. *)
+let rec nat_scan m grs i =
+  i < Array.length grs
+  && (M.get_nat m (Array.unsafe_get grs i) || nat_scan m grs (i + 1))
+
+let rec popcnt64 acc v =
+  if Int64.equal v 0L then acc
+  else
+    popcnt64
+      (acc + Int64.to_int (Int64.logand v 1L))
+      (Int64.shift_right_logical v 1)
+
+(* signed / unsigned high 64 bits of a 64x64 product *)
+let hi_mul x y =
+  let open Int64 in
+  let xl = logand x 0xFFFFFFFFL and xh = shift_right x 32 in
+  let yl = logand y 0xFFFFFFFFL and yh = shift_right y 32 in
+  let ll = mul xl yl in
+  let lh = mul xl yh and hl = mul xh yl in
+  let hh = mul xh yh in
+  let mid = add (add lh hl) (shift_right_logical ll 32) in
+  add hh (shift_right mid 32)
+
+let hi_mul_u x y =
+  let open Int64 in
+  let xl = logand x 0xFFFFFFFFL and xh = shift_right_logical x 32 in
+  let yl = logand y 0xFFFFFFFFL and yh = shift_right_logical y 32 in
+  let ll = mul xl yl in
+  let lh = mul xl yh and hl = mul xh yl in
+  let carry =
+    shift_right_logical
+      (add
+         (add (logand lh 0xFFFFFFFFL) (logand hl 0xFFFFFFFFL))
+         (shift_right_logical ll 32))
+      32
+  in
+  add
+    (add (mul xh yh)
+       (add (shift_right_logical lh 32) (shift_right_logical hl 32)))
+    carry
+
+(* Compile one instruction's semantic action into a closure over resolved
+   operands. Mirrors [Machine.exec_sem] case by case; any behavioural
+   difference here is a bug the determinism suite must catch. *)
+let compile_insn m (insn : Insn.t) =
+  let open Insn in
+  let g r = M.get m r in
+  let gn d v = M.set m d v in
+  let gf f = M.getf m f in
+  let sf d v = M.setf m d v in
+  let sp p v = M.setp m p v in
+  let stats = m.M.stats in
+  let sx bytes v =
+    let sh = 64 - (8 * bytes) in
+    Int64.shift_right (Int64.shift_left v sh) sh
+  in
+  let zx bytes v = Int64.logand v (M.mask_of_len (8 * bytes)) in
+  (* GR sources, for computational NaT propagation (= nat_of_reads) *)
+  let grs =
+    List.filter_map (function Rgr r -> Some r | _ -> None) (reads insn)
+    |> Array.of_list
+  in
+  let alu d f () =
+    (if nat_scan m grs 0 then M.set_nat m d else gn d (f ()));
+    -1
+  in
+  let cmp_commit ct p1 p2 r =
+    match ct with
+    | Cnorm | Cunc ->
+      sp p1 r;
+      sp p2 (not r)
+    | Cand_ ->
+      if not r then begin
+        sp p1 false;
+        sp p2 false
+      end
+    | Cor_ ->
+      if r then begin
+        sp p1 true;
+        sp p2 true
+      end
+  in
+  let taken t =
+    stats.M.taken_branches <- stats.M.taken_branches + 1;
+    match t with To n -> n | Out _ -> -2
+  in
+  let dstall addr =
+    stats.M.dcache_stall <- stats.M.dcache_stall + Dcache.access m.M.dcache addr
+  in
+  match insn.sem with
+  | Add (d, a, b) -> alu d (fun () -> Int64.add (g a) (g b))
+  | Sub (d, a, b) -> alu d (fun () -> Int64.sub (g a) (g b))
+  | Addi (d, i, a) ->
+    let i = Int64.of_int i in
+    alu d (fun () -> Int64.add i (g a))
+  | Subi (d, i, a) ->
+    let i = Int64.of_int i in
+    alu d (fun () -> Int64.sub i (g a))
+  | And (d, a, b) -> alu d (fun () -> Int64.logand (g a) (g b))
+  | Or (d, a, b) -> alu d (fun () -> Int64.logor (g a) (g b))
+  | Xor (d, a, b) -> alu d (fun () -> Int64.logxor (g a) (g b))
+  | Andcm (d, a, b) -> alu d (fun () -> Int64.logand (g a) (Int64.lognot (g b)))
+  | Andi (d, i, a) ->
+    let i = Int64.of_int i in
+    alu d (fun () -> Int64.logand i (g a))
+  | Ori (d, i, a) ->
+    let i = Int64.of_int i in
+    alu d (fun () -> Int64.logor i (g a))
+  | Xori (d, i, a) ->
+    let i = Int64.of_int i in
+    alu d (fun () -> Int64.logxor i (g a))
+  | Shl (d, a, b) ->
+    alu d (fun () ->
+        let c = Int64.to_int (Int64.logand (g b) 127L) in
+        if c >= 64 then 0L else Int64.shift_left (g a) c)
+  | Shli (d, a, n) ->
+    alu d (fun () -> if n >= 64 then 0L else Int64.shift_left (g a) n)
+  | Shru (d, a, b) ->
+    alu d (fun () ->
+        let c = Int64.to_int (Int64.logand (g b) 127L) in
+        if c >= 64 then 0L else Int64.shift_right_logical (g a) c)
+  | Shrui (d, a, n) ->
+    alu d (fun () -> if n >= 64 then 0L else Int64.shift_right_logical (g a) n)
+  | Shrs (d, a, b) ->
+    alu d (fun () ->
+        let c = min 63 (Int64.to_int (Int64.logand (g b) 127L)) in
+        Int64.shift_right (g a) c)
+  | Shrsi (d, a, n) ->
+    let n = min 63 n in
+    alu d (fun () -> Int64.shift_right (g a) n)
+  | Dep (d, s, base, pos, len) ->
+    alu d (fun () ->
+        let field = Int64.logand (g s) (M.mask_of_len len) in
+        let cleared =
+          Int64.logand (g base)
+            (Int64.lognot (Int64.shift_left (M.mask_of_len len) pos))
+        in
+        Int64.logor cleared (Int64.shift_left field pos))
+  | Depz (d, s, pos, len) ->
+    alu d (fun () ->
+        Int64.shift_left (Int64.logand (g s) (M.mask_of_len len)) pos)
+  | Extr (d, s, pos, len) ->
+    alu d (fun () ->
+        Int64.shift_right (Int64.shift_left (g s) (64 - pos - len)) (64 - len))
+  | Extru (d, s, pos, len) ->
+    alu d (fun () ->
+        Int64.logand (Int64.shift_right_logical (g s) pos) (M.mask_of_len len))
+  | Sxt (d, s, n) -> alu d (fun () -> sx n (g s))
+  | Zxt (d, s, n) -> alu d (fun () -> zx n (g s))
+  | Mov (d, s) ->
+    (* moves propagate NaT as a value move (like mov through add r0) *)
+    fun () ->
+      (if M.get_nat m s then M.set_nat m d else gn d (g s));
+      -1
+  | Movi (d, v) ->
+    fun () ->
+      gn d v;
+      -1
+  | Mix (d, a, b) ->
+    alu d (fun () ->
+        Int64.logor
+          (Int64.shift_left (Int64.logand (g a) 0xFFFFFFFFL) 32)
+          (Int64.logand (g b) 0xFFFFFFFFL))
+  | Popcnt (d, s) -> alu d (fun () -> Int64.of_int (popcnt64 0 (g s)))
+  | Xma (d, a, b, c) | Xmau (d, a, b, c) ->
+    alu d (fun () -> Int64.add (Int64.mul (g a) (g b)) (g c))
+  | Xmah (d, a, b, c) -> alu d (fun () -> Int64.add (hi_mul (g a) (g b)) (g c))
+  | Xmahu (d, a, b, c) ->
+    alu d (fun () -> Int64.add (hi_mul_u (g a) (g b)) (g c))
+  | Divs (d, a, b) ->
+    alu d (fun () -> if Int64.equal (g b) 0L then 0L else Int64.div (g a) (g b))
+  | Divu (d, a, b) ->
+    alu d (fun () ->
+        if Int64.equal (g b) 0L then 0L else Int64.unsigned_div (g a) (g b))
+  | Rems (d, a, b) ->
+    alu d (fun () -> if Int64.equal (g b) 0L then 0L else Int64.rem (g a) (g b))
+  | Remu (d, a, b) ->
+    alu d (fun () ->
+        if Int64.equal (g b) 0L then 0L else Int64.unsigned_rem (g a) (g b))
+  | Padd (w, d, a, b) ->
+    alu d (fun () -> Ia32.Word.lanes_map2 w Int64.add (g a) (g b))
+  | Psub (w, d, a, b) ->
+    alu d (fun () -> Ia32.Word.lanes_map2 w Int64.sub (g a) (g b))
+  | Pmull (w, d, a, b) ->
+    alu d (fun () -> Ia32.Word.lanes_map2 w Int64.mul (g a) (g b))
+  | Pcmpeq (w, d, a, b) ->
+    alu d (fun () ->
+        Ia32.Word.lanes_map2 w
+          (fun x y -> if Int64.equal x y then -1L else 0L)
+          (g a) (g b))
+  | Pshli (w, d, a, n) ->
+    alu d (fun () ->
+        Ia32.Word.lanes_map2 w
+          (fun x _ -> if n >= w * 8 then 0L else Int64.shift_left x n)
+          (g a) 0L)
+  | Pshri (w, d, a, n) ->
+    alu d (fun () ->
+        Ia32.Word.lanes_map2 w
+          (fun x _ -> if n >= w * 8 then 0L else Int64.shift_right_logical x n)
+          (g a) 0L)
+  | Cmp (rel, ct, p1, p2, a, b) ->
+    fun () ->
+      (if M.get_nat m a || M.get_nat m b then begin
+         (* NaT source: both targets cleared (IPF behaviour) *)
+         sp p1 false;
+         sp p2 false
+       end
+       else cmp_commit ct p1 p2 (M.eval_cmp rel (g a) (g b)));
+      -1
+  | Cmpi (rel, ct, p1, p2, i, a) ->
+    let i = Int64.of_int i in
+    fun () ->
+      (if M.get_nat m a then begin
+         sp p1 false;
+         sp p2 false
+       end
+       else cmp_commit ct p1 p2 (M.eval_cmp rel i (g a)));
+      -1
+  | Tbit (p1, p2, a, pos) ->
+    fun () ->
+      (if M.get_nat m a then begin
+         sp p1 false;
+         sp p2 false
+       end
+       else begin
+         let bit =
+           Int64.logand (Int64.shift_right_logical (g a) pos) 1L
+           |> Int64.equal 1L
+         in
+         sp p1 bit;
+         sp p2 (not bit)
+       end);
+      -1
+  | Setp (p, v) ->
+    fun () ->
+      sp p v;
+      -1
+  | Movpr (d, mask) ->
+    fun () ->
+      let v = ref 0L in
+      for p = 63 downto 0 do
+        v := Int64.shift_left !v 1;
+        if M.getp m p then v := Int64.logor !v 1L
+      done;
+      gn d (Int64.logand !v mask);
+      -1
+  | Prmov src ->
+    fun () ->
+      let v = g src in
+      for p = 1 to 63 do
+        sp p
+          (Int64.logand (Int64.shift_right_logical v p) 1L |> Int64.equal 1L)
+      done;
+      -1
+  | Ld (size, spec, d, a) ->
+    let is_spec = spec = Ld_s || spec = Ld_sa in
+    let is_adv = spec = Ld_a || spec = Ld_sa in
+    fun () ->
+      if M.get_nat m a then
+        if is_spec then begin
+          M.set_nat m d;
+          (* a stale ALAT entry for d must not let a later chk.a pass *)
+          Hashtbl.remove m.M.alat d;
+          -1
+        end
+        else raise (M.Machine_fault (M.F_nat, 0, size, false))
+      else begin
+        let addr = M.addr_of (g a) in
+        stats.M.loads <- stats.M.loads + 1;
+        match M.do_load m ~addr ~size with
+        | v ->
+          let v = if size = 8 then v else zx size v in
+          gn d v;
+          dstall addr;
+          if is_adv then Hashtbl.replace m.M.alat d (addr, size);
+          -1
+        | exception M.Machine_fault (k, fa, fs, st) ->
+          if is_spec then begin
+            M.set_nat m d;
+            Hashtbl.remove m.M.alat d;
+            -1
+          end
+          else raise (M.Machine_fault (k, fa, fs, st))
+      end
+  | St (size, a, v) ->
+    fun () ->
+      if M.get_nat m a || M.get_nat m v then
+        raise (M.Machine_fault (M.F_nat, 0, size, true));
+      let addr = M.addr_of (g a) in
+      stats.M.stores <- stats.M.stores + 1;
+      M.do_store m ~addr ~size (g v);
+      dstall addr;
+      -1
+  | Chk_s (r, t) -> fun () -> if M.get_nat m r then taken t else -1
+  | Chk_a (r, t) -> fun () -> if Hashtbl.mem m.M.alat r then -1 else taken t
+  | Invala ->
+    fun () ->
+      Hashtbl.reset m.M.alat;
+      -1
+  | Ldf (size, d, a) ->
+    fun () ->
+      if M.get_nat m a then raise (M.Machine_fault (M.F_nat, 0, size, false))
+      else begin
+        let addr = M.addr_of (g a) in
+        stats.M.loads <- stats.M.loads + 1;
+        let bits = M.do_load m ~addr ~size in
+        let v =
+          if size = 4 then
+            Ia32.Fpconv.f32_of_bits
+              (Int64.to_int (Int64.logand bits 0xFFFFFFFFL))
+          else Ia32.Fpconv.f64_of_bits bits
+        in
+        sf d v;
+        dstall addr;
+        -1
+      end
+  | Stf (size, a, v) ->
+    fun () ->
+      if M.get_nat m a then raise (M.Machine_fault (M.F_nat, 0, size, true));
+      let addr = M.addr_of (g a) in
+      stats.M.stores <- stats.M.stores + 1;
+      let bits =
+        if size = 4 then Int64.of_int (Ia32.Fpconv.bits_of_f32 (gf v))
+        else Ia32.Fpconv.bits_of_f64 (gf v)
+      in
+      M.do_store m ~addr ~size bits;
+      dstall addr;
+      -1
+  | Fadd (d, a, b) ->
+    fun () ->
+      sf d (gf a +. gf b);
+      -1
+  | Fsub (d, a, b) ->
+    fun () ->
+      sf d (gf a -. gf b);
+      -1
+  | Fmul (d, a, b) ->
+    fun () ->
+      sf d (gf a *. gf b);
+      -1
+  | Fma (d, a, b, c) ->
+    fun () ->
+      sf d ((gf a *. gf b) +. gf c);
+      -1
+  | Fdiv (d, a, b) ->
+    fun () ->
+      sf d (gf a /. gf b);
+      -1
+  | Fsqrt (d, a) ->
+    fun () ->
+      sf d (Float.sqrt (gf a));
+      -1
+  | Fneg (d, a) ->
+    fun () ->
+      sf d (-.gf a);
+      -1
+  | Fabs_ (d, a) ->
+    fun () ->
+      sf d (Float.abs (gf a));
+      -1
+  | Fmov (d, a) ->
+    fun () ->
+      sf d (gf a);
+      -1
+  | Frint (d, a) ->
+    fun () ->
+      sf d (Ia32.Fpconv.rint (gf a));
+      -1
+  | Fmin (d, a, b) ->
+    fun () ->
+      let x = gf a and y = gf b in
+      sf d
+        (if Float.is_nan x || Float.is_nan y then y
+         else if x < y then x
+         else y);
+      -1
+  | Fmax (d, a, b) ->
+    fun () ->
+      let x = gf a and y = gf b in
+      sf d
+        (if Float.is_nan x || Float.is_nan y then y
+         else if x > y then x
+         else y);
+      -1
+  | Fcmp (rel, p1, p2, a, b) ->
+    fun () ->
+      let x = gf a and y = gf b in
+      let r =
+        match rel with
+        | Feq -> x = y
+        | Flt -> x < y
+        | Fle -> x <= y
+        | Funord -> Float.is_nan x || Float.is_nan y
+      in
+      sp p1 r;
+      sp p2 (not r);
+      -1
+  | Fcvt_xf (d, a) ->
+    fun () ->
+      sf d (Int64.to_float (g a));
+      -1
+  | Fcvt_fx (d, a) ->
+    fun () ->
+      gn d (Int64.of_float (Ia32.Fpconv.rint (gf a)));
+      -1
+  | Fcvt_fxt (d, a) ->
+    fun () ->
+      gn d (Int64.of_float (Float.trunc (gf a)));
+      -1
+  | Fcvt_32 (d, a) ->
+    fun () ->
+      sf d (Ia32.Fpconv.f32_of_bits (Ia32.Fpconv.bits_of_f32 (gf a)));
+      -1
+  | Getf_s (d, a) ->
+    fun () ->
+      gn d (Int64.of_int (Ia32.Fpconv.bits_of_f32 (gf a)));
+      -1
+  | Getf_d (d, a) ->
+    fun () ->
+      gn d (Ia32.Fpconv.bits_of_f64 (gf a));
+      -1
+  | Setf_s (d, a) ->
+    fun () ->
+      if M.get_nat m a then raise (M.Machine_fault (M.F_nat, 0, 4, false));
+      sf d
+        (Ia32.Fpconv.f32_of_bits
+           (Int64.to_int (Int64.logand (g a) 0xFFFFFFFFL)));
+      -1
+  | Setf_d (d, a) ->
+    fun () ->
+      if M.get_nat m a then raise (M.Machine_fault (M.F_nat, 0, 8, false));
+      sf d (Ia32.Fpconv.f64_of_bits (g a));
+      -1
+  | Br t -> fun () -> taken t
+  | Br_ind b ->
+    fun () ->
+      stats.M.taken_branches <- stats.M.taken_branches + 1;
+      m.M.br.(b)
+  | Mov_to_br (b, a) ->
+    fun () ->
+      m.M.br.(b) <- Int64.to_int (g a);
+      -1
+  | Mov_from_br (d, b) ->
+    fun () ->
+      gn d (Int64.of_int m.M.br.(b));
+      -1
+  | Nop _ -> fun () -> -1
+
+let compile_uop m (insn : Insn.t) =
+  {
+    run = compile_insn m insn;
+    qp = (match insn.Insn.qp with Some p -> p | None -> -1);
+    fast_nop =
+      (match (insn.Insn.sem, insn.Insn.qp) with
+      | Insn.Nop _, None -> true
+      | _ -> false);
+    nonnop = (match insn.Insn.sem with Insn.Nop _ -> false | _ -> true);
+    spec_check =
+      (match insn.Insn.sem with
+      | Insn.Br (Insn.Out (Insn.Spec_fail _)) -> true
+      | _ -> false);
+    weight = M.slot_weight insn;
+    latency = M.latency_of m insn;
+    is_br_ind = (match insn.Insn.sem with Insn.Br_ind _ -> true | _ -> false);
+    reads = Array.of_list (List.map enc (Insn.reads insn));
+    writes = Array.of_list (List.map enc (Insn.writes insn));
+    exit_ =
+      (match insn.Insn.sem with
+      | Insn.Br (Insn.Out r)
+      | Insn.Chk_s (_, Insn.Out r)
+      | Insn.Chk_a (_, Insn.Out r) ->
+        Some r
+      | _ -> None);
+  }
+
+let compile_bundle m (b : Bundle.t) =
+  {
+    uops = Array.map (compile_uop m) b.Bundle.slots;
+    stops = Array.copy b.Bundle.stops;
+  }
+
+let ensure t i =
+  let n = Array.length t.dec in
+  if i >= n then begin
+    let n' = max (2 * n) (i + 1) in
+    let dec = Array.make n' empty_dbundle in
+    Array.blit t.dec 0 dec 0 n;
+    t.dec <- dec;
+    let ds = Array.make n' 0 in
+    Array.blit t.dstamp 0 ds 0 n;
+    t.dstamp <- ds
+  end
+
+(* Validated lookup: one stamp compare on the hit path; a miss lowers the
+   bundle and records the stamp (out-of-range indices raise through
+   [Tcache.get], exactly like the interpretive loop). *)
+let dbundle_at t i =
+  let s = Tcache.stamp t.tc i in
+  if i < Array.length t.dstamp && Array.unsafe_get t.dstamp i = s then
+    Array.unsafe_get t.dec i
+  else begin
+    let b = Tcache.get t.tc i in
+    ensure t i;
+    let db = compile_bundle t.m b in
+    t.dec.(i) <- db;
+    t.dstamp.(i) <- s;
+    db
+  end
+
+(* ---- run loop ---------------------------------------------------------- *)
+
+let flush_group t =
+  if t.gweight > 0 then begin
+    let issue =
+      M.close_group t.m ~srcs_ready:t.gsrcs ~weight:t.gweight ~extra:t.gextra
+    in
+    let m = t.m in
+    for i = 0 to t.wn - 1 do
+      let rid = t.wlist.(i) in
+      if rid < 128 then m.M.ready.(rid) <- issue + t.wlat.(rid)
+      else if rid < 256 then m.M.fready.(rid - 128) <- issue + t.wlat.(rid)
+    done;
+    t.wn <- 0;
+    t.wepoch <- t.wepoch + 1;
+    t.gweight <- 0;
+    t.gsrcs <- 0;
+    t.gextra <- 0
+  end
+
+let advance_slot t stop_after =
+  let m = t.m in
+  if m.M.slot = 2 then begin
+    m.M.ip <- m.M.ip + 1;
+    m.M.slot <- 0
+  end
+  else m.M.slot <- m.M.slot + 1;
+  if stop_after then flush_group t
+
+let rec raw_scan t reads i =
+  i < Array.length reads
+  && (t.wmark.(Array.unsafe_get reads i) = t.wepoch || raw_scan t reads (i + 1))
+
+let account t u =
+  (* intra-group RAW: conservatively split the group *)
+  if raw_scan t u.reads 0 then flush_group t;
+  let m = t.m in
+  t.stall_before <- m.M.stats.M.dcache_stall;
+  let reads = u.reads in
+  for i = 0 to Array.length reads - 1 do
+    let rid = Array.unsafe_get reads i in
+    if rid < 128 then begin
+      if m.M.ready.(rid) > t.gsrcs then t.gsrcs <- m.M.ready.(rid)
+    end
+    else if rid < 256 then
+      if m.M.fready.(rid - 128) > t.gsrcs then t.gsrcs <- m.M.fready.(rid - 128)
+  done;
+  t.gweight <- t.gweight + u.weight
+
+let commit_timing t u =
+  (* dcache stalls observed during exec extend the group *)
+  t.gextra <- t.gextra + (t.m.M.stats.M.dcache_stall - t.stall_before);
+  let writes = u.writes in
+  for i = 0 to Array.length writes - 1 do
+    let rid = Array.unsafe_get writes i in
+    if t.wmark.(rid) <> t.wepoch then begin
+      t.wmark.(rid) <- t.wepoch;
+      t.wlist.(t.wn) <- rid;
+      t.wn <- t.wn + 1
+    end;
+    t.wlat.(rid) <- u.latency
+  done
+
+let run ?(fuel = max_int) t =
+  let m = t.m in
+  let stats = m.M.stats in
+  (* fresh group state, mirroring Machine.run's per-call locals *)
+  t.wn <- 0;
+  t.wepoch <- t.wepoch + 1;
+  t.gweight <- 0;
+  t.gsrcs <- 0;
+  t.gextra <- 0;
+  let fuel_left = ref fuel in
+  let watch = m.M.watch in
+  let rec step () =
+    if !fuel_left <= 0 then begin
+      flush_group t;
+      M.Fuel
+    end
+    else begin
+      let db = dbundle_at t m.M.ip in
+      (match watch with
+      | Some (b, regs) when m.M.slot = 0 && b = m.M.ip ->
+        Printf.eprintf "[watch ip=%d" m.M.ip;
+        List.iter
+          (fun r ->
+            if r < 200 then Printf.eprintf " r%d=%Lx" r (M.get m r)
+            else Printf.eprintf " p%d=%b" (r - 200) (M.getp m (r - 200)))
+          regs;
+        Printf.eprintf "]\n%!"
+      | _ -> ());
+      let u = Array.unsafe_get db.uops m.M.slot in
+      let stop_after = Array.unsafe_get db.stops m.M.slot in
+      decr fuel_left;
+      if u.fast_nop then begin
+        (* a nop reads and writes nothing, cannot stall, does not retire
+           and has no predicate; only its slot weight reaches the group *)
+        t.gweight <- t.gweight + u.weight;
+        advance_slot t stop_after;
+        step ()
+      end
+      else begin
+      if u.spec_check then stats.M.spec_checks <- stats.M.spec_checks + 1;
+      let enabled = u.qp < 0 || M.getp m u.qp in
+      account t u;
+      if not enabled then begin
+        commit_timing t u;
+        if u.nonnop then stats.M.slots_retired <- stats.M.slots_retired + 1;
+        advance_slot t stop_after;
+        step ()
+      end
+      else
+        match u.run () with
+        | -1 ->
+          commit_timing t u;
+          if u.nonnop then stats.M.slots_retired <- stats.M.slots_retired + 1;
+          advance_slot t stop_after;
+          step ()
+        | -2 ->
+          commit_timing t u;
+          stats.M.slots_retired <- stats.M.slots_retired + 1;
+          flush_group t;
+          m.M.last_exit <- (m.M.ip, m.M.slot);
+          (* advance past the exit so a resume continues after it *)
+          advance_slot t stop_after;
+          M.Exited (match u.exit_ with Some r -> r | None -> assert false)
+        | n ->
+          commit_timing t u;
+          stats.M.slots_retired <- stats.M.slots_retired + 1;
+          flush_group t;
+          M.charge m m.M.cost.Cost.taken_branch_penalty;
+          if u.is_br_ind then M.charge m m.M.cost.Cost.indirect_branch_penalty;
+          m.M.ip <- n;
+          m.M.slot <- 0;
+          step ()
+      end
+    end
+  in
+  (* one trap frame for the whole run instead of one per step; [m.ip]/
+     [m.slot] still point at the faulting slot when the raise unwinds *)
+  try step ()
+  with M.Machine_fault (kind, addr, size, store) ->
+    flush_group t;
+    M.Faulted { M.kind; addr; size; store; ip = m.M.ip; slot = m.M.slot }
+
+(* Diagnostics for tests: how many bundles currently hold a valid lowered
+   image. *)
+let cached_bundles t =
+  let n = ref 0 in
+  for i = 0 to Array.length t.dstamp - 1 do
+    if t.dstamp.(i) <> 0 then incr n
+  done;
+  !n

@@ -90,6 +90,19 @@ type t = {
   watch : (int * int list) option;
 }
 
+(* IPF_WATCH is parsed once per process, not per machine: fuzz campaigns
+   create thousands of machines and the spec cannot change mid-run. *)
+let watch_spec =
+  lazy
+    (match Sys.getenv_opt "IPF_WATCH" with
+    | Some spec -> (
+      match String.split_on_char ',' spec with
+      | b :: regs -> (
+        try Some (int_of_string b, List.map int_of_string regs)
+        with Failure _ -> None)
+      | [] -> None)
+    | None -> None)
+
 let create ?(cost = Cost.default) ?dcache mem tcache =
   let dcache = match dcache with Some d -> d | None -> Dcache.create () in
   let m =
@@ -114,15 +127,7 @@ let create ?(cost = Cost.default) ?dcache mem tcache =
       buckets = Array.make 8 0;
       charge_probe = None;
       last_exit = (0, 0);
-      watch =
-        (match Sys.getenv_opt "IPF_WATCH" with
-        | Some spec -> (
-          match String.split_on_char ',' spec with
-          | b :: regs -> (
-            try Some (int_of_string b, List.map int_of_string regs)
-            with Failure _ -> None)
-          | [] -> None)
-        | None -> None);
+      watch = Lazy.force watch_spec;
     }
   in
   m.fr.(1) <- 1.0;
@@ -186,11 +191,18 @@ let do_load m ~addr ~size =
 
 let do_store m ~addr ~size v =
   check_access m ~addr ~size ~store:true;
-  (* an overlapping store kills matching ALAT entries *)
-  Hashtbl.iter
-    (fun r (a, s) ->
-      if addr < a + s && a < addr + size then Hashtbl.remove m.alat r)
-    (Hashtbl.copy m.alat);
+  (* an overlapping store kills matching ALAT entries; fold out the
+     victims first (removal while iterating is unspecified), which costs
+     nothing on the common empty-ALAT path *)
+  if Hashtbl.length m.alat > 0 then begin
+    let victims =
+      Hashtbl.fold
+        (fun r (a, s) acc ->
+          if addr < a + s && a < addr + size then r :: acc else acc)
+        m.alat []
+    in
+    List.iter (Hashtbl.remove m.alat) victims
+  end;
   match
     if size = 8 then Ia32.Memory.write64 m.mem addr v
     else Ia32.Memory.write size m.mem addr (Int64.to_int (Int64.logand v (Int64.of_int (if size = 4 then 0xFFFFFFFF else (1 lsl (8*size)) - 1))))
@@ -667,21 +679,26 @@ let run ?(fuel = max_int) m =
       gextra := 0
     end
   in
+  (* dcache-stall watermark between [account] and [commit_timing]; a ref
+     cell rather than a returned tuple+closure pair keeps the step loop
+     allocation-free *)
+  let stall_before = ref 0 in
   let account insn =
     (* intra-group RAW: conservatively split the group *)
     let raw =
       List.exists (fun r -> Hashtbl.mem gwrites r) (Insn.reads insn)
     in
     if raw then flush_group ();
-    let stall_before = m.stats.dcache_stall in
+    stall_before := m.stats.dcache_stall;
     List.iter (fun r -> gsrcs := max !gsrcs (reg_ready r)) (Insn.reads insn);
-    gweight := !gweight + slot_weight insn;
-    (stall_before, fun () ->
-      (* dcache stalls observed during exec extend the group *)
-      gextra := !gextra + (m.stats.dcache_stall - stall_before);
-      List.iter
-        (fun r -> Hashtbl.replace gwrites r (latency_of m insn))
-        (Insn.writes insn))
+    gweight := !gweight + slot_weight insn
+  in
+  let commit_timing insn =
+    (* dcache stalls observed during exec extend the group *)
+    gextra := !gextra + (m.stats.dcache_stall - !stall_before);
+    List.iter
+      (fun r -> Hashtbl.replace gwrites r (latency_of m insn))
+      (Insn.writes insn)
   in
   let rec step () =
     if !fuel_left <= 0 then begin
@@ -710,7 +727,7 @@ let run ?(fuel = max_int) m =
       let enabled =
         match insn.Insn.qp with Some p -> getp m p | None -> true
       in
-      let _, commit_timing = account insn in
+      account insn;
       let advance () =
         if m.slot = 2 then begin
           m.ip <- m.ip + 1;
@@ -720,7 +737,7 @@ let run ?(fuel = max_int) m =
         if stop_after then flush_group ()
       in
       if not enabled then begin
-        commit_timing ();
+        commit_timing insn;
         (match insn.Insn.sem with
         | Insn.Nop _ -> ()
         | _ -> m.stats.slots_retired <- m.stats.slots_retired + 1);
@@ -730,14 +747,14 @@ let run ?(fuel = max_int) m =
       else
         match exec_sem m insn with
         | Fall ->
-          commit_timing ();
+          commit_timing insn;
           (match insn.Insn.sem with
           | Insn.Nop _ -> ()
           | _ -> m.stats.slots_retired <- m.stats.slots_retired + 1);
           advance ();
           step ()
         | Jump n ->
-          commit_timing ();
+          commit_timing insn;
           m.stats.slots_retired <- m.stats.slots_retired + 1;
           flush_group ();
           charge m m.cost.Cost.taken_branch_penalty;
@@ -748,7 +765,7 @@ let run ?(fuel = max_int) m =
           m.slot <- 0;
           step ()
         | Leave reason ->
-          commit_timing ();
+          commit_timing insn;
           m.stats.slots_retired <- m.stats.slots_retired + 1;
           flush_group ();
           m.last_exit <- (m.ip, m.slot);

@@ -106,3 +106,33 @@ val charge : t -> int -> unit
 val run : ?fuel:int -> t -> stop
 (** Execute from [t.ip] until an exit branch leaves the translation
     cache, a fault is raised, or [fuel] retired slots are spent. *)
+
+(** {1 Execution-core internals}
+
+    Shared with {!Exec}, the pre-decoded fast path, which must replicate
+    this module's semantics and timing bit-for-bit (DESIGN.md §10). *)
+
+val addr_of : int64 -> int
+(** Low 32 bits of a GR as a guest address. *)
+
+val do_load : t -> addr:int -> size:int -> int64
+(** @raise Machine_fault on misalignment or page fault. *)
+
+val do_store : t -> addr:int -> size:int -> int64 -> unit
+(** Stores, invalidating overlapping ALAT entries.
+    @raise Machine_fault on misalignment or page fault. *)
+
+val mask_of_len : int -> int64
+val eval_cmp : Insn.cmp_rel -> int64 -> int64 -> bool
+
+val latency_of : t -> Insn.t -> int
+(** Result latency class of an instruction under [t.cost]. *)
+
+val slot_weight : Insn.t -> int
+(** Issue weight of one slot (long immediates consume two). *)
+
+val close_group : t -> srcs_ready:int -> weight:int -> extra:int -> int
+(** Charge one closing instruction group and return its issue cycle. *)
+
+val watch_spec : (int * int list) option Lazy.t
+(** The process-wide IPF_WATCH parse backing [t.watch]. *)

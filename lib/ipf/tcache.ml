@@ -11,6 +11,13 @@ type t = {
      normally models that with a config limit, but the chaos harness can
      clamp the capacity here to force eviction storms. *)
   mutable capacity : int option;
+  (* Generation counter, bumped on every mutation. [stamps.(i)] records
+     the generation at which bundle [i] last changed, so a consumer that
+     caches per-bundle derived structures (the pre-decode layer) can
+     validate each entry with one integer compare. Stamps are >= 1; a
+     consumer initialising its own stamps to 0 never false-hits. *)
+  mutable generation : int;
+  mutable stamps : int array;
   (* Observability: when set, structural cache events (chain patches,
      invalidations, flushes) are emitted here. Pure recording — never
      affects cache contents or cost accounting. *)
@@ -22,8 +29,20 @@ let create () =
     bundles = Array.make 1024 (Bundle.make []);
     len = 0;
     capacity = None;
+    generation = 1;
+    stamps = Array.make 1024 0;
     trace = None;
   }
+
+let generation t = t.generation
+
+(* Stamp of bundle [i]; -1 out of range, so it never matches a cached
+   stamp (cached stamps are 0 = never-filled or a positive generation). *)
+let stamp t i = if i < 0 || i >= t.len then -1 else t.stamps.(i)
+
+let touch t i =
+  t.generation <- t.generation + 1;
+  t.stamps.(i) <- t.generation
 
 let set_trace t tr = t.trace <- tr
 
@@ -42,6 +61,7 @@ let clear t =
   | Some tr when t.len > 0 ->
     Obs.Trace.emit tr (Obs.Trace.Tcache_evict { bundles = t.len })
   | _ -> ());
+  t.generation <- t.generation + 1;
   t.len <- 0
 
 let get t i =
@@ -53,26 +73,27 @@ let append t b =
   if t.len = Array.length t.bundles then begin
     let bigger = Array.make (2 * t.len) b in
     Array.blit t.bundles 0 bigger 0 t.len;
-    t.bundles <- bigger
+    t.bundles <- bigger;
+    let stamps = Array.make (2 * t.len) 0 in
+    Array.blit t.stamps 0 stamps 0 t.len;
+    t.stamps <- stamps
   end;
   t.bundles.(t.len) <- b;
   t.len <- t.len + 1;
+  touch t (t.len - 1);
   t.len - 1
 
 let append_list t bs =
-  match bs with
-  | [] -> t.len
-  | first :: _ ->
-    ignore first;
-    let start = t.len in
-    List.iter (fun b -> ignore (append t b)) bs;
-    start
+  let start = t.len in
+  List.iter (fun b -> ignore (append t b)) bs;
+  start
 
 (* Patch slot [slot] of bundle [idx] — used to chain a freshly translated
    block into its predecessor's exit branch. *)
 let patch_slot t ~idx ~slot insn =
   let b = get t idx in
   b.Bundle.slots.(slot) <- insn;
+  touch t idx;
   match t.trace with
   | Some tr -> Obs.Trace.emit tr (Obs.Trace.Chain_patch { bundle = idx; slot })
   | None -> ()
@@ -90,6 +111,7 @@ let patch_dispatch t ~idx ~target ~dest =
         incr n
       | _ -> ())
     b.Bundle.slots;
+  if !n > 0 then touch t idx;
   (match t.trace with
   | Some tr when !n > 0 ->
     Obs.Trace.emit tr (Obs.Trace.Chain_patch { bundle = idx; slot = -1 })
@@ -110,5 +132,6 @@ let invalidate_range t ~start ~stop ~target =
     b.Bundle.slots.(0) <- Insn.mk (Insn.Nop Insn.M);
     b.Bundle.slots.(1) <- Insn.mk (Insn.Nop Insn.I);
     b.Bundle.slots.(2) <- Insn.mk (Insn.Br (Insn.Out (Insn.Dispatch target)));
-    b.Bundle.stops.(2) <- true
+    b.Bundle.stops.(2) <- true;
+    touch t idx
   done

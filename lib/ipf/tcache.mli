@@ -15,6 +15,17 @@ val set_trace : t -> Obs.Trace.t option -> unit
 val length : t -> int
 (** Number of bundles; also the index the next {!append} returns. *)
 
+val generation : t -> int
+(** Mutation counter, bumped by {!append}, {!patch_slot},
+    {!patch_dispatch}, {!invalidate_range} and {!clear}. Consumers that
+    cache per-bundle derived structures (the pre-decode layer) key their
+    validity on it. *)
+
+val stamp : t -> int -> int
+(** Generation at which bundle [i] last changed: always >= 1 in range,
+    [-1] out of range. A consumer initialising cached stamps to 0 can
+    validate any entry with one integer compare and never false-hit. *)
+
 val set_capacity : t -> int option -> unit
 (** Clamp the cache to a hard bundle capacity (or lift the clamp with
     [None]). The engine flushes wholesale once {!over_capacity} holds —
