@@ -327,7 +327,12 @@ let json_report ~scale () =
         ("fig8", fig8_json);
         ("misalign", Obj [ ("off_cycles", Int off); ("on_cycles", Int on_) ]);
         ("stats", stats_json);
-        ("workloads", Obj (List.map workload_json Workloads.Spec_int.all));
+        ( "workloads",
+          Obj
+            (List.map workload_json
+               (Workloads.Spec_int.all
+               @ Workloads.Threads.all
+                   ~workers:Workloads.Threads.default_workers)) );
       ]
   in
   let oc = open_out json_file in
@@ -433,6 +438,15 @@ let perf ~scale ~min_time () =
         Harness.Resilience.run_lockstep Workloads.Spec_int.gzip ~scale)
   in
   let fuzz_ps = fuzz_rate ~min_time in
+  let threads_w =
+    Workloads.Threads.producer_consumer
+      ~workers:Workloads.Threads.default_workers
+  in
+  let threads_cps =
+    rate ~min_time (fun () ->
+        let r = B.run_el threads_w ~scale in
+        Float.of_int r.B.cycles)
+  in
   let mach_speedup = mach_pre /. mach_int in
   let interp_speedup = interp_cached /. interp_uncached in
   let lock_factor = lock_s /. el_s in
@@ -448,14 +462,18 @@ let perf ~scale ~min_time () =
   Printf.printf "  decode-cache speedup      : %8.2fx\n" interp_speedup;
   Printf.printf "lockstep overhead factor    : %8.2fx (%.3fs vs %.3fs)\n"
     lock_factor lock_s el_s;
-  Printf.printf "fuzz lockstep programs      : %8.2f prog/s\n\n" fuzz_ps;
+  Printf.printf "fuzz lockstep programs      : %8.2f prog/s\n" fuzz_ps;
+  Printf.printf "threaded workload (%s, %d guest threads): %.2f Mcycles/s\n\n"
+    threads_w.Workloads.Common.name
+    (Workloads.Threads.default_workers + 1)
+    (threads_cps /. 1e6);
   let finite x = Float.is_finite x && x > 0.0 in
   if
     not
       (List.for_all finite
          [
            mach_pre; mach_int; interp_cached; interp_uncached; lock_factor;
-           fuzz_ps;
+           fuzz_ps; threads_cps;
          ])
   then begin
     Printf.eprintf "perf: non-finite or non-positive measurement\n";
@@ -465,7 +483,7 @@ let perf ~scale ~min_time () =
   let report =
     Obj
       [
-        ("schema", Str "ia32el-wallclock/1");
+        ("schema", Str "ia32el-wallclock/2");
         ("scale", Int scale);
         ("host_dependent", Str "true");
         (* measured once when the direct-threaded core landed, same host
@@ -500,6 +518,13 @@ let perf ~scale ~min_time () =
               ("overhead_factor", Float lock_factor);
             ] );
         ("fuzz", Obj [ ("lockstep_programs_per_s", Float fuzz_ps) ]);
+        ( "threads",
+          Obj
+            [
+              ("workload", Str threads_w.Workloads.Common.name);
+              ("guest_threads", Int (Workloads.Threads.default_workers + 1));
+              ("guest_cycles_per_s", Float threads_cps);
+            ] );
       ]
   in
   let oc = open_out wallclock_file in

@@ -21,12 +21,13 @@
 module B = Workloads.Baselines
 module C = Workloads.Common
 
-let workloads : C.t list =
+let workloads ~threads : C.t list =
   Workloads.Spec_int.all @ Workloads.Spec_fp.all
   @ [ Workloads.Sysmark.office; Workloads.Sysmark.misalign_stress ]
+  @ Workloads.Threads.all ~workers:threads
 
-let find_workload name =
-  List.find_opt (fun w -> w.C.name = name) workloads
+let find_workload ~threads name =
+  List.find_opt (fun w -> w.C.name = name) (workloads ~threads)
 
 (* ------------------------------------------------------------------ *)
 (* run                                                                 *)
@@ -196,7 +197,7 @@ let run_injected_cmd w config desc scale stats obs labels seed =
   obs_finish obs labels r.Harness.Resilience.engine
 
 let run_cmd name model scale stats lockstep inject trace_file trace_stderr
-    profile_top metrics_file no_predecode no_decode_cache =
+    profile_top metrics_file no_predecode no_decode_cache threads quantum =
   let obs = { trace_file; trace_stderr; profile_top; metrics_file } in
   (* host-speed escape hatches; simulated results are bit-identical *)
   let model =
@@ -209,6 +210,8 @@ let run_cmd name model scale stats lockstep inject trace_file trace_stderr
               c.Ia32el.Config.enable_predecode && not no_predecode;
             Ia32el.Config.enable_decode_cache =
               c.Ia32el.Config.enable_decode_cache && not no_decode_cache;
+            Ia32el.Config.quantum =
+              Option.value quantum ~default:c.Ia32el.Config.quantum;
           },
           d )
     | m -> m
@@ -226,7 +229,7 @@ let run_cmd name model scale stats lockstep inject trace_file trace_stderr
         Printf.eprintf "--inject: %s\n" msg;
         exit 2)
   in
-  match find_workload name with
+  match find_workload ~threads name with
   | None ->
     Printf.eprintf "unknown workload %S; try `ia32el-run list'\n" name;
     exit 1
@@ -256,8 +259,11 @@ let run_cmd name model scale stats lockstep inject trace_file trace_stderr
           (fun s -> run_injected_cmd w config desc scale stats obs labels s)
           (Option.get inject_seeds)
       | M_el (config, desc) ->
-        let r = B.run_el ~config ~attach:(obs_attach obs) w ~scale in
-        Printf.printf "%s under %s: %d cycles\n" w.C.name desc r.B.cycles;
+        let r =
+          B.run_el ~config ~attach:(obs_attach obs) ~check_exit:false w ~scale
+        in
+        Printf.printf "%s under %s: %d cycles (guest exit %d)\n" w.C.name desc
+          r.B.cycles r.B.exit_code;
         (match r.B.distribution with
         | Some d -> Fmt.pr "%a@." Ia32el.Account.pp_distribution d
         | None -> ());
@@ -266,7 +272,9 @@ let run_cmd name model scale stats lockstep inject trace_file trace_stderr
         | _ -> ());
         (match r.B.engine with
         | Some eng -> obs_finish obs labels eng
-        | None -> ())
+        | None -> ());
+        (* the driver exits with the guest process's exit code *)
+        if r.B.exit_code <> 0 then exit (r.B.exit_code land 0xff)
       | M_native ->
         let r = B.run_native w ~scale in
         Printf.printf "%s natively compiled (model): %d cycles\n" w.C.name
@@ -291,7 +299,7 @@ let list_cmd () =
         (match w.C.paper_score with
         | Some s -> string_of_int s
         | None -> "-"))
-    workloads
+    (workloads ~threads:Workloads.Threads.default_workers)
 
 (* ------------------------------------------------------------------ *)
 (* cmdliner plumbing                                                   *)
@@ -404,11 +412,34 @@ let no_decode_cache_arg =
            (every step re-decodes from guest bytes). Purely a host-speed \
            switch: results are bit-identical either way.")
 
+let threads_arg =
+  Arg.(
+    value
+    & opt int Workloads.Threads.default_workers
+    & info [ "threads" ] ~docv:"N"
+        ~doc:
+          "Worker-thread count for the multithreaded workloads \
+           ($(b,threads-pc), $(b,threads-ptask)); clamped to 1-8. \
+           Single-threaded workloads ignore it.")
+
+let quantum_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "quantum" ] ~docv:"CYCLES"
+        ~doc:
+          "Scheduler quantum in simulated cycles for multithreaded guests \
+           (default 20000). A thread is preempted at its first system-call \
+           commit point after running $(docv) cycles; $(docv) <= 0 disables \
+           preemption (threads switch only on blocking calls and yields). \
+           Scheduling is deterministic for any value.")
+
 let run_t =
   Term.(
     const run_cmd $ workload_arg $ model_arg $ scale_arg $ stats_arg
     $ lockstep_arg $ inject_arg $ trace_arg $ trace_stderr_arg $ profile_arg
-    $ metrics_arg $ no_predecode_arg $ no_decode_cache_arg)
+    $ metrics_arg $ no_predecode_arg $ no_decode_cache_arg $ threads_arg
+    $ quantum_arg)
 
 let run_info =
   Cmd.info "run" ~doc:"Run one workload under a chosen execution model."

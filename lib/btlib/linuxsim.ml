@@ -4,7 +4,7 @@
 open Ia32
 
 let name = "linuxsim"
-let version = { Btos.major = 2; minor = 4 }
+let version = { Btos.major = 2; minor = 5 }
 let syscall_vector = 0x80
 
 let decode_syscall (st : State.t) =
@@ -15,13 +15,24 @@ let decode_syscall (st : State.t) =
   match eax with
   | 1 -> Syscall.Exit ebx
   | 4 -> Syscall.Write { buf = ecx; len = edx } (* fd in ebx ignored *)
+  | 7 -> Syscall.Join ebx (* waitpid-flavoured: pid in ebx *)
   | 13 -> Syscall.Getclock
   | 45 -> Syscall.Sbrk (Word.signed32 ebx)
   | 48 -> Syscall.Signal { vector = ebx; handler = ecx }
   | 90 -> Syscall.Map { addr = ebx; len = ecx }
   | 91 -> Syscall.Unmap { addr = ebx; len = ecx }
+  | 120 -> Syscall.Spawn { entry = ebx; stack = ecx; arg = edx }
+    (* clone-flavoured: thread entry in ebx, new stack in ecx, arg in edx *)
   | 158 -> Syscall.Idle ebx
+  | 159 -> Syscall.Yield
   | 200 -> Syscall.Kernel_work ebx
+  | 240 ->
+    (* futex-flavoured: uaddr in ebx, op in ecx (0 = wait, 1 = wake),
+       val in edx *)
+    (match ecx with
+    | 0 -> Syscall.Futex_wait { addr = ebx; expected = edx }
+    | 1 -> Syscall.Futex_wake { addr = ebx; count = edx }
+    | _ -> Syscall.Unknown eax)
   | n -> Syscall.Unknown n
 
 let encode_result (st : State.t) v = State.set32 st Insn.Eax v

@@ -13,9 +13,19 @@ type call =
   | Getclock (* virtual cycle counter, low 32 bits *)
   | Kernel_work of int (* spend n cycles in kernel/driver code (Sysmark) *)
   | Idle of int (* spend n cycles idle (Sysmark) *)
+  | Spawn of { entry : int; stack : int; arg : int }
+    (* create a guest thread: eip=entry, esp=stack, eax=arg; returns tid *)
+  | Join of int (* wait for thread tid to exit; returns its exit code *)
+  | Yield (* voluntarily end the current quantum *)
+  | Futex_wait of { addr : int; expected : int }
+    (* block while mem32[addr] = expected (EAGAIN when it already isn't) *)
+  | Futex_wake of { addr : int; count : int }
+    (* wake up to count FIFO waiters on addr; returns number woken *)
   | Unknown of int
 
-type result = Ret of int | Exited of int
+(* [Block] parks the calling thread: the scheduler must pick another
+   runnable thread (or declare deadlock). Only thread services return it. *)
+type result = Ret of int | Exited of int | Block
 
 let pp ppf = function
   | Exit n -> Fmt.pf ppf "exit(%d)" n
@@ -27,4 +37,16 @@ let pp ppf = function
   | Getclock -> Fmt.string ppf "getclock()"
   | Kernel_work n -> Fmt.pf ppf "kernel_work(%d)" n
   | Idle n -> Fmt.pf ppf "idle(%d)" n
+  | Spawn { entry; stack; arg } ->
+    Fmt.pf ppf "spawn(0x%x, 0x%x, %d)" entry stack arg
+  | Join tid -> Fmt.pf ppf "join(%d)" tid
+  | Yield -> Fmt.string ppf "yield()"
+  | Futex_wait { addr; expected } ->
+    Fmt.pf ppf "futex_wait(0x%x, %d)" addr expected
+  | Futex_wake { addr; count } -> Fmt.pf ppf "futex_wake(0x%x, %d)" addr count
   | Unknown n -> Fmt.pf ppf "unknown(%d)" n
+
+let pp_result ppf = function
+  | Ret n -> Fmt.pf ppf "ret(0x%x)" n
+  | Exited n -> Fmt.pf ppf "exited(%d)" n
+  | Block -> Fmt.string ppf "block"

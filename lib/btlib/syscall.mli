@@ -17,8 +17,26 @@ type call =
   | Getclock  (** virtual cycle counter, low 32 bits *)
   | Kernel_work of int  (** spend n cycles in kernel/driver code *)
   | Idle of int  (** spend n cycles idle (Sysmark think time) *)
+  | Spawn of { entry : int; stack : int; arg : int }
+      (** create a guest thread with eip=[entry], esp=[stack], eax=[arg];
+          returns the new tid *)
+  | Join of int  (** wait for a thread to exit; returns its exit code *)
+  | Yield  (** voluntarily end the current scheduling quantum *)
+  | Futex_wait of { addr : int; expected : int }
+      (** block while [mem32\[addr\] = expected]; [-EAGAIN] when the word
+          already differs *)
+  | Futex_wake of { addr : int; count : int }
+      (** wake up to [count] FIFO waiters on [addr]; returns the number
+          woken *)
   | Unknown of int
 
-type result = Ret of int | Exited of int
+type result =
+  | Ret of int
+  | Exited of int
+  | Block
+      (** the calling thread is parked; the scheduler must run another
+          runnable thread (or declare deadlock). Only thread services
+          return this. *)
 
 val pp : Format.formatter -> call -> unit
+val pp_result : Format.formatter -> result -> unit

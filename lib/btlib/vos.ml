@@ -8,6 +8,33 @@ type exception_outcome =
   | Resumed (* a guest handler was run; execution resumes at [st.eip] *)
   | Unhandled of Ia32.Fault.t
 
+(* ---- guest threads ----------------------------------------------------
+
+   Each guest thread is a full per-thread [Ia32.State.t] over the shared
+   [Memory] plus a scheduling status. Scheduling is deterministic: the
+   run queue is scanned round-robin by tid, preemption happens only at
+   system-call commit points when the virtual-clock quantum has expired
+   (or the thread yielded), and the futex wait queue is strict FIFO — so
+   cycle counts, lockstep and fuzzing stay bit-reproducible. *)
+
+type thread_status =
+  | Runnable
+  | Blocked_join of int (* waiting for this tid to exit *)
+  | Blocked_futex of int (* waiting on this guest address *)
+  | Exited_t of int (* exit code, not yet reaped by a joiner *)
+  | Reaped
+
+type thread = {
+  tid : int;
+  mutable state : Ia32.State.t; (* parked or running architectural state *)
+  mutable status : thread_status;
+  mutable joiner : int option; (* tid blocked in [Join] on this thread *)
+  mutable wake_result : int option; (* EAX value owed at next resume *)
+  (* per-thread observability counters; recording only *)
+  mutable t_cycles : int;
+  mutable t_syscalls : int;
+}
+
 type t = {
   mem : Ia32.Memory.t;
   mutable brk : int; (* heap break *)
@@ -29,10 +56,21 @@ type t = {
   (* observability: when set, syscall entry/exit events are emitted here.
      Recording only — never affects service behavior or accounting. *)
   mutable trace : Obs.Trace.t option;
+  (* ---- threads ---- *)
+  threads : (int, thread) Hashtbl.t;
+  mutable next_tid : int; (* tids are dense: 0 .. next_tid-1 *)
+  mutable current : int;
+  mutable quantum : int; (* virtual cycles per slice; <= 0 disables *)
+  mutable quantum_start : int; (* clock value when current was dispatched *)
+  mutable preempt : bool; (* set by Yield: reschedule at next commit *)
+  mutable futex_fifo : int list; (* tids in futex wait, oldest first *)
+  mutable last_charge : int; (* clock value of last per-thread charge *)
+  mutable context_switches : int;
 }
 
 let heap_base_default = 0x10000000
 let heap_limit_default = 0x18000000
+let default_quantum = 20_000
 
 let create mem =
   {
@@ -51,6 +89,15 @@ let create mem =
     transient_fault = None;
     transient_retries = 0;
     trace = None;
+    threads = Hashtbl.create 8;
+    next_tid = 0;
+    current = 0;
+    quantum = default_quantum;
+    quantum_start = 0;
+    preempt = false;
+    futex_fifo = [];
+    last_charge = 0;
+    context_switches = 0;
   }
 
 let output t = Buffer.contents t.output
@@ -79,6 +126,201 @@ let ride_out_transients t call =
     in
     go 0
 
+(* ---- thread table & deterministic scheduler -------------------------- *)
+
+let register_thread t (st : Ia32.State.t) =
+  let tid = t.next_tid in
+  t.next_tid <- tid + 1;
+  let th =
+    {
+      tid;
+      state = st;
+      status = Runnable;
+      joiner = None;
+      wake_result = None;
+      t_cycles = 0;
+      t_syscalls = 0;
+    }
+  in
+  Hashtbl.replace t.threads tid th;
+  th
+
+(* The main thread is tid 0. [ensure_main] registers it lazily the first
+   time a thread service runs, so Vos users that never spawn behave
+   exactly as before threads existed. *)
+let register_main t st =
+  if t.next_tid = 0 then ignore (register_thread t st)
+
+let ensure_main t st = register_main t st
+let current t = t.current
+let thread_count t = t.next_tid
+let find_thread t tid = Hashtbl.find_opt t.threads tid
+
+let thread_state t tid =
+  match Hashtbl.find_opt t.threads tid with
+  | Some th -> th.state
+  | None -> invalid_arg "Vos.thread_state: unknown tid"
+
+(* Used by lockstep to slave the reference's thread selection to the
+   engine's commit stream. Never schedules. *)
+let set_current t tid = t.current <- tid
+
+let take_wake th =
+  let r = th.wake_result in
+  th.wake_result <- None;
+  r
+
+let park t (st : Ia32.State.t) =
+  match Hashtbl.find_opt t.threads t.current with
+  | Some th -> th.state <- st
+  | None -> ()
+
+(* Charge virtual cycles since the last charge point to the running
+   thread. Recording only — scheduling decisions read the clock directly. *)
+let charge_current t ~now =
+  (match Hashtbl.find_opt t.threads t.current with
+  | Some th -> th.t_cycles <- th.t_cycles + max 0 (now - t.last_charge)
+  | None -> ());
+  t.last_charge <- now
+
+(* Single-thread fast path: with at most one thread there is never a
+   reschedule, so pre-thread programs keep bit-identical cycle counts. *)
+let need_resched t ~now =
+  t.next_tid > 1
+  && (t.preempt || (t.quantum > 0 && now - t.quantum_start >= t.quantum))
+
+type schedule = Run of thread | Deadlock
+
+(* Deterministic round-robin: scan tids cyclically starting after the
+   current thread; the first Runnable wins (k = n reaches current itself,
+   so a lone runnable current keeps running). *)
+let reschedule t ~now =
+  charge_current t ~now;
+  let n = t.next_tid in
+  let rec scan k =
+    if k > n then Deadlock
+    else
+      let tid = (t.current + k) mod n in
+      match Hashtbl.find_opt t.threads tid with
+      | Some th when th.status = Runnable ->
+        if tid <> t.current then begin
+          t.context_switches <- t.context_switches + 1;
+          (match t.trace with
+          | Some tr ->
+            Obs.Trace.emit tr
+              (Obs.Trace.Thread_switch { from_tid = t.current; to_tid = tid })
+          | None -> ())
+        end;
+        t.current <- tid;
+        t.quantum_start <- now;
+        t.preempt <- false;
+        Run th
+      | _ -> scan (k + 1)
+  in
+  if n = 0 then Deadlock else scan 1
+
+let errno n = Syscall.Ret (Ia32.Word.mask32 n)
+
+let cur_thread t = Hashtbl.find_opt t.threads t.current
+
+(* Thread services. All state transitions happen here, at syscall-commit
+   points, which keeps the whole machine deterministic. *)
+let do_exit t code =
+  charge_current t ~now:(t.clock 0);
+  (match cur_thread t with
+  | Some me ->
+    me.status <- Exited_t code;
+    (match me.joiner with
+    | Some jtid ->
+      (match Hashtbl.find_opt t.threads jtid with
+      | Some j when j.status = Blocked_join me.tid ->
+        j.status <- Runnable;
+        j.wake_result <- Some code;
+        me.status <- Reaped
+      | _ -> ())
+    | None -> ());
+    (match t.trace with
+    | Some tr ->
+      Obs.Trace.emit tr (Obs.Trace.Thread_exit { tid = me.tid; code })
+    | None -> ())
+  | None -> ());
+  if t.current = 0 then t.exit_code <- Some code;
+  let all_done =
+    Hashtbl.fold
+      (fun _ th acc ->
+        acc && match th.status with Exited_t _ | Reaped -> true | _ -> false)
+      t.threads true
+  in
+  if all_done || t.next_tid <= 1 then begin
+    if t.exit_code = None then t.exit_code <- Some code;
+    (* process exit code is the main thread's, falling back defensively *)
+    Syscall.Exited (match t.exit_code with Some c -> c | None -> code)
+  end
+  else Syscall.Block
+
+let do_spawn t ~entry ~stack ~arg =
+  let st = Ia32.State.create t.mem in
+  st.Ia32.State.eip <- entry;
+  Ia32.State.set32 st Ia32.Insn.Esp stack;
+  Ia32.State.set32 st Ia32.Insn.Eax arg;
+  let th = register_thread t st in
+  (match t.trace with
+  | Some tr -> Obs.Trace.emit tr (Obs.Trace.Thread_spawn { tid = th.tid; entry })
+  | None -> ());
+  Syscall.Ret th.tid
+
+let do_join t tid =
+  match Hashtbl.find_opt t.threads tid with
+  | None -> errno (-3) (* ESRCH *)
+  | Some _ when tid = t.current -> errno (-35) (* EDEADLK *)
+  | Some target -> (
+    match target.status with
+    | Reaped -> errno (-3) (* already reaped: nothing to join *)
+    | Exited_t code ->
+      target.status <- Reaped;
+      Syscall.Ret (Ia32.Word.mask32 code)
+    | _ when target.joiner <> None -> errno (-22) (* EINVAL: double join *)
+    | _ ->
+      target.joiner <- Some t.current;
+      (match cur_thread t with
+      | Some me -> me.status <- Blocked_join tid
+      | None -> ());
+      Syscall.Block)
+
+let do_futex_wait t ~addr ~expected =
+  match Ia32.Memory.read32 t.mem addr with
+  | exception Ia32.Fault.Fault _ -> errno (-14) (* EFAULT *)
+  | v when v <> Ia32.Word.mask32 expected -> errno (-11) (* EAGAIN *)
+  | _ ->
+    (match cur_thread t with
+    | Some me ->
+      me.status <- Blocked_futex addr;
+      (* drop any stale entry from a previous wait before re-queueing,
+         so a wait/wake/wait cycle cannot leave duplicate entries *)
+      t.futex_fifo <-
+        List.filter (fun tid -> tid <> t.current) t.futex_fifo @ [ t.current ];
+      Syscall.Block
+    | None -> errno (-11))
+
+let do_futex_wake t ~addr ~count =
+  let woken = ref 0 in
+  (* FIFO walk: wake matching-address waiters up to [count]; waiters on
+     other addresses (and stale entries) must stay queued. *)
+  t.futex_fifo <-
+    List.filter
+      (fun tid ->
+        if !woken >= count then true
+        else
+          match Hashtbl.find_opt t.threads tid with
+          | Some th when th.status = Blocked_futex addr ->
+            th.status <- Runnable;
+            th.wake_result <- Some 0;
+            incr woken;
+            false
+          | _ -> true)
+      t.futex_fifo;
+  Syscall.Ret !woken
+
 let call_name = function
   | Syscall.Exit _ -> "exit"
   | Syscall.Write _ -> "write"
@@ -89,6 +331,11 @@ let call_name = function
   | Syscall.Getclock -> "getclock"
   | Syscall.Kernel_work _ -> "kernel_work"
   | Syscall.Idle _ -> "idle"
+  | Syscall.Spawn _ -> "spawn"
+  | Syscall.Join _ -> "join"
+  | Syscall.Yield -> "yield"
+  | Syscall.Futex_wait _ -> "futex_wait"
+  | Syscall.Futex_wake _ -> "futex_wake"
   | Syscall.Unknown _ -> "unknown"
 
 (* Execute a system service against guest state [st]. The service itself
@@ -96,11 +343,14 @@ let call_name = function
    other/kernel bucket. *)
 let perform_call t (st : Ia32.State.t) (call : Syscall.call) : Syscall.result =
   t.syscalls <- t.syscalls + 1;
+  (match cur_thread t with
+  | Some th -> th.t_syscalls <- th.t_syscalls + 1
+  | None -> ());
   ride_out_transients t call;
   match call with
   | Syscall.Exit code ->
-    t.exit_code <- Some code;
-    Syscall.Exited code
+    ensure_main t st;
+    do_exit t code
   | Syscall.Write { buf; len } ->
     (* All-or-nothing (POSIX-ish: a write that faults mid-buffer returns
        -EFAULT without transferring anything): stage the bytes in a
@@ -152,6 +402,22 @@ let perform_call t (st : Ia32.State.t) (call : Syscall.call) : Syscall.result =
   | Syscall.Idle n ->
     t.idle_cycles <- t.idle_cycles + max 0 n;
     Syscall.Ret 0
+  | Syscall.Spawn { entry; stack; arg } ->
+    ensure_main t st;
+    do_spawn t ~entry ~stack ~arg
+  | Syscall.Join tid ->
+    ensure_main t st;
+    do_join t tid
+  | Syscall.Yield ->
+    ensure_main t st;
+    if t.next_tid > 1 then t.preempt <- true;
+    Syscall.Ret 0
+  | Syscall.Futex_wait { addr; expected } ->
+    ensure_main t st;
+    do_futex_wait t ~addr ~expected
+  | Syscall.Futex_wake { addr; count } ->
+    ensure_main t st;
+    do_futex_wake t ~addr ~count
   | Syscall.Unknown _ -> Syscall.Ret (Ia32.Word.mask32 (-38))
 
 let perform t st call =

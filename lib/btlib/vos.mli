@@ -10,6 +10,26 @@ type exception_outcome =
   | Resumed  (** a guest handler was entered; resume at [st.eip] *)
   | Unhandled of Ia32.Fault.t
 
+(** Scheduling status of a guest thread. *)
+type thread_status =
+  | Runnable
+  | Blocked_join of int  (** waiting for this tid to exit *)
+  | Blocked_futex of int  (** waiting on this guest address *)
+  | Exited_t of int  (** exited with this code, not yet reaped *)
+  | Reaped
+
+(** A guest thread: a full per-thread architectural state over the shared
+    address space, plus scheduling bookkeeping. *)
+type thread = {
+  tid : int;
+  mutable state : Ia32.State.t;
+  mutable status : thread_status;
+  mutable joiner : int option;  (** tid blocked in [Join] on this thread *)
+  mutable wake_result : int option;  (** EAX value owed at next resume *)
+  mutable t_cycles : int;  (** virtual cycles charged to this thread *)
+  mutable t_syscalls : int;
+}
+
 type t = {
   mem : Ia32.Memory.t;
   mutable brk : int;
@@ -33,10 +53,22 @@ type t = {
   mutable trace : Obs.Trace.t option;
       (** when set, syscall entry/exit events are emitted here; recording
           only — service behavior and accounting are unaffected *)
+  threads : (int, thread) Hashtbl.t;
+  mutable next_tid : int;  (** tids are dense: 0 .. next_tid-1 *)
+  mutable current : int;
+  mutable quantum : int;
+      (** virtual cycles per scheduling slice; [<= 0] disables preemption *)
+  mutable quantum_start : int;
+  mutable preempt : bool;  (** set by [Yield]: reschedule at next commit *)
+  mutable futex_fifo : int list;  (** tids in futex wait, oldest first *)
+  mutable last_charge : int;
+  mutable context_switches : int;
 }
 
 val heap_base_default : int
 val heap_limit_default : int
+
+val default_quantum : int
 
 val create : Ia32.Memory.t -> t
 
@@ -56,6 +88,57 @@ val perform : t -> Ia32.State.t -> Syscall.call -> Syscall.result
 
 val max_transient_retries : int
 val transient_backoff_cycles : int
+
+(** {1 Guest threads}
+
+    Both execution vehicles share this thread table and deterministic
+    scheduler: round-robin by tid, rescheduling only at system-call
+    commit points when the virtual-clock quantum has expired (or the
+    thread yielded), FIFO futex queues. With at most one registered
+    thread every scheduling hook is a no-op, so pre-thread programs keep
+    bit-identical cycle counts. *)
+
+val register_main : t -> Ia32.State.t -> unit
+(** Register [st] as the main thread (tid 0); no-op if any thread is
+    already registered. Thread services self-register lazily, so calling
+    this is only required by vehicles that want the table populated
+    up front. *)
+
+val current : t -> int
+(** Tid of the currently scheduled thread. *)
+
+val thread_count : t -> int
+val find_thread : t -> int -> thread option
+
+val thread_state : t -> int -> Ia32.State.t
+(** @raise Invalid_argument on an unknown tid. *)
+
+val set_current : t -> int -> unit
+(** Force the current tid without scheduling — used by lockstep to slave
+    the reference vehicle's thread selection to the engine's commit
+    stream. *)
+
+val take_wake : thread -> int option
+(** Consume the pending wake value (to be encoded as the thread's syscall
+    result when it next resumes). *)
+
+val park : t -> Ia32.State.t -> unit
+(** Save [st] as the current thread's parked state. *)
+
+val charge_current : t -> now:int -> unit
+(** Charge virtual cycles since the last charge point to the current
+    thread (recording only). *)
+
+val need_resched : t -> now:int -> bool
+(** True when the current thread's quantum has expired or it yielded.
+    Always false with fewer than two threads. *)
+
+type schedule = Run of thread | Deadlock
+
+val reschedule : t -> now:int -> schedule
+(** Pick the next runnable thread round-robin (the current thread keeps
+    running only if no other is runnable); [Deadlock] when every thread
+    is blocked. *)
 
 val deliver_exception : t -> Ia32.State.t -> Ia32.Fault.t -> exception_outcome
 (** Deliver an IA-32 exception whose precise state has been reconstructed

@@ -6,7 +6,7 @@
 open Ia32
 
 let name = "winsim"
-let version = { Btos.major = 2; minor = 3 }
+let version = { Btos.major = 2; minor = 4 }
 let syscall_vector = 0x2E
 
 let decode_syscall (st : State.t) =
@@ -24,6 +24,12 @@ let decode_syscall (st : State.t) =
   | 0x30 -> Syscall.Getclock
   | 0x40 -> Syscall.Kernel_work edx
   | 0x41 -> Syscall.Idle edx
+  | 0x50 -> Syscall.Spawn { entry = edx; stack = ecx; arg = ebx }
+    (* CreateThread-flavoured: start address in edx, stack in ecx *)
+  | 0x51 -> Syscall.Join edx (* WaitForSingleObject on a thread handle *)
+  | 0x52 -> Syscall.Yield
+  | 0x53 -> Syscall.Futex_wait { addr = edx; expected = ecx }
+  | 0x54 -> Syscall.Futex_wake { addr = edx; count = ecx }
   | n -> Syscall.Unknown (n lor (ebx land 0)) (* ebx unused; keep convention *)
 
 let encode_result (st : State.t) v = State.set32 st Insn.Eax v

@@ -48,6 +48,13 @@ type t = {
   (* graceful degradation (resilience subsystem) *)
   mutable degrade_interp_entries : int; (* entries gone interpret-only *)
   mutable degrade_smc_storms : int; (* source pages degraded by SMC storms *)
+  (* guest threads *)
+  mutable thread_spawns : int;
+  mutable thread_joins : int; (* join calls that completed (Ret) *)
+  mutable thread_yields : int;
+  mutable futex_waits : int;
+  mutable futex_wakes : int;
+  mutable thread_switches : int; (* scheduler context switches *)
 }
 
 let create () =
@@ -86,6 +93,12 @@ let create () =
     cache_flushes = 0;
     degrade_interp_entries = 0;
     degrade_smc_storms = 0;
+    thread_spawns = 0;
+    thread_joins = 0;
+    thread_yields = 0;
+    futex_waits = 0;
+    futex_wakes = 0;
+    thread_switches = 0;
   }
 
 (* Event-counter view for coverage consumers (the fuzzer's steering map):
@@ -120,6 +133,12 @@ let counters t =
     ("cache_flushes", t.cache_flushes);
     ("degrade_interp_entries", t.degrade_interp_entries);
     ("degrade_smc_storms", t.degrade_smc_storms);
+    ("thread_spawns", t.thread_spawns);
+    ("thread_joins", t.thread_joins);
+    ("thread_yields", t.thread_yields);
+    ("futex_waits", t.futex_waits);
+    ("futex_wakes", t.futex_wakes);
+    ("thread_switches", t.thread_switches);
   ]
 
 (* Every field of [t], in declaration order. The drift-guard test checks
@@ -163,6 +182,12 @@ let all_fields t =
     ("cache_flushes", t.cache_flushes);
     ("degrade_interp_entries", t.degrade_interp_entries);
     ("degrade_smc_storms", t.degrade_smc_storms);
+    ("thread_spawns", t.thread_spawns);
+    ("thread_joins", t.thread_joins);
+    ("thread_yields", t.thread_yields);
+    ("futex_waits", t.futex_waits);
+    ("futex_wakes", t.futex_wakes);
+    ("thread_switches", t.thread_switches);
   ]
 
 (* Fields that are cycle charges or volume tallies, not event marks —

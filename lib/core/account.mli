@@ -49,6 +49,12 @@ type t = {
       (** entries blacklisted to interpret-only by the degradation ladder *)
   mutable degrade_smc_storms : int;
       (** source pages degraded to interpretation by SMC-storm detection *)
+  mutable thread_spawns : int;
+  mutable thread_joins : int;  (** join calls that completed (returned) *)
+  mutable thread_yields : int;
+  mutable futex_waits : int;
+  mutable futex_wakes : int;
+  mutable thread_switches : int;  (** scheduler context switches *)
 }
 
 val create : unit -> t

@@ -64,6 +64,11 @@ type t = {
   enable_decode_cache : bool;
       (* cache decoded IA-32 instructions per (eip, page generation) in
          the reference interpreter *)
+  (* guest threads *)
+  quantum : int;
+      (* virtual cycles per scheduling slice; rescheduling happens only at
+         syscall commit points, so this is deterministic. <= 0 disables
+         preemption (threads run until they block or yield) *)
 }
 
 let default =
@@ -99,6 +104,7 @@ let default =
     smc_storm_limit = 16;
     enable_predecode = true;
     enable_decode_cache = true;
+    quantum = 20_000;
   }
 
 (* Cold-only translator (no hot phase at all). *)

@@ -71,6 +71,11 @@ type t = {
   enable_decode_cache : bool;
       (** cache decoded IA-32 instructions per (eip, page generation) in
           the reference interpreter *)
+  quantum : int;
+      (** virtual cycles per guest-thread scheduling slice; rescheduling
+          happens only at syscall commit points, so preemption is
+          deterministic. [<= 0] disables preemption (threads run until
+          they block or yield) *)
 }
 
 val default : t

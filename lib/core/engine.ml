@@ -212,6 +212,7 @@ let create ?(config = Config.default) ?cost:(mcost = Ipf.Cost.default) ?dcache
     }
   in
   vos.Btlib.Vos.clock <- (fun _ -> now t);
+  vos.Btlib.Vos.quantum <- config.Config.quantum;
   (* bucket attribution: cold vs hot cycles *)
   machine.M.bucket_fn <-
     (fun bundle ->
@@ -606,6 +607,46 @@ let deliver_fault t st fault k =
 
 (* ---- syscalls ---------------------------------------------------------- *)
 
+(* Schedule and dispatch the next runnable guest thread. The outgoing
+   thread's state must already be parked in the Vos thread table. All
+   per-thread IPF contexts share one machine and one tcache: switching is
+   a Reconstruct.inject of the incoming thread's architectural state, so
+   cross-thread SMC shootdown rides the existing page-generation checks. *)
+let resume_next t k =
+  let prev = Btlib.Vos.current t.vos in
+  match Btlib.Vos.reschedule t.vos ~now:(now t) with
+  | Btlib.Vos.Run th ->
+    if th.Btlib.Vos.tid <> prev then begin
+      t.acct.Account.thread_switches <- t.acct.Account.thread_switches + 1;
+      charge_overhead t (cost t).Ipf.Cost.context_switch_cost
+    end;
+    let st = th.Btlib.Vos.state in
+    (match Btlib.Vos.take_wake th with
+    | Some v ->
+      (* the value this thread's blocking syscall owes it (join result,
+         futex wake), encoded exactly once, at resume *)
+      let module L = (val t.btlib : Btlib.Btos.S) in
+      L.encode_result st v
+    | None -> ());
+    Reconstruct.inject t.machine st;
+    k st.Ia32.State.eip
+  | Btlib.Vos.Deadlock ->
+    Bt_error.fail ~component:"engine" "deadlock: all guest threads blocked"
+
+let count_thread_call t (call : Btlib.Syscall.call) =
+  let a = t.acct in
+  match call with
+  | Btlib.Syscall.Spawn _ ->
+    a.Account.thread_spawns <- a.Account.thread_spawns + 1
+  | Btlib.Syscall.Join _ -> a.Account.thread_joins <- a.Account.thread_joins + 1
+  | Btlib.Syscall.Yield ->
+    a.Account.thread_yields <- a.Account.thread_yields + 1
+  | Btlib.Syscall.Futex_wait _ ->
+    a.Account.futex_waits <- a.Account.futex_waits + 1
+  | Btlib.Syscall.Futex_wake _ ->
+    a.Account.futex_wakes <- a.Account.futex_wakes + 1
+  | _ -> ()
+
 let do_syscall t st n k =
   let module L = (val t.btlib : Btlib.Btos.S) in
   if n <> L.syscall_vector then
@@ -616,6 +657,7 @@ let do_syscall t st n k =
     | Some f -> f (Commit_syscall n) st
     | None -> ());
     let call = L.decode_syscall st in
+    count_thread_call t call;
     charge_other t (cost t).Ipf.Cost.syscall_cost;
     let k0 = t.vos.Btlib.Vos.kernel_cycles and i0 = t.vos.Btlib.Vos.idle_cycles in
     let fin r =
@@ -636,8 +678,21 @@ let do_syscall t st n k =
       Exited (code, st)
     | Btlib.Syscall.Ret v ->
       L.encode_result st v;
-      Reconstruct.inject t.machine st;
-      k st.Ia32.State.eip
+      if Btlib.Vos.need_resched t.vos ~now:(now t) then begin
+        (* quantum expired (or the thread yielded): deterministic
+           preemption at the syscall commit point *)
+        Btlib.Vos.park t.vos st;
+        resume_next t k
+      end
+      else begin
+        Reconstruct.inject t.machine st;
+        k st.Ia32.State.eip
+      end
+    | Btlib.Syscall.Block ->
+      (* the calling thread parked itself (join/futex wait, or a
+         non-final thread exit); run someone else *)
+      Btlib.Vos.park t.vos st;
+      resume_next t k
   end
 
 (* ---- main loop ---------------------------------------------------------- *)
@@ -652,6 +707,7 @@ let vector_fault = function
 (* Start running the guest whose initial architectural state is [st]. *)
 let run ?(fuel = max_int) t (st0 : Ia32.State.t) =
   t.fuel <- fuel;
+  Btlib.Vos.register_main t.vos st0;
   Reconstruct.inject t.machine st0;
   let rec dispatch eip =
     (match t.trace with
@@ -1109,6 +1165,9 @@ let run ?(fuel = max_int) t (st0 : Ia32.State.t) =
 (* Final time distribution for the Figure 6/7 style reports. *)
 let distribution t = Account.distribution t.acct t.machine
 
+(* Tid of the currently scheduled guest thread (0 when single-threaded). *)
+let current_tid t = Btlib.Vos.current t.vos
+
 (* Snapshot the current architectural state (block-boundary precision). *)
 let capture t =
   let snapshot = here_snapshot t in
@@ -1119,6 +1178,7 @@ let capture t =
 let attach_trace t tr =
   t.trace <- Some tr;
   Obs.Trace.set_clock tr (fun () -> now t);
+  Obs.Trace.set_tid_source tr (fun () -> Btlib.Vos.current t.vos);
   Ipf.Tcache.set_trace t.tcache (Some tr);
   t.vos.Btlib.Vos.trace <- Some tr
 
@@ -1203,6 +1263,35 @@ let metrics t =
       ("exceptions_delivered", i t.vos.Btlib.Vos.exceptions_delivered);
       ("transient_retries", i t.vos.Btlib.Vos.transient_retries);
     ];
+  (* per-thread counters plus the aggregate; only present once the thread
+     table exists, so single-threaded metrics snapshots are unchanged *)
+  (if Btlib.Vos.thread_count t.vos > 1 then
+     let status_name = function
+       | Btlib.Vos.Runnable -> "runnable"
+       | Btlib.Vos.Blocked_join _ -> "blocked_join"
+       | Btlib.Vos.Blocked_futex _ -> "blocked_futex"
+       | Btlib.Vos.Exited_t _ -> "exited"
+       | Btlib.Vos.Reaped -> "reaped"
+     in
+     let rows = ref [] in
+     for tid = Btlib.Vos.thread_count t.vos - 1 downto 0 do
+       match Btlib.Vos.find_thread t.vos tid with
+       | Some th ->
+         rows :=
+           ( Printf.sprintf "t%d" tid,
+             Obs.Metrics.Obj
+               [
+                 ("cycles", i th.Btlib.Vos.t_cycles);
+                 ("syscalls", i th.Btlib.Vos.t_syscalls);
+                 ("status", Obs.Metrics.Str (status_name th.Btlib.Vos.status));
+               ] )
+           :: !rows
+       | None -> ()
+     done;
+     Obs.Metrics.section m "threads"
+       (("count", i (Btlib.Vos.thread_count t.vos))
+       :: ("context_switches", i t.vos.Btlib.Vos.context_switches)
+       :: !rows));
   (match t.trace with
   | Some tr ->
     Obs.Metrics.section m "trace"

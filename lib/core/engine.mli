@@ -144,6 +144,11 @@ val force_cache_flush : t -> unit
 val distribution : t -> Account.distribution
 (** Final execution-time distribution (Figures 6/7). *)
 
+val current_tid : t -> int
+(** Tid of the currently scheduled guest thread (0 when single-threaded).
+    Inside an [on_commit] observer this is the committing thread: the
+    scheduler switches only after the syscall completes. *)
+
 val capture : t -> Ia32.State.t
 (** Snapshot the current architectural state (block-boundary
     precision). *)
@@ -173,5 +178,6 @@ val live_blocks : t -> int
 val metrics : t -> Obs.Metrics.t
 (** Snapshot everything measurable into the stable ["ia32el-metrics/1"]
     schema: cycle distribution, [Account] counters, instruction volume,
-    machine stats, tcache/dcache occupancy, Vos totals, and — when
-    attached — trace and top-10 profile summaries. *)
+    machine stats, tcache/dcache occupancy, Vos totals, per-thread
+    counters (multithreaded guests only), and — when attached — trace and
+    top-10 profile summaries. *)

@@ -122,6 +122,12 @@ let run ?config ?cost ?dcache ?(fuel = max_int) ?(max_gap = 1_000_000_000)
   let ref_mem = Ia32.Memory.copy mem in
   let rst = { (Ia32.State.copy st0) with Ia32.State.mem = ref_mem } in
   let ref_vos = Btlib.Vos.create ref_mem in
+  (* The reference is thread-aware but never schedules: its thread
+     selection is slaved to the engine's commit stream (see [sync_thread]
+     below), so both vehicles always run the same guest thread at each
+     commit point. *)
+  Btlib.Vos.register_main ref_vos rst;
+  let cur = ref rst in
   let engine = Engine.create ?config ?cost ?dcache ~btlib mem in
   attach engine;
   let commits = ref 0 in
@@ -134,6 +140,7 @@ let run ?config ?cost ?dcache ?(fuel = max_int) ?(max_gap = 1_000_000_000)
     wnext := 0
   in
   let wpush () =
+    let rst = !cur in
     let s =
       match Ia32.Decode.decode ref_mem rst.Ia32.State.eip with
       | insn, _ ->
@@ -156,12 +163,13 @@ let run ?config ?cost ?dcache ?(fuel = max_int) ?(max_gap = 1_000_000_000)
            event;
            diffs;
            engine_state = est;
-           reference_state = Ia32.State.copy rst;
+           reference_state = Ia32.State.copy !cur;
            window = wcontents ();
          })
   in
   (* advance the reference interpreter to its next observable event *)
   let step_ref_to_event () =
+    let rst = !cur in
     let steps = ref 0 in
     let rec go () =
       if !steps > max_gap then R_timeout
@@ -178,11 +186,29 @@ let run ?config ?cost ?dcache ?(fuel = max_int) ?(max_gap = 1_000_000_000)
     go ()
   in
   let compare_at event est =
-    match diff_states est rst with
+    match diff_states est !cur with
     | [] ->
       incr commits;
       wreset ()
     | diffs -> diverge event diffs est
+  in
+  (* Select the reference thread matching the engine's committing thread.
+     At a commit the engine has not yet rescheduled, so [current_tid] is
+     the thread whose syscall/fault this is. A thread resuming from a
+     blocking syscall is owed its wake value (join result, futex wake) —
+     the engine encodes it at resume; the reference encodes it here, at
+     the thread's first commit after waking, which is the same
+     architectural point. *)
+  let sync_thread () =
+    let tid = Engine.current_tid engine in
+    Btlib.Vos.set_current ref_vos tid;
+    match Btlib.Vos.find_thread ref_vos tid with
+    | Some th ->
+      cur := th.Btlib.Vos.state;
+      (match Btlib.Vos.take_wake th with
+      | Some v -> L.encode_result th.Btlib.Vos.state v
+      | None -> ())
+    | None -> ()
   in
   let mismatch event got est =
     let expected = Fmt.str "%a" pp_event event in
@@ -191,15 +217,21 @@ let run ?config ?cost ?dcache ?(fuel = max_int) ?(max_gap = 1_000_000_000)
       est
   in
   let on_commit event (est : Ia32.State.t) =
+    sync_thread ();
     match event with
     | Engine.Commit_syscall n -> (
       match step_ref_to_event () with
       | R_syscall rn when rn = n -> (
         compare_at event est;
+        let rst = !cur in
         let call = L.decode_syscall rst in
         match L.perform ref_vos rst call with
         | Btlib.Syscall.Exited code -> ref_exited := Some code
-        | Btlib.Syscall.Ret v -> L.encode_result rst v)
+        | Btlib.Syscall.Ret v -> L.encode_result rst v
+        | Btlib.Syscall.Block ->
+          (* thread parked in the reference table; the engine's commit
+             stream will select the next thread via [sync_thread] *)
+          ())
       | R_syscall rn ->
         mismatch event (Printf.sprintf "syscall %d" rn) est
       | R_fault f ->
@@ -208,7 +240,7 @@ let run ?config ?cost ?dcache ?(fuel = max_int) ?(max_gap = 1_000_000_000)
     | Engine.Commit_fault f -> (
       let deliver rf =
         compare_at event est;
-        match L.deliver_exception ref_vos rst rf with
+        match L.deliver_exception ref_vos !cur rf with
         | Btlib.Vos.Resumed -> ()
         | Btlib.Vos.Unhandled _ -> ()
         (* unhandled on both sides: the outcomes are compared at the end *)

@@ -9,11 +9,18 @@ type outcome =
   | Out_of_fuel
 
 (* Run until exit / unhandled fault / fuel. Returns the outcome and the
-   number of retired IA-32 instructions. *)
+   number of retired IA-32 instructions. Multithreaded guests use the
+   same deterministic Vos scheduler as the engine; thread states live in
+   the Vos table and the interpreter mutates them in place, so switching
+   is just following the [cur] pointer. *)
 let run ?(fuel = max_int) ~btlib vos (st : Ia32.State.t) =
   let module L = (val btlib : Btlib.Btos.S) in
+  Btlib.Vos.register_main vos st;
+  let cur = ref st in
   let steps = ref 0 in
+  let now () = vos.Btlib.Vos.clock 0 in
   let rec go () =
+    let st = !cur in
     if !steps >= fuel then Out_of_fuel
     else
       match Ia32.Interp.step st with
@@ -29,10 +36,23 @@ let run ?(fuel = max_int) ~btlib vos (st : Ia32.State.t) =
           | Btlib.Syscall.Exited code -> Exited (code, st)
           | Btlib.Syscall.Ret v ->
             L.encode_result st v;
-            go ()
+            if Btlib.Vos.need_resched vos ~now:(now ()) then resched ()
+            else go ()
+          | Btlib.Syscall.Block -> resched ()
         end
       | Ia32.Interp.Faulted f -> deliver f
+  and resched () =
+    match Btlib.Vos.reschedule vos ~now:(now ()) with
+    | Btlib.Vos.Run th ->
+      cur := th.Btlib.Vos.state;
+      (match Btlib.Vos.take_wake th with
+      | Some v -> L.encode_result th.Btlib.Vos.state v
+      | None -> ());
+      go ()
+    | Btlib.Vos.Deadlock ->
+      Bt_error.fail ~component:"refvehicle" "deadlock: all guest threads blocked"
   and deliver f =
+    let st = !cur in
     match L.deliver_exception vos st f with
     | Btlib.Vos.Resumed -> go ()
     | Btlib.Vos.Unhandled fault -> Unhandled_fault (fault, st)

@@ -60,6 +60,7 @@ type fitem =
   | FJmp of string
   | FJcc of Insn.cond * string
   | FPatch of string * int
+  | FMovlab of Insn.reg * string (* mov reg, address-of-label *)
 
 type atom =
   | Block of { pool : string; items : fitem list }
@@ -85,6 +86,7 @@ type litem =
   | L_jmp of string
   | L_jcc of Insn.cond * string
   | L_patch of string * int
+  | L_movlab of Insn.reg * string
 
 let rec lower_atom acc = function
   | Block b ->
@@ -95,7 +97,8 @@ let rec lower_atom acc = function
         | FLabel l -> L_lab l
         | FJmp l -> L_jmp l
         | FJcc (c, l) -> L_jcc (c, l)
-        | FPatch (l, v) -> L_patch (l, v))
+        | FPatch (l, v) -> L_patch (l, v)
+        | FMovlab (r, l) -> L_movlab (r, l))
         :: acc)
       acc b.items
   | Loop l ->
@@ -124,7 +127,8 @@ let to_items p =
         | L_jmp l -> Asm.jmp l
         | L_jcc (c, l) -> Asm.jcc c l
         | L_patch (l, v) ->
-          Asm.with_lab l (fun a -> Mov (S32, M (mem_abs (a + 1)), I v)))
+          Asm.with_lab l (fun a -> Mov (S32, M (mem_abs (a + 1)), I v))
+        | L_movlab (r, l) -> Asm.mov_ri_lab r l)
       (lower p)
   in
   (Asm.label "start" :: body) @ exit_items
@@ -146,7 +150,8 @@ let prog_insns p =
       | L_lab _ -> None
       | L_jmp _ -> Some (Jmp 0x401000)
       | L_jcc (c, _) -> Some (Jcc (c, 0x401000))
-      | L_patch (_, v) -> Some (Mov (S32, M (mem_abs 0x401001), I v)))
+      | L_patch (_, v) -> Some (Mov (S32, M (mem_abs 0x401001), I v))
+      | L_movlab (r, _) -> Some (Mov (S32, R r, I 0x401000)))
     (lower p)
 
 let pools p =
@@ -444,7 +449,10 @@ let pp_prog_asm ppf p =
       | L_jmp l -> Fmt.pf ppf "        jmp %s@," l
       | L_jcc (c, l) -> Fmt.pf ppf "        j%s %s@," (Insn.cond_name c) l
       | L_patch (l, v) ->
-        Fmt.pf ppf "        mov dword [%s+1], %#x   ; smc patch@," l v)
+        Fmt.pf ppf "        mov dword [%s+1], %#x   ; smc patch@," l v
+      | L_movlab (r, l) ->
+        Fmt.pf ppf "        mov %s, %s   ; label address@,"
+          (Insn.reg_name r) l)
     (lower p);
   Fmt.pf ppf "@]"
 
@@ -461,7 +469,8 @@ let pp_prog_ocaml ppf p =
         Fmt.pf ppf
           "    with_lab %S (fun a -> Ia32.Insn.(Mov (S32, M (mem_abs (a + \
            1)), I %s)));@,"
-          l (sint v))
+          l (sint v)
+      | L_movlab (r, l) -> Fmt.pf ppf "    mov_ri_lab Ia32.Insn.%s %S;@," (sreg r) l)
     (lower p);
   Fmt.pf ppf "    i Ia32.Insn.(Mov (S32, R Eax, I 1));@,";
   Fmt.pf ppf "    i Ia32.Insn.(Mov (S32, R Ebx, I 0));@,";
@@ -477,7 +486,12 @@ let pp_prog_ocaml ppf p =
    depth-neutral, MMX sections closed with emms. Freely clobbered:
    eax, ebx, ecx, edx, edi, flags, scratch memory. *)
 
-type gctx = { rng : Rng.t; mutable next_loop : int; mutable next_label : int }
+type gctx = {
+  rng : Rng.t;
+  mutable next_loop : int;
+  mutable next_label : int;
+  mutable next_worker : int;
+}
 
 let fresh_label c prefix =
   c.next_label <- c.next_label + 1;
@@ -952,6 +966,131 @@ let pool_syscall c =
   in
   [ block "syscall" items ]
 
+(* Guest-thread cells and stacks live in the top kilobyte of the data
+   section, above every scratch offset the other pools can generate:
+   futex/tid cells at +0x3800, worker stacks growing down from +0x3C00,
+   +0x3E00, +0x4000 (worker bodies push nothing, so a slot is ample).
+   Worker slots rotate mod 3; every spawning atom joins its worker
+   before the atom ends, so at most one fuzz worker is ever live. *)
+let tcell w = Asm.default_data_base + 0x3800 + (4 * w)
+let ttid w = Asm.default_data_base + 0x3810 + (4 * w)
+let tstack w = Asm.default_data_base + 0x3C00 + (0x200 * w)
+
+let spawn_items ~entry ~stack ~arg =
+  [
+    FMovlab (Ebx, entry);
+    fi (Mov (S32, R Ecx, I stack));
+    fi (Mov (S32, R Edx, I arg));
+    fi (Mov (S32, R Eax, I 120));
+    fi (Int_n 0x80);
+  ]
+
+let join_items ~tid_mem =
+  [
+    fi (Mov (S32, R Ebx, M tid_mem));
+    fi (Mov (S32, R Eax, I 7));
+    fi (Int_n 0x80);
+  ]
+
+let pool_threads c =
+  let rng = c.rng in
+  let w = c.next_worker mod 3 in
+  c.next_worker <- c.next_worker + 1;
+  let items =
+    match Rng.int rng 5 with
+    | 0 ->
+      (* spawn a compute worker (optionally yielding) and join it *)
+      let wl = fresh_label c "twork" and sl = fresh_label c "tskip" in
+      let code = Rng.int rng 64 in
+      let yieldy = Rng.bool rng in
+      [ FJmp sl; FLabel wl ]
+      @ [
+          fi (Imul_rri (Eax, R Eax, 1103515245));
+          fi (Alu (Add, S32, R Eax, I 12345));
+          fi (Mov (S32, M (mem_abs (tcell w)), R Eax));
+        ]
+      @ (if yieldy then [ fi (Mov (S32, R Eax, I 159)); fi (Int_n 0x80) ]
+         else [])
+      @ [
+          fi (Mov (S32, R Eax, I 1));
+          fi (Mov (S32, R Ebx, I code));
+          fi (Int_n 0x80);
+          FLabel sl;
+        ]
+      @ spawn_items ~entry:wl ~stack:(tstack w) ~arg:(Rng.int rng 256)
+      @ [ fi (Mov (S32, M (mem_abs (ttid w)), R Eax)) ]
+      @ join_items ~tid_mem:(mem_abs (ttid w))
+    | 1 ->
+      (* futex handshake: worker loops check-then-wait on a cell the
+         main thread raises and wakes; deadlock-free on any schedule *)
+      let wl = fresh_label c "twork"
+      and lp = fresh_label c "tloop"
+      and dn = fresh_label c "tdone"
+      and sl = fresh_label c "tskip" in
+      let code = Rng.int rng 64 in
+      [
+        fi (Mov (S32, M (mem_abs (tcell w)), I 0));
+        FJmp sl;
+        FLabel wl;
+        FLabel lp;
+        fi (Mov (S32, R Eax, M (mem_abs (tcell w))));
+        fi (Test (S32, R Eax, R Eax));
+        FJcc (Ne, dn);
+        fi (Mov (S32, R Eax, I 240));
+        fi (Mov (S32, R Ebx, I (tcell w)));
+        fi (Mov (S32, R Ecx, I 0));
+        fi (Mov (S32, R Edx, I 0));
+        fi (Int_n 0x80);
+        FJmp lp;
+        FLabel dn;
+        fi (Mov (S32, R Eax, I 1));
+        fi (Mov (S32, R Ebx, I code));
+        fi (Int_n 0x80);
+        FLabel sl;
+      ]
+      @ spawn_items ~entry:wl ~stack:(tstack w) ~arg:0
+      @ [
+          fi (Mov (S32, M (mem_abs (ttid w)), R Eax));
+          fi (Mov (S32, M (mem_abs (tcell w)), I 1));
+          fi (Mov (S32, R Eax, I 240));
+          fi (Mov (S32, R Ebx, I (tcell w)));
+          fi (Mov (S32, R Ecx, I 1));
+          fi (Mov (S32, R Edx, I 8));
+          fi (Int_n 0x80);
+        ]
+      @ join_items ~tid_mem:(mem_abs (ttid w))
+    | 2 ->
+      (* non-blocking futex error paths: value mismatch, wake with no
+         waiters *)
+      let v = 1 + Rng.int rng 1000 in
+      [
+        fi (Mov (S32, M (mem_abs (tcell w)), I v));
+        fi (Mov (S32, R Eax, I 240));
+        fi (Mov (S32, R Ebx, I (tcell w)));
+        fi (Mov (S32, R Ecx, I 0));
+        fi (Mov (S32, R Edx, I (v + 1)));
+        fi (Int_n 0x80);
+        fi (Mov (S32, R Eax, I 240));
+        fi (Mov (S32, R Ebx, I (tcell w)));
+        fi (Mov (S32, R Ecx, I 1));
+        fi (Mov (S32, R Edx, I (1 + Rng.int rng 4)));
+        fi (Int_n 0x80);
+      ]
+    | 3 ->
+      (* join error paths: self-join and unknown tid *)
+      let bogus = 1000 + Rng.int rng 1000 in
+      [
+        fi (Mov (S32, R Ebx, I 0));
+        fi (Mov (S32, R Eax, I 7));
+        fi (Int_n 0x80);
+        fi (Mov (S32, R Ebx, I bogus));
+        fi (Mov (S32, R Eax, I 7));
+        fi (Int_n 0x80);
+      ]
+    | _ -> [ fi (Mov (S32, R Eax, I 159)); fi (Int_n 0x80) ]
+  in
+  [ block "threads" items ]
+
 (* Terminal pool: both vehicles must agree on the architectural fault. *)
 let pool_fault c =
   let rng = c.rng in
@@ -980,6 +1119,8 @@ let pool_table =
     ("branch", 8, [ "ev:chain_patches"; "ev:indirect_lookups" ]);
     ("smc", 4, [ "ev:smc_invalidations"; "ev:degrade_smc_storms" ]);
     ("syscall", 6, [ "ev:commit_points"; "ev:rollforwards" ]);
+    ("threads", 6,
+     [ "ev:thread_spawns"; "ev:futex_waits"; "ev:thread_switches" ]);
     ("fault", 2, [ "ev:exceptions_filtered" ]);
   |]
 
@@ -996,11 +1137,12 @@ let gen_pool c = function
   | "branch" -> pool_branch c
   | "smc" -> pool_smc c
   | "syscall" -> pool_syscall c
+  | "threads" -> pool_threads c
   | "fault" -> pool_fault c
   | p -> invalid_arg ("Fuzz.gen_pool: " ^ p)
 
 let generate ?steer ~rng ~max_insns seed =
-  let c = { rng; next_loop = 0; next_label = 0 } in
+  let c = { rng; next_loop = 0; next_label = 0; next_worker = 0 } in
   let pro = prologue c in
   let atoms = ref [ pro ] in
   let used = ref (atom_insns pro) in
@@ -1329,7 +1471,7 @@ let labels_ok p =
     | Block b ->
       List.iter
         (function
-          | FJmp l | FJcc (_, l) | FPatch (l, _) ->
+          | FJmp l | FJcc (_, l) | FPatch (l, _) | FMovlab (_, l) ->
             if not (Hashtbl.mem defined l) then ok := false
           | _ -> ())
         b.items

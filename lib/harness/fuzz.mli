@@ -6,7 +6,9 @@
     chains, x87 push/pop churn across the TOS/TAG speculation boundary,
     MMX<->FP aliasing flips, SSE ops, misaligned and page-straddling
     accesses, bounded loops (including heat loops that push blocks into
-    the hot phase), and self-modifying stores. Every candidate runs under
+    the hot phase), self-modifying stores, and guest-thread atoms
+    (spawn/join pairs, deadlock-free futex handshakes, yields and the
+    thread syscalls' error paths), all lockstep-checked. Every candidate runs under
     {!Ia32el.Lockstep} with a set of {!Inject} seeds; a diverging input is
     minimized by a structural shrinker over the DSL program and emitted as
     a paste-ready [Asm] reproducer.
@@ -42,6 +44,9 @@ type fitem =
   | FPatch of string * int
       (** self-modifying store: patch the imm32 of the [mov reg, imm32]
           sitting at the named label (offset +1 into its encoding) *)
+  | FMovlab of Ia32.Insn.reg * string
+      (** load the named label's address into a register (thread entry
+          points for the spawn syscall) *)
 
 type atom =
   | Block of { pool : string; items : fitem list }

@@ -29,6 +29,7 @@ type t = {
   indirect_lookup_cost : int; (* fast lookup table hit in translated code *)
   exception_filter_cost : int; (* per delivered IA-32 exception *)
   syscall_cost : int; (* native execution of an IA-32 system service *)
+  context_switch_cost : int; (* scheduler overhead per guest-thread switch *)
 }
 
 let default =
@@ -53,4 +54,5 @@ let default =
     indirect_lookup_cost = 12;
     exception_filter_cost = 4000;
     syscall_cost = 150;
+    context_switch_cost = 120;
   }

@@ -33,6 +33,7 @@ type t = {
   indirect_lookup_cost : int;  (** fast-lookup-table hit in hot code *)
   exception_filter_cost : int;  (** per delivered IA-32 exception *)
   syscall_cost : int;  (** native execution of an IA-32 system service *)
+  context_switch_cost : int;  (** scheduler overhead per guest-thread switch *)
 }
 
 val default : t

@@ -24,15 +24,19 @@ type ev =
   | Syscall_enter of { name : string }
   | Syscall_exit of { name : string; kernel_cycles : int; idle_cycles : int }
   | Degrade of { kind : string; key : int }
+  | Thread_spawn of { tid : int; entry : int }
+  | Thread_exit of { tid : int; code : int }
+  | Thread_switch of { from_tid : int; to_tid : int }
   | Exit_program of { code : int }
 
-type event = { at : int; ev : ev }
+type event = { at : int; tid : int; ev : ev }
 
 type t = {
   buf : event array;
   cap : int;
   mutable total : int; (* events ever emitted; buffer index = total mod cap *)
   mutable clock : unit -> int;
+  mutable tid_source : unit -> int; (* currently scheduled guest tid *)
   mutable echo : (event -> unit) option;
 }
 
@@ -41,18 +45,20 @@ let default_capacity = 65536
 let create ?(capacity = default_capacity) () =
   let cap = max 1 capacity in
   {
-    buf = Array.make cap { at = 0; ev = Dispatch { eip = 0 } };
+    buf = Array.make cap { at = 0; tid = 0; ev = Dispatch { eip = 0 } };
     cap;
     total = 0;
     clock = (fun () -> 0);
+    tid_source = (fun () -> 0);
     echo = None;
   }
 
 let set_clock t f = t.clock <- f
+let set_tid_source t f = t.tid_source <- f
 let set_echo t f = t.echo <- Some f
 
 let emit t ev =
-  let e = { at = t.clock (); ev } in
+  let e = { at = t.clock (); tid = t.tid_source (); ev } in
   t.buf.(t.total mod t.cap) <- e;
   t.total <- t.total + 1;
   match t.echo with Some f -> f e | None -> ()
@@ -87,6 +93,9 @@ let name = function
   | Syscall_enter _ -> "syscall_enter"
   | Syscall_exit _ -> "syscall"
   | Degrade _ -> "degrade"
+  | Thread_spawn _ -> "thread_spawn"
+  | Thread_exit _ -> "thread_exit"
+  | Thread_switch _ -> "thread_switch"
   | Exit_program _ -> "exit_program"
 
 (* The argument payload as (key, value) pairs; strings are tagged so the
@@ -127,13 +136,21 @@ let args = function
       ("idle_cycles", Anum idle_cycles);
     ]
   | Degrade { kind; key } -> [ ("kind", Astr kind); ("key", Anum key) ]
+  | Thread_spawn { tid; entry } ->
+    [ ("tid", Anum tid); ("entry", Anum entry) ]
+  | Thread_exit { tid; code } -> [ ("tid", Anum tid); ("code", Anum code) ]
+  | Thread_switch { from_tid; to_tid } ->
+    [ ("from", Anum from_tid); ("to", Anum to_tid) ]
   | Exit_program { code } -> [ ("code", Anum code) ]
 
 (* Keys whose numeric payload is a guest address: pretty-print in hex. *)
 let hex_keys = [ "eip"; "entry"; "addr"; "key" ]
 
-let pp_event ppf { at; ev } =
-  Fmt.pf ppf "[%d] %s" at (name ev);
+(* The emitting thread is shown only when nonzero, so single-threaded
+   trace output is byte-identical to the pre-thread format. *)
+let pp_event ppf { at; tid; ev } =
+  if tid = 0 then Fmt.pf ppf "[%d] %s" at (name ev)
+  else Fmt.pf ppf "[%d] t%d %s" at tid (name ev);
   List.iter
     (fun (k, v) ->
       match v with
@@ -172,12 +189,13 @@ let to_chrome t =
   Buffer.add_string buf "[";
   let first = ref true in
   List.iter
-    (fun { at; ev } ->
+    (fun { at; tid; ev } ->
       if not !first then Buffer.add_string buf ",\n" else Buffer.add_char buf '\n';
       first := false;
       Buffer.add_string buf "{\"name\":\"";
       json_escape buf (name ev);
-      Buffer.add_string buf "\",\"pid\":1,\"tid\":1,";
+      (* chrome tids are 1-based; guest tid 0 maps to trace tid 1 *)
+      Buffer.add_string buf (Printf.sprintf "\",\"pid\":1,\"tid\":%d," (tid + 1));
       (match span ev with
       | Some dur ->
         Buffer.add_string buf

@@ -25,9 +25,14 @@ type ev =
   | Syscall_enter of { name : string }
   | Syscall_exit of { name : string; kernel_cycles : int; idle_cycles : int }
   | Degrade of { kind : string; key : int }
+  | Thread_spawn of { tid : int; entry : int }
+  | Thread_exit of { tid : int; code : int }
+  | Thread_switch of { from_tid : int; to_tid : int }
   | Exit_program of { code : int }
 
-type event = { at : int; ev : ev }
+type event = { at : int; tid : int; ev : ev }
+(** [tid] is the guest thread scheduled when the event was emitted (0 for
+    single-threaded programs and producers outside the engine). *)
 
 type t
 
@@ -40,6 +45,10 @@ val set_clock : t -> (unit -> int) -> unit
 (** Install the virtual clock used to stamp [event.at]. The engine sets
     this to its own [now]; secondary producers (tcache, Vos) inherit the
     stamp through the shared trace value. *)
+
+val set_tid_source : t -> (unit -> int) -> unit
+(** Install the source of the currently scheduled guest tid used to stamp
+    [event.tid]. Defaults to a constant 0. *)
 
 val set_echo : t -> (event -> unit) -> unit
 (** Install a hook called on every emitted event (used by

@@ -19,6 +19,7 @@
 type result = {
   cycles : int;
   insns : int; (* retired IA-32 instructions (interpreter models) *)
+  exit_code : int; (* guest process exit code *)
   distribution : Ia32el.Account.distribution option;
   engine : Ia32el.Engine.t option;
 }
@@ -30,7 +31,7 @@ exception Workload_failed of string
 (* ------------------------------------------------------------------ *)
 
 let run_el ?(config = Ia32el.Config.default) ?cost ?dcache
-    ?(attach = fun _ -> ()) (w : Common.t) ~scale =
+    ?(attach = fun _ -> ()) ?(check_exit = true) (w : Common.t) ~scale =
   let image = w.Common.build ~scale ~wide:false in
   let mem = Ia32.Memory.create () in
   let st = Ia32.Asm.load image mem in
@@ -39,11 +40,12 @@ let run_el ?(config = Ia32el.Config.default) ?cost ?dcache
   in
   attach eng;
   match Ia32el.Engine.run ~fuel:2_000_000_000 eng st with
-  | Ia32el.Engine.Exited (0, _) ->
+  | Ia32el.Engine.Exited (c, _) when c = 0 || not check_exit ->
     let d = Ia32el.Engine.distribution eng in
     {
       cycles = d.Ia32el.Account.total;
       insns = 0;
+      exit_code = c;
       distribution = Some d;
       engine = Some eng;
     }
@@ -102,6 +104,7 @@ let run_native (w : Common.t) ~scale =
     {
       cycles = d.Ia32el.Account.total;
       insns = 0;
+      exit_code = 0;
       distribution = Some d;
       engine = Some eng;
     }
@@ -120,7 +123,12 @@ let run_costed (w : Common.t) ~scale ~wide ~cost_of =
   let module L = Btlib.Linuxsim in
   let cycles = ref 0 in
   let insns = ref 0 in
+  (* the cost models' virtual clock, so thread quanta expire here too *)
+  vos.Btlib.Vos.clock <- (fun _ -> !cycles);
+  Btlib.Vos.register_main vos st;
+  let cur = ref st in
   let rec go () =
+    let st = !cur in
     let at = st.Ia32.State.eip in
     match Ia32.Decode.decode mem at with
     | exception _ -> raise (Workload_failed (w.Common.name ^ ": decode"))
@@ -142,10 +150,22 @@ let run_costed (w : Common.t) ~scale ~wide ~cost_of =
             raise (Workload_failed (Printf.sprintf "%s: exit %d" w.Common.name c))
           | Btlib.Syscall.Ret v ->
             L.encode_result st v;
-            go ()
+            if Btlib.Vos.need_resched vos ~now:!cycles then resched ()
+            else go ()
+          | Btlib.Syscall.Block -> resched ()
         end
       | Ia32.Interp.Faulted f ->
         raise (Workload_failed (w.Common.name ^ ": " ^ Ia32.Fault.to_string f)))
+  and resched () =
+    match Btlib.Vos.reschedule vos ~now:!cycles with
+    | Btlib.Vos.Run th ->
+      cur := th.Btlib.Vos.state;
+      (match Btlib.Vos.take_wake th with
+      | Some v -> L.encode_result th.Btlib.Vos.state v
+      | None -> ());
+      go ()
+    | Btlib.Vos.Deadlock ->
+      raise (Workload_failed (w.Common.name ^ ": guest thread deadlock"))
   in
   go ();
   (* kernel time is native on every platform; idle is idle *)
@@ -180,7 +200,7 @@ let circuitry_cost (insn : Ia32.Insn.insn) (st : Ia32.State.t) =
 
 let run_circuitry (w : Common.t) ~scale =
   let raw, os, insns = run_costed w ~scale ~wide:false ~cost_of:circuitry_cost in
-  { cycles = raw + os; insns; distribution = None; engine = None }
+  { cycles = raw + os; insns; exit_code = 0; distribution = None; engine = None }
 
 (* An out-of-order IA-32 core of the NetBurst era (the paper's 1.6 GHz
    Xeon): deep pipeline, IPC well below 1 on irregular integer code, slow
@@ -216,4 +236,4 @@ let xeon_cost_halves (insn : Ia32.Insn.insn) (st : Ia32.State.t) =
 
 let run_xeon (w : Common.t) ~scale =
   let raw, os, insns = run_costed w ~scale ~wide:false ~cost_of:xeon_cost_halves in
-  { cycles = (raw / 2) + os; insns; distribution = None; engine = None }
+  { cycles = (raw / 2) + os; insns; exit_code = 0; distribution = None; engine = None }

@@ -18,6 +18,7 @@
 type result = {
   cycles : int;
   insns : int;  (** retired IA-32 instructions (interpreter models) *)
+  exit_code : int;  (** guest process exit code *)
   distribution : Ia32el.Account.distribution option;
   engine : Ia32el.Engine.t option;
 }
@@ -29,12 +30,16 @@ val run_el :
   ?cost:Ipf.Cost.t ->
   ?dcache:Ipf.Dcache.t ->
   ?attach:(Ia32el.Engine.t -> unit) ->
+  ?check_exit:bool ->
   Common.t ->
   scale:int ->
   result
 (** Run a workload under IA-32 EL (the narrow, IA-32 build). [attach] is
     called with the fresh engine before the run — the hook observability
-    consumers use to install traces and profiles. *)
+    consumers use to install traces and profiles. [check_exit] (default
+    true) raises {!Workload_failed} on a nonzero guest exit; pass false
+    to get the exit code in the result instead (the runner propagates it
+    to the host shell). *)
 
 val native_config : Ia32el.Config.t
 val native_cost : Ipf.Cost.t

@@ -1,0 +1,242 @@
+(* Multithreaded guest workloads for the Vos thread model.
+
+   Both run on the deterministic quantum scheduler: rescheduling happens
+   only at system-call commit points, and a sequence of instructions
+   containing no system call is never interleaved with another thread —
+   so the shared-memory critical sections below need no atomics. The
+   futex wait/wake protocol is still race-free in the classic sense:
+   a waiter's fill-check and its [futex_wait] sit in one uninterrupted
+   span, and the service re-checks the word before blocking, so wakeups
+   cannot be lost.
+
+   - [producer_consumer] ("threads-pc"): the main thread produces LCG
+     items into an 8-slot shared ring; worker threads consume them under
+     futex wait/wake and mix each item through a small compute burst.
+     The program self-checks: produced sum = consumed sum, and each
+     worker's join result must equal its index.
+
+   - [parallel_workers] ("threads-ptask"): a Sysmark-flavoured parallel
+     job — each worker alternates compute bursts with native kernel work
+     and think-time idle, yielding between rounds; the main thread idles
+     (UI thread) and then joins the workers. *)
+
+open Ia32.Insn
+module A = Ia32.Asm
+open Common
+
+let default_workers = 3
+let qsize = 8
+let qmask = qsize - 1
+let stack_bytes = 256
+
+let clamp_workers n = max 1 (min 8 n)
+
+(* spawn(entry="worker" label, stack=k-th carve of "tstacks", arg=k),
+   recording the returned tid in tids[k] *)
+let spawn_worker ~entry ~k =
+  [
+    A.mov_ri_lab Ebx entry;
+    A.with_lab "tstacks" (fun a ->
+        Mov (S32, R Ecx, I (a + (stack_bytes * (k + 1)))));
+    a32 (Mov (S32, R Edx, I k));
+    a32 (Mov (S32, R Eax, I 120));
+    a32 (Int_n 0x80);
+    A.with_lab "tids" (fun a -> Mov (S32, M (mem_abs (a + (4 * k))), R Eax));
+  ]
+
+(* join(tids[k]) and verify the exit code is k (workers exit with their
+   index); on mismatch jump to [fail] *)
+let join_worker ~k ~fail =
+  [
+    A.with_lab "tids" (fun a -> Mov (S32, R Ebx, M (mem_abs (a + (4 * k)))));
+    a32 (Mov (S32, R Eax, I 7));
+    a32 (Int_n 0x80);
+    a32 (Alu (Cmp, S32, R Eax, I k));
+    A.jcc Ne fail;
+  ]
+
+let yield = [ a32 (Mov (S32, R Eax, I 159)); a32 (Int_n 0x80) ]
+
+let shared_data ~workers extra =
+  [
+    A.label "head"; A.dd 0;
+    A.label "tail"; A.dd 0;
+    A.label "fill"; A.dd 0;
+    A.label "done"; A.dd 0;
+    A.label "prod_sum"; A.dd 0;
+    A.label "cons_sum"; A.dd 0;
+    A.label "queue";
+  ]
+  @ List.init qsize (fun _ -> A.dd 0)
+  @ [ A.label "restab" ]
+  @ List.init workers (fun _ -> A.dd 0)
+  @ [ A.label "tids" ]
+  @ List.init workers (fun _ -> A.dd 0)
+  @ extra
+  @ [ A.label "tstacks"; A.space (stack_bytes * workers) ]
+
+let producer_consumer ~workers =
+  let workers = clamp_workers workers in
+  let build ~scale ~wide:_ =
+    let items = 48 * scale in
+    let code =
+      (* spawn the consumers *)
+      List.concat (List.init workers (fun k -> spawn_worker ~entry:"worker" ~k))
+      (* produce [items] LCG items; esi = LCG state, ebp = remaining *)
+      @ [
+          a32 (Mov (S32, R Ebp, I items));
+          a32 (Mov (S32, R Esi, I 12345));
+          A.label "p_loop";
+          A.with_lab "fill" (fun a -> Mov (S32, R Ecx, M (mem_abs a)));
+          a32 (Alu (Cmp, S32, R Ecx, I qsize));
+          A.jcc L "p_room";
+        ]
+      (* ring full: let the consumers drain it *)
+      @ yield
+      @ [ A.jmp "p_loop"; A.label "p_room"; a32 (Mov (S32, R Eax, R Esi)) ]
+      @ lcg_next
+      @ [
+          a32 (Mov (S32, R Esi, R Eax));
+          (* enqueue (no syscall inside: atomic under the scheduler) *)
+          A.with_lab "head" (fun a -> Mov (S32, R Ebx, M (mem_abs a)));
+          a32 (Alu (And, S32, R Ebx, I qmask));
+          A.with_lab "queue" (fun a ->
+              Mov (S32, M { base = None; index = Some (Ebx, 4); disp = a }, R Eax));
+          A.with_lab "head" (fun a -> Inc (S32, M (mem_abs a)));
+          A.with_lab "fill" (fun a -> Inc (S32, M (mem_abs a)));
+          A.with_lab "prod_sum" (fun a -> Alu (Add, S32, M (mem_abs a), R Eax));
+          (* futex_wake(fill, 1) *)
+          a32 (Mov (S32, R Eax, I 240));
+          A.mov_ri_lab Ebx "fill";
+          a32 (Mov (S32, R Ecx, I 1));
+          a32 (Mov (S32, R Edx, I 1));
+          a32 (Int_n 0x80);
+          a32 (Dec (S32, R Ebp));
+          A.jcc Ne "p_loop";
+          (* all produced: raise done and wake every waiter *)
+          A.with_lab "done" (fun a -> Mov (S32, M (mem_abs a), I 1));
+          a32 (Mov (S32, R Eax, I 240));
+          A.mov_ri_lab Ebx "fill";
+          a32 (Mov (S32, R Ecx, I 1));
+          a32 (Mov (S32, R Edx, I workers));
+          a32 (Int_n 0x80);
+        ]
+      (* reap the workers, checking each exit code *)
+      @ List.concat
+          (List.init workers (fun k -> join_worker ~k ~fail:"pc_fail"))
+      (* self-check: everything produced was consumed exactly once *)
+      @ [
+          A.with_lab "prod_sum" (fun a -> Mov (S32, R Eax, M (mem_abs a)));
+          A.with_lab "cons_sum" (fun a -> Alu (Cmp, S32, R Eax, M (mem_abs a)));
+          A.jcc Ne "pc_fail";
+          A.jmp "pc_ok";
+          A.label "pc_fail";
+          a32 (Mov (S32, R Eax, I 1));
+          a32 (Mov (S32, R Ebx, I 1));
+          a32 (Int_n 0x80);
+          (* ---- consumer thread: edi = worker index (spawn arg) ---- *)
+          A.label "worker";
+          a32 (Mov (S32, R Edi, R Eax));
+          A.label "w_loop";
+          A.with_lab "fill" (fun a -> Mov (S32, R Eax, M (mem_abs a)));
+          a32 (Test (S32, R Eax, R Eax));
+          A.jcc Ne "w_item";
+          A.with_lab "done" (fun a -> Mov (S32, R Eax, M (mem_abs a)));
+          a32 (Test (S32, R Eax, R Eax));
+          A.jcc Ne "w_exit";
+          (* futex_wait(fill, 0): cannot miss a wake — the fill-check and
+             the wait are one uninterrupted (syscall-free) span *)
+          a32 (Mov (S32, R Eax, I 240));
+          A.mov_ri_lab Ebx "fill";
+          a32 (Mov (S32, R Ecx, I 0));
+          a32 (Mov (S32, R Edx, I 0));
+          a32 (Int_n 0x80);
+          A.jmp "w_loop";
+          A.label "w_item";
+          (* dequeue (no syscall inside: atomic under the scheduler) *)
+          A.with_lab "fill" (fun a -> Dec (S32, M (mem_abs a)));
+          A.with_lab "tail" (fun a -> Mov (S32, R Ebx, M (mem_abs a)));
+          a32 (Alu (And, S32, R Ebx, I qmask));
+          A.with_lab "queue" (fun a ->
+              Mov (S32, R Eax, M { base = None; index = Some (Ebx, 4); disp = a }));
+          A.with_lab "tail" (fun a -> Inc (S32, M (mem_abs a)));
+          A.with_lab "cons_sum" (fun a -> Alu (Add, S32, M (mem_abs a), R Eax));
+          A.with_lab "restab" (fun a ->
+              Alu (Add, S32, M { base = None; index = Some (Edi, 4); disp = a }, R Eax));
+          (* compute burst on the item *)
+          a32 (Mov (S32, R Ecx, I 16));
+          A.label "w_mix";
+        ]
+      @ lcg_next
+      @ [
+          a32 (Dec (S32, R Ecx));
+          A.jcc Ne "w_mix";
+          A.jmp "w_loop";
+          A.label "w_exit";
+          a32 (Mov (S32, R Eax, I 1));
+          a32 (Mov (S32, R Ebx, R Edi));
+          a32 (Int_n 0x80);
+          A.label "pc_ok";
+        ]
+    in
+    build_image code (shared_data ~workers [])
+  in
+  { name = "threads-pc"; build; paper_score = None }
+
+let parallel_workers ~workers =
+  let workers = clamp_workers workers in
+  let build ~scale ~wide:_ =
+    let rounds = 12 * scale in
+    let code =
+      List.concat
+        (List.init workers (fun k -> spawn_worker ~entry:"pw_worker" ~k))
+      (* the "UI thread" thinks while the workers compute *)
+      @ idle 2000
+      @ List.concat
+          (List.init workers (fun k -> join_worker ~k ~fail:"pw_fail"))
+      @ [
+          A.jmp "pw_ok";
+          A.label "pw_fail";
+          a32 (Mov (S32, R Eax, I 1));
+          a32 (Mov (S32, R Ebx, I 1));
+          a32 (Int_n 0x80);
+          (* ---- worker: edi = index; esi = rounds remaining ---- *)
+          A.label "pw_worker";
+          a32 (Mov (S32, R Edi, R Eax));
+          a32 (Mov (S32, R Esi, I rounds));
+          A.label "pw_round";
+          (* compute burst seeded per worker and round *)
+          a32 (Mov (S32, R Eax, R Esi));
+          a32 (Alu (Add, S32, R Eax, R Edi));
+          a32 (Mov (S32, R Ecx, I 180));
+          A.label "pw_burst";
+        ]
+      @ lcg_next
+      @ [
+          a32 (Dec (S32, R Ecx));
+          A.jcc Ne "pw_burst";
+          A.with_lab "restab" (fun a ->
+              Alu (Add, S32, M { base = None; index = Some (Edi, 4); disp = a }, R Eax));
+        ]
+      (* native kernel/driver component *)
+      @ kernel_work 400
+      (* think time every other round *)
+      @ [ a32 (Test (S32, R Esi, I 1)); A.jcc Ne "pw_noidle" ]
+      @ idle 1500
+      @ [ A.label "pw_noidle" ]
+      (* end the slice voluntarily: fairness without quantum expiry *)
+      @ yield
+      @ [
+          a32 (Dec (S32, R Esi));
+          A.jcc Ne "pw_round";
+          a32 (Mov (S32, R Eax, I 1));
+          a32 (Mov (S32, R Ebx, R Edi));
+          a32 (Int_n 0x80);
+          A.label "pw_ok";
+        ]
+    in
+    build_image code (shared_data ~workers [])
+  in
+  { name = "threads-ptask"; build; paper_score = None }
+
+let all ~workers = [ producer_consumer ~workers; parallel_workers ~workers ]

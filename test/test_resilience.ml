@@ -240,12 +240,12 @@ let vos_tests =
            after ~6 readable bytes, which must NOT appear in the output *)
         (match V.perform vos st (S.Write { buf = 0x5000 + 4090; len = 20 }) with
         | S.Ret v -> check int "returns -EFAULT" (Ia32.Word.mask32 (-14)) v
-        | S.Exited _ -> Alcotest.fail "unexpected exit");
+        | S.Exited _ | S.Block -> Alcotest.fail "unexpected exit or block");
         check int "no partial bytes visible" 0 (String.length (V.output vos));
         (* a fully readable buffer still works *)
         (match V.perform vos st (S.Write { buf = 0x5000; len = 4 }) with
         | S.Ret v -> check int "full write count" 4 v
-        | S.Exited _ -> Alcotest.fail "unexpected exit");
+        | S.Exited _ | S.Block -> Alcotest.fail "unexpected exit or block");
         check int "exactly the full write visible" 4
           (String.length (V.output vos)));
     Alcotest.test_case "negative sbrk unmaps the freed pages" `Quick
@@ -256,22 +256,22 @@ let vos_tests =
         let base = V.heap_base_default in
         (match V.perform vos st (S.Sbrk 8192) with
         | S.Ret v -> check int "sbrk returns old break" base v
-        | S.Exited _ -> Alcotest.fail "unexpected exit");
+        | S.Exited _ | S.Block -> Alcotest.fail "unexpected exit or block");
         check bool "grown pages mapped" true
           (Memory.is_mapped mem base && Memory.is_mapped mem (base + 4096));
         (match V.perform vos st (S.Sbrk (-8192)) with
         | S.Ret _ -> ()
-        | S.Exited _ -> Alcotest.fail "unexpected exit");
+        | S.Exited _ | S.Block -> Alcotest.fail "unexpected exit or block");
         check bool "freed pages unmapped" true
           ((not (Memory.is_mapped mem base))
           && not (Memory.is_mapped mem (base + 4096)));
         (* partial page at the new break survives a partial shrink *)
         (match V.perform vos st (S.Sbrk 8192) with
         | S.Ret _ -> ()
-        | S.Exited _ -> Alcotest.fail "unexpected exit");
+        | S.Exited _ | S.Block -> Alcotest.fail "unexpected exit or block");
         (match V.perform vos st (S.Sbrk (-4096 - 100)) with
         | S.Ret _ -> ()
-        | S.Exited _ -> Alcotest.fail "unexpected exit");
+        | S.Exited _ | S.Block -> Alcotest.fail "unexpected exit or block");
         check bool "page holding the new break stays mapped" true
           (Memory.is_mapped mem base);
         check bool "fully freed page unmapped" true
@@ -287,7 +287,7 @@ let vos_tests =
         let k0 = vos.V.kernel_cycles in
         (match V.perform vos st (S.Kernel_work 7) with
         | S.Ret v -> check int "service still succeeds" 0 v
-        | S.Exited _ -> Alcotest.fail "unexpected exit");
+        | S.Exited _ | S.Block -> Alcotest.fail "unexpected exit or block");
         check int "retries bounded" V.max_transient_retries
           vos.V.transient_retries;
         let backoff =
