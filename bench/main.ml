@@ -418,6 +418,29 @@ let fuzz_rate ~min_time =
       in
       Float.of_int (Harness.Fuzz.campaign cfg).Harness.Fuzz.executions)
 
+(* Fork-server inputs per wall second: one persistent session, inputs
+   served by snapshot / mutate / run / revert with warm translations.
+   Same work unit as [fuzz_rate] (lockstep-checked programs), so the
+   ratio against the committed lockstep_programs_per_s baseline is the
+   fork-server's acceptance multiple. *)
+let forkserver_rate ~min_time =
+  let module F = Harness.Fuzz in
+  let gen_rng = F.Rng.create 7 in
+  let prog = F.generate ~rng:gen_rng ~max_insns:32 7 in
+  let srv = F.server_start prog in
+  let mrng = F.Rng.create 11 in
+  rate ~min_time (fun () ->
+      let n = 16 in
+      for _ = 1 to n do
+        let muts =
+          List.init
+            (1 + F.Rng.int mrng 48)
+            (fun _ -> (F.Rng.int mrng F.mutation_span, F.Rng.int mrng 256))
+        in
+        ignore (F.server_run srv muts)
+      done;
+      Float.of_int n)
+
 let perf ~scale ~min_time () =
   header "Wall-clock throughput of the simulator itself"
     "host-dependent; committed snapshot makes fast-path regressions visible\n\
@@ -438,6 +461,7 @@ let perf ~scale ~min_time () =
         Harness.Resilience.run_lockstep Workloads.Spec_int.gzip ~scale)
   in
   let fuzz_ps = fuzz_rate ~min_time in
+  let forkserver_ps = forkserver_rate ~min_time in
   let threads_w =
     Workloads.Threads.producer_consumer
       ~workers:Workloads.Threads.default_workers
@@ -445,6 +469,21 @@ let perf ~scale ~min_time () =
   let threads_cps =
     rate ~min_time (fun () ->
         let r = B.run_el threads_w ~scale in
+        Float.of_int r.B.cycles)
+  in
+  (* contended futex: every consumer the scheduler allows (8) fighting
+     over one 8-slot ring — the futex wait/wake and context-switch hot
+     path, measured in simulated guest cycles retired per wall second *)
+  let futex_w = Workloads.Threads.producer_consumer ~workers:8 in
+  let futex_switches = ref 0 in
+  let futex_cps =
+    rate ~min_time (fun () ->
+        let r = B.run_el futex_w ~scale in
+        (match r.B.engine with
+        | Some e ->
+          futex_switches :=
+            e.Ia32el.Engine.vos.Btlib.Vos.context_switches
+        | None -> ());
         Float.of_int r.B.cycles)
   in
   let mach_speedup = mach_pre /. mach_int in
@@ -463,17 +502,26 @@ let perf ~scale ~min_time () =
   Printf.printf "lockstep overhead factor    : %8.2fx (%.3fs vs %.3fs)\n"
     lock_factor lock_s el_s;
   Printf.printf "fuzz lockstep programs      : %8.2f prog/s\n" fuzz_ps;
-  Printf.printf "threaded workload (%s, %d guest threads): %.2f Mcycles/s\n\n"
+  Printf.printf "fork-server inputs          : %8.2f prog/s (%.2fx lockstep)\n"
+    forkserver_ps
+    (forkserver_ps /. fuzz_ps);
+  Printf.printf "threaded workload (%s, %d guest threads): %.2f Mcycles/s\n"
     threads_w.Workloads.Common.name
     (Workloads.Threads.default_workers + 1)
     (threads_cps /. 1e6);
+  Printf.printf
+    "contended futex (%s, 8 workers + producer): %.2f Mcycles/s, %d context \
+     switches/run\n\n"
+    futex_w.Workloads.Common.name
+    (futex_cps /. 1e6)
+    !futex_switches;
   let finite x = Float.is_finite x && x > 0.0 in
   if
     not
       (List.for_all finite
          [
            mach_pre; mach_int; interp_cached; interp_uncached; lock_factor;
-           fuzz_ps; threads_cps;
+           fuzz_ps; forkserver_ps; threads_cps; futex_cps;
          ])
   then begin
     Printf.eprintf "perf: non-finite or non-positive measurement\n";
@@ -495,6 +543,10 @@ let perf ~scale ~min_time () =
               ("rev", Str "3c94ff9");
               ("machine_slots_per_s", Float 3.0e6);
               ("interp_insns_per_s", Float 2.8e6);
+              (* one-program-per-session fuzz rate measured before the
+                 fork-server landed: the denominator of the >= 3x
+                 fork-server acceptance multiple *)
+              ("lockstep_programs_per_s", Float 131.35338357638003);
             ] );
         ( "machine",
           Obj
@@ -517,13 +569,28 @@ let perf ~scale ~min_time () =
               ("lockstep_s_per_run", Float lock_s);
               ("overhead_factor", Float lock_factor);
             ] );
-        ("fuzz", Obj [ ("lockstep_programs_per_s", Float fuzz_ps) ]);
+        ( "fuzz",
+          Obj
+            [
+              ("lockstep_programs_per_s", Float fuzz_ps);
+              ("forkserver_programs_per_s", Float forkserver_ps);
+              ( "forkserver_speedup_vs_baseline",
+                Float (forkserver_ps /. 131.35338357638003) );
+            ] );
         ( "threads",
           Obj
             [
               ("workload", Str threads_w.Workloads.Common.name);
               ("guest_threads", Int (Workloads.Threads.default_workers + 1));
               ("guest_cycles_per_s", Float threads_cps);
+            ] );
+        ( "futex_contended",
+          Obj
+            [
+              ("workload", Str futex_w.Workloads.Common.name);
+              ("guest_threads", Int 9);
+              ("guest_cycles_per_s", Float futex_cps);
+              ("context_switches_per_run", Int !futex_switches);
             ] );
       ]
   in

@@ -8,12 +8,60 @@
 
      ia32el-fuzz --smoke
      ia32el-fuzz --seed 7 --runs 2000 --max-insns 48
-     ia32el-fuzz --inject-seeds 0-8 --corpus my-corpus *)
+     ia32el-fuzz --inject-seeds 0-8 --corpus my-corpus
+     ia32el-fuzz --fork-server --mutations 256
+     ia32el-fuzz --fork-server --smoke *)
 
 module F = Harness.Fuzz
 
-let main seed runs max_insns inject_spec shrink smoke corpus max_findings fuel
+(* --fork-server: persistent lockstep sessions, one per base program;
+   each input is served by copy-on-write snapshot / mutate / run /
+   revert with translations kept warm. *)
+let forkserver_main seed runs max_insns mutations smoke max_findings fuel
     verbose =
+  let programs = if smoke then min runs 4 else runs in
+  let mutations = if smoke then min mutations 32 else mutations in
+  let cfg =
+    {
+      F.fs_seed = seed;
+      fs_programs = programs;
+      fs_mutations = mutations;
+      fs_max_insns = max_insns;
+      fs_fuel = fuel;
+      fs_max_findings = max_findings;
+      fs_log = (if verbose then prerr_endline else ignore);
+    }
+  in
+  let t0 = Sys.time () in
+  let r = F.forkserver_campaign cfg in
+  let dt = Sys.time () -. t0 in
+  Printf.printf
+    "fork-server: %d inputs over %d base programs (seed %d, <= %d insns, %d \
+     mutations each), %d pages restored, %.1fs cpu (%.0f inputs/s)\n"
+    r.F.fs_runs r.F.fs_bases seed max_insns mutations r.F.fs_pages_restored dt
+    (if dt > 0. then float_of_int r.F.fs_runs /. dt else 0.);
+  match r.F.fs_findings with
+  | [] ->
+    Printf.printf "no divergences, crashes or livelocks\n";
+    exit 0
+  | fs ->
+    Printf.printf "%d finding(s):\n" (List.length fs);
+    List.iter
+      (fun (f, muts) ->
+        Printf.printf "mutation: [%s]\n"
+          (String.concat "; "
+             (List.map (fun (o, v) -> Printf.sprintf "+0x%x<-0x%02x" o v) muts));
+        Fmt.pr "%a@." F.pp_finding f)
+      fs;
+    exit 1
+
+let main seed runs max_insns inject_spec shrink smoke fork_server mutations
+    corpus max_findings fuel verbose =
+  if fork_server then
+    forkserver_main seed
+      (if runs = 200 then F.default_forkserver.F.fs_programs else runs)
+      max_insns mutations smoke max_findings fuel verbose
+  else begin
   let inject_seeds =
     match F.parse_seed_spec inject_spec with
     | Ok [] -> [ 1; 2 ]
@@ -65,6 +113,7 @@ let main seed runs max_insns inject_spec shrink smoke corpus max_findings fuel
     Printf.printf "%d finding(s):\n" (List.length fs);
     List.iter (fun f -> Fmt.pr "%a@." F.pp_finding f) fs;
     exit 1
+  end
 
 open Cmdliner
 
@@ -130,10 +179,26 @@ let verbose_arg =
     value & flag
     & info [ "v"; "verbose" ] ~doc:"Log findings and shrink progress.")
 
+let fork_server_arg =
+  Arg.(
+    value & flag
+    & info [ "fork-server" ]
+        ~doc:
+          "Fork-server mode: build one persistent lockstep session per            base program (engine, translations and reference built once),            then serve each input by copy-on-write snapshot / mutate the            scratch region / run / revert, keeping translated code warm            across inputs. $(b,--runs) counts base programs,            $(b,--mutations) inputs per base.")
+
+let mutations_arg =
+  Arg.(
+    value
+    & opt int F.default_forkserver.F.fs_mutations
+    & info [ "mutations" ] ~docv:"N"
+        ~doc:
+          "Mutated inputs per base program in $(b,--fork-server) mode            (each base also runs once unmutated).")
+
 let main_t =
   Term.(
     const main $ seed_arg $ runs_arg $ max_insns_arg $ inject_arg $ shrink_arg
-    $ smoke_arg $ corpus_arg $ max_findings_arg $ fuel_arg $ verbose_arg)
+    $ smoke_arg $ fork_server_arg $ mutations_arg $ corpus_arg
+    $ max_findings_arg $ fuel_arg $ verbose_arg)
 
 let cmd =
   Cmd.v

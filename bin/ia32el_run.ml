@@ -146,18 +146,24 @@ let print_inject_stats = function
   | Some s -> Fmt.pr "%a@." Harness.Inject.pp_stats s
   | None -> ()
 
+let print_capsule_written = function
+  | Some file -> Printf.printf "crash capsule -> %s\n" file
+  | None -> ()
+
 (* --lockstep: run the engine against the reference interpreter, with the
    chaos injector when --inject SEED is given. *)
-let run_lockstep_cmd w config desc scale stats obs labels seed =
+let run_lockstep_cmd w config desc scale stats obs labels seed max_cycles
+    snap_every capsule sabotage =
   let r =
-    Harness.Resilience.run_lockstep ~config ?seed
-      ~attach_extra:(obs_attach obs) w ~scale
+    Harness.Resilience.run_lockstep ~config ?seed ?max_cycles ?snap_every
+      ?capsule ?sabotage ~attach_extra:(obs_attach obs) w ~scale
   in
   (match r.Harness.Resilience.report.Ia32el.Lockstep.divergence with
   | Some d ->
     Fmt.epr "%s under %s DIVERGED:@.%a@." w.C.name desc
       Ia32el.Lockstep.pp_divergence d;
     print_inject_stats r.Harness.Resilience.inject_stats;
+    print_capsule_written r.Harness.Resilience.capsule_written;
     exit 1
   | None -> ());
   (match r.Harness.Resilience.report.Ia32el.Lockstep.outcome with
@@ -173,31 +179,85 @@ let run_lockstep_cmd w config desc scale stats obs labels seed =
   | Some Ia32el.Engine.Out_of_fuel | None ->
     Printf.printf "%s under %s in lockstep: out of fuel\n" w.C.name desc);
   print_inject_stats r.Harness.Resilience.inject_stats;
+  print_capsule_written r.Harness.Resilience.capsule_written;
   if stats then print_stats r.Harness.Resilience.engine;
   obs_finish obs labels r.Harness.Resilience.engine
 
-(* --inject SEED without --lockstep: chaos, engine only. *)
-let run_injected_cmd w config desc scale stats obs labels seed =
+(* Engine-only path with the resilience knobs: --inject without
+   --lockstep, and any plain run that arms --max-cycles,
+   --snapshot-every or --capsule. *)
+let run_plain_cmd w config desc scale stats obs labels seed max_cycles
+    snap_every capsule sabotage =
   let r =
-    Harness.Resilience.run_plain ~config ~seed ~attach:(obs_attach obs) w
-      ~scale
+    Harness.Resilience.run_plain ~config ?seed ?max_cycles ?snap_every
+      ?capsule ?sabotage ~attach:(obs_attach obs) w ~scale
+  in
+  let with_seed =
+    match seed with
+    | Some seed -> Printf.sprintf " with injection seed %d" seed
+    | None -> ""
   in
   (match r.Harness.Resilience.outcome with
   | Ia32el.Engine.Exited (code, _) ->
-    Printf.printf "%s under %s with injection seed %d: exit %d\n" w.C.name
-      desc seed code
+    Printf.printf "%s under %s%s: exit %d\n" w.C.name desc with_seed code
   | Ia32el.Engine.Unhandled_fault (f, st) ->
-    Printf.printf "%s under %s with injection seed %d: unhandled %s at 0x%x\n"
-      w.C.name desc seed (Ia32.Fault.to_string f) st.Ia32.State.eip
+    Printf.printf "%s under %s%s: unhandled %s at 0x%x\n" w.C.name desc
+      with_seed (Ia32.Fault.to_string f) st.Ia32.State.eip
   | Ia32el.Engine.Out_of_fuel ->
-    Printf.printf "%s under %s with injection seed %d: out of fuel\n" w.C.name
-      desc seed);
+    Printf.printf "%s under %s%s: out of fuel\n" w.C.name desc with_seed);
   print_inject_stats r.Harness.Resilience.inject_stats;
+  print_capsule_written r.Harness.Resilience.capsule_written;
   if stats then print_stats r.Harness.Resilience.engine;
   obs_finish obs labels r.Harness.Resilience.engine
 
+(* --replay CAPSULE: rebuild the failing run from the capsule file and
+   verify it reproduces bit-identically. *)
+let replay_cmd file =
+  let c =
+    try Harness.Capsule.load file
+    with
+    | Sys_error msg ->
+      Printf.eprintf "--replay: %s\n" msg;
+      exit 2
+    | Invalid_argument msg | Failure msg ->
+      Printf.eprintf "--replay: %s\n" msg;
+      exit 2
+  in
+  print_string (Harness.Capsule.describe c);
+  let v = Harness.Capsule.replay ~log:prerr_endline c in
+  Printf.printf "replay: %d/%d commit points matched; failure now: %s\n"
+    v.Harness.Capsule.v_log_match v.Harness.Capsule.v_log_total
+    v.Harness.Capsule.v_failure_got;
+  if v.Harness.Capsule.v_reproduced then
+    print_endline "replay: REPRODUCED bit-identically"
+  else begin
+    print_endline "replay: did NOT reproduce the recorded run";
+    exit 1
+  end
+
 let run_cmd name model scale stats lockstep inject trace_file trace_stderr
-    profile_top metrics_file no_predecode no_decode_cache threads quantum =
+    profile_top metrics_file no_predecode no_decode_cache threads quantum
+    max_cycles snap_every capsule replay sabotage =
+  (match replay with
+  | Some file -> replay_cmd file; exit 0
+  | None -> ());
+  let sabotage =
+    match sabotage with
+    | None -> None
+    | Some spec -> (
+      match Harness.Capsule.parse_sabotage spec with
+      | Ok sb -> Some sb
+      | Error msg ->
+        Printf.eprintf "--sabotage: %s\n" msg;
+        exit 2)
+  in
+  let name =
+    match name with
+    | Some n -> n
+    | None ->
+      Printf.eprintf "a WORKLOAD argument is required (unless --replay)\n";
+      exit 2
+  in
   let obs = { trace_file; trace_stderr; profile_top; metrics_file } in
   (* host-speed escape hatches; simulated results are bit-identical *)
   let model =
@@ -248,16 +308,26 @@ let run_cmd name model scale stats lockstep inject trace_file trace_stderr
         exit 1
       | M_el (config, desc) when lockstep -> (
         match inject_seeds with
-        | None -> run_lockstep_cmd w config desc scale stats obs labels None
+        | None ->
+          run_lockstep_cmd w config desc scale stats obs labels None
+            max_cycles snap_every capsule sabotage
         | Some seeds ->
           List.iter
             (fun s ->
-              run_lockstep_cmd w config desc scale stats obs labels (Some s))
+              run_lockstep_cmd w config desc scale stats obs labels (Some s)
+                max_cycles snap_every capsule sabotage)
             seeds)
       | M_el (config, desc) when inject_seeds <> None ->
         List.iter
-          (fun s -> run_injected_cmd w config desc scale stats obs labels s)
+          (fun s ->
+            run_plain_cmd w config desc scale stats obs labels (Some s)
+              max_cycles snap_every capsule sabotage)
           (Option.get inject_seeds)
+      | M_el (config, desc)
+        when max_cycles <> None || snap_every <> None || capsule <> None
+             || sabotage <> None ->
+        run_plain_cmd w config desc scale stats obs labels None max_cycles
+          snap_every capsule sabotage
       | M_el (config, desc) ->
         let r =
           B.run_el ~config ~attach:(obs_attach obs) ~check_exit:false w ~scale
@@ -287,9 +357,18 @@ let run_cmd name model scale stats lockstep inject trace_file trace_stderr
         let r = B.run_xeon w ~scale in
         Printf.printf "%s on a Xeon-class OOO IA-32 core (model): %d cycles (%d insns)\n"
           w.C.name r.B.cycles r.B.insns
-    with B.Workload_failed msg ->
+    with
+    | B.Workload_failed msg ->
       Printf.eprintf "workload failed: %s\n" msg;
-      exit 1)
+      exit 1
+    | Ia32el.Bt_error.Error e ->
+      (* structured translator error — the watchdog lands here; the
+         capsule (if requested) was written before the raise *)
+      Fmt.epr "%s: %a@." w.C.name Ia32el.Bt_error.pp e;
+      (match capsule with
+      | Some file -> Printf.printf "crash capsule -> %s\n" file
+      | None -> ());
+      exit 3)
 
 let list_cmd () =
   Printf.printf "%-16s %s\n" "NAME" "PAPER SCORE (Fig. 5/8, percent of native)";
@@ -308,7 +387,11 @@ let list_cmd () =
 open Cmdliner
 
 let workload_arg =
-  Arg.(required & pos 0 (some string) None & info [] ~docv:"WORKLOAD")
+  Arg.(
+    value
+    & pos 0 (some string) None
+    & info [] ~docv:"WORKLOAD"
+        ~doc:"Workload name; required unless $(b,--replay) is given.")
 
 let model_arg =
   Arg.(
@@ -434,12 +517,78 @@ let quantum_arg =
            preemption (threads switch only on blocking calls and yields). \
            Scheduling is deterministic for any value.")
 
+let max_cycles_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "max-cycles" ] ~docv:"N"
+        ~doc:
+          "Runaway-guest watchdog: abort with a structured error \
+           (component $(b,watchdog), exit 3) once the virtual clock \
+           passes $(docv) cycles — caught even inside fully chained \
+           translated loops that never re-enter the dispatcher. Combine \
+           with $(b,--capsule) to capture the aborted run.")
+
+let snapshot_every_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "snapshot-every" ] ~docv:"N"
+        ~doc:
+          "Take a copy-on-write barrier snapshot at every $(docv)-th \
+           system-call commit point. Each snapshot is a time-travel \
+           anchor: its epoch id and trace-event index are recorded in \
+           the trace ($(b,--trace)) and in any crash capsule \
+           ($(b,--capsule)), and execution after the snapshot is \
+           bit-identical to a revert-and-rerun from it.")
+
+let capsule_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "capsule" ] ~docv:"FILE"
+        ~doc:
+          "On failure — lockstep divergence, unhandled fault, watchdog \
+           expiry or any structured translator error — write a \
+           self-contained crash capsule to $(docv): initial guest image \
+           and state, run parameters, and the commit log (event, EIP, \
+           thread, virtual clock per commit point). Replay it with \
+           $(b,--replay).")
+
+let replay_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "replay" ] ~docv:"FILE"
+        ~doc:
+          "Replay the crash capsule in $(docv) from the start under its \
+           recorded parameters, verifying every commit point against the \
+           recorded log. Exits 0 when the failure reproduces \
+           bit-identically, 1 otherwise. The $(i,WORKLOAD) argument and \
+           the other run flags are ignored.")
+
+let sabotage_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "sabotage" ] ~docv:"SPEC"
+        ~doc:
+          "Lockstep-oracle self-test: at the $(i,DISPATCH)-th slow-path \
+           dispatch, silently corrupt the machine's canonical copy of \
+           guest register $(i,REG) to $(i,VALUE) \
+           ($(docv) = $(i,DISPATCH):$(i,REG):$(i,VALUE), e.g. \
+           $(b,10:esi:0xBEEF)). With $(b,--lockstep) the corruption must \
+           be diagnosed at the next commit point; with $(b,--capsule) \
+           the spec is recorded so $(b,--replay) reproduces the \
+           divergence deterministically.")
+
 let run_t =
   Term.(
     const run_cmd $ workload_arg $ model_arg $ scale_arg $ stats_arg
     $ lockstep_arg $ inject_arg $ trace_arg $ trace_stderr_arg $ profile_arg
     $ metrics_arg $ no_predecode_arg $ no_decode_cache_arg $ threads_arg
-    $ quantum_arg)
+    $ quantum_arg $ max_cycles_arg $ snapshot_every_arg $ capsule_arg
+    $ replay_arg $ sabotage_arg)
 
 let run_info =
   Cmd.info "run" ~doc:"Run one workload under a chosen execution model."

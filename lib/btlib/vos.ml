@@ -466,3 +466,120 @@ let deliver_exception t (st : Ia32.State.t) fault =
     push faddr;
     st.Ia32.State.eip <- handler;
     Resumed
+
+(* ---- checkpoint / restore ---------------------------------------------
+
+   Captures every piece of OS state a snapshot epoch must be able to
+   rewind: kernel scalars, the handler table, the console output length,
+   and the full thread table (scheduling fields plus a deep copy of each
+   thread's architectural state). Guest memory is NOT captured here —
+   that is the page journal's job (Ia32.Memory.Journal); the two are
+   rewound together by the snapshot layer above.
+
+   Restore puts values back IN PLACE: each thread record keeps its
+   identity, and its state object is reset to the one it held at capture
+   time (park can have swapped it meanwhile) with the captured register
+   values blitted back in — so references held by callers (the state the
+   harness passes to Engine.run) stay valid across a revert. Threads
+   spawned after the capture are dropped from the table. *)
+
+type thread_checkpoint = {
+  c_th : thread; (* live record *)
+  c_state_obj : Ia32.State.t; (* object held at capture time *)
+  c_state : Ia32.State.t; (* deep copy of its values *)
+  c_status : thread_status;
+  c_joiner : int option;
+  c_wake : int option;
+  c_cycles : int;
+  c_syscalls : int;
+}
+
+type checkpoint = {
+  k_brk : int;
+  k_handlers : (int, int) Hashtbl.t;
+  k_output_len : int;
+  k_exit_code : int option;
+  k_kernel_cycles : int;
+  k_idle_cycles : int;
+  k_syscalls : int;
+  k_exceptions : int;
+  k_transient_retries : int;
+  k_threads : thread_checkpoint list;
+  k_next_tid : int;
+  k_current : int;
+  k_quantum : int;
+  k_quantum_start : int;
+  k_preempt : bool;
+  k_futex_fifo : int list;
+  k_last_charge : int;
+  k_context_switches : int;
+}
+
+let checkpoint t =
+  {
+    k_brk = t.brk;
+    k_handlers = Hashtbl.copy t.handlers;
+    k_output_len = Buffer.length t.output;
+    k_exit_code = t.exit_code;
+    k_kernel_cycles = t.kernel_cycles;
+    k_idle_cycles = t.idle_cycles;
+    k_syscalls = t.syscalls;
+    k_exceptions = t.exceptions_delivered;
+    k_transient_retries = t.transient_retries;
+    k_threads =
+      Hashtbl.fold
+        (fun _ th acc ->
+          {
+            c_th = th;
+            c_state_obj = th.state;
+            c_state = Ia32.State.copy th.state;
+            c_status = th.status;
+            c_joiner = th.joiner;
+            c_wake = th.wake_result;
+            c_cycles = th.t_cycles;
+            c_syscalls = th.t_syscalls;
+          }
+          :: acc)
+        t.threads [];
+    k_next_tid = t.next_tid;
+    k_current = t.current;
+    k_quantum = t.quantum;
+    k_quantum_start = t.quantum_start;
+    k_preempt = t.preempt;
+    k_futex_fifo = t.futex_fifo;
+    k_last_charge = t.last_charge;
+    k_context_switches = t.context_switches;
+  }
+
+let restore t (k : checkpoint) =
+  t.brk <- k.k_brk;
+  Hashtbl.reset t.handlers;
+  Hashtbl.iter (fun v h -> Hashtbl.replace t.handlers v h) k.k_handlers;
+  Buffer.truncate t.output k.k_output_len;
+  t.exit_code <- k.k_exit_code;
+  t.kernel_cycles <- k.k_kernel_cycles;
+  t.idle_cycles <- k.k_idle_cycles;
+  t.syscalls <- k.k_syscalls;
+  t.exceptions_delivered <- k.k_exceptions;
+  t.transient_retries <- k.k_transient_retries;
+  Hashtbl.reset t.threads;
+  List.iter
+    (fun c ->
+      let th = c.c_th in
+      th.state <- c.c_state_obj;
+      Ia32.State.restore_into ~src:c.c_state ~dst:th.state;
+      th.status <- c.c_status;
+      th.joiner <- c.c_joiner;
+      th.wake_result <- c.c_wake;
+      th.t_cycles <- c.c_cycles;
+      th.t_syscalls <- c.c_syscalls;
+      Hashtbl.replace t.threads th.tid th)
+    k.k_threads;
+  t.next_tid <- k.k_next_tid;
+  t.current <- k.k_current;
+  t.quantum <- k.k_quantum;
+  t.quantum_start <- k.k_quantum_start;
+  t.preempt <- k.k_preempt;
+  t.futex_fifo <- k.k_futex_fifo;
+  t.last_charge <- k.k_last_charge;
+  t.context_switches <- k.k_context_switches

@@ -147,3 +147,24 @@ val deliver_exception : t -> Ia32.State.t -> Ia32.Fault.t -> exception_outcome
     [[esp]]=fault address, [[esp+4]]=vector, [[esp+8]]=faulting EIP
     (handlers resume with [add esp,8; ret]); otherwise returns
     [Unhandled]. *)
+
+(** {1 Checkpoint / restore}
+
+    OS-level snapshot support: captures kernel scalars, the handler
+    table, console-output length and the full thread table (scheduling
+    fields plus deep copies of each thread's architectural state).
+    Guest memory is journalled separately ([Ia32.Memory.Journal]); the
+    snapshot layer above rewinds both together.
+
+    [restore] works in place: thread records keep their identity and
+    each gets back the state {e object} it held at capture time with the
+    captured values blitted in, so external references (the state the
+    harness passed to the engine) stay valid. Threads spawned after the
+    capture are dropped. The [clock], [transient_fault] and [trace]
+    hooks are left untouched — they are harness wiring, not guest
+    state. *)
+
+type checkpoint
+
+val checkpoint : t -> checkpoint
+val restore : t -> checkpoint -> unit

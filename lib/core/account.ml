@@ -234,3 +234,51 @@ let pp_distribution ppf d =
   Fmt.pf ppf
     "hot %.1f%%  cold %.1f%%  overhead %.1f%%  other %.1f%%  idle %.1f%%  (total %d cycles)"
     (pct d.hot) (pct d.cold) (pct d.overhead) (pct d.other) (pct d.idle) d.total
+
+(* Snapshot support: [copy] clones the counter record, [blit] writes a
+   clone's values back into a live record in place — the engine reverts
+   its accounting to a checkpoint without replacing the record object
+   (closures and the cold-translation env hold references to it). *)
+let copy t = { t with overhead_cycles = t.overhead_cycles }
+
+let blit ~src ~dst =
+  dst.overhead_cycles <- src.overhead_cycles;
+  dst.other_cycles <- src.other_cycles;
+  dst.idle_cycles <- src.idle_cycles;
+  dst.interp_cycles <- src.interp_cycles;
+  dst.cold_blocks <- src.cold_blocks;
+  dst.cold_insns <- src.cold_insns;
+  dst.cold_regens <- src.cold_regens;
+  dst.hot_blocks <- src.hot_blocks;
+  dst.hot_insns <- src.hot_insns;
+  dst.hot_discards <- src.hot_discards;
+  dst.heat_triggers <- src.heat_triggers;
+  dst.heated_blocks <- src.heated_blocks;
+  dst.commit_points <- src.commit_points;
+  dst.hot_target_insns <- src.hot_target_insns;
+  dst.dispatches <- src.dispatches;
+  dst.chain_patches <- src.chain_patches;
+  dst.indirect_lookups <- src.indirect_lookups;
+  dst.indirect_misses <- src.indirect_misses;
+  dst.tos_checks <- src.tos_checks;
+  dst.tos_misses <- src.tos_misses;
+  dst.tag_misses <- src.tag_misses;
+  dst.mode_checks <- src.mode_checks;
+  dst.mode_misses <- src.mode_misses;
+  dst.sse_checks <- src.sse_checks;
+  dst.sse_misses <- src.sse_misses;
+  dst.misalign_stage1_hits <- src.misalign_stage1_hits;
+  dst.misalign_os_faults <- src.misalign_os_faults;
+  dst.misalign_avoided <- src.misalign_avoided;
+  dst.exceptions_filtered <- src.exceptions_filtered;
+  dst.rollforwards <- src.rollforwards;
+  dst.smc_invalidations <- src.smc_invalidations;
+  dst.cache_flushes <- src.cache_flushes;
+  dst.degrade_interp_entries <- src.degrade_interp_entries;
+  dst.degrade_smc_storms <- src.degrade_smc_storms;
+  dst.thread_spawns <- src.thread_spawns;
+  dst.thread_joins <- src.thread_joins;
+  dst.thread_yields <- src.thread_yields;
+  dst.futex_waits <- src.futex_waits;
+  dst.futex_wakes <- src.futex_wakes;
+  dst.thread_switches <- src.thread_switches

@@ -90,3 +90,11 @@ val distribution : t -> Ipf.Machine.t -> distribution
     machine's per-bucket cycle counters. *)
 
 val pp_distribution : Format.formatter -> distribution -> unit
+
+val copy : t -> t
+(** Clone of the counter record (for checkpoints). *)
+
+val blit : src:t -> dst:t -> unit
+(** Write [src]'s counters into [dst] in place, so existing references
+    to [dst] (the engine, the cold-translation env) see the restored
+    values. *)

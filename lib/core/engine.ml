@@ -57,12 +57,57 @@ type t = {
   interp_only_pages : (int, unit) Hashtbl.t;
   retrans_counts : (int, int) Hashtbl.t; (* entry -> churn count *)
   smc_page_hits : (int, int * int) Hashtbl.t; (* page -> window start, hits *)
+  (* snapshot / rewind ---------------------------------------------------- *)
+  mutable snapshots : epoch list; (* innermost first *)
+  mutable snap_next_id : int;
+  mutable max_cycles : int option; (* watchdog: Bt_error past this clock *)
+  mutable snap_every : int option; (* auto-snapshot every N syscall commits *)
+  mutable commits_seen : int;
   (* observability ------------------------------------------------------- *)
   (* Both hooks only record — they never charge cycles or alter control
      flow, so cycle counts and Account totals are bit-identical with or
      without them attached. *)
   mutable trace : Obs.Trace.t option;
   mutable profile : Obs.Profile.t option;
+}
+
+(* Everything the engine must rewind besides guest memory (which the page
+   journal handles): accounting, the machine's registers and timing state,
+   the dcache model, the OS checkpoint, and the guest-address-keyed policy
+   tables. Captured eagerly — all of it is small and flat next to the
+   address space. *)
+and epoch = {
+  e_id : int;
+  e_barrier : bool;
+  e_acct : Account.t;
+  e_stats : M.stats;
+  e_buckets : int array;
+  e_gr : int64 array;
+  e_nat : bool array;
+  e_fr : float array;
+  e_fnat : bool array;
+  e_pr : bool array;
+  e_br : int array;
+  e_ready : int array;
+  e_fready : int array;
+  e_alat : (int, int * int) Hashtbl.t;
+  e_ip : int;
+  e_slot : int;
+  e_last_exit : int * int;
+  e_dcache : Ipf.Dcache.checkpoint;
+  e_vos : Btlib.Vos.checkpoint;
+  e_watched : int list;
+  e_candidates : int list;
+  e_stage2 : (int, unit) Hashtbl.t;
+  e_avoid : (int, unit) Hashtbl.t;
+  e_interp_only : (int, unit) Hashtbl.t;
+  e_interp_only_pages : (int, unit) Hashtbl.t;
+  e_retrans : (int, int) Hashtbl.t;
+  e_smc_hits : (int, int * int) Hashtbl.t;
+  e_if_counts : (int, int ref) Hashtbl.t;
+  e_if_taken : (int, int ref) Hashtbl.t;
+  e_fuel : int;
+  e_trace_index : int; (* absolute trace-stream index at the push *)
 }
 
 exception Smc_abort
@@ -207,6 +252,11 @@ let create ?(config = Config.default) ?cost:(mcost = Ipf.Cost.default) ?dcache
       interp_only_pages = Hashtbl.create 8;
       retrans_counts = Hashtbl.create 16;
       smc_page_hits = Hashtbl.create 16;
+      snapshots = [];
+      snap_next_id = 0;
+      max_cycles = None;
+      snap_every = None;
+      commits_seen = 0;
       trace = None;
       profile = None;
     }
@@ -313,6 +363,204 @@ let flush_translations t =
   t.candidates <- [];
   t.smc_pending <- [];
   t.running_block <- None
+
+(* ---- snapshot / revert --------------------------------------------------
+
+   A snapshot epoch layers the Memory page journal (O(pages touched)
+   copy-on-write with revert that preserves decode-cache warmth) with an
+   eager capture of everything else the translator accumulated: Account
+   counters, the machine's registers, timing arrays and dcache model, the
+   OS checkpoint (thread table, futex queues, brk, output) and the
+   guest-address-keyed policy tables.
+
+   Two flavours:
+
+   - [barrier:true] flushes the translation cache first, so the original
+     run continues cold from the snapshot point exactly as a later replay
+     will — the post-snapshot execution is bit-identical between them
+     (the crash-capsule property). Revert flushes again and restores.
+
+   - [barrier:false] keeps translations warm: revert invalidates only
+     blocks whose source pages the epoch touched, so a fork-server
+     re-running data-only mutations keeps its translated code across
+     thousands of runs. Timing is still deterministic per input (all
+     counters, the dcache and the ALAT are restored), just not comparable
+     to a cold run.
+
+   Only legal at engine rest: before [run], or after it returned. *)
+
+let snapshot ?(barrier = false) t =
+  flush_smc_pending t;
+  t.running_block <- None;
+  if barrier then flush_translations t;
+  (* journal AFTER the flush so its arena zeroing is base state, not a
+     journaled change *)
+  Ia32.Memory.Journal.push t.mem;
+  let m = t.machine in
+  let copy_refs h = Hashtbl.fold (fun k r acc -> Hashtbl.replace acc k (ref !r); acc)
+      h (Hashtbl.create (Hashtbl.length h)) in
+  let id = t.snap_next_id in
+  t.snap_next_id <- id + 1;
+  let trace_index =
+    match t.trace with Some tr -> Obs.Trace.absolute_index tr | None -> 0
+  in
+  let e =
+    {
+      e_id = id;
+      e_barrier = barrier;
+      e_acct = Account.copy t.acct;
+      e_stats = { m.M.stats with M.cycles = m.M.stats.M.cycles };
+      e_buckets = Array.copy m.M.buckets;
+      e_gr = Array.copy m.M.gr;
+      e_nat = Array.copy m.M.nat;
+      e_fr = Array.copy m.M.fr;
+      e_fnat = Array.copy m.M.fnat;
+      e_pr = Array.copy m.M.pr;
+      e_br = Array.copy m.M.br;
+      e_ready = Array.copy m.M.ready;
+      e_fready = Array.copy m.M.fready;
+      e_alat = Hashtbl.copy m.M.alat;
+      e_ip = m.M.ip;
+      e_slot = m.M.slot;
+      e_last_exit = m.M.last_exit;
+      e_dcache = Ipf.Dcache.checkpoint m.M.dcache;
+      e_vos = Btlib.Vos.checkpoint t.vos;
+      e_watched = Ia32.Memory.watched_pages t.mem;
+      e_candidates = t.candidates;
+      e_stage2 = Hashtbl.copy t.stage2_entries;
+      e_avoid = Hashtbl.copy t.avoid_entries;
+      e_interp_only = Hashtbl.copy t.interp_only;
+      e_interp_only_pages = Hashtbl.copy t.interp_only_pages;
+      e_retrans = Hashtbl.copy t.retrans_counts;
+      e_smc_hits = Hashtbl.copy t.smc_page_hits;
+      e_if_counts = copy_refs t.if_counts;
+      e_if_taken = copy_refs t.if_taken;
+      e_fuel = t.fuel;
+      e_trace_index = trace_index;
+    }
+  in
+  t.snapshots <- e :: t.snapshots;
+  (match t.trace with
+  | Some tr ->
+    Obs.Trace.emit tr (Obs.Trace.Snapshot { epoch = id; event_index = trace_index })
+  | None -> ());
+  id
+
+let snapshot_depth t = List.length t.snapshots
+let pages_restored t = Ia32.Memory.Journal.pages_restored t.mem
+let epoch_id e = e.e_id
+let epoch_trace_index e = e.e_trace_index
+
+(* Nearest open epoch at or before an absolute trace event index — the
+   time-travel query: "which snapshot can rewind to before this event?" *)
+let epoch_for_event t idx =
+  let rec find = function
+    | [] -> None
+    | e :: rest -> if e.e_trace_index <= idx then Some e.e_id else find rest
+  in
+  find t.snapshots
+
+let restore_table ~src ~dst =
+  Hashtbl.reset dst;
+  Hashtbl.iter (fun k v -> Hashtbl.replace dst k v) src
+
+let revert t =
+  match t.snapshots with
+  | [] -> invalid_arg "Engine.revert: no snapshot epoch open"
+  | e :: rest ->
+    t.snapshots <- rest;
+    t.smc_pending <- [];
+    t.running_block <- None;
+    (* barrier epochs captured an empty translation cache: flush before
+       the journal rewind so the arena zeroing is journaled into the
+       epoch being discarded, not its parent *)
+    if e.e_barrier then flush_translations t;
+    let touched = Ia32.Memory.Journal.revert t.mem in
+    if not e.e_barrier then
+      (* warm mode: drop only the blocks whose source pages were rewound
+         (SMC'd, remapped, or loader-written during the epoch); code on
+         untouched pages keeps its translations *)
+      List.iter
+        (fun no ->
+          List.iter
+            (fun b -> Block.invalidate t.cache t.tcache b)
+            (Block.live_blocks_on_page t.cache no))
+        touched;
+    Ia32.Memory.set_watched_pages t.mem e.e_watched;
+    Account.blit ~src:e.e_acct ~dst:t.acct;
+    let m = t.machine in
+    let s = m.M.stats and es = e.e_stats in
+    s.M.cycles <- es.M.cycles;
+    s.M.groups <- es.M.groups;
+    s.M.slots_retired <- es.M.slots_retired;
+    s.M.loads <- es.M.loads;
+    s.M.stores <- es.M.stores;
+    s.M.taken_branches <- es.M.taken_branches;
+    s.M.dcache_stall <- es.M.dcache_stall;
+    s.M.spec_checks <- es.M.spec_checks;
+    Array.blit e.e_buckets 0 m.M.buckets 0 (Array.length m.M.buckets);
+    Array.blit e.e_gr 0 m.M.gr 0 (Array.length m.M.gr);
+    Array.blit e.e_nat 0 m.M.nat 0 (Array.length m.M.nat);
+    Array.blit e.e_fr 0 m.M.fr 0 (Array.length m.M.fr);
+    Array.blit e.e_fnat 0 m.M.fnat 0 (Array.length m.M.fnat);
+    Array.blit e.e_pr 0 m.M.pr 0 (Array.length m.M.pr);
+    Array.blit e.e_br 0 m.M.br 0 (Array.length m.M.br);
+    Array.blit e.e_ready 0 m.M.ready 0 (Array.length m.M.ready);
+    Array.blit e.e_fready 0 m.M.fready 0 (Array.length m.M.fready);
+    restore_table ~src:e.e_alat ~dst:m.M.alat;
+    m.M.ip <- e.e_ip;
+    m.M.slot <- e.e_slot;
+    m.M.last_exit <- e.e_last_exit;
+    Ipf.Dcache.restore m.M.dcache e.e_dcache;
+    Btlib.Vos.restore t.vos e.e_vos;
+    t.candidates <-
+      List.filter
+        (fun id ->
+          match Block.find_by_id t.cache id with
+          | Some b -> b.Block.live
+          | None -> false)
+        e.e_candidates;
+    restore_table ~src:e.e_stage2 ~dst:t.stage2_entries;
+    restore_table ~src:e.e_avoid ~dst:t.avoid_entries;
+    restore_table ~src:e.e_interp_only ~dst:t.interp_only;
+    restore_table ~src:e.e_interp_only_pages ~dst:t.interp_only_pages;
+    restore_table ~src:e.e_retrans ~dst:t.retrans_counts;
+    restore_table ~src:e.e_smc_hits ~dst:t.smc_page_hits;
+    Hashtbl.reset t.if_counts;
+    Hashtbl.iter (fun k r -> Hashtbl.replace t.if_counts k (ref !r)) e.e_if_counts;
+    Hashtbl.reset t.if_taken;
+    Hashtbl.iter (fun k r -> Hashtbl.replace t.if_taken k (ref !r)) e.e_if_taken;
+    t.fuel <- e.e_fuel;
+    touched
+
+let commit_snapshot t =
+  match t.snapshots with
+  | [] -> invalid_arg "Engine.commit_snapshot: no snapshot epoch open"
+  | _ :: rest ->
+    t.snapshots <- rest;
+    Ia32.Memory.Journal.commit t.mem
+
+(* ---- runaway-guest watchdog ---------------------------------------------
+
+   With [max_cycles] set, the engine bounds each machine-run call to
+   [watchdog_chunk] retired slots so even a fully chained translated loop
+   (which never re-enters the dispatcher) returns to the runtime within a
+   bounded number of cycles, where the clock is checked. A trip raises a
+   structured [Bt_error] (component "watchdog") the driver turns into a
+   crash capsule. The early group flush at a chunk boundary can perturb
+   grouped-issue timing by a few cycles relative to an unbounded run, so
+   the watchdog is off unless requested — replays must use the same
+   [max_cycles] setting as the recording run. *)
+
+let watchdog_chunk = 65536
+
+let check_watchdog ?eip t =
+  match t.max_cycles with
+  | Some limit when now t > limit ->
+    Bt_error.fail ?eip ~component:"watchdog"
+      ~detail:(Printf.sprintf "cycles=%d limit=%d" (now t) limit)
+      "guest exceeded --max-cycles"
+  | _ -> ()
 
 (* ---- chaos primitives --------------------------------------------------
    Semantics-preserving perturbations for the deterministic fault injector
@@ -647,6 +895,23 @@ let count_thread_call t (call : Btlib.Syscall.call) =
     a.Account.futex_wakes <- a.Account.futex_wakes + 1
   | _ -> ()
 
+(* Auto-snapshot cadence: every [snap_every]-th syscall commit takes a
+   barrier snapshot at the commit point. The barrier flush already resets
+   [running_block]/[smc_pending], and the continuing thread re-enters via
+   [Reconstruct.inject] + dispatch, so the original run proceeds exactly as
+   a replay from the snapshot would — cold, from the committed state. *)
+let maybe_auto_snapshot t st =
+  match t.snap_every with
+  | None -> ()
+  | Some n ->
+    t.commits_seen <- t.commits_seen + 1;
+    if t.commits_seen mod n = 0 then begin
+      (* sync the thread table with the precise committed state before
+         the Vos checkpoint inside [snapshot] captures it *)
+      Btlib.Vos.park t.vos st;
+      ignore (snapshot ~barrier:true t)
+    end
+
 let do_syscall t st n k =
   let module L = (val t.btlib : Btlib.Btos.S) in
   if n <> L.syscall_vector then
@@ -685,6 +950,7 @@ let do_syscall t st n k =
         resume_next t k
       end
       else begin
+        maybe_auto_snapshot t st;
         Reconstruct.inject t.machine st;
         k st.Ia32.State.eip
       end
@@ -715,6 +981,7 @@ let run ?(fuel = max_int) t (st0 : Ia32.State.t) =
     | None -> ());
     t.acct.Account.dispatches <- t.acct.Account.dispatches + 1;
     charge_overhead t (cost t).Ipf.Cost.dispatch_cost;
+    check_watchdog ~eip t;
     t.running_block <- None;
     flush_smc_pending t;
     (match t.on_dispatch with Some f -> f eip | None -> ());
@@ -842,11 +1109,18 @@ let run ?(fuel = max_int) t (st0 : Ia32.State.t) =
       | Some b -> t.running_block <- Some b
       | None -> ());
       let before = t.machine.M.stats.M.slots_retired in
+      (* watchdog chunking: bound the machine call so a chained loop that
+         never dispatches still returns for a clock check *)
+      let mfuel =
+        match t.max_cycles with
+        | None -> t.fuel
+        | Some _ -> min t.fuel watchdog_chunk
+      in
       let stop =
         try
           if t.config.Config.enable_predecode then
-            Ipf.Exec.run ~fuel:t.fuel t.exec
-          else M.run ~fuel:t.fuel t.machine
+            Ipf.Exec.run ~fuel:mfuel t.exec
+          else M.run ~fuel:mfuel t.machine
         with Smc_abort ->
           (* self-modifying store: memory effect is committed; restart the
              current IA-32 instruction from its precise state *)
@@ -876,7 +1150,14 @@ let run ?(fuel = max_int) t (st0 : Ia32.State.t) =
            })
     | _ -> ());
     match stop with
-    | M.Fuel -> Out_of_fuel
+    | M.Fuel ->
+      if t.max_cycles = None || t.fuel <= 0 then Out_of_fuel
+      else begin
+        (* a watchdog chunk expired, not the caller's fuel: check the
+           clock and resume the machine from where it stopped *)
+        check_watchdog t;
+        continue ()
+      end
     | M.Exited (I.Dispatch target) -> (
       flush_smc_pending t;
       (* block boundary: safe injection point (the machine is not
@@ -1166,6 +1447,7 @@ let run ?(fuel = max_int) t (st0 : Ia32.State.t) =
 let distribution t = Account.distribution t.acct t.machine
 
 (* Tid of the currently scheduled guest thread (0 when single-threaded). *)
+let clock t = now t
 let current_tid t = Btlib.Vos.current t.vos
 
 (* Snapshot the current architectural state (block-boundary precision). *)

@@ -67,12 +67,34 @@ type t = {
       (** per-entry invalidation-driven retranslation counts *)
   smc_page_hits : (int, int * int) Hashtbl.t;
       (** per-page SMC-storm window: window start (in dispatches), hits *)
+  mutable snapshots : epoch list;
+      (** open snapshot epochs, innermost first; see {!snapshot} *)
+  mutable snap_next_id : int;
+  mutable max_cycles : int option;
+      (** runaway-guest watchdog: when set, a structured [Bt_error]
+          (component ["watchdog"]) is raised once the virtual clock
+          passes this value. Checked at every dispatch and, via bounded
+          machine-run chunks, even inside fully chained translated loops
+          that never re-enter the dispatcher. *)
+  mutable snap_every : int option;
+      (** auto-snapshot cadence: when set to [Some n], every [n]-th
+          syscall commit takes a barrier {!snapshot} at the commit point
+          (after the syscall's effects, before the thread continues).
+          The continuing run is bit-identical to a replay from any of
+          these snapshots: the barrier flush forces the continuation to
+          re-enter cold, exactly as a revert-and-rerun would. *)
+  mutable commits_seen : int;
+      (** syscall commits observed by the auto-snapshot cadence *)
   mutable trace : Obs.Trace.t option;
       (** structured event trace; attach with {!attach_trace}. Recording
           only — never perturbs cycle counts or [Account] totals *)
   mutable profile : Obs.Profile.t option;
       (** per-block cycle attribution; attach with {!attach_profile} *)
 }
+
+and epoch
+(** Everything one {!snapshot} captured besides guest memory (which the
+    [Ia32.Memory.Journal] epoch pushed alongside it holds). *)
 
 exception Smc_abort
 (** Internal: the currently running block modified its own source bytes;
@@ -93,6 +115,51 @@ val create :
 val run : ?fuel:int -> t -> Ia32.State.t -> outcome
 (** Execute the guest from a precise IA-32 state until it exits, dies on
     an unhandled fault, or exhausts [fuel] (simulated machine slots). *)
+
+(** {2 Snapshots}
+
+    Copy-on-write checkpoints of the whole execution — guest memory
+    through the page journal (O(pages touched)), plus the translator's
+    accounting, machine timing state, dcache model, OS checkpoint and
+    policy tables. Only legal at engine rest: before {!run} or after it
+    returned. Epochs nest. *)
+
+val snapshot : ?barrier:bool -> t -> int
+(** Open a snapshot epoch; returns its id. With [barrier:true] (default
+    false) the translation cache is flushed first, so the original run
+    continues cold from the snapshot point exactly as a replay from the
+    snapshot will — the post-snapshot execution is bit-identical between
+    the two (crash capsules record barrier snapshots). With
+    [barrier:false] translations stay warm: {!revert} invalidates only
+    blocks whose source pages the epoch touched, which is what lets a
+    fork-server keep translated code across thousands of mutated runs.
+    Emits a [Snapshot] trace event carrying the absolute trace index,
+    the time-travel anchor. *)
+
+val revert : t -> int list
+(** Pop the innermost epoch and rewind everything to it. Returns the
+    page numbers the epoch had touched.
+    @raise Invalid_argument when no epoch is open. *)
+
+val commit_snapshot : t -> unit
+(** Pop the innermost epoch keeping all changes (folds the page journal
+    into the parent epoch, if any).
+    @raise Invalid_argument when no epoch is open. *)
+
+val snapshot_depth : t -> int
+
+val pages_restored : t -> int
+(** Cumulative pages restored by {!revert} over the engine's lifetime —
+    what the O(pages touched) test asserts on. *)
+
+val epoch_id : epoch -> int
+val epoch_trace_index : epoch -> int
+
+val epoch_for_event : t -> int -> int option
+(** [epoch_for_event t idx] is the id of the innermost open epoch whose
+    snapshot was taken at or before absolute trace event index [idx] —
+    i.e. the snapshot that can rewind the run to just before that traced
+    event. *)
 
 (** {2 Graceful degradation}
 
@@ -143,6 +210,10 @@ val force_cache_flush : t -> unit
 
 val distribution : t -> Account.distribution
 (** Final execution-time distribution (Figures 6/7). *)
+
+val clock : t -> int
+(** Total virtual time so far (guest + overhead + kernel + idle cycles)
+    — the same clock the watchdog and trace timestamps use. *)
 
 val current_tid : t -> int
 (** Tid of the currently scheduled guest thread (0 when single-threaded).

@@ -114,9 +114,26 @@ type ref_event =
 
 let window_cap = 32
 
-let run ?config ?cost ?dcache ?(fuel = max_int) ?(max_gap = 1_000_000_000)
-    ?(attach = fun (_ : Engine.t) -> ()) ~btlib mem (st0 : Ia32.State.t) =
-  let module L = (val btlib : Btlib.Btos.S) in
+(* A persistent differential session: the engine and the reference
+   vehicle, created once and reusable across many runs. [run] builds a
+   throwaway session; the fork-server ({!Harness.Fuzz}) keeps one alive
+   and snapshots/reverts both sides around each mutated input. *)
+type session = {
+  engine : Engine.t;
+  ref_mem : Ia32.Memory.t;
+  ref_vos : Btlib.Vos.t;
+  st0 : Ia32.State.t; (* engine main-thread state *)
+  rst0 : Ia32.State.t; (* reference main-thread state *)
+  btlib : (module Btlib.Btos.S);
+  base_commit : (Engine.commit_event -> Ia32.State.t -> unit) option;
+      (* observer [attach] installed (e.g. a capsule recorder): composed
+         before the lockstep observer on every [run_in], so it sees the
+         diverging commit before [Diverged] raises and survives repeated
+         runs without chaining onto stale closures *)
+}
+
+let create ?config ?cost ?dcache ?(attach = fun (_ : Engine.t) -> ()) ~btlib
+    mem (st0 : Ia32.State.t) =
   (* deep-copy guest memory for the reference BEFORE the engine maps its
      profile arena into the shared image *)
   let ref_mem = Ia32.Memory.copy mem in
@@ -127,9 +144,26 @@ let run ?config ?cost ?dcache ?(fuel = max_int) ?(max_gap = 1_000_000_000)
      below), so both vehicles always run the same guest thread at each
      commit point. *)
   Btlib.Vos.register_main ref_vos rst;
-  let cur = ref rst in
   let engine = Engine.create ?config ?cost ?dcache ~btlib mem in
+  (* Register the engine's main thread now rather than waiting for
+     [Engine.run] (which does so idempotently): a snapshot taken before
+     the first run must already see it in the thread table, or reverting
+     would not restore the main state. *)
+  Btlib.Vos.register_main engine.Engine.vos st0;
   attach engine;
+  let base_commit = engine.Engine.on_commit in
+  { engine; ref_mem; ref_vos; st0; rst0 = rst; btlib; base_commit }
+
+let engine s = s.engine
+let reference_mem s = s.ref_mem
+let reference_vos s = s.ref_vos
+
+let run_in ?(fuel = max_int) ?(max_gap = 1_000_000_000) s =
+  let module L = (val s.btlib : Btlib.Btos.S) in
+  let engine = s.engine in
+  let ref_mem = s.ref_mem in
+  let ref_vos = s.ref_vos in
+  let cur = ref s.rst0 in
   let commits = ref 0 in
   let ref_exited = ref None in
   (* reproducer ring buffer: reference insns since the last good commit *)
@@ -267,8 +301,21 @@ let run ?config ?cost ?dcache ?(fuel = max_int) ?(max_gap = 1_000_000_000)
            program end): the reference cannot observe this *)
         mismatch event "still running" est)
   in
-  engine.Engine.on_commit <- Some on_commit;
-  match Engine.run ~fuel engine st0 with
+  let full_commit =
+    match s.base_commit with
+    | None -> on_commit
+    | Some base ->
+      fun event est ->
+        base event est;
+        on_commit event est
+  in
+  engine.Engine.on_commit <- Some full_commit;
+  match Engine.run ~fuel engine s.st0 with
   | outcome -> { commits = !commits; outcome = Some outcome; divergence = None }
   | exception Diverged d ->
     { commits = !commits; outcome = None; divergence = Some d }
+
+let run ?config ?cost ?dcache ?fuel ?max_gap ?attach ~btlib mem
+    (st0 : Ia32.State.t) =
+  let s = create ?config ?cost ?dcache ?attach ~btlib mem st0 in
+  run_in ?fuel ?max_gap s

@@ -40,6 +40,37 @@ val diff_states : Ia32.State.t -> Ia32.State.t -> string list
     TOS-relative ({!Ia32.Fpu.logical_equal}); the memory comparison skips
     the translator's profile arena. *)
 
+type session
+(** A persistent differential session: the engine plus the reference
+    vehicle (its deep memory copy, state and OS), created once and
+    reusable across several runs. The fork-server keeps one alive and
+    snapshots/reverts both sides around each mutated input. *)
+
+val create :
+  ?config:Config.t ->
+  ?cost:Ipf.Cost.t ->
+  ?dcache:Ipf.Dcache.t ->
+  ?attach:(Engine.t -> unit) ->
+  btlib:(module Btlib.Btos.S) ->
+  Ia32.Memory.t ->
+  Ia32.State.t ->
+  session
+(** Build a session over a loaded guest. The reference gets a deep copy
+    of [mem] taken before the engine maps its runtime structures.
+    [attach] is called with the engine after creation, for installing a
+    chaos injector ({!Engine.t.on_dispatch}). *)
+
+val engine : session -> Engine.t
+val reference_mem : session -> Ia32.Memory.t
+val reference_vos : session -> Btlib.Vos.t
+
+val run_in : ?fuel:int -> ?max_gap:int -> session -> report
+(** Execute the guest from the session's main-thread states, comparing
+    at every commit event. Installs a fresh observer on each call, so a
+    session whose engine and reference sides have been reverted to a
+    pre-run snapshot can be re-run. [max_gap] bounds the reference steps
+    between two commit events (livelock guard). *)
+
 val run :
   ?config:Config.t ->
   ?cost:Ipf.Cost.t ->
@@ -51,9 +82,5 @@ val run :
   Ia32.Memory.t ->
   Ia32.State.t ->
   report
-(** [run ~btlib mem st0] executes the guest under the engine with a
-    shadow reference interpreter. The reference gets a deep copy of [mem]
-    taken before the engine maps its runtime structures. [max_gap] bounds
-    the reference steps between two commit events (livelock guard);
-    [attach] is called with the engine after creation and before the run,
-    for installing a chaos injector ({!Engine.t.on_dispatch}). *)
+(** [run ~btlib mem st0] = {!create} + one {!run_in}: executes the guest
+    under the engine with a shadow reference interpreter. *)

@@ -1,0 +1,127 @@
+(** Crash capsules: self-contained deterministic reproductions of one
+    failing run, serialized to a file [ia32el-run --replay] re-executes.
+
+    A capsule holds only plain data: the initial guest image (every
+    mapped page's bytes and protection, dumped before the engine maps
+    its profile arena), the initial architectural state, the translator
+    {!Ia32el.Config.t} and the run parameters (fuel, watchdog bound,
+    auto-snapshot cadence, injection seed, lockstep mode), plus the
+    commit log the failing run produced (event, EIP, thread, virtual
+    clock per commit point) and the failure itself. The whole stack is
+    deterministic, so replaying from the start with the same parameters
+    reproduces the run bit-identically; {!replay} verifies the commit
+    log entry by entry and re-checks the failure class. The nearest
+    auto-snapshot's epoch id and absolute trace index are recorded as a
+    time-travel anchor into the run's {!Obs.Trace} stream. *)
+
+val magic : string
+(** File format tag, ["IA32EL-CAPSULE/1"]. *)
+
+val log_cap : int
+(** Commit points retained in a capsule's log (the total count is kept
+    even when the log is truncated). *)
+
+type event = Ev_syscall of int | Ev_fault of string | Ev_exit of int
+
+type entry = {
+  en_index : int;
+  en_clock : int; (** virtual clock at the commit point *)
+  en_tid : int;
+  en_eip : int;
+  en_event : event;
+}
+
+type sabotage = { sb_dispatch : int; sb_reg : Ia32.Insn.reg; sb_value : int }
+(** A deterministic, serializable corruption: at the [sb_dispatch]-th
+    slow-path dispatch, silently overwrite the machine's canonical copy
+    of one guest register — the wrong-but-running state a real
+    translator bug produces, as plain data a capsule can reinstall on
+    replay ([ia32el-run --sabotage], the lockstep oracle self-test). *)
+
+type failure =
+  | F_bt_error of {
+      fb_component : string;
+      fb_what : string;
+      fb_eip : int option;
+      fb_block : int option;
+      fb_detail : string option;
+    }  (** a structured {!Ia32el.Bt_error} (includes the watchdog) *)
+  | F_divergence of {
+      fd_commit_index : int;
+      fd_diffs : string list;
+      fd_window : string list;
+    }  (** lockstep divergence *)
+  | F_unhandled_fault of string
+  | F_other of string
+
+type t
+
+(** {1 Recording} *)
+
+type recorder
+
+val recorder :
+  ?max_cycles:int ->
+  ?snap_every:int ->
+  ?inject_seed:int ->
+  ?sabotage:sabotage ->
+  ?lockstep:bool ->
+  config:Ia32el.Config.t ->
+  fuel:int ->
+  Ia32.Memory.t ->
+  Ia32.State.t ->
+  recorder
+(** Capture the initial image and state {e now} — call after
+    [Ia32.Asm.load] but before the engine is created (the engine maps
+    its runtime-private arena into the guest image). *)
+
+val observe : recorder -> Ia32el.Engine.t -> unit
+(** Chain a commit-log recorder onto the engine's [on_commit] observer
+    (composes with the injector and the lockstep checker; the commit is
+    recorded before the previous observer runs, so a diverging commit
+    is in the log by the time the checker raises). Also remembers the
+    engine so {!finalize} can read the nearest snapshot anchor. *)
+
+val recorded : recorder -> int
+(** Commit points recorded so far. *)
+
+val finalize : recorder -> failure -> t
+val failure_of_bt : Ia32el.Bt_error.t -> failure
+val failure_of_divergence : Ia32el.Lockstep.divergence -> failure
+
+val sabotage_attach : sabotage -> Ia32el.Engine.t -> unit
+(** Install the corruption, chaining any existing [on_dispatch] hook. *)
+
+val parse_sabotage : string -> (sabotage, string) result
+(** Parse a ["DISPATCH:REG:VALUE"] spec (e.g. ["10:esi:0xBEEF"]). *)
+
+(** {1 Persistence} *)
+
+val save : string -> t -> unit
+
+val load : string -> t
+(** @raise Invalid_argument when the file is not a capsule. *)
+
+val describe : t -> string
+(** Multi-line human summary (failure, image size, parameters, log
+    length, snapshot anchor). *)
+
+val failure_class : failure -> string
+val describe_failure : failure -> string
+
+(** {1 Replay} *)
+
+type verdict = {
+  v_reproduced : bool;
+      (** failure class matched and every recorded commit matched *)
+  v_log_match : int; (** commit points that matched the recorded log *)
+  v_log_total : int; (** commit points the capsule recorded *)
+  v_failure_got : string;
+}
+
+val replay : ?log:(string -> unit) -> t -> verdict
+(** Rebuild memory and state from the capsule and re-run from the start
+    under the recorded parameters (lockstep when the original ran
+    lockstep, with the injector re-attached when a seed was recorded),
+    verifying each commit point against the recorded log. [log] receives
+    a diagnostic line at the first mismatching commit, if any. *)

@@ -1827,6 +1827,172 @@ let campaign cfg =
   }
 
 (* ---------------------------------------------------------------- *)
+(* Fork-server                                                       *)
+(* ---------------------------------------------------------------- *)
+
+(* A fork-server over one base program: build the image and the lockstep
+   session once, snapshot both vehicles after startup, then serve
+   mutated inputs by writing bytes into the scratch region of BOTH
+   memories, running the pair and reverting. The engine snapshot is warm
+   ([barrier:false]): translated blocks survive the revert unless their
+   source pages were touched, so runs after the first skip both engine
+   creation and translation; the memory side is the page journal, so a
+   revert costs O(pages touched). *)
+
+type server = {
+  srv_session : L.session;
+  srv_fuel : int;
+  mutable srv_ck : Btlib.Vos.checkpoint option; (* ref-side OS checkpoint *)
+  mutable srv_runs : int;
+}
+
+(* The mutable input region: the scratch area between the loop counters
+   and the guest-thread cells; everything the generated pools load from.
+   Mutation offsets are relative to [scratch_base]. *)
+let mutation_span = 0x3700
+
+let server_start ?config ?(fuel = 12_000_000) p =
+  let image = build_image p in
+  let mem = Memory.create () in
+  let st0 = Asm.load ~writable_code:true image mem in
+  let srv_session = L.create ?config ~btlib:(module Btlib.Linuxsim) mem st0 in
+  { srv_session; srv_fuel = fuel; srv_ck = None; srv_runs = 0 }
+
+let server_push srv =
+  ignore (E.snapshot ~barrier:false (L.engine srv.srv_session));
+  Memory.Journal.push (L.reference_mem srv.srv_session);
+  srv.srv_ck <- Some (Btlib.Vos.checkpoint (L.reference_vos srv.srv_session))
+
+let server_revert srv =
+  let e = L.engine srv.srv_session in
+  (* a divergence or a raised [Bt_error] unwinds out of [Engine.run]
+     without the usual rest-state cleanup; clear the transients before
+     rewinding *)
+  e.E.running_block <- None;
+  e.E.smc_pending <- [];
+  ignore (E.revert e);
+  ignore (Memory.Journal.revert (L.reference_mem srv.srv_session));
+  (match srv.srv_ck with
+  | Some ck -> Btlib.Vos.restore (L.reference_vos srv.srv_session) ck
+  | None -> ());
+  srv.srv_ck <- None
+
+let apply_mutation srv muts =
+  let emem = (L.engine srv.srv_session).E.mem in
+  let rmem = L.reference_mem srv.srv_session in
+  List.iter
+    (fun (off, v) ->
+      let a = scratch_base + (off mod mutation_span) in
+      Memory.write8 emem a (v land 0xFF);
+      Memory.write8 rmem a (v land 0xFF))
+    muts
+
+let server_run srv muts =
+  server_push srv;
+  apply_mutation srv muts;
+  let result =
+    match L.run_in ~fuel:srv.srv_fuel srv.srv_session with
+    | report -> (
+      match report.L.divergence with
+      | Some d -> R_diverged d
+      | None -> (
+        match report.L.outcome with
+        | Some (E.Exited (code, _)) ->
+          R_ok { commits = report.L.commits; exit_code = code }
+        | Some (E.Unhandled_fault (f, _)) -> R_halted f
+        | Some E.Out_of_fuel | None -> R_fuel))
+    | exception ex -> R_crash (Printexc.to_string ex)
+  in
+  srv.srv_runs <- srv.srv_runs + 1;
+  server_revert srv;
+  result
+
+let server_runs srv = srv.srv_runs
+
+let server_pages_restored srv =
+  E.pages_restored (L.engine srv.srv_session)
+  + Memory.Journal.pages_restored (L.reference_mem srv.srv_session)
+
+type forkserver_config = {
+  fs_seed : int;
+  fs_programs : int; (* base programs, one server each *)
+  fs_mutations : int; (* mutated runs per base, after the base input *)
+  fs_max_insns : int;
+  fs_fuel : int;
+  fs_max_findings : int;
+  fs_log : string -> unit;
+}
+
+let default_forkserver =
+  {
+    fs_seed = 0;
+    fs_programs = 4;
+    fs_mutations = 64;
+    fs_max_insns = 32;
+    fs_fuel = 12_000_000;
+    fs_max_findings = 5;
+    fs_log = ignore;
+  }
+
+type forkserver_result = {
+  fs_runs : int; (* inputs executed, base inputs included *)
+  fs_bases : int;
+  fs_findings : (finding * (int * int) list) list;
+      (** each finding with the mutation (offset, byte) list that hit it *)
+  fs_pages_restored : int;
+}
+
+let mutation_of_rng rng =
+  List.init
+    (1 + Rng.int rng 48)
+    (fun _ -> (Rng.int rng mutation_span, Rng.int rng 256))
+
+let forkserver_campaign cfg =
+  let rng = Rng.create (cfg.fs_seed + 0x5EED) in
+  let findings = ref [] in
+  let runs = ref 0 in
+  let bases = ref 0 in
+  let restored = ref 0 in
+  (try
+     for k = 0 to cfg.fs_programs - 1 do
+       let pseed = (cfg.fs_seed * 1_000_003) + k in
+       let prng = Rng.create pseed in
+       let p = generate ~rng:prng ~max_insns:cfg.fs_max_insns pseed in
+       let srv = server_start ~fuel:cfg.fs_fuel p in
+       incr bases;
+       for m = 0 to cfg.fs_mutations do
+         let muts = if m = 0 then [] else mutation_of_rng rng in
+         let result = server_run srv muts in
+         incr runs;
+         (match classify result with
+         | Some c ->
+           findings :=
+             ( {
+                 prog = p;
+                 inject_seed = None;
+                 classification = c;
+                 detail = describe result;
+                 window = window_of result;
+               },
+               muts )
+             :: !findings;
+           cfg.fs_log
+             (Printf.sprintf "program %d mutation %d: %s" pseed m
+                (classification_name c))
+         | None -> ());
+         if List.length !findings >= cfg.fs_max_findings then raise Exit
+       done;
+       restored := !restored + server_pages_restored srv
+     done
+   with Exit -> ());
+  {
+    fs_runs = !runs;
+    fs_bases = !bases;
+    fs_findings = List.rev !findings;
+    fs_pages_restored = !restored;
+  }
+
+(* ---------------------------------------------------------------- *)
 (* CLI helpers                                                       *)
 (* ---------------------------------------------------------------- *)
 

@@ -188,6 +188,58 @@ type campaign_result = {
 
 val campaign : campaign_config -> campaign_result
 
+(** {1 Fork-server}
+
+    A persistent lockstep session over one base program: engine,
+    translations and the reference vehicle are built once, then each
+    input is served by snapshotting both sides (copy-on-write page
+    journal + OS/translator checkpoints), writing the mutated bytes into
+    the scratch region of both memories, running the pair in lockstep
+    and reverting. Runs after the first skip engine creation and keep
+    translated blocks warm, which is where the throughput multiple over
+    {!run_one} comes from. *)
+
+type server
+
+val mutation_span : int
+(** Size of the mutable input region (the scratch area); mutation
+    offsets are taken modulo this, relative to {!scratch_base}. *)
+
+val server_start : ?config:Ia32el.Config.t -> ?fuel:int -> prog -> server
+(** Load the program, build the session and leave it at the post-startup
+    rest point every subsequent input starts from. *)
+
+val server_run : server -> (int * int) list -> run_result
+(** [server_run srv muts] snapshots, applies the [(offset, byte)]
+    mutation to both memories, runs the pair in lockstep and reverts.
+    [[]] runs the unmutated base input. *)
+
+val server_runs : server -> int
+val server_pages_restored : server -> int
+(** Cumulative pages restored by the server's reverts (both sides). *)
+
+type forkserver_config = {
+  fs_seed : int;
+  fs_programs : int; (** base programs, one server each *)
+  fs_mutations : int; (** mutated runs per base, after the base input *)
+  fs_max_insns : int;
+  fs_fuel : int;
+  fs_max_findings : int;
+  fs_log : string -> unit;
+}
+
+val default_forkserver : forkserver_config
+
+type forkserver_result = {
+  fs_runs : int; (** inputs executed, base inputs included *)
+  fs_bases : int;
+  fs_findings : (finding * (int * int) list) list;
+      (** each finding with the mutation that hit it *)
+  fs_pages_restored : int;
+}
+
+val forkserver_campaign : forkserver_config -> forkserver_result
+
 (** {1 CLI helpers} *)
 
 val parse_seed_spec : string -> (int list, string) result

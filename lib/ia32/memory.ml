@@ -20,6 +20,23 @@ let prot_rwx = { read = true; write = true; exec = true }
    can never resurrect a stale generation (no ABA). *)
 type page = { data : Bytes.t; mutable prot : prot; mutable gen : int }
 
+(* First-touch pre-image of a page within one journal epoch: either the
+   page did not exist when the epoch opened, or a full copy of its bytes
+   plus protection and write generation at that moment. *)
+type pre = Pre_absent | Pre_page of { data : Bytes.t; prot : prot; gen : int }
+
+type epoch = {
+  pre_images : (int, pre) Hashtbl.t; (* page number -> pre-image *)
+  (* last page recorded in this epoch: inner loops hammer one page, so
+     this memo turns the per-write probe into a single compare. *)
+  mutable last_no : int;
+}
+
+type journal = {
+  mutable epochs : epoch list; (* innermost first *)
+  mutable restored : int; (* cumulative pages restored by [revert] *)
+}
+
 type t = {
   pages : (int, page) Hashtbl.t;
   mutable write_watch : (int -> int -> unit) option; (* addr, width *)
@@ -31,6 +48,7 @@ type t = {
      table, so in-place protection changes stay visible. *)
   mutable memo_no : int;
   mutable memo_pg : page;
+  mutable journal : journal option;
 }
 
 let dummy_page =
@@ -48,6 +66,7 @@ let create () =
     gen_counter = 1;
     memo_no = -1;
     memo_pg = dummy_page;
+    journal = None;
   }
 
 let bump_gen t pg =
@@ -57,9 +76,41 @@ let bump_gen t pg =
 let page_of addr = Word.mask32 addr lsr page_bits
 let offset_of addr = Word.mask32 addr land (page_size - 1)
 
+(* Record the pre-image of page [no] in the innermost epoch before its
+   first mutation there. Cost when no journal is attached: one load and
+   branch per mutating call. [journal_touch_pg] is the variant for call
+   sites that already hold the page record. *)
+let record_pre e t no =
+  if not (Hashtbl.mem e.pre_images no) then
+    Hashtbl.replace e.pre_images no
+      (match Hashtbl.find_opt t.pages no with
+      | None -> Pre_absent
+      | Some pg ->
+        Pre_page { data = Bytes.copy pg.data; prot = pg.prot; gen = pg.gen });
+  e.last_no <- no
+
+let journal_touch t no =
+  match t.journal with
+  | None -> ()
+  | Some { epochs = e :: _; _ } -> if no <> e.last_no then record_pre e t no
+  | Some { epochs = []; _ } -> ()
+
+let record_pre_pg e no (pg : page) =
+  if not (Hashtbl.mem e.pre_images no) then
+    Hashtbl.replace e.pre_images no
+      (Pre_page { data = Bytes.copy pg.data; prot = pg.prot; gen = pg.gen });
+  e.last_no <- no
+
+let journal_touch_pg t no pg =
+  match t.journal with
+  | None -> ()
+  | Some { epochs = e :: _; _ } -> if no <> e.last_no then record_pre_pg e no pg
+  | Some { epochs = []; _ } -> ()
+
 let map t ~addr ~len ~prot =
   let first = page_of addr and last = page_of (addr + len - 1) in
   for p = first to last do
+    journal_touch t p;
     match Hashtbl.find_opt t.pages p with
     | None ->
       t.gen_counter <- t.gen_counter + 1;
@@ -73,6 +124,7 @@ let map t ~addr ~len ~prot =
 let unmap t ~addr ~len =
   let first = page_of addr and last = page_of (addr + len - 1) in
   for p = first to last do
+    journal_touch t p;
     Hashtbl.remove t.pages p;
     Hashtbl.remove t.watched p
   done;
@@ -85,6 +137,7 @@ let protect t ~addr ~len ~prot =
   for p = first to last do
     match Hashtbl.find_opt t.pages p with
     | Some pg ->
+      journal_touch_pg t p pg;
       pg.prot <- prot;
       bump_gen t pg
     | None -> ()
@@ -146,6 +199,7 @@ let fetch8 t addr =
 
 let write8_nowatch t addr v =
   let pg = find_page t addr Fault.Write in
+  journal_touch_pg t (page_of addr) pg;
   Bytes.set pg.data (offset_of addr) (Char.chr (Word.mask8 v));
   bump_gen t pg
 
@@ -186,6 +240,7 @@ let rec wr_le d base v i n =
 let write_n t addr n v =
   (if offset_of addr + n <= page_size then begin
      let pg = find_page t addr Fault.Write in
+     journal_touch_pg t (page_of addr) pg;
      wr_le pg.data (offset_of addr) v 0 n;
      bump_gen t pg
    end
@@ -221,6 +276,7 @@ let load_bytes t addr s =
     let a = addr + i in
     match Hashtbl.find_opt t.pages (page_of a) with
     | Some pg ->
+      journal_touch_pg t (page_of a) pg;
       Bytes.set pg.data (offset_of a) s.[i];
       bump_gen t pg
     | None -> raise (Fault.Fault (Fault.Page_fault (Word.mask32 a, Fault.Write)))
@@ -244,7 +300,100 @@ let copy t =
     gen_counter = t.gen_counter;
     memo_no = -1;
     memo_pg = dummy_page;
+    journal = None;
   }
+
+let watched_pages t = Hashtbl.fold (fun k () acc -> k :: acc) t.watched []
+
+let set_watched_pages t nos =
+  Hashtbl.reset t.watched;
+  List.iter (fun no -> Hashtbl.replace t.watched no ()) nos
+
+(* Nested copy-on-write journal: each epoch records, per page, a full
+   pre-image at first touch, so both [revert] and the epoch's own write
+   traffic cost O(pages touched). [revert] restores a page's bytes,
+   protection and ORIGINAL write generation: a generation value only ever
+   recurs together with the exact content it stamped (the global counter
+   is never reused), so decode caches validated against [page_gen] stay
+   warm across a revert instead of being flushed. *)
+module Journal = struct
+  let fresh_epoch () = { pre_images = Hashtbl.create 32; last_no = -1 }
+
+  let active t = t.journal <> None
+
+  let depth t =
+    match t.journal with None -> 0 | Some j -> List.length j.epochs
+
+  let attach t =
+    if t.journal = None then t.journal <- Some { epochs = []; restored = 0 }
+
+  let detach t = t.journal <- None
+
+  let push t =
+    attach t;
+    match t.journal with
+    | None -> assert false
+    | Some j -> j.epochs <- fresh_epoch () :: j.epochs
+
+  let touched t =
+    match t.journal with
+    | Some { epochs = e :: _; _ } -> Hashtbl.length e.pre_images
+    | _ -> 0
+
+  let pages_restored t =
+    match t.journal with None -> 0 | Some j -> j.restored
+
+  let revert t =
+    match t.journal with
+    | None -> invalid_arg "Memory.Journal.revert: no journal attached"
+    | Some j -> (
+      match j.epochs with
+      | [] -> invalid_arg "Memory.Journal.revert: no open epoch"
+      | e :: rest ->
+        j.epochs <- rest;
+        let touched = ref [] in
+        Hashtbl.iter
+          (fun no pre ->
+            touched := no :: !touched;
+            j.restored <- j.restored + 1;
+            match pre with
+            | Pre_absent -> Hashtbl.remove t.pages no
+            | Pre_page { data; prot; gen } -> (
+              match Hashtbl.find_opt t.pages no with
+              | Some pg ->
+                Bytes.blit data 0 pg.data 0 page_size;
+                pg.prot <- prot;
+                pg.gen <- gen
+              | None ->
+                Hashtbl.replace t.pages no
+                  { data = Bytes.copy data; prot; gen }))
+          e.pre_images;
+        t.memo_no <- -1;
+        t.memo_pg <- dummy_page;
+        !touched)
+
+  let commit t =
+    match t.journal with
+    | None -> invalid_arg "Memory.Journal.commit: no journal attached"
+    | Some j -> (
+      match j.epochs with
+      | [] -> invalid_arg "Memory.Journal.commit: no open epoch"
+      | e :: rest ->
+        (match rest with
+        | parent :: _ ->
+          (* The parent's own (older) pre-images win: they describe the
+             page as it stood when the OUTER epoch opened. *)
+          Hashtbl.iter
+            (fun no pre ->
+              if not (Hashtbl.mem parent.pre_images no) then
+                Hashtbl.replace parent.pre_images no pre)
+            e.pre_images
+        | [] -> ());
+        j.epochs <- rest)
+end
+
+let mapped_pages t =
+  List.sort compare (Hashtbl.fold (fun k _ acc -> k :: acc) t.pages [])
 
 let equal ?(skip = fun _ -> false) a b =
   let pages_of t =

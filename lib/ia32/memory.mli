@@ -24,6 +24,9 @@ val is_mapped : t -> int -> bool
 val protect : t -> addr:int -> len:int -> prot:prot -> unit
 val prot_of : t -> int -> prot option
 
+val mapped_pages : t -> int list
+(** Sorted page numbers of every mapped page (crash-capsule dumps). *)
+
 (** [set_write_watch t (Some f)] makes every write to a watched page call
     [f addr width] after the bytes are stored. *)
 val set_write_watch : t -> (int -> int -> unit) option -> unit
@@ -31,6 +34,13 @@ val set_write_watch : t -> (int -> int -> unit) option -> unit
 val watch_page : t -> int -> unit
 val unwatch_page : t -> int -> unit
 val page_watched : t -> int -> bool
+
+val watched_pages : t -> int list
+(** Page numbers currently carrying the write watch (unordered). *)
+
+val set_watched_pages : t -> int list -> unit
+(** Replace the watched-page set wholesale — snapshot restore uses this
+    to return the SMC watch set to its captured state. *)
 
 val page_gen : t -> int -> int
 (** Write generation of the page holding the given address: bumped from a
@@ -75,3 +85,58 @@ val equal : ?skip:(int -> bool) -> t -> t -> bool
 (** Address of the first differing byte, if any — for test diagnostics.
     [skip] as for {!equal}. *)
 val first_diff : ?skip:(int -> bool) -> t -> t -> int option
+
+(** Nested copy-on-write journal over page mutations.
+
+    While attached, every mutating operation ([map]/[unmap]/[protect],
+    stores, loader writes) records a full pre-image of each page at its
+    first touch within the innermost open epoch, so an epoch's overhead
+    and its [revert] both cost O(pages touched), independent of the size
+    of the address space.
+
+    [revert] restores each touched page's bytes, protection {e and
+    original write generation}. Generations are drawn from a global
+    never-reused counter, so a given generation value only ever denotes
+    the exact content it stamped — consumers validating cached decodes
+    against {!page_gen} stay warm across a revert with no flush.
+    [commit] folds the innermost epoch into its parent (the parent's
+    older pre-images win), making the changes permanent relative to the
+    inner epoch while the outer one can still revert them.
+
+    The journal is intentionally ignorant of the write watch: snapshot
+    layers above capture and restore the watched-page set themselves
+    (see {!watched_pages}). [copy] never carries a journal over. *)
+module Journal : sig
+  val attach : t -> unit
+  (** Enable journalling (idempotent). No pre-images are recorded until
+      an epoch is opened with [push]. *)
+
+  val detach : t -> unit
+  (** Drop the journal and all epochs without restoring anything. *)
+
+  val active : t -> bool
+
+  val depth : t -> int
+  (** Number of open epochs. *)
+
+  val push : t -> unit
+  (** Open a nested epoch (attaching the journal if needed). *)
+
+  val touched : t -> int
+  (** Pages first-touched in the innermost open epoch so far. *)
+
+  val pages_restored : t -> int
+  (** Cumulative count of page restorations performed by [revert] over
+      the journal's lifetime — the counter the O(pages touched) test
+      asserts on. *)
+
+  val revert : t -> int list
+  (** Pop the innermost epoch and restore every page it touched.
+      Returns the touched page numbers (unordered) so callers can
+      invalidate derived state (translated blocks) per page.
+      @raise Invalid_argument when no epoch is open. *)
+
+  val commit : t -> unit
+  (** Pop the innermost epoch, merging its pre-images into the parent
+      epoch (if any). @raise Invalid_argument when no epoch is open. *)
+end

@@ -1,0 +1,52 @@
+(* Architectural snapshots: a stack of copy-on-write epochs over one
+   guest memory plus eager captures of the registered architectural
+   states. Memory reverts through Memory.Journal in O(pages touched);
+   register/FPU/XMM state is tiny and captured eagerly. The SMC watch
+   set is captured too, since the journal itself leaves it alone.
+
+   Higher layers stack on top of this: Vos checkpoints the thread table
+   and kernel state, the engine checkpoints translator state; both use
+   the same journal epoch this module opens. *)
+
+type frame = {
+  states : (State.t * State.t) list; (* (live, captured copy) *)
+  watched : int list;
+}
+
+type t = { mem : Memory.t; mutable frames : frame list }
+
+let start mem =
+  Memory.Journal.attach mem;
+  { mem; frames = [] }
+
+let depth t = List.length t.frames
+
+let push t states =
+  let frame =
+    {
+      states = List.map (fun st -> (st, State.copy st)) states;
+      watched = Memory.watched_pages t.mem;
+    }
+  in
+  Memory.Journal.push t.mem;
+  t.frames <- frame :: t.frames
+
+let pop t =
+  match t.frames with
+  | [] -> invalid_arg "Snapshot: no open epoch"
+  | f :: rest ->
+    t.frames <- rest;
+    f
+
+let revert t =
+  let f = pop t in
+  let touched = Memory.Journal.revert t.mem in
+  List.iter (fun (live, saved) -> State.restore_into ~src:saved ~dst:live) f.states;
+  Memory.set_watched_pages t.mem f.watched;
+  touched
+
+let commit t =
+  let _ = pop t in
+  Memory.Journal.commit t.mem
+
+let pages_restored t = Memory.Journal.pages_restored t.mem

@@ -1,0 +1,43 @@
+(** Architectural guest snapshots: nested copy-on-write epochs over one
+    {!Memory} plus eager captures of registered {!State}s.
+
+    Built on {!Memory.Journal}: creating an epoch is O(1), running
+    inside it costs one pre-image copy per page first touched, and
+    {!revert} restores exactly those pages (bytes, protection and
+    original write generation — so decode caches stay warm). The
+    registered states are restored in place, keeping existing references
+    to them valid. The SMC watched-page set is captured and restored as
+    part of each epoch.
+
+    This is the single-address-space arch layer. The OS layer
+    ([Btlib.Vos.checkpoint]) and the translator layer
+    ([Ia32el.Engine.snapshot]) capture their own state on top of the
+    same epoch stack. *)
+
+type t
+
+val start : Memory.t -> t
+(** Attach a journal to the memory (idempotent) and return an empty
+    epoch stack over it. *)
+
+val depth : t -> int
+
+val push : t -> State.t list -> unit
+(** Open an epoch: capture the given states (typically one per guest
+    thread) and the watched-page set, and begin journalling page
+    pre-images. *)
+
+val revert : t -> int list
+(** Pop the innermost epoch: restore touched pages, captured states and
+    the watch set. Returns the touched page numbers so callers can
+    invalidate page-derived state (translated blocks).
+    @raise Invalid_argument when no epoch is open. *)
+
+val commit : t -> unit
+(** Pop the innermost epoch, folding its page pre-images into the parent
+    epoch. The captured states are dropped.
+    @raise Invalid_argument when no epoch is open. *)
+
+val pages_restored : t -> int
+(** Cumulative pages restored by {!revert} — the O(pages touched)
+    assertion counter. *)

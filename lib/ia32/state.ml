@@ -160,6 +160,31 @@ let copy t =
     icache = Icache.create ();
   }
 
+(* In-place restore of the architectural state from a captured copy:
+   existing references to [dst] (the engine, Vos thread records) stay
+   valid, and its decode cache is kept — entries are generation-validated
+   against memory, so a warm cache is correct across a snapshot revert. *)
+let restore_into ~src ~dst =
+  Array.blit src.regs 0 dst.regs 0 8;
+  dst.eip <- src.eip;
+  dst.cf <- src.cf;
+  dst.pf <- src.pf;
+  dst.af <- src.af;
+  dst.zf <- src.zf;
+  dst.sf <- src.sf;
+  dst.of_ <- src.of_;
+  dst.df <- src.df;
+  Array.blit src.fpu.Fpu.fval 0 dst.fpu.Fpu.fval 0 8;
+  Array.blit src.fpu.Fpu.ival 0 dst.fpu.Fpu.ival 0 8;
+  Array.blit src.fpu.Fpu.tags 0 dst.fpu.Fpu.tags 0 8;
+  dst.fpu.Fpu.top <- src.fpu.Fpu.top;
+  dst.fpu.Fpu.c0 <- src.fpu.Fpu.c0;
+  dst.fpu.Fpu.c1 <- src.fpu.Fpu.c1;
+  dst.fpu.Fpu.c2 <- src.fpu.Fpu.c2;
+  dst.fpu.Fpu.c3 <- src.fpu.Fpu.c3;
+  Array.blit src.xmm_lo 0 dst.xmm_lo 0 8;
+  Array.blit src.xmm_hi 0 dst.xmm_hi 0 8
+
 (* Architectural equality, ignoring memory (compared separately) and EIP if
    requested. Used by the differential tests. *)
 let equal ?(with_eip = true) a b =

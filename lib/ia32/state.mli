@@ -54,5 +54,12 @@ val set_xmm : t -> int -> int64 * int64 -> unit
 (** Copy shares the memory (registers and FPU are duplicated). *)
 val copy : t -> t
 
+val restore_into : src:t -> dst:t -> unit
+(** Overwrite [dst]'s registers, EIP, flags, FPU and XMM state in place
+    from [src], leaving [dst]'s memory reference and decode cache alone
+    (cache entries validate against page generations, so a warm cache
+    stays correct across a snapshot revert). Existing references to
+    [dst] remain valid — the point of restoring in place. *)
+
 val equal : ?with_eip:bool -> t -> t -> bool
 val pp : Format.formatter -> t -> unit

@@ -101,3 +101,39 @@ let reset_stats t =
   t.l1.misses <- 0;
   t.l2.hits <- 0;
   t.l2.misses <- 0
+
+(* ---- checkpoint / restore: the timing model is pure state (tags, LRU
+   ranks, tick and hit/miss counters per level), so a snapshot is a deep
+   copy and restore blits it back in place. *)
+
+type level_checkpoint = {
+  k_tags : int array array;
+  k_lru : int array array;
+  k_tick : int;
+  k_hits : int;
+  k_misses : int;
+}
+
+type checkpoint = { k_l1 : level_checkpoint; k_l2 : level_checkpoint }
+
+let checkpoint_level l =
+  {
+    k_tags = Array.map Array.copy l.tags;
+    k_lru = Array.map Array.copy l.lru;
+    k_tick = l.tick;
+    k_hits = l.hits;
+    k_misses = l.misses;
+  }
+
+let restore_level l k =
+  Array.iteri (fun i a -> Array.blit k.k_tags.(i) 0 a 0 (Array.length a)) l.tags;
+  Array.iteri (fun i a -> Array.blit k.k_lru.(i) 0 a 0 (Array.length a)) l.lru;
+  l.tick <- k.k_tick;
+  l.hits <- k.k_hits;
+  l.misses <- k.k_misses
+
+let checkpoint t = { k_l1 = checkpoint_level t.l1; k_l2 = checkpoint_level t.l2 }
+
+let restore t k =
+  restore_level t.l1 k.k_l1;
+  restore_level t.l2 k.k_l2

@@ -36,3 +36,12 @@ type stats = {
 
 val stats : t -> stats
 val reset_stats : t -> unit
+
+type checkpoint
+
+val checkpoint : t -> checkpoint
+(** Deep copy of the full timing state (tags, LRU ranks, counters). *)
+
+val restore : t -> checkpoint -> unit
+(** Blit a checkpoint back in place — snapshot revert uses this so a
+    rerun sees bit-identical stall timing. *)

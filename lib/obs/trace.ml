@@ -28,6 +28,7 @@ type ev =
   | Thread_exit of { tid : int; code : int }
   | Thread_switch of { from_tid : int; to_tid : int }
   | Exit_program of { code : int }
+  | Snapshot of { epoch : int; event_index : int }
 
 type event = { at : int; tid : int; ev : ev }
 
@@ -66,6 +67,7 @@ let emit t ev =
 let capacity t = t.cap
 let length t = min t.total t.cap
 let dropped t = max 0 (t.total - t.cap)
+let absolute_index t = t.total
 
 (* Retained events, oldest first. *)
 let events t =
@@ -97,6 +99,7 @@ let name = function
   | Thread_exit _ -> "thread_exit"
   | Thread_switch _ -> "thread_switch"
   | Exit_program _ -> "exit_program"
+  | Snapshot _ -> "snapshot"
 
 (* The argument payload as (key, value) pairs; strings are tagged so the
    JSON export can quote them. *)
@@ -142,6 +145,8 @@ let args = function
   | Thread_switch { from_tid; to_tid } ->
     [ ("from", Anum from_tid); ("to", Anum to_tid) ]
   | Exit_program { code } -> [ ("code", Anum code) ]
+  | Snapshot { epoch; event_index } ->
+    [ ("epoch", Anum epoch); ("event_index", Anum event_index) ]
 
 (* Keys whose numeric payload is a guest address: pretty-print in hex. *)
 let hex_keys = [ "eip"; "entry"; "addr"; "key" ]

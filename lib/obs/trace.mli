@@ -29,6 +29,11 @@ type ev =
   | Thread_exit of { tid : int; code : int }
   | Thread_switch of { from_tid : int; to_tid : int }
   | Exit_program of { code : int }
+  | Snapshot of { epoch : int; event_index : int }
+      (** a snapshot epoch was opened; [event_index] is the absolute
+          trace-stream index of this event ({!absolute_index} at emit
+          time) — the time-travel anchor tying traced events to the
+          epoch that can rewind to just before them. *)
 
 type event = { at : int; tid : int; ev : ev }
 (** [tid] is the guest thread scheduled when the event was emitted (0 for
@@ -62,6 +67,11 @@ val length : t -> int
 
 val dropped : t -> int
 (** Number of events that fell out of the ring window. *)
+
+val absolute_index : t -> int
+(** Stream position: total events emitted so far ([length] + [dropped]).
+    The next emitted event gets this index. Snapshot layers record it to
+    map any traced event back to the nearest earlier snapshot epoch. *)
 
 val events : t -> event list
 (** Retained events, oldest first. *)

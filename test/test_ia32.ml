@@ -120,6 +120,100 @@ let mem_tests =
 (* FPU                                                               *)
 (* ---------------------------------------------------------------- *)
 
+(* ------------------------------------------------------------------ *)
+(* Memory.Journal: nested copy-on-write epochs over page mutations      *)
+(* ------------------------------------------------------------------ *)
+
+let journal_tests =
+  let open Memory in
+  [
+    Alcotest.test_case "revert restores bytes, prot and generation" `Quick
+      (fun () ->
+        let m = create () in
+        map m ~addr:0x1000 ~len:0x1000 ~prot:prot_rw;
+        write32 m 0x1000 0xAAAA;
+        let gen0 = page_gen m 0x1000 in
+        Journal.push m;
+        write32 m 0x1000 0xBBBB;
+        protect m ~addr:0x1000 ~len:0x1000 ~prot:prot_rx;
+        check bool "gen moved" true (page_gen m 0x1000 <> gen0);
+        let touched = Journal.revert m in
+        check int "one page touched" 1 (List.length touched);
+        check int "bytes restored" 0xAAAA (read32 m 0x1000);
+        check bool "prot restored" true (prot_of m 0x1000 = Some prot_rw);
+        check int "generation restored" gen0 (page_gen m 0x1000));
+    Alcotest.test_case "nested epochs: commit folds into parent" `Quick
+      (fun () ->
+        let m = create () in
+        map m ~addr:0x1000 ~len:0x1000 ~prot:prot_rw;
+        write32 m 0x1000 1;
+        Journal.push m;
+        write32 m 0x1000 2;
+        Journal.push m;
+        write32 m 0x1000 3;
+        Journal.commit m;
+        (* inner changes survive the commit... *)
+        check int "committed value" 3 (read32 m 0x1000);
+        check int "one epoch left" 1 (Journal.depth m);
+        (* ...but the outer epoch can still revert them, to the value
+           before ITS pre-image (the parent's older pre-image wins) *)
+        ignore (Journal.revert m);
+        check int "outer revert" 1 (read32 m 0x1000));
+    Alcotest.test_case "nested epochs: inner revert keeps outer intact"
+      `Quick (fun () ->
+        let m = create () in
+        map m ~addr:0x1000 ~len:0x2000 ~prot:prot_rw;
+        write32 m 0x1000 10;
+        Journal.push m;
+        write32 m 0x1000 20;
+        Journal.push m;
+        write32 m 0x1000 30;
+        write32 m 0x2000 99;
+        ignore (Journal.revert m);
+        check int "inner reverted" 20 (read32 m 0x1000);
+        check int "inner page reverted" 0 (read32 m 0x2000);
+        ignore (Journal.revert m);
+        check int "outer reverted" 10 (read32 m 0x1000));
+    Alcotest.test_case "revert remaps an unmapped page" `Quick (fun () ->
+        let m = create () in
+        map m ~addr:0x3000 ~len:0x1000 ~prot:prot_rwx;
+        write32 m 0x3000 0x1234;
+        Journal.push m;
+        unmap m ~addr:0x3000 ~len:0x1000;
+        check bool "unmapped" false (is_mapped m 0x3000);
+        ignore (Journal.revert m);
+        check bool "remapped" true (is_mapped m 0x3000);
+        check int "bytes back" 0x1234 (read32 m 0x3000);
+        check bool "prot back" true (prot_of m 0x3000 = Some prot_rwx));
+    Alcotest.test_case "revert unmaps a page mapped inside the epoch" `Quick
+      (fun () ->
+        let m = create () in
+        Journal.push m;
+        map m ~addr:0x4000 ~len:0x1000 ~prot:prot_rw;
+        write32 m 0x4000 7;
+        ignore (Journal.revert m);
+        check bool "gone again" false (is_mapped m 0x4000));
+    Alcotest.test_case "revert cost is O(pages touched)" `Quick (fun () ->
+        (* map a large space, touch exactly K pages many times each: the
+           restoration counter must advance by exactly K, independent of
+           the 64 mapped pages and of the number of writes *)
+        let m = create () in
+        map m ~addr:0x10000 ~len:(64 * page_size) ~prot:prot_rw;
+        let before = Journal.pages_restored m in
+        Journal.push m;
+        let k = 5 in
+        for p = 0 to k - 1 do
+          for i = 0 to 99 do
+            write32 m (0x10000 + (p * page_size) + (4 * i)) (p + i)
+          done
+        done;
+        check int "touched tracks distinct pages" k (Journal.touched m);
+        let touched = Journal.revert m in
+        check int "touched pages returned" k (List.length touched);
+        check int "pages restored == pages touched" k
+          (Journal.pages_restored m - before));
+  ]
+
 let fpu_tests =
   [
     Alcotest.test_case "push/pop moves top" `Quick (fun () ->
@@ -1152,6 +1246,7 @@ let () =
     [
       ("word", word_tests);
       ("memory", mem_tests);
+      ("journal", journal_tests);
       ("fpu", fpu_tests);
       ("fpconv", fpconv_tests);
       ("encode-vectors", encode_vector_tests);

@@ -1,0 +1,455 @@
+(* Snapshot / record-replay robustness suite.
+
+   The tentpole property: a guest reverted to a snapshot and rerun is
+   bit-identical — same virtual cycle count, same trace-event stream,
+   same exit code and console output — to a fresh run, across the
+   predecode x decode-cache configuration matrix, including a
+   multithreaded guest whose run crosses a cross-thread SMC shootdown.
+   On top: crash-capsule round trips (watchdog and seeded-divergence
+   capsules must replay to the same failure with every commit point
+   matching) and fork-server equivalence (a snapshotted/reverted session
+   must classify inputs exactly as one-shot lockstep runs do). *)
+
+module E = Ia32el.Engine
+module F = Harness.Fuzz
+module Cap = Harness.Capsule
+module R = Harness.Resilience
+module Memory = Ia32.Memory
+
+let check = Alcotest.check
+let int = Alcotest.int
+let string = Alcotest.string
+let bool = Alcotest.bool
+
+(* ------------------------------------------------------------------ *)
+(* Configuration matrix                                                *)
+(* ------------------------------------------------------------------ *)
+
+let configs =
+  let d = Ia32el.Config.default in
+  [
+    ("default", d);
+    ("no-predecode", { d with Ia32el.Config.enable_predecode = false });
+    ("no-decode-cache", { d with Ia32el.Config.enable_decode_cache = false });
+    ( "neither",
+      {
+        d with
+        Ia32el.Config.enable_predecode = false;
+        Ia32el.Config.enable_decode_cache = false;
+      } );
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Observables of one engine run                                       *)
+(* ------------------------------------------------------------------ *)
+
+type obs = { res : string; clock : int; output : string; events : int }
+
+let pp_obs ppf o =
+  Format.fprintf ppf "%s clock=%d events=%d out=%S" o.res o.clock o.events
+    o.output
+
+let obs_t = Alcotest.testable pp_obs ( = )
+
+let observe_run eng tr st =
+  let i0 = Obs.Trace.absolute_index tr in
+  let res =
+    match E.run ~fuel:10_000_000 eng st with
+    | E.Exited (code, _) -> Printf.sprintf "exit %d" code
+    | E.Out_of_fuel -> "fuel"
+    | E.Unhandled_fault (f, _) -> "fault " ^ Ia32.Fault.to_string f
+  in
+  {
+    res;
+    clock = E.clock eng;
+    output = Btlib.Vos.output eng.E.vos;
+    events = Obs.Trace.absolute_index tr - i0;
+  }
+
+let fresh_engine config image =
+  let mem = Memory.create () in
+  let st = Ia32.Asm.load ~writable_code:true image mem in
+  let eng = E.create ~config ~btlib:(module Btlib.Linuxsim) mem in
+  let tr = Obs.Trace.create () in
+  E.attach_trace eng tr;
+  (eng, tr, st)
+
+(* Deterministically pick fuzz programs whose pools cover the features
+   we want the snapshot to cross (generation is seeded, so the search
+   result is stable). *)
+let find_prog ~want ~max_insns =
+  let rng = F.Rng.create 99 in
+  let rec go seed =
+    if seed > 2000 then
+      Alcotest.failf "no generated program with pools [%s]"
+        (String.concat "; " want)
+    else
+      let p = F.generate ~rng ~max_insns seed in
+      let pools = F.pools p in
+      if List.for_all (fun w -> List.mem w pools) want then p
+      else go (seed + 1)
+  in
+  go 0
+
+(* snapshot(barrier) -> run -> revert -> rerun must equal a fresh run in
+   every observable, repeatedly; a committed epoch keeps its run. *)
+let revert_rerun_case name image =
+  List.map
+    (fun (cname, config) ->
+      Alcotest.test_case
+        (Printf.sprintf "%s bit-identical revert+rerun [%s]" name cname)
+        `Quick
+        (fun () ->
+          let eng_a, tr_a, st_a = fresh_engine config image in
+          let fresh = observe_run eng_a tr_a st_a in
+          let eng, tr, st = fresh_engine config image in
+          (* the snapshot must see the main thread in the Vos table even
+             though [E.run] has not registered it yet; reverting then
+             restores the initial state back into [st] itself *)
+          Btlib.Vos.register_main eng.E.vos st;
+          ignore (E.snapshot ~barrier:true eng);
+          check obs_t "run 1 (from snapshot) == fresh" fresh
+            (observe_run eng tr st);
+          ignore (E.revert eng);
+          check int "epoch popped" 0 (E.snapshot_depth eng);
+          ignore (E.snapshot ~barrier:true eng);
+          check obs_t "run 2 (after revert) == fresh" fresh
+            (observe_run eng tr st);
+          ignore (E.revert eng);
+          (* nested: outer epoch around an inner committed one — the
+             committed run's changes persist relative to the inner epoch *)
+          ignore (E.snapshot ~barrier:true eng);
+          ignore (E.snapshot ~barrier:true eng);
+          check int "two epochs open" 2 (E.snapshot_depth eng);
+          let again = observe_run eng tr st in
+          check obs_t "run 3 (nested epoch) == fresh" fresh again;
+          E.commit_snapshot eng;
+          check int "inner epoch folded away" 1 (E.snapshot_depth eng);
+          ignore (E.revert eng);
+          ignore (E.snapshot ~barrier:true eng);
+          check obs_t "run 4 (outer revert undid the commit)" fresh
+            (observe_run eng tr st);
+          ignore (E.revert eng)))
+    configs
+
+let matrix_tests =
+  (* plain single-threaded program with syscalls *)
+  let basic = find_prog ~want:[ "alu" ] ~max_insns:32 in
+  (* self-modifying code crossing the revert *)
+  let smc = find_prog ~want:[ "smc" ] ~max_insns:40 in
+  revert_rerun_case "alu" (F.build_image basic)
+  @ revert_rerun_case "smc" (F.build_image smc)
+
+(* ------------------------------------------------------------------ *)
+(* Cross-thread SMC shootdown crossed by a revert                      *)
+(* ------------------------------------------------------------------ *)
+
+let smc_thread_tests =
+  (* a program that both spawns guest threads and self-modifies: the
+     snapshot/revert must rewind the SMC shootdown (invalidated blocks,
+     watch set, pending work) and the whole thread table *)
+  let prog = find_prog ~want:[ "smc"; "threads" ] ~max_insns:48 in
+  let image = F.build_image prog in
+  [
+    Alcotest.test_case "guest program exercises SMC and threads" `Quick
+      (fun () ->
+        let eng, tr, st = fresh_engine Ia32el.Config.default image in
+        let _ = observe_run eng tr st in
+        let evs = Obs.Trace.events tr in
+        let count p = List.length (List.filter p evs) in
+        check bool "SMC invalidations happened" true
+          (count (fun e ->
+               match e.Obs.Trace.ev with
+               | Obs.Trace.Smc_invalidation _ -> true
+               | _ -> false)
+          > 0);
+        check bool "guest threads ran" true
+          (count (fun e ->
+               match e.Obs.Trace.ev with
+               | Obs.Trace.Thread_spawn _ -> true
+               | _ -> false)
+          > 0))
+  ]
+  @ revert_rerun_case "smc+threads" image
+
+(* ------------------------------------------------------------------ *)
+(* Warm (non-barrier) revert: same architectural results, warm blocks  *)
+(* ------------------------------------------------------------------ *)
+
+let warm_revert_tests =
+  let prog = find_prog ~want:[ "alu" ] ~max_insns:32 in
+  let image = F.build_image prog in
+  [
+    Alcotest.test_case "warm revert preserves results across reruns" `Quick
+      (fun () ->
+        (* without the barrier, translations stay warm, so virtual time
+           can differ from a fresh run (translation overhead is not
+           re-paid) — but the architectural observables must not *)
+        let eng_a, tr_a, st_a = fresh_engine Ia32el.Config.default image in
+        let fresh = observe_run eng_a tr_a st_a in
+        let eng, tr, st = fresh_engine Ia32el.Config.default image in
+        Btlib.Vos.register_main eng.E.vos st;
+        let restored0 = E.pages_restored eng in
+        for i = 1 to 4 do
+          ignore (E.snapshot eng);
+          let r = observe_run eng tr st in
+          check string (Printf.sprintf "run %d result" i) fresh.res r.res;
+          check string (Printf.sprintf "run %d output" i) fresh.output r.output;
+          ignore (E.revert eng)
+        done;
+        check bool "reverts restored pages" true
+          (E.pages_restored eng > restored0));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* The arch layer on its own (Ia32.Snapshot)                           *)
+(* ------------------------------------------------------------------ *)
+
+let arch_layer_tests =
+  let module S = Ia32.Snapshot in
+  [
+    Alcotest.test_case "push/revert restores memory, state, watch set" `Quick
+      (fun () ->
+        let mem = Memory.create () in
+        Memory.map mem ~addr:0x1000 ~len:0x3000 ~prot:Memory.prot_rwx;
+        Memory.write32 mem 0x1000 0xAAAA;
+        Memory.watch_page mem (0x1000 / Memory.page_size);
+        let st = Ia32.State.create mem in
+        st.Ia32.State.eip <- 0x1234;
+        let snap = S.start mem in
+        S.push snap [ st ];
+        check int "depth" 1 (S.depth snap);
+        Memory.write32 mem 0x1000 0xBBBB;
+        Memory.write32 mem 0x2000 0x1;
+        Memory.unwatch_page mem (0x1000 / Memory.page_size);
+        st.Ia32.State.eip <- 0x9999;
+        let touched = S.revert snap in
+        check int "depth popped" 0 (S.depth snap);
+        check int "O(pages touched)" 2 (List.length touched);
+        check int "bytes restored" 0xAAAA (Memory.read32 mem 0x1000);
+        check int "eip restored in place" 0x1234 st.Ia32.State.eip;
+        check bool "watch set restored" true
+          (Memory.page_watched mem (0x1000 / Memory.page_size));
+        check int "pages_restored counts" 2 (S.pages_restored snap));
+    Alcotest.test_case "nested epochs: commit folds, outer reverts" `Quick
+      (fun () ->
+        let mem = Memory.create () in
+        Memory.map mem ~addr:0x1000 ~len:0x1000 ~prot:Memory.prot_rw;
+        Memory.write32 mem 0x1000 1;
+        let st = Ia32.State.create mem in
+        let snap = S.start mem in
+        S.push snap [ st ];
+        Memory.write32 mem 0x1000 2;
+        S.push snap [ st ];
+        Memory.write32 mem 0x1000 3;
+        S.commit snap;
+        check int "committed value kept" 3 (Memory.read32 mem 0x1000);
+        ignore (S.revert snap);
+        check int "outer revert undoes the commit" 1
+          (Memory.read32 mem 0x1000);
+        check bool "revert with no epoch raises" true
+          (match S.revert snap with
+          | _ -> false
+          | exception Invalid_argument _ -> true));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Crash capsules round-trip                                           *)
+(* ------------------------------------------------------------------ *)
+
+let tmp_capsule name = Filename.concat (Filename.get_temp_dir_name ()) name
+
+let contains ~sub s =
+  let n = String.length sub and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+  n = 0 || go 0
+
+let capsule_tests =
+  [
+    Alcotest.test_case "watchdog capsule replays bit-identically" `Quick
+      (fun () ->
+        let file = tmp_capsule "ia32el-test-watchdog.capsule" in
+        let w =
+          Workloads.Threads.producer_consumer
+            ~workers:Workloads.Threads.default_workers
+        in
+        (match
+           R.run_plain ~max_cycles:30_000 ~snap_every:4 ~capsule:file w
+             ~scale:1
+         with
+        | _ -> Alcotest.fail "watchdog did not trip"
+        | exception Ia32el.Bt_error.Error e ->
+          check string "watchdog component" "watchdog"
+            e.Ia32el.Bt_error.component);
+        check bool "capsule file exists" true (Sys.file_exists file);
+        let c = Cap.load file in
+        let v = Cap.replay c in
+        check bool "reproduced" true v.Cap.v_reproduced;
+        check int "all recorded commits matched" v.Cap.v_log_total
+          v.Cap.v_log_match;
+        Sys.remove file);
+    Alcotest.test_case "divergence capsule replays deterministically" `Quick
+      (fun () ->
+        (* seeded register corruption -> lockstep divergence; the capsule
+           records the sabotage spec, so replay reinstalls it and must
+           reproduce the same diverging commit *)
+        let file = tmp_capsule "ia32el-test-divergence.capsule" in
+        let sb =
+          match Cap.parse_sabotage "40:esi:0xBEEF" with
+          | Ok sb -> sb
+          | Error e -> Alcotest.fail e
+        in
+        let w =
+          Workloads.Threads.producer_consumer
+            ~workers:Workloads.Threads.default_workers
+        in
+        let r = R.run_lockstep ~sabotage:sb ~capsule:file w ~scale:1 in
+        (match r.R.report.Ia32el.Lockstep.divergence with
+        | None -> Alcotest.fail "sabotage did not diverge"
+        | Some _ -> ());
+        check bool "capsule written" true (r.R.capsule_written = Some file);
+        let c = Cap.load file in
+        let v = Cap.replay c in
+        check bool "reproduced" true v.Cap.v_reproduced;
+        check int "all recorded commits matched" v.Cap.v_log_total
+          v.Cap.v_log_match;
+        Sys.remove file);
+    Alcotest.test_case "capsule describe is stable across save/load" `Quick
+      (fun () ->
+        let file = tmp_capsule "ia32el-test-roundtrip.capsule" in
+        let w =
+          Workloads.Threads.producer_consumer
+            ~workers:Workloads.Threads.default_workers
+        in
+        (try ignore (R.run_plain ~max_cycles:30_000 ~capsule:file w ~scale:1)
+         with Ia32el.Bt_error.Error _ -> ());
+        let c1 = Cap.load file in
+        let c2 = Cap.load file in
+        check string "describe" (Cap.describe c1) (Cap.describe c2);
+        check bool "mentions the watchdog" true
+          (contains ~sub:"watchdog" (Cap.describe c1));
+        Sys.remove file);
+    Alcotest.test_case "load rejects a non-capsule file" `Quick (fun () ->
+        let file = tmp_capsule "ia32el-test-bogus.capsule" in
+        let oc = open_out_bin file in
+        Marshal.to_channel oc "not a capsule" [];
+        close_out oc;
+        (match Cap.load file with
+        | _ -> Alcotest.fail "bogus file accepted"
+        | exception _ -> ());
+        Sys.remove file);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Fork-server equivalence                                             *)
+(* ------------------------------------------------------------------ *)
+
+let classify = function
+  | F.R_ok { commits; exit_code } ->
+    Printf.sprintf "ok commits=%d exit=%d" commits exit_code
+  | F.R_halted f -> "halted " ^ Ia32.Fault.to_string f
+  | F.R_fuel -> "fuel"
+  | F.R_diverged d ->
+    Printf.sprintf "diverged@%d" d.Ia32el.Lockstep.commit_index
+  | F.R_crash m -> "crash " ^ m
+
+let forkserver_tests =
+  [
+    Alcotest.test_case "server base run equals one-shot lockstep" `Quick
+      (fun () ->
+        let rng = F.Rng.create 7 in
+        for seed = 0 to 3 do
+          let prog = F.generate ~rng ~max_insns:32 seed in
+          let expect = classify (F.run_one prog).F.result in
+          let srv = F.server_start prog in
+          (* the base input, repeatedly: every run goes through a fresh
+             snapshot/revert pair and must classify identically *)
+          for i = 1 to 3 do
+            check string
+              (Printf.sprintf "seed %d run %d" seed i)
+              expect
+              (classify (F.server_run srv []))
+          done
+        done);
+    Alcotest.test_case "mutated runs leave no residue" `Quick (fun () ->
+        let rng = F.Rng.create 11 in
+        let prog = F.generate ~rng ~max_insns:32 5 in
+        let expect = classify (F.run_one prog).F.result in
+        let srv = F.server_start prog in
+        let mrng = F.Rng.create 13 in
+        for _ = 1 to 10 do
+          let muts =
+            List.init
+              (1 + F.Rng.int mrng 32)
+              (fun _ -> (F.Rng.int mrng F.mutation_span, F.Rng.int mrng 256))
+          in
+          (* a mutated run may legitimately change the guest's results;
+             it must still be lockstep-clean (no divergence/crash) *)
+          (match F.server_run srv muts with
+          | F.R_ok _ | F.R_halted _ | F.R_fuel -> ()
+          | r -> Alcotest.failf "mutated run misbehaved: %s" (classify r));
+          (* and the base input must classify as before afterwards *)
+          check string "base input unchanged" expect
+            (classify (F.server_run srv []))
+        done;
+        check bool "reverts restored pages" true
+          (F.server_pages_restored srv > 0));
+    Alcotest.test_case "forkserver campaign smoke is clean" `Quick (fun () ->
+        let r =
+          F.forkserver_campaign
+            {
+              F.fs_seed = 3;
+              fs_programs = 2;
+              fs_mutations = 8;
+              fs_max_insns = 24;
+              fs_fuel = 12_000_000;
+              fs_max_findings = 5;
+              fs_log = ignore;
+            }
+        in
+        check int "bases" 2 r.F.fs_bases;
+        check int "runs" (2 * 9) r.F.fs_runs;
+        check int "no findings" 0 (List.length r.F.fs_findings));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Auto-snapshot cadence and time-travel anchors                       *)
+(* ------------------------------------------------------------------ *)
+
+let cadence_tests =
+  [
+    Alcotest.test_case "snap-every leaves anchored epochs behind" `Quick
+      (fun () ->
+        (* needs mid-run syscall commits: thread atoms spawn/join/futex *)
+        let prog = find_prog ~want:[ "threads" ] ~max_insns:48 in
+        let image = F.build_image prog in
+        let eng, tr, st = fresh_engine Ia32el.Config.default image in
+        eng.E.snap_every <- Some 1;
+        let _ = observe_run eng tr st in
+        check bool "epochs were opened" true (E.snapshot_depth eng > 0);
+        (* every Snapshot trace event's recorded index must map back to
+           its own epoch through the time-travel query *)
+        let snaps = ref 0 in
+        List.iter
+          (fun e ->
+            match e.Obs.Trace.ev with
+            | Obs.Trace.Snapshot { epoch; event_index } ->
+              incr snaps;
+              check (Alcotest.option int) "epoch_for_event" (Some epoch)
+                (E.epoch_for_event eng event_index)
+            | _ -> ())
+          (Obs.Trace.events tr);
+        check bool "snapshot events traced" true (!snaps > 0));
+  ]
+
+let () =
+  Alcotest.run "snapshot"
+    [
+      ("revert-rerun-matrix", matrix_tests);
+      ("smc-threads", smc_thread_tests);
+      ("warm-revert", warm_revert_tests);
+      ("arch-layer", arch_layer_tests);
+      ("capsules", capsule_tests);
+      ("forkserver", forkserver_tests);
+      ("cadence", cadence_tests);
+    ]
