@@ -441,6 +441,86 @@ let forkserver_rate ~min_time =
       done;
       Float.of_int n)
 
+(* Persistent-cache wall-clock rows: seconds per run cold (no cache),
+   warm (every translation installed from a recorded file) and from an
+   AOT-compiled file (static sweep + one training run). Also reports the
+   simulated-cycle view: the fraction of the run's cold-phase translation
+   cycles whose host-side work a warm start eliminates. *)
+let persist_rates ~scale ~min_time =
+  let w = Workloads.Spec_int.gzip in
+  let config = Ia32el.Config.default in
+  let image = w.Workloads.Common.build ~scale ~wide:false in
+  let image_hash = Persist.image_hash image in
+  let config_fp = Persist.config_fingerprint config in
+  let record_to path store =
+    (try Sys.remove path with Sys_error _ -> ());
+    (try Sys.remove (path ^ ".lock") with Sys_error _ -> ());
+    match Persist.save store ~path with
+    | [] -> ()
+    | d :: _ ->
+      Printf.eprintf "perf: tcache save failed: %s\n"
+        (Ia32el.Bt_error.to_string d);
+      exit 1
+  in
+  (* a warm-start file recorded by one full run *)
+  let warm_path = Filename.temp_file "ia32el-bench-warm" ".tc" in
+  let store = Persist.create_store ~image_hash ~config_fp in
+  ignore
+    (B.run_el ~config
+       ~attach:(fun e -> ignore (Persist.attach store e))
+       w ~scale);
+  record_to warm_path store;
+  (* an AOT file: static sweep plus one training run, as ia32el-compile
+     --train builds *)
+  let aot_path = Filename.temp_file "ia32el-bench-aot" ".tc" in
+  let aot_store = Persist.create_store ~image_hash ~config_fp in
+  (let mem = Ia32.Memory.create () in
+   let _st = Ia32.Asm.load image mem in
+   let eng =
+     Ia32el.Engine.create ~config ~btlib:(module Btlib.Linuxsim) mem
+   in
+   let se = Persist.attach aot_store eng in
+   let lo = image.Ia32.Asm.code_base in
+   let hi = lo + String.length image.Ia32.Asm.code in
+   ignore
+     (Persist.sweep se
+        ~roots:(image.Ia32.Asm.entry :: List.map snd image.Ia32.Asm.labels)
+        ~lo ~hi));
+  ignore
+    (B.run_el ~config
+       ~attach:(fun e -> ignore (Persist.attach aot_store e))
+       w ~scale);
+  record_to aot_path aot_store;
+  let cold_s = seconds_per ~min_time (fun () -> B.run_el ~config w ~scale) in
+  let eliminated_fraction = ref 0.0 in
+  let run_from path =
+    let st, _ = Persist.load ~path ~image_hash ~config_fp in
+    let sref = ref None in
+    let r =
+      B.run_el ~config
+        ~attach:(fun e -> sref := Some (Persist.attach ~readonly:true st e))
+        w ~scale
+    in
+    (match (!sref, r.B.engine) with
+    | Some se, Some eng ->
+      let s = Persist.stats se in
+      let total =
+        eng.Ia32el.Engine.acct.Ia32el.Account.cold_insns
+        * Ipf.Cost.default.Ipf.Cost.cold_translate_per_insn
+      in
+      if total > 0 then
+        eliminated_fraction :=
+          Float.of_int s.Persist.eliminated_cold_cycles /. Float.of_int total
+    | _ -> ());
+    r
+  in
+  let warm_s = seconds_per ~min_time (fun () -> run_from warm_path) in
+  let aot_s = seconds_per ~min_time (fun () -> run_from aot_path) in
+  List.iter
+    (fun p -> try Sys.remove p with Sys_error _ -> ())
+    [ warm_path; aot_path ];
+  (cold_s, warm_s, aot_s, !eliminated_fraction)
+
 let perf ~scale ~min_time () =
   header "Wall-clock throughput of the simulator itself"
     "host-dependent; committed snapshot makes fast-path regressions visible\n\
@@ -486,6 +566,7 @@ let perf ~scale ~min_time () =
         | None -> ());
         Float.of_int r.B.cycles)
   in
+  let cold_s, warm_s, aot_s, elim_frac = persist_rates ~scale ~min_time in
   let mach_speedup = mach_pre /. mach_int in
   let interp_speedup = interp_cached /. interp_uncached in
   let lock_factor = lock_s /. el_s in
@@ -511,27 +592,43 @@ let perf ~scale ~min_time () =
     (threads_cps /. 1e6);
   Printf.printf
     "contended futex (%s, 8 workers + producer): %.2f Mcycles/s, %d context \
-     switches/run\n\n"
+     switches/run\n"
     futex_w.Workloads.Common.name
     (futex_cps /. 1e6)
     !futex_switches;
+  Printf.printf "persistent tcache, cold     : %8.3f s/run\n" cold_s;
+  Printf.printf "persistent tcache, warm     : %8.3f s/run (%.2fx cold)\n"
+    warm_s (cold_s /. warm_s);
+  Printf.printf "persistent tcache, AOT      : %8.3f s/run (%.2fx cold)\n"
+    aot_s (cold_s /. aot_s);
+  Printf.printf
+    "  cold-phase translation cycles eliminated on warm start: %.1f%%\n\n"
+    (100.0 *. elim_frac);
   let finite x = Float.is_finite x && x > 0.0 in
   if
     not
       (List.for_all finite
          [
            mach_pre; mach_int; interp_cached; interp_uncached; lock_factor;
-           fuzz_ps; forkserver_ps; threads_cps; futex_cps;
+           fuzz_ps; forkserver_ps; threads_cps; futex_cps; cold_s; warm_s;
+           aot_s;
          ])
   then begin
     Printf.eprintf "perf: non-finite or non-positive measurement\n";
+    exit 1
+  end;
+  if elim_frac < 0.8 then begin
+    Printf.eprintf
+      "perf: warm start eliminated only %.1f%% of cold-phase translation \
+       cycles (acceptance floor 80%%)\n"
+      (100.0 *. elim_frac);
     exit 1
   end;
   let open Obs.Metrics in
   let report =
     Obj
       [
-        ("schema", Str "ia32el-wallclock/2");
+        ("schema", Str "ia32el-wallclock/3");
         ("scale", Int scale);
         ("host_dependent", Str "true");
         (* measured once when the direct-threaded core landed, same host
@@ -591,6 +688,17 @@ let perf ~scale ~min_time () =
               ("guest_threads", Int 9);
               ("guest_cycles_per_s", Float futex_cps);
               ("context_switches_per_run", Int !futex_switches);
+            ] );
+        ( "persist",
+          Obj
+            [
+              ("cold_s_per_run", Float cold_s);
+              ("warm_s_per_run", Float warm_s);
+              ("aot_s_per_run", Float aot_s);
+              ("warm_speedup", Float (cold_s /. warm_s));
+              ("aot_speedup", Float (cold_s /. aot_s));
+              ( "cold_translation_cycles_eliminated_fraction",
+                Float elim_frac );
             ] );
       ]
   in

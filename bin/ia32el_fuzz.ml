@@ -55,9 +55,145 @@ let forkserver_main seed runs max_insns mutations smoke max_findings fuel
       fs;
     exit 1
 
+(* --persist: persistence-fault campaign. For each generated program: a
+   cold lockstep run recording into a fresh store, saved to disk; then a
+   clean warm run plus one warm run per disk-fault mode, each over a
+   freshly faulted copy of the file. Every warm run must match the cold
+   run bit-for-bit — same lockstep result AND the same full metrics
+   snapshot, cycle counts included — and every fault must surface a
+   structured diagnostic: degraded, never diverged, never crashed. *)
+let persist_main seed runs max_insns smoke fuel verbose =
+  let runs = if smoke then min runs 10 else runs in
+  let log = if verbose then prerr_endline else ignore in
+  let rng = F.Rng.create seed in
+  let config = Ia32el.Config.default in
+  let config_fp = Persist.config_fingerprint config in
+  let path = Filename.temp_file "ia32el-fuzz" ".tc" in
+  let wpath = Filename.temp_file "ia32el-fuzz-warm" ".tc" in
+  let read_file p =
+    let ic = open_in_bin p in
+    let s = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    s
+  in
+  let write_file p s =
+    let oc = open_out_bin p in
+    output_string oc s;
+    close_out oc
+  in
+  let result_key = function
+    | F.R_ok { commits; exit_code } -> Printf.sprintf "ok:%d:%d" commits exit_code
+    | F.R_halted f -> "halted:" ^ Ia32.Fault.to_string f
+    | F.R_fuel -> "fuel"
+    | F.R_diverged _ -> "diverged"
+    | F.R_crash m -> "crash:" ^ m
+  in
+  let metrics_of (e : F.exec) =
+    Option.map
+      (fun eng -> Obs.Metrics.to_string (Ia32el.Engine.metrics eng))
+      e.F.engine
+  in
+  let failures = ref 0 in
+  let checks = ref 0 in
+  let fail fmt = Printf.ksprintf (fun m -> incr failures; print_endline m) fmt in
+  let t0 = Sys.time () in
+  for i = 0 to runs - 1 do
+    let prog = F.generate ~rng ~max_insns (seed + i) in
+    let image_hash = Persist.image_hash (F.build_image prog) in
+    let store = Persist.create_store ~image_hash ~config_fp in
+    let cold =
+      F.run_one ~config ~fuel
+        ~attach_extra:(fun e -> ignore (Persist.attach store e))
+        prog
+    in
+    let cold_key = result_key cold.F.result in
+    let cold_m = metrics_of cold in
+    (try Sys.remove path with Sys_error _ -> ());
+    match Persist.save store ~path with
+    | _ :: _ -> fail "program %d: cache save failed" i
+    | [] ->
+      let saved = read_file path in
+      (* a clean warm run, then one warm run per disk-fault mode *)
+      let modes =
+        None :: List.map Option.some Harness.Inject.all_disk_faults
+      in
+      List.iter
+        (fun mode ->
+          incr checks;
+          write_file wpath saved;
+          (try Sys.remove (wpath ^ ".lock") with Sys_error _ -> ());
+          let label =
+            match mode with
+            | None -> "clean-warm"
+            | Some f -> Fmt.str "%a" Harness.Inject.pp_disk_fault f
+          in
+          (match mode with
+          | None -> ()
+          | Some f -> (
+            match Harness.Inject.apply_disk_fault ~path:wpath f with
+            | Ok () -> ()
+            | Error m -> fail "program %d %s: fault injection failed: %s" i label m));
+          let wstore, diags =
+            Persist.load ~path:wpath ~image_hash ~config_fp
+          in
+          let sref = ref None in
+          match
+            F.run_one ~config ~fuel
+              ~attach_extra:(fun e -> sref := Some (Persist.attach wstore e))
+              prog
+          with
+          | exception e ->
+            fail "program %d %s: warm run CRASHED: %s" i label
+              (Printexc.to_string e)
+          | warm ->
+            let wk = result_key warm.F.result in
+            if wk <> cold_key then
+              fail "program %d %s: warm result %s differs from cold %s" i
+                label wk cold_key;
+            if metrics_of warm <> cold_m then
+              fail "program %d %s: warm metrics differ from cold" i label;
+            (match (mode, !sref) with
+            | None, Some se ->
+              if (Persist.stats se).Persist.hits = 0 then
+                fail "program %d clean-warm: no cache hits" i;
+              if diags <> [] then
+                fail "program %d clean-warm: unexpected load diagnostics" i
+            | None, None -> fail "program %d clean-warm: session not attached" i
+            | Some Harness.Inject.Lock_held, _ ->
+              (* the lock blocks saving, not loading *)
+              if diags <> [] then
+                fail "program %d lock-held: unexpected load diagnostics" i;
+              if Persist.save wstore ~path:wpath = [] then
+                fail "program %d lock-held: save ignored the lockfile" i
+            | Some _, _ ->
+              if diags = [] then
+                fail "program %d %s: fault produced no diagnostic" i label);
+            log
+              (Printf.sprintf "program %d %s: %s, %d load diagnostics" i label
+                 wk (List.length diags)))
+        modes
+  done;
+  List.iter
+    (fun p -> try Sys.remove p with Sys_error _ -> ())
+    [ path; wpath; wpath ^ ".lock" ];
+  Printf.printf
+    "persist: %d programs, %d warm runs (clean + %d fault modes each), %.1fs \
+     cpu\n"
+    runs !checks
+    (List.length Harness.Inject.all_disk_faults)
+    (Sys.time () -. t0);
+  if !failures > 0 then begin
+    Printf.printf "%d failure(s)\n" !failures;
+    exit 1
+  end;
+  Printf.printf
+    "all warm runs bit-identical to cold; every fault degraded cleanly\n";
+  exit 0
+
 let main seed runs max_insns inject_spec shrink smoke fork_server mutations
-    corpus max_findings fuel verbose =
-  if fork_server then
+    corpus max_findings fuel verbose persist =
+  if persist then persist_main seed runs max_insns smoke fuel verbose
+  else if fork_server then
     forkserver_main seed
       (if runs = 200 then F.default_forkserver.F.fs_programs else runs)
       max_insns mutations smoke max_findings fuel verbose
@@ -194,11 +330,25 @@ let mutations_arg =
         ~doc:
           "Mutated inputs per base program in $(b,--fork-server) mode            (each base also runs once unmutated).")
 
+let persist_arg =
+  Arg.(
+    value & flag
+    & info [ "persist" ]
+        ~doc:
+          "Persistence-fault campaign: for each generated program, record \
+           a cold lockstep run into a translation-cache file, then replay \
+           it warm — once clean and once per disk-fault mode (bit flip, \
+           truncation, partial write, stale fingerprint, held lock). \
+           Every warm run must be bit-identical to the cold one and every \
+           fault must degrade to retranslation with a structured \
+           diagnostic. $(b,--runs) counts programs; exits non-zero on any \
+           divergence, crash or silent fault.")
+
 let main_t =
   Term.(
     const main $ seed_arg $ runs_arg $ max_insns_arg $ inject_arg $ shrink_arg
     $ smoke_arg $ fork_server_arg $ mutations_arg $ corpus_arg
-    $ max_findings_arg $ fuel_arg $ verbose_arg)
+    $ max_findings_arg $ fuel_arg $ verbose_arg $ persist_arg)
 
 let cmd =
   Cmd.v

@@ -142,6 +142,56 @@ let obs_finish o labels eng =
     Printf.printf "metrics -> %s\n" file
   | None -> ()
 
+(* ------------------------------------------------------------------ *)
+(* persistent translation cache plumbing                               *)
+(* ------------------------------------------------------------------ *)
+
+type tcache_opts = {
+  tc_file : string option;
+  tc_readonly : bool;
+  tc_no_verify : bool;
+}
+
+(* Returns (attach, finish): [attach] installs the persistent-store
+   translate filter on a fresh engine; [finish] (after the run) saves the
+   store back — unless read-only — and reports. Load problems are
+   warnings: damaged or stale entries are dropped with a diagnostic and
+   the run degrades to live translation. *)
+let tcache_setup tc ~(config : Ia32el.Config.t) (w : C.t) ~scale ~stats =
+  match tc.tc_file with
+  | None -> ((fun _ -> ()), fun () -> ())
+  | Some path ->
+    let image = w.C.build ~scale ~wide:false in
+    let image_hash = Persist.image_hash image in
+    let config_fp = Persist.config_fingerprint config in
+    let store, diags = Persist.load ~path ~image_hash ~config_fp in
+    List.iter (fun d -> Fmt.epr "tcache: %a@." Ia32el.Bt_error.pp d) diags;
+    if diags <> [] then
+      Fmt.epr
+        "tcache: damaged or stale cache content dropped; affected blocks \
+         will retranslate@.";
+    let session = ref None in
+    let attach eng =
+      session :=
+        Some
+          (Persist.attach ~verify:(not tc.tc_no_verify)
+             ~readonly:tc.tc_readonly store eng)
+    in
+    let finish () =
+      match !session with
+      | None -> ()
+      | Some se ->
+        if stats then Fmt.pr "%a@." Persist.pp_stats (Persist.stats se);
+        if not tc.tc_readonly then begin
+          let ds = Persist.save store ~path in
+          List.iter (fun d -> Fmt.epr "tcache: %a@." Ia32el.Bt_error.pp d) ds;
+          if ds = [] then
+            Printf.printf "tcache: %d entries -> %s\n"
+              (Persist.entry_count store) path
+        end
+    in
+    (attach, finish)
+
 let print_inject_stats = function
   | Some s -> Fmt.pr "%a@." Harness.Inject.pp_stats s
   | None -> ()
@@ -152,11 +202,16 @@ let print_capsule_written = function
 
 (* --lockstep: run the engine against the reference interpreter, with the
    chaos injector when --inject SEED is given. *)
-let run_lockstep_cmd w config desc scale stats obs labels seed max_cycles
-    snap_every capsule sabotage =
+let run_lockstep_cmd w config desc scale stats obs labels
+    ((pattach, pfinish) : (Ia32el.Engine.t -> unit) * (unit -> unit)) seed
+    max_cycles snap_every capsule sabotage =
   let r =
     Harness.Resilience.run_lockstep ~config ?seed ?max_cycles ?snap_every
-      ?capsule ?sabotage ~attach_extra:(obs_attach obs) w ~scale
+      ?capsule ?sabotage
+      ~attach_extra:(fun eng ->
+        obs_attach obs eng;
+        pattach eng)
+      w ~scale
   in
   (match r.Harness.Resilience.report.Ia32el.Lockstep.divergence with
   | Some d ->
@@ -181,16 +236,22 @@ let run_lockstep_cmd w config desc scale stats obs labels seed max_cycles
   print_inject_stats r.Harness.Resilience.inject_stats;
   print_capsule_written r.Harness.Resilience.capsule_written;
   if stats then print_stats r.Harness.Resilience.engine;
-  obs_finish obs labels r.Harness.Resilience.engine
+  obs_finish obs labels r.Harness.Resilience.engine;
+  pfinish ()
 
 (* Engine-only path with the resilience knobs: --inject without
    --lockstep, and any plain run that arms --max-cycles,
    --snapshot-every or --capsule. *)
-let run_plain_cmd w config desc scale stats obs labels seed max_cycles
-    snap_every capsule sabotage =
+let run_plain_cmd w config desc scale stats obs labels
+    ((pattach, pfinish) : (Ia32el.Engine.t -> unit) * (unit -> unit)) seed
+    max_cycles snap_every capsule sabotage =
   let r =
     Harness.Resilience.run_plain ~config ?seed ?max_cycles ?snap_every
-      ?capsule ?sabotage ~attach:(obs_attach obs) w ~scale
+      ?capsule ?sabotage
+      ~attach:(fun eng ->
+        obs_attach obs eng;
+        pattach eng)
+      w ~scale
   in
   let with_seed =
     match seed with
@@ -208,7 +269,8 @@ let run_plain_cmd w config desc scale stats obs labels seed max_cycles
   print_inject_stats r.Harness.Resilience.inject_stats;
   print_capsule_written r.Harness.Resilience.capsule_written;
   if stats then print_stats r.Harness.Resilience.engine;
-  obs_finish obs labels r.Harness.Resilience.engine
+  obs_finish obs labels r.Harness.Resilience.engine;
+  pfinish ()
 
 (* --replay CAPSULE: rebuild the failing run from the capsule file and
    verify it reproduces bit-identically. *)
@@ -222,6 +284,9 @@ let replay_cmd file =
     | Invalid_argument msg | Failure msg ->
       Printf.eprintf "--replay: %s\n" msg;
       exit 2
+    | Ia32el.Bt_error.Error e ->
+      Fmt.epr "--replay: %a@." Ia32el.Bt_error.pp e;
+      exit 3
   in
   print_string (Harness.Capsule.describe c);
   let v = Harness.Capsule.replay ~log:prerr_endline c in
@@ -237,7 +302,8 @@ let replay_cmd file =
 
 let run_cmd name model scale stats lockstep inject trace_file trace_stderr
     profile_top metrics_file no_predecode no_decode_cache threads quantum
-    max_cycles snap_every capsule replay sabotage =
+    max_cycles snap_every capsule replay sabotage tcache_file tcache_readonly
+    no_tcache_verify =
   (match replay with
   | Some file -> replay_cmd file; exit 0
   | None -> ());
@@ -259,6 +325,13 @@ let run_cmd name model scale stats lockstep inject trace_file trace_stderr
       exit 2
   in
   let obs = { trace_file; trace_stderr; profile_top; metrics_file } in
+  let tc =
+    {
+      tc_file = tcache_file;
+      tc_readonly = tcache_readonly;
+      tc_no_verify = no_tcache_verify;
+    }
+  in
   (* host-speed escape hatches; simulated results are bit-identical *)
   let model =
     match model with
@@ -301,36 +374,45 @@ let run_cmd name model scale stats lockstep inject trace_file trace_stderr
       in
       match model with
       | (M_native | M_circuitry | M_xeon)
-        when lockstep || inject_seeds <> None || obs_requested obs ->
+        when lockstep || inject_seeds <> None || obs_requested obs
+             || tc.tc_file <> None ->
         Printf.eprintf
-          "--lockstep/--inject/--trace/--profile/--metrics only apply to \
-           the translator models\n";
+          "--lockstep/--inject/--trace/--profile/--metrics/--tcache-file \
+           only apply to the translator models\n";
         exit 1
       | M_el (config, desc) when lockstep -> (
+        let pers = tcache_setup tc ~config w ~scale ~stats in
         match inject_seeds with
         | None ->
-          run_lockstep_cmd w config desc scale stats obs labels None
+          run_lockstep_cmd w config desc scale stats obs labels pers None
             max_cycles snap_every capsule sabotage
         | Some seeds ->
           List.iter
             (fun s ->
-              run_lockstep_cmd w config desc scale stats obs labels (Some s)
-                max_cycles snap_every capsule sabotage)
+              run_lockstep_cmd w config desc scale stats obs labels pers
+                (Some s) max_cycles snap_every capsule sabotage)
             seeds)
       | M_el (config, desc) when inject_seeds <> None ->
+        let pers = tcache_setup tc ~config w ~scale ~stats in
         List.iter
           (fun s ->
-            run_plain_cmd w config desc scale stats obs labels (Some s)
+            run_plain_cmd w config desc scale stats obs labels pers (Some s)
               max_cycles snap_every capsule sabotage)
           (Option.get inject_seeds)
       | M_el (config, desc)
         when max_cycles <> None || snap_every <> None || capsule <> None
              || sabotage <> None ->
-        run_plain_cmd w config desc scale stats obs labels None max_cycles
-          snap_every capsule sabotage
+        let pers = tcache_setup tc ~config w ~scale ~stats in
+        run_plain_cmd w config desc scale stats obs labels pers None
+          max_cycles snap_every capsule sabotage
       | M_el (config, desc) ->
+        let pattach, pfinish = tcache_setup tc ~config w ~scale ~stats in
         let r =
-          B.run_el ~config ~attach:(obs_attach obs) ~check_exit:false w ~scale
+          B.run_el ~config
+            ~attach:(fun eng ->
+              obs_attach obs eng;
+              pattach eng)
+            ~check_exit:false w ~scale
         in
         Printf.printf "%s under %s: %d cycles (guest exit %d)\n" w.C.name desc
           r.B.cycles r.B.exit_code;
@@ -343,6 +425,7 @@ let run_cmd name model scale stats lockstep inject trace_file trace_stderr
         (match r.B.engine with
         | Some eng -> obs_finish obs labels eng
         | None -> ());
+        pfinish ();
         (* the driver exits with the guest process's exit code *)
         if r.B.exit_code <> 0 then exit (r.B.exit_code land 0xff)
       | M_native ->
@@ -582,13 +665,49 @@ let sabotage_arg =
            the spec is recorded so $(b,--replay) reproduces the \
            divergence deterministically.")
 
+let tcache_file_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "tcache-file" ] ~docv:"FILE"
+        ~doc:
+          "Persistent translation cache: load verified translations from \
+           $(docv) before the run (warm start) and save the run's \
+           translations back atomically afterwards. The file is keyed by \
+           guest-image hash, configuration fingerprint and format version; \
+           stale, truncated or corrupt content is dropped with a \
+           diagnostic and the affected blocks simply retranslate — a \
+           damaged cache can slow a run, never change it. Warm runs are \
+           bit-identical (cycle counts included) to cold ones.")
+
+let tcache_readonly_arg =
+  Arg.(
+    value & flag
+    & info [ "tcache-readonly" ]
+        ~doc:
+          "Use the persistent translation cache read-only: consume \
+           recorded translations but record nothing and never write the \
+           file back.")
+
+let no_tcache_verify_arg =
+  Arg.(
+    value & flag
+    & info [ "no-tcache-verify" ]
+        ~doc:
+          "Skip the semantic per-entry validations (source-byte span, \
+           TOS/flag, hot-profile seeds) when installing from the \
+           persistent translation cache. Structural checks (checksums, \
+           arena pins, branch-target bounds) still run. Only safe when \
+           the cache is known to match this exact run.")
+
 let run_t =
   Term.(
     const run_cmd $ workload_arg $ model_arg $ scale_arg $ stats_arg
     $ lockstep_arg $ inject_arg $ trace_arg $ trace_stderr_arg $ profile_arg
     $ metrics_arg $ no_predecode_arg $ no_decode_cache_arg $ threads_arg
     $ quantum_arg $ max_cycles_arg $ snapshot_every_arg $ capsule_arg
-    $ replay_arg $ sabotage_arg)
+    $ replay_arg $ sabotage_arg $ tcache_file_arg $ tcache_readonly_arg
+    $ no_tcache_verify_arg)
 
 let run_info =
   Cmd.info "run" ~doc:"Run one workload under a chosen execution model."

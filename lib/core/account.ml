@@ -241,6 +241,53 @@ let pp_distribution ppf d =
    (closures and the cold-translation env hold references to it). *)
 let copy t = { t with overhead_cycles = t.overhead_cycles }
 
+(* Fieldwise difference [a - b], for capturing what a bounded stretch of
+   engine work charged: snapshot before, subtract after. Record literal on
+   purpose — adding a field to [t] without updating this breaks the build. *)
+let sub a b =
+  {
+    overhead_cycles = a.overhead_cycles - b.overhead_cycles;
+    other_cycles = a.other_cycles - b.other_cycles;
+    idle_cycles = a.idle_cycles - b.idle_cycles;
+    interp_cycles = a.interp_cycles - b.interp_cycles;
+    cold_blocks = a.cold_blocks - b.cold_blocks;
+    cold_insns = a.cold_insns - b.cold_insns;
+    cold_regens = a.cold_regens - b.cold_regens;
+    hot_blocks = a.hot_blocks - b.hot_blocks;
+    hot_insns = a.hot_insns - b.hot_insns;
+    hot_discards = a.hot_discards - b.hot_discards;
+    heat_triggers = a.heat_triggers - b.heat_triggers;
+    heated_blocks = a.heated_blocks - b.heated_blocks;
+    commit_points = a.commit_points - b.commit_points;
+    hot_target_insns = a.hot_target_insns - b.hot_target_insns;
+    dispatches = a.dispatches - b.dispatches;
+    chain_patches = a.chain_patches - b.chain_patches;
+    indirect_lookups = a.indirect_lookups - b.indirect_lookups;
+    indirect_misses = a.indirect_misses - b.indirect_misses;
+    tos_checks = a.tos_checks - b.tos_checks;
+    tos_misses = a.tos_misses - b.tos_misses;
+    tag_misses = a.tag_misses - b.tag_misses;
+    mode_checks = a.mode_checks - b.mode_checks;
+    mode_misses = a.mode_misses - b.mode_misses;
+    sse_checks = a.sse_checks - b.sse_checks;
+    sse_misses = a.sse_misses - b.sse_misses;
+    misalign_stage1_hits = a.misalign_stage1_hits - b.misalign_stage1_hits;
+    misalign_os_faults = a.misalign_os_faults - b.misalign_os_faults;
+    misalign_avoided = a.misalign_avoided - b.misalign_avoided;
+    exceptions_filtered = a.exceptions_filtered - b.exceptions_filtered;
+    rollforwards = a.rollforwards - b.rollforwards;
+    smc_invalidations = a.smc_invalidations - b.smc_invalidations;
+    cache_flushes = a.cache_flushes - b.cache_flushes;
+    degrade_interp_entries = a.degrade_interp_entries - b.degrade_interp_entries;
+    degrade_smc_storms = a.degrade_smc_storms - b.degrade_smc_storms;
+    thread_spawns = a.thread_spawns - b.thread_spawns;
+    thread_joins = a.thread_joins - b.thread_joins;
+    thread_yields = a.thread_yields - b.thread_yields;
+    futex_waits = a.futex_waits - b.futex_waits;
+    futex_wakes = a.futex_wakes - b.futex_wakes;
+    thread_switches = a.thread_switches - b.thread_switches;
+  }
+
 let blit ~src ~dst =
   dst.overhead_cycles <- src.overhead_cycles;
   dst.other_cycles <- src.other_cycles;
@@ -282,3 +329,10 @@ let blit ~src ~dst =
   dst.futex_waits <- src.futex_waits;
   dst.futex_wakes <- src.futex_wakes;
   dst.thread_switches <- src.thread_switches
+
+(* Accumulate a delta produced by [sub] into a live record: replaying the
+   accounting of work that was skipped (e.g. a translation served from the
+   persistent cache must charge exactly what translating it live would).
+   dst + d == dst - (0 - d), so [sub]'s compile-checked field coverage
+   carries over. *)
+let add_into ~dst d = blit ~src:(sub dst (sub (create ()) d)) ~dst

@@ -98,3 +98,14 @@ val blit : src:t -> dst:t -> unit
 (** Write [src]'s counters into [dst] in place, so existing references
     to [dst] (the engine, the cold-translation env) see the restored
     values. *)
+
+val sub : t -> t -> t
+(** [sub a b] is the fieldwise difference [a - b]: snapshot before a
+    bounded stretch of engine work, subtract after, and the result is
+    exactly what that stretch charged. *)
+
+val add_into : dst:t -> t -> unit
+(** [add_into ~dst d] accumulates a delta produced by {!sub} into [dst]
+    in place — used to replay the accounting of skipped work (e.g. a
+    translation served from the persistent cache must charge exactly what
+    translating it live would have). *)

@@ -98,6 +98,11 @@ type cache = {
   by_page : (int, t list ref) Hashtbl.t; (* source code page -> blocks *)
   mutable next_id : int;
   mutable arena_next : int; (* profile arena bump pointer *)
+  (* Arena byte ranges claimed at their recorded addresses by blocks
+     installed from a persistent cache. Live allocation weaves around
+     them, so install order never changes which addresses a block's
+     profile slots occupy. *)
+  mutable pins : (int * int) list; (* (start, byte length) *)
 }
 
 (* The profile arena lives in a reserved guest region (invisible to the
@@ -113,6 +118,7 @@ let create_cache () =
     by_page = Hashtbl.create 64;
     next_id = 0;
     arena_next = arena_base;
+    pins = [];
   }
 
 let fresh_id cache =
@@ -120,10 +126,41 @@ let fresh_id cache =
   cache.next_id <- id + 1;
   id
 
-(* Allocate [n] 4-byte profile slots; returns the base address. *)
+let ranges_overlap s1 l1 s2 l2 = s1 < s2 + l2 && s2 < s1 + l1
+
+(* Claim the byte range [start, start+len) at its recorded address for a
+   block being installed from a persistent cache. Fails (returns false,
+   caller falls back to live translation) if the range escapes the arena
+   or collides with anything already handed out — the bump region or
+   another pin. Does not advance [arena_next]: live allocation weaves
+   around pins instead. *)
+let pin_arena cache ~start ~len =
+  len > 0 && start >= arena_base
+  && start + len <= arena_base + arena_size
+  && not (ranges_overlap start len arena_base (cache.arena_next - arena_base))
+  && List.for_all (fun (s, l) -> not (ranges_overlap start len s l)) cache.pins
+  &&
+  (cache.pins <- (start, len) :: cache.pins;
+   true)
+
+(* Highest arena address handed out so far (bump pointer or pin end):
+   the flush zeroing bound. *)
+let arena_high cache =
+  List.fold_left (fun hi (s, l) -> max hi (s + l)) cache.arena_next cache.pins
+
+(* Allocate [n] 4-byte profile slots; returns the base address. Live
+   allocation bump-skips any pinned range it would collide with. *)
 let alloc_arena cache n =
-  let base = cache.arena_next in
-  cache.arena_next <- base + (4 * n);
+  let len = 4 * n in
+  let rec place base =
+    match
+      List.find_opt (fun (s, l) -> ranges_overlap base len s l) cache.pins
+    with
+    | Some (s, l) -> place (s + l)
+    | None -> base
+  in
+  let base = place cache.arena_next in
+  cache.arena_next <- base + len;
   if cache.arena_next > arena_base + arena_size then
     Bt_error.fail ~component:"block"
       ~detail:(Printf.sprintf "next %#x" cache.arena_next)

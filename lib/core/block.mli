@@ -75,6 +75,9 @@ type cache = {
   by_page : (int, t list ref) Hashtbl.t;  (** source page -> blocks *)
   mutable next_id : int;
   mutable arena_next : int;
+  mutable pins : (int * int) list;
+      (** (start, byte length) arena ranges claimed at recorded addresses
+          by blocks installed from a persistent cache *)
 }
 
 val arena_base : int
@@ -87,7 +90,19 @@ val create_cache : unit -> cache
 val fresh_id : cache -> int
 
 val alloc_arena : cache -> int -> int
-(** Allocate [n] 4-byte profile slots; returns the base address. *)
+(** Allocate [n] 4-byte profile slots; returns the base address. Live
+    allocation bump-skips any range pinned by {!pin_arena}. *)
+
+val pin_arena : cache -> start:int -> len:int -> bool
+(** Claim the byte range [\[start, start+len)] at its recorded address for
+    a block installed from a persistent cache. Returns [false] — and
+    claims nothing — if the range escapes the arena or collides with the
+    bump region or another pin; the caller then falls back to live
+    translation. *)
+
+val arena_high : cache -> int
+(** Highest arena address handed out so far (bump pointer or pin end) —
+    the bound a cache flush must zero through. *)
 
 val register : cache -> t -> unit
 val find_entry : cache -> int -> t option

@@ -69,6 +69,21 @@ type t = {
      without them attached. *)
   mutable trace : Obs.Trace.t option;
   mutable profile : Obs.Profile.t option;
+  (* persistence ---------------------------------------------------------- *)
+  (* Interposes on every translation request. [live] runs the normal
+     translator (with all its side effects: arena slots, tcache append,
+     registration, Account charges); a filter may instead install an
+     equivalent block from a persistent store — but must leave behaviour
+     indistinguishable from [live], observables included. [flag] is the
+     stage2 marker for cold requests and the avoid marker for hot ones. *)
+  mutable translate_filter :
+    (phase:Obs.Trace.phase ->
+    entry:int ->
+    entry_tos:int ->
+    flag:bool ->
+    live:(unit -> Block.t option) ->
+    Block.t option)
+    option;
 }
 
 (* Everything the engine must rewind besides guest memory (which the page
@@ -259,8 +274,15 @@ let create ?(config = Config.default) ?cost:(mcost = Ipf.Cost.default) ?dcache
       commits_seen = 0;
       trace = None;
       profile = None;
+      translate_filter = None;
     }
   in
+  (* Profile-arena traffic is translator instrumentation, not guest
+     memory: keep it out of the dcache model so a block's cycles do not
+     depend on which arena slots it was handed (required for installing
+     persisted blocks at their recorded addresses in any order). *)
+  machine.M.dc_skip_lo <- Block.arena_base;
+  machine.M.dc_skip_hi <- Block.arena_base + Block.arena_size;
   vos.Btlib.Vos.clock <- (fun _ -> now t);
   vos.Btlib.Vos.quantum <- config.Config.quantum;
   (* bucket attribution: cold vs hot cycles *)
@@ -350,7 +372,7 @@ let flush_translations t =
   t.acct.Account.cache_flushes <- t.acct.Account.cache_flushes + 1;
   (* zero the recycled profile arena so stale counters cannot heat fresh
      blocks instantly *)
-  let used = t.cache.Block.arena_next - Block.arena_base in
+  let used = Block.arena_high t.cache - Block.arena_base in
   for k = 0 to (used / 4) - 1 do
     Ia32.Memory.write32 t.mem (Block.arena_base + (4 * k)) 0
   done;
@@ -359,6 +381,7 @@ let flush_translations t =
   Hashtbl.reset t.cache.Block.bundle_owner;
   Hashtbl.reset t.cache.Block.by_page;
   t.cache.Block.arena_next <- Block.arena_base;
+  t.cache.Block.pins <- [];
   Ipf.Tcache.clear t.tcache;
   t.candidates <- [];
   t.smc_pending <- [];
@@ -646,7 +669,19 @@ let translate_cold t entry =
   | Some tr ->
     Obs.Trace.emit tr (Obs.Trace.Trans_begin { phase = Obs.Trace.Cold; entry })
   | None -> ());
-  let b = Cold.translate t.cold_env ~entry ~entry_tos ~stage2 in
+  let b =
+    match t.translate_filter with
+    | None -> Cold.translate t.cold_env ~entry ~entry_tos ~stage2
+    | Some f -> (
+      let live () = Some (Cold.translate t.cold_env ~entry ~entry_tos ~stage2) in
+      match f ~phase:Obs.Trace.Cold ~entry ~entry_tos ~flag:stage2 ~live with
+      | Some b -> b
+      | None ->
+        (* the filter is total: it either installs or runs [live], and
+           cold [live] never declines (it raises on failure) *)
+        Bt_error.fail ~component:"engine" ~eip:entry
+          "translate filter dropped a cold translation")
+  in
   let cycles =
     Array.length b.Block.insns * (cost t).Ipf.Cost.cold_translate_per_insn
   in
@@ -701,9 +736,17 @@ let run_hot_session t =
             (Obs.Trace.Trans_begin
                { phase = Obs.Trace.Hot; entry = b.Block.entry })
         | None -> ());
-        match
+        let avoid = Hashtbl.mem t.avoid_entries b.Block.entry in
+        let live () =
           Hot.translate t.cold_env ~entry:b.Block.entry ~entry_tos ~profile
-            ~avoid:(Hashtbl.mem t.avoid_entries b.Block.entry)
+            ~avoid
+        in
+        match
+          match t.translate_filter with
+          | None -> live ()
+          | Some f ->
+            f ~phase:Obs.Trace.Hot ~entry:b.Block.entry ~entry_tos
+              ~flag:avoid ~live
         with
         | Some hot_block ->
           let cycles =
@@ -1031,7 +1074,15 @@ let run ?(fuel = max_int) t (st0 : Ia32.State.t) =
     if !count >= threshold then begin
       let profile = hot_profile t in
       let entry_tos = arch_tos t in
-      match Hot.translate t.cold_env ~entry:eip ~entry_tos ~profile ~avoid:false with
+      let live () =
+        Hot.translate t.cold_env ~entry:eip ~entry_tos ~profile ~avoid:false
+      in
+      match
+        match t.translate_filter with
+        | None -> live ()
+        | Some f ->
+          f ~phase:Obs.Trace.Hot ~entry:eip ~entry_tos ~flag:false ~live
+      with
       | Some hb ->
         charge_overhead t
           (Array.length hb.Block.insns * (cost t).Ipf.Cost.hot_translate_per_insn);

@@ -90,6 +90,24 @@ type t = {
           only — never perturbs cycle counts or [Account] totals *)
   mutable profile : Obs.Profile.t option;
       (** per-block cycle attribution; attach with {!attach_profile} *)
+  mutable translate_filter :
+    (phase:Obs.Trace.phase ->
+    entry:int ->
+    entry_tos:int ->
+    flag:bool ->
+    live:(unit -> Block.t option) ->
+    Block.t option)
+    option;
+      (** Interposes on every translation request (persistent-cache hook).
+          The filter is total: it either installs an equivalent block
+          itself or calls [live] (the normal translator, with all its side
+          effects) exactly once and returns its result. Behaviour must be
+          indistinguishable from [live] — observables, cycle charges and
+          [Account] totals included; only host work may differ. [flag] is
+          the stage-2 marker for cold requests, the avoidance marker for
+          hot ones. Cold [live] never returns [None] (it raises on
+          failure); a hot [None] means the trace was declined and the cold
+          block stays. *)
 }
 
 and epoch

@@ -18,7 +18,7 @@ module E = Ia32el.Engine
 module L = Ia32el.Lockstep
 module Memory = Ia32.Memory
 
-let magic = "IA32EL-CAPSULE/1"
+let magic = "IA32EL-CAPSULE/2"
 let log_cap = 65536
 
 type event = Ev_syscall of int | Ev_fault of string | Ev_exit of int
@@ -82,6 +82,10 @@ type t = {
   c_pages : (int * Memory.prot * string) list; (* page no, prot, bytes *)
   c_arch : arch;
   c_config : Ia32el.Config.t;
+  c_config_fp : int64;
+      (* fingerprint of [c_config] under the writer's build — a reader
+         whose translation semantics drifted recomputes a different
+         value and must refuse to replay rather than mis-reproduce *)
   c_fuel : int;
   c_max_cycles : int option;
   c_snap_every : int option;
@@ -210,6 +214,7 @@ let finalize r failure =
     c_pages = r.r_pages;
     c_arch = r.r_arch;
     c_config = r.r_config;
+    c_config_fp = Persist.config_fingerprint r.r_config;
     c_fuel = r.r_fuel;
     c_max_cycles = r.r_max_cycles;
     c_snap_every = r.r_snap_every;
@@ -298,6 +303,8 @@ let save file c =
       output_string oc magic;
       Marshal.to_channel oc c [])
 
+let corrupt_config_fp c fp = { c with c_config_fp = fp }
+
 let load file =
   let ic = open_in_bin file in
   Fun.protect
@@ -317,6 +324,14 @@ let load file =
           invalid_arg (Printf.sprintf "%s: truncated or corrupt capsule" file)
       in
       if c.c_magic <> magic then bad c.c_magic;
+      let fp = Persist.config_fingerprint c.c_config in
+      if fp <> c.c_config_fp then
+        Ia32el.Bt_error.fail ~component:"capsule"
+          ~detail:
+            (Printf.sprintf "recorded %Lx, this build computes %Lx"
+               c.c_config_fp fp)
+          "capsule configuration fingerprint mismatch: recorded by an \
+           incompatible build, refusing to replay";
       c)
 
 (* ---- description ------------------------------------------------------- *)

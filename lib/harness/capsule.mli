@@ -15,7 +15,7 @@
     time-travel anchor into the run's {!Obs.Trace} stream. *)
 
 val magic : string
-(** File format tag, ["IA32EL-CAPSULE/1"]. *)
+(** File format tag, ["IA32EL-CAPSULE/2"]: version 2 adds the configuration fingerprint ({!Persist.config_fingerprint}) checked at load — a capsule recorded by a build with different translation semantics is refused with a structured error (component ["capsule"]) instead of silently mis-replaying. *)
 
 val log_cap : int
 (** Commit points retained in a capsule's log (the total count is kept
@@ -100,7 +100,17 @@ val parse_sabotage : string -> (sabotage, string) result
 val save : string -> t -> unit
 
 val load : string -> t
-(** @raise Invalid_argument when the file is not a capsule. *)
+(** @raise Invalid_argument when the file is not a capsule.
+    @raise Ia32el.Bt_error.Error (component ["capsule"]) when the
+    recorded configuration fingerprint does not match what this build
+    computes for the same configuration — the capsule came from a build
+    with different translation semantics and replaying it would not
+    reproduce the recorded run. *)
+
+val corrupt_config_fp : t -> int64 -> t
+(** Fault-injection support (see {!Inject}): a copy of the capsule with
+    its configuration fingerprint overwritten, for proving the load-time
+    rejection above. *)
 
 val describe : t -> string
 (** Multi-line human summary (failure, image size, parameters, log

@@ -152,3 +152,92 @@ let pp_stats ppf s =
     \  transient syscalls %d@]"
     s.dispatches_seen s.tos_rotations s.sse_scrambles s.smc_invalidations
     s.cache_flushes s.capacity_squeezes s.transient_faults
+
+(* ------------------------------------------------------------------ *)
+(* disk faults on persistent translation-cache files                   *)
+(* ------------------------------------------------------------------ *)
+
+type disk_fault =
+  | Bit_flip of int
+  | Truncate of int
+  | Partial_write of int
+  | Stale_fingerprint
+  | Lock_held
+
+let pp_disk_fault ppf = function
+  | Bit_flip off -> Fmt.pf ppf "bit-flip@%d" off
+  | Truncate n -> Fmt.pf ppf "truncate-last-%d" n
+  | Partial_write n -> Fmt.pf ppf "partial-write-%d" n
+  | Stale_fingerprint -> Fmt.string ppf "stale-fingerprint"
+  | Lock_held -> Fmt.string ppf "lock-held"
+
+let all_disk_faults =
+  [ Bit_flip 100; Truncate 7; Partial_write 64; Stale_fingerprint; Lock_held ]
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let write_file path s =
+  let oc = open_out_bin path in
+  output_string oc s;
+  close_out oc
+
+let put_be32 b off v =
+  Bytes.set b off (Char.chr ((v lsr 24) land 0xff));
+  Bytes.set b (off + 1) (Char.chr ((v lsr 16) land 0xff));
+  Bytes.set b (off + 2) (Char.chr ((v lsr 8) land 0xff));
+  Bytes.set b (off + 3) (Char.chr (v land 0xff))
+
+(* The cache header is 16 bytes of magic, a 20-byte body (version, image
+   hash, config fingerprint) at 16..35, and the body's CRC-32 at 36..39
+   — fixed offsets shared with Persist's writer. *)
+let header_len = 40
+
+let apply_disk_fault ~path fault =
+  match fault with
+  | Lock_held -> (
+    try
+      let oc =
+        open_out_gen [ Open_wronly; Open_creat ] 0o644 (path ^ ".lock")
+      in
+      close_out oc;
+      Ok ()
+    with Sys_error m -> Error m)
+  | _ -> (
+    try
+      let s = read_file path in
+      let n = String.length s in
+      match fault with
+      | Lock_held -> assert false
+      | Bit_flip off ->
+        if n = 0 then Error "empty file"
+        else begin
+          let b = Bytes.of_string s in
+          let i = ((off mod n) + n) mod n in
+          Bytes.set b i
+            (Char.chr (Char.code (Bytes.get b i) lxor (1 lsl (off land 7))));
+          write_file path (Bytes.to_string b);
+          Ok ()
+        end
+      | Truncate k ->
+        write_file path (String.sub s 0 (max 0 (n - k)));
+        Ok ()
+      | Partial_write k ->
+        write_file path (String.sub s 0 (min n k));
+        Ok ()
+      | Stale_fingerprint ->
+        if n < header_len then Error "file shorter than a cache header"
+        else begin
+          (* flip the image hash but keep the header checksum valid, so
+             the load fails on staleness, not on corruption *)
+          let b = Bytes.of_string s in
+          Bytes.set b 27 (Char.chr (Char.code (Bytes.get b 27) lxor 0xff));
+          put_be32 b 36 (Persist.crc32 (Bytes.sub_string b 16 20));
+          write_file path (Bytes.to_string b);
+          Ok ()
+        end
+    with Sys_error m -> Error m)

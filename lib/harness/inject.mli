@@ -58,3 +58,35 @@ val attach : t -> Ia32el.Engine.t -> unit
 val stats : t -> stats
 val total_injections : stats -> int
 val pp_stats : Format.formatter -> stats -> unit
+
+(** {2 Disk faults}
+
+    Deterministic corruptions of a persistent translation-cache file
+    ({!Persist}), for proving the load-time robustness ladder: every mode
+    must degrade a subsequent warm start to live retranslation with a
+    structured diagnostic — never a crash, never a behaviour change. *)
+
+type disk_fault =
+  | Bit_flip of int
+      (** flip bit [off land 7] of the byte at [off mod size] — lands in
+          the header, an entry frame or the trailer depending on [off] *)
+  | Truncate of int  (** drop the last [n] bytes (clamped at empty) *)
+  | Partial_write of int
+      (** keep only the first [n] bytes — a torn in-place overwrite (the
+          real writer is atomic; this models a bypassed rename) *)
+  | Stale_fingerprint
+      (** rewrite the header's image hash, recomputing the header
+          checksum — a cache from a different guest build, exercising
+          the staleness ladder rather than the corruption one *)
+  | Lock_held
+      (** create [<path>.lock] as a concurrent writer would, so a save
+          must back off *)
+
+val pp_disk_fault : Format.formatter -> disk_fault -> unit
+
+val all_disk_faults : disk_fault list
+(** One representative of every mode, for smoke matrices. *)
+
+val apply_disk_fault : path:string -> disk_fault -> (unit, string) result
+(** Mutate the file (or its lockfile) in place. [Error] when the file is
+    missing or too small for the requested fault. *)

@@ -184,7 +184,7 @@ let compile_insn m (insn : Insn.t) =
     match t with To n -> n | Out _ -> -2
   in
   let dstall addr =
-    stats.M.dcache_stall <- stats.M.dcache_stall + Dcache.access m.M.dcache addr
+    stats.M.dcache_stall <- stats.M.dcache_stall + M.dcache_access m addr
   in
   match insn.sem with
   | Add (d, a, b) -> alu d (fun () -> Int64.add (g a) (g b))

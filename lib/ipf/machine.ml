@@ -85,10 +85,20 @@ type t = {
   mutable charge_probe : (int -> int -> unit) option;
   (* bundle/slot of the most recent [Out _] exit branch, for chaining *)
   mutable last_exit : int * int;
+  (* Address range whose loads/stores bypass the dcache model (empty when
+     lo >= hi). The translator's profile arena goes here: instrumentation
+     traffic must not perturb the modeled guest dcache, so a block's
+     cycles are identical no matter which arena slots it was handed. *)
+  mutable dc_skip_lo : int;
+  mutable dc_skip_hi : int;
   (* IPF_WATCH debug hook, parsed once: bundle index + registers to print
      each time that bundle issues (>=200 means predicate p(n-200)) *)
   watch : (int * int list) option;
 }
+
+let dcache_access m addr =
+  if addr >= m.dc_skip_lo && addr < m.dc_skip_hi then 0
+  else Dcache.access m.dcache addr
 
 (* IPF_WATCH is parsed once per process, not per machine: fuzz campaigns
    create thousands of machines and the spec cannot change mid-run. *)
@@ -127,6 +137,8 @@ let create ?(cost = Cost.default) ?dcache mem tcache =
       buckets = Array.make 8 0;
       charge_probe = None;
       last_exit = (0, 0);
+      dc_skip_lo = 0;
+      dc_skip_hi = 0;
       watch = Lazy.force watch_spec;
     }
   in
@@ -491,7 +503,7 @@ let exec_sem m insn =
       | v ->
         let v = if size = 8 then v else zx size v in
         gn d v;
-        m.stats.dcache_stall <- m.stats.dcache_stall + Dcache.access m.dcache addr;
+        m.stats.dcache_stall <- m.stats.dcache_stall + dcache_access m addr;
         if spec = Ld_a || spec = Ld_sa then Hashtbl.replace m.alat d (addr, size);
         Fall
       | exception Machine_fault (k, fa, fs, st) ->
@@ -506,7 +518,7 @@ let exec_sem m insn =
     let addr = addr_of (g a) in
     m.stats.stores <- m.stats.stores + 1;
     do_store m ~addr ~size (g v);
-    m.stats.dcache_stall <- m.stats.dcache_stall + Dcache.access m.dcache addr;
+    m.stats.dcache_stall <- m.stats.dcache_stall + dcache_access m addr;
     Fall
   | Chk_s (r, t) ->
     if get_nat m r then begin
@@ -533,7 +545,7 @@ let exec_sem m insn =
           else Ia32.Fpconv.f64_of_bits bits
         in
         setf m d v;
-        m.stats.dcache_stall <- m.stats.dcache_stall + Dcache.access m.dcache addr;
+        m.stats.dcache_stall <- m.stats.dcache_stall + dcache_access m addr;
         Fall
       | exception Machine_fault (k, fa, fs, st) -> raise (Machine_fault (k, fa, fs, st)))
   | Stf (size, a, v) ->
@@ -545,7 +557,7 @@ let exec_sem m insn =
       else Ia32.Fpconv.bits_of_f64 (getf m v)
     in
     do_store m ~addr ~size bits;
-    m.stats.dcache_stall <- m.stats.dcache_stall + Dcache.access m.dcache addr;
+    m.stats.dcache_stall <- m.stats.dcache_stall + dcache_access m addr;
     Fall
   | Fadd (d, a, b) -> setf m d (getf m a +. getf m b); Fall
   | Fsub (d, a, b) -> setf m d (getf m a -. getf m b); Fall

@@ -72,11 +72,22 @@ type t = {
   mutable last_exit : int * int;
       (** bundle/slot of the most recent [Out _] exit branch taken, used
           by the engine to chain blocks *)
+  mutable dc_skip_lo : int;
+      (** address range [\[dc_skip_lo, dc_skip_hi)] whose loads/stores
+          bypass the dcache model — the translator's profile arena, so
+          instrumentation traffic never perturbs modeled guest cycles *)
+  mutable dc_skip_hi : int;
   watch : (int * int list) option;
       (** IPF_WATCH debug hook, parsed once from the environment *)
 }
 
 val create : ?cost:Cost.t -> ?dcache:Dcache.t -> Ia32.Memory.t -> Tcache.t -> t
+
+val dcache_access : t -> int -> int
+(** Dcache-model stall cycles for an access at an address — 0 inside the
+    [dc_skip] range, {!Dcache.access} otherwise. The single charge point
+    for all load/store cost in both the interpreter and the pre-decoded
+    fast path. *)
 
 (** {1 Register access} *)
 

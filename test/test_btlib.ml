@@ -139,10 +139,57 @@ let vos_tests =
         | _ -> Alcotest.fail "expected unhandled");
   ]
 
+(* Journal revert across a negative-sbrk unmap / positive-sbrk remap
+   cycle: the epoch must restore the freed page's pre-image bytes AND
+   its protection, not just remap it. *)
+let journal_sbrk_tests =
+  let expect_ret c = function
+    | Syscall.Ret _ -> ()
+    | r -> Alcotest.failf "%s: unexpected %s" c (Fmt.str "%a" Syscall.pp_result r)
+  in
+  [
+    Alcotest.test_case "journal revert x negative sbrk" `Quick (fun () ->
+        let vos, st = fresh_state () in
+        let mem = st.Ia32.State.mem in
+        let p0 = Vos.heap_base_default in
+        let p1 = Vos.heap_base_default + 4096 in
+        expect_ret "grow" (Vos.perform vos st (Syscall.Sbrk 8192));
+        Ia32.Memory.write8 mem p0 0xAB;
+        Ia32.Memory.write8 mem p1 0xCD;
+        Ia32.Memory.Journal.push mem;
+        (* shrink: the freed page unmaps, stale accesses fault *)
+        expect_ret "shrink" (Vos.perform vos st (Syscall.Sbrk (-4096)));
+        check (Alcotest.option Alcotest.bool) "freed page unmapped" None
+          (Option.map (fun _ -> true) (Ia32.Memory.prot_of mem p1));
+        (try
+           ignore (Ia32.Memory.read8 mem p1);
+           Alcotest.fail "stale heap read did not fault"
+         with Ia32.Fault.Fault _ -> ());
+        (* re-grow: the page comes back zeroed, then diverges *)
+        expect_ret "regrow" (Vos.perform vos st (Syscall.Sbrk 4096));
+        check int "remapped page is zero" 0 (Ia32.Memory.read8 mem p1);
+        Ia32.Memory.write8 mem p1 0x55;
+        Ia32.Memory.protect mem ~addr:p1 ~len:4096
+          ~prot:Ia32.Memory.prot_rx;
+        (* revert: pre-image bytes and protection both come back *)
+        let touched = Ia32.Memory.Journal.revert mem in
+        check bool "epoch touched pages" true (touched <> []);
+        check int "kept page pre-image" 0xAB (Ia32.Memory.read8 mem p0);
+        check int "freed page pre-image" 0xCD (Ia32.Memory.read8 mem p1);
+        (match Ia32.Memory.prot_of mem p1 with
+        | Some p ->
+          check bool "protection restored to rw"
+            true
+            (p.Ia32.Memory.read && p.Ia32.Memory.write
+           && not p.Ia32.Memory.exec)
+        | None -> Alcotest.fail "freed page not restored to mapped"));
+  ]
+
 let () =
   Alcotest.run "btlib"
     [
       ("handshake", handshake_tests);
       ("syscall-decode", syscall_decode_tests);
       ("vos", vos_tests);
+      ("journal-sbrk", journal_sbrk_tests);
     ]

@@ -338,6 +338,24 @@ let capsule_tests =
         | _ -> Alcotest.fail "bogus file accepted"
         | exception _ -> ());
         Sys.remove file);
+    Alcotest.test_case "load rejects a config-fingerprint mismatch" `Quick
+      (fun () ->
+        let file = tmp_capsule "ia32el-test-fp.capsule" in
+        let w =
+          Workloads.Threads.producer_consumer
+            ~workers:Workloads.Threads.default_workers
+        in
+        (try ignore (R.run_plain ~max_cycles:30_000 ~capsule:file w ~scale:1)
+         with Ia32el.Bt_error.Error _ -> ());
+        (* a capsule from a build whose translation semantics drifted:
+           same config, different fingerprint *)
+        Cap.save file (Cap.corrupt_config_fp (Cap.load file) 0xDEADL);
+        (match Cap.load file with
+        | _ -> Alcotest.fail "incompatible capsule accepted"
+        | exception Ia32el.Bt_error.Error e ->
+          check string "structured component" "capsule"
+            e.Ia32el.Bt_error.component);
+        Sys.remove file);
   ]
 
 (* ------------------------------------------------------------------ *)
