@@ -340,6 +340,51 @@ let json_report ~scale () =
   close_out oc;
   Printf.printf "wrote %s\n" json_file
 
+(* ---------------- deterministic virtual-cycle suite (virtual) ---------- *)
+
+let virtual_file = "BENCH_virtual.json"
+
+(* The perf-regression gate's artifact: every field is a deterministic
+   virtual-cycle counter — a function of guest image and configuration
+   only, never of the host — so CI can diff a fresh run against the
+   committed baseline at tolerance 0 (`ia32el-report --diff
+   --fail-on-regression`). Wall-clock numbers live in BENCH_wallclock.json
+   and are deliberately absent here. *)
+let virtual_report ~scale () =
+  let m = Obs.Metrics.make ~schema:"ia32el-virtual/1" in
+  Obs.Metrics.section m "meta" [ ("scale", Obs.Metrics.Int scale) ];
+  List.iter
+    (fun w ->
+      let r = B.run_el w ~scale in
+      let i n = Obs.Metrics.Int n in
+      let fields =
+        [ ("cycles", i r.B.cycles); ("exit_code", i r.B.exit_code) ]
+        @ (match r.B.distribution with
+          | Some d ->
+            [
+              ("cycles_hot", i d.Ia32el.Account.hot);
+              ("cycles_cold", i d.Ia32el.Account.cold);
+              ("cycles_overhead", i d.Ia32el.Account.overhead);
+              ("cycles_other", i d.Ia32el.Account.other);
+              ("cycles_idle", i d.Ia32el.Account.idle);
+            ]
+          | None -> [])
+        @
+        match r.B.engine with
+        | Some e ->
+          List.map
+            (fun (k, v) -> (k, i v))
+            (Obs.Metrics.counters (Ia32el.Engine.metrics e))
+        | None -> []
+      in
+      Obs.Metrics.section m w.Workloads.Common.name fields)
+    (Workloads.Spec_int.all
+    @ Workloads.Threads.all ~workers:Workloads.Threads.default_workers);
+  let oc = open_out virtual_file in
+  Obs.Metrics.write m oc;
+  close_out oc;
+  Printf.printf "wrote %s\n" virtual_file
+
 (* ---------------- wall-clock perf harness (perf) ---------------- *)
 
 (* Unlike everything above (which reports *simulated* cycles), this
@@ -840,6 +885,7 @@ let () =
         | "circuitry" -> circuitry ~scale ()
         | "ablations" -> ablations ~scale ()
         | "perf" -> perf ~scale ~min_time ()
+        | "virtual" -> virtual_report ~scale ()
         | "all" -> all ()
         | other -> Printf.eprintf "unknown command %S\n" other)
       cmds);

@@ -1,0 +1,252 @@
+(* ia32el-report: render one metrics/bench artifact human-readably, or
+   diff two of them with per-counter deltas and tolerance bands.
+
+   The diff is the CI perf-regression gate: integer leaves are treated
+   as deterministic virtual-cycle counters and gated (tolerance 0 by
+   default); float leaves and anything under a host-dependent section
+   (host_timers, wallclock-style artifacts) are informational only,
+   because wall time varies by host. Exit codes: 0 clean, 1 regression
+   (with --fail-on-regression), 2 usage/parse errors. *)
+
+module J = Obs.Metrics
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let parse_file path =
+  match read_file path with
+  | exception Sys_error msg -> Error msg
+  | s -> (
+    match J.parse s with
+    | Ok j -> Ok j
+    | Error msg -> Error (Printf.sprintf "%s: %s" path msg))
+
+(* Paths whose values depend on the host, never gated: wall seconds,
+   rates derived from them, and the engine's host-side phase timers. *)
+let informational_segment seg =
+  seg = "host_timers" || seg = "wallclock" || seg = "wall"
+  ||
+  (* snapshot_cost is host microseconds even though its fields are Int *)
+  seg = "snapshot_cost"
+
+let path_informational path = List.exists informational_segment path
+
+let pp_path ppf path = Fmt.pf ppf "%s" (String.concat "." (List.rev path))
+
+(* ---- render ------------------------------------------------------------- *)
+
+let rec render_value ppf ~indent path v =
+  let pad = String.make indent ' ' in
+  match v with
+  | J.Obj fields ->
+    List.iter
+      (fun (k, v) ->
+        match v with
+        | J.Obj _ ->
+          Fmt.pf ppf "%s%s:@." pad k;
+          render_value ppf ~indent:(indent + 2) (k :: path) v
+        | _ ->
+          Fmt.pf ppf "%s%-28s %s@." pad k (scalar_to_string v))
+      fields
+  | _ -> Fmt.pf ppf "%s%s@." pad (scalar_to_string v)
+
+and scalar_to_string = function
+  | J.Null -> "null"
+  | J.Bool b -> string_of_bool b
+  | J.Int n -> string_of_int n
+  | J.Float f -> Printf.sprintf "%.6f" f
+  | J.Str s -> s
+  | J.List l -> Printf.sprintf "[%d items]" (List.length l)
+  | J.Obj fields -> Printf.sprintf "{%d fields}" (List.length fields)
+
+let render path =
+  match parse_file path with
+  | Error msg ->
+    Fmt.epr "ia32el-report: %s@." msg;
+    2
+  | Ok j ->
+    let ppf = Fmt.stdout in
+    (match J.member "schema" j with
+    | Some (J.Str s) -> Fmt.pf ppf "schema: %s  (%s)@." s path
+    | _ -> Fmt.pf ppf "artifact: %s@." path);
+    (match j with
+    | J.Obj fields ->
+      List.iter
+        (fun (k, v) ->
+          if k <> "schema" then begin
+            Fmt.pf ppf "@.%s@." k;
+            match v with
+            | J.Obj _ -> render_value ppf ~indent:2 [ k ] v
+            | _ -> Fmt.pf ppf "  %s@." (scalar_to_string v)
+          end)
+        fields
+    | other -> render_value ppf ~indent:0 [] other);
+    0
+
+(* ---- diff --------------------------------------------------------------- *)
+
+type delta = {
+  d_path : string list; (* reversed segments *)
+  d_base : int;
+  d_cand : int;
+  d_info : bool; (* informational: never gates *)
+}
+
+type diff_acc = {
+  mutable deltas : delta list;
+  mutable missing : string list; (* leaves present in base, absent in cand *)
+  mutable added : string list;
+  mutable float_notes : (string * float * float) list;
+}
+
+let rec diff_json acc path base cand =
+  match (base, cand) with
+  | J.Obj bf, J.Obj cf ->
+    List.iter
+      (fun (k, bv) ->
+        match List.assoc_opt k cf with
+        | Some cv -> diff_json acc (k :: path) bv cv
+        | None ->
+          acc.missing <-
+            Fmt.str "%a" pp_path (k :: path) :: acc.missing)
+      bf;
+    List.iter
+      (fun (k, _) ->
+        if List.assoc_opt k bf = None then
+          acc.added <- Fmt.str "%a" pp_path (k :: path) :: acc.added)
+      cf
+  | J.Int b, J.Int c ->
+    if b <> c then
+      acc.deltas <-
+        { d_path = path; d_base = b; d_cand = c;
+          d_info = path_informational path }
+        :: acc.deltas
+  | J.Float b, J.Float c ->
+    if b <> c then
+      acc.float_notes <-
+        (Fmt.str "%a" pp_path path, b, c) :: acc.float_notes
+  | J.Str b, J.Str c ->
+    if b <> c then
+      acc.float_notes <- (Fmt.str "%a" pp_path path, nan, nan) :: acc.float_notes
+  | _ -> (* lists and mixed types: opaque, informational *) ()
+
+let within_tolerance ~tolerance d =
+  let bound = tolerance *. Float.max 1.0 (Float.abs (float_of_int d.d_base)) in
+  Float.abs (float_of_int (d.d_cand - d.d_base)) <= bound
+
+let diff ~tolerance ~fail_on_regression base_path cand_path =
+  match (parse_file base_path, parse_file cand_path) with
+  | Error msg, _ | _, Error msg ->
+    Fmt.epr "ia32el-report: %s@." msg;
+    2
+  | Ok base, Ok cand ->
+    let ppf = Fmt.stdout in
+    (match (J.member "schema" base, J.member "schema" cand) with
+    | Some (J.Str a), Some (J.Str b) when a <> b ->
+      Fmt.pf ppf "warning: schema mismatch: %s vs %s@." a b
+    | _ -> ());
+    let acc =
+      { deltas = []; missing = []; added = []; float_notes = [] }
+    in
+    diff_json acc [] base cand;
+    let deltas = List.rev acc.deltas in
+    let gated, info = List.partition (fun d -> not d.d_info) deltas in
+    let regressions =
+      List.filter (fun d -> not (within_tolerance ~tolerance d)) gated
+    in
+    Fmt.pf ppf "diff %s -> %s@." base_path cand_path;
+    if deltas = [] && acc.missing = [] && acc.added = [] then
+      Fmt.pf ppf "  no integer-counter changes@."
+    else begin
+      List.iter
+        (fun d ->
+          let delta = d.d_cand - d.d_base in
+          Fmt.pf ppf "  %-44s %12d -> %-12d (%+d%s)@."
+            (Fmt.str "%a" pp_path d.d_path)
+            d.d_base d.d_cand delta
+            (if d.d_info then ", informational"
+             else if within_tolerance ~tolerance d then ", within tolerance"
+             else ""))
+        (gated @ info);
+      List.iter (fun p -> Fmt.pf ppf "  %-44s missing in candidate@." p)
+        (List.rev acc.missing);
+      List.iter (fun p -> Fmt.pf ppf "  %-44s only in candidate@." p)
+        (List.rev acc.added)
+    end;
+    if acc.float_notes <> [] then
+      Fmt.pf ppf "  (%d host-dependent float/string fields differ — informational)@."
+        (List.length acc.float_notes);
+    let failures = List.length regressions + List.length acc.missing in
+    if failures > 0 then begin
+      Fmt.pf ppf "RESULT: %d deterministic counter(s) outside tolerance %.3g@."
+        failures tolerance;
+      if fail_on_regression then 1 else 0
+    end
+    else begin
+      Fmt.pf ppf "RESULT: clean (tolerance %.3g)@." tolerance;
+      0
+    end
+
+(* ---- CLI ---------------------------------------------------------------- *)
+
+open Cmdliner
+
+let files =
+  Arg.(value & pos_all file [] & info [] ~docv:"FILE" ~doc:"Artifact file(s).")
+
+let diff_flag =
+  Arg.(
+    value & flag
+    & info [ "diff" ] ~doc:"Diff two artifacts (requires exactly two FILEs).")
+
+let tolerance =
+  Arg.(
+    value & opt float 0.0
+    & info [ "tolerance" ] ~docv:"FRAC"
+        ~doc:
+          "Relative tolerance band for integer counters: a change within \
+           FRAC * max(1, |baseline|) is not a regression. Default 0 — \
+           deterministic counters must match exactly.")
+
+let fail_on_regression =
+  Arg.(
+    value & flag
+    & info [ "fail-on-regression" ]
+        ~doc:"Exit 1 when any deterministic counter falls outside tolerance.")
+
+let main diff_mode tolerance fail_on_regression files =
+  match (diff_mode, files) with
+  | false, [ f ] -> render f
+  | false, _ ->
+    Fmt.epr "ia32el-report: expected exactly one FILE to render@.";
+    2
+  | true, [ a; b ] -> diff ~tolerance ~fail_on_regression a b
+  | true, _ ->
+    Fmt.epr "ia32el-report: --diff expects exactly two FILEs@.";
+    2
+
+let cmd =
+  let doc =
+    "render an ia32el metrics/bench artifact, or diff two with a \
+     perf-regression gate"
+  in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "With one FILE, pretty-prints the artifact (any \
+         ia32el-metrics/ia32el-virtual/ia32el-wallclock JSON). With \
+         $(b,--diff) and two FILEs, reports per-counter deltas: integer \
+         leaves are deterministic virtual-cycle counters and are gated \
+         against $(b,--tolerance); float leaves and host-dependent \
+         sections (host_timers, wallclock) are informational.";
+    ]
+  in
+  Cmd.v
+    (Cmd.info "ia32el-report" ~doc ~man)
+    Term.(const main $ diff_flag $ tolerance $ fail_on_regression $ files)
+
+let () = exit (Cmd.eval' cmd)

@@ -88,15 +88,26 @@ type obs_opts = {
   trace_stderr : bool;
   profile_top : int option;
   metrics_file : string option;
+  sample_interval : int option;
+  flame_file : string option;
+  (* one shared timer set so tcache_setup can record persist-I/O spans
+     into the same artifact; Some iff --host-timers *)
+  timers : Obs.Timers.t option;
 }
 
 let obs_requested o =
   o.trace_file <> None || o.trace_stderr || o.profile_top <> None
-  || o.metrics_file <> None
+  || o.metrics_file <> None || o.sample_interval <> None
+  || o.flame_file <> None || o.timers <> None
 
-(* Attach trace/profile per the flags; called with the fresh engine
-   before the run starts. *)
-let obs_attach o eng =
+(* --flame without --sample gets the documented default interval *)
+let default_sample_interval = 4096
+
+let sampling_requested o = o.sample_interval <> None || o.flame_file <> None
+
+(* Attach trace/profile/sampler/hists/timers per the flags; called with
+   the fresh engine before the run starts. *)
+let obs_attach o labels eng =
   if o.trace_file <> None || o.trace_stderr then begin
     let tr = Obs.Trace.create () in
     Ia32el.Engine.attach_trace eng tr;
@@ -104,14 +115,34 @@ let obs_attach o eng =
       Obs.Trace.set_echo tr (fun e -> Fmt.epr "%a@." Obs.Trace.pp_event e)
   end;
   if o.profile_top <> None then
-    Ia32el.Engine.attach_profile eng (Obs.Profile.create ())
+    Ia32el.Engine.attach_profile eng (Obs.Profile.create ());
+  if sampling_requested o then begin
+    let interval =
+      Option.value o.sample_interval ~default:default_sample_interval
+    in
+    Ia32el.Engine.attach_sample eng (Obs.Sample.create ~interval ~labels);
+    (* the sampler and the histogram layer ship together: both feed the
+       ia32el-metrics/2 sections the report tool renders *)
+    Ia32el.Engine.attach_hists eng (Obs.Hist.create_set ())
+  end;
+  match o.timers with
+  | Some tm -> Ia32el.Engine.attach_timers eng tm
+  | None -> ()
 
 (* Map a guest entry EIP to a symbolic name using the workload image's
-   label table: exact label, or nearest label below as label+0xOFF. *)
+   label table: exact label, or nearest label below as label+0xOFF.
+   Selection is by greatest address at or below the entry regardless of
+   the table's order — hot superblock entries (mid-function EIPs) resolve
+   to the right symbol even when the label list is not address-sorted. *)
 let name_of labels entry =
   let best =
     List.fold_left
-      (fun acc (n, a) -> if a <= entry then Some (n, a) else acc)
+      (fun acc (n, a) ->
+        if a > entry then acc
+        else
+          match acc with
+          | Some (_, best_a) when best_a >= a -> acc
+          | _ -> Some (n, a))
       None labels
   in
   match best with
@@ -132,8 +163,32 @@ let obs_finish o labels eng =
   | _ -> ());
   (match (o.profile_top, Ia32el.Engine.profile eng) with
   | Some n, Some p ->
-    Fmt.pr "%a" (fun ppf -> Obs.Profile.render ~top:n ~name_of:(name_of labels) ppf) p
+    let samples =
+      match Ia32el.Engine.sampler eng with
+      | Some s when Obs.Sample.samples s > 0 ->
+        Some
+          ( (fun entry -> Obs.Sample.entry_samples s entry),
+            Obs.Sample.samples s )
+      | _ -> None
+    in
+    Fmt.pr "%a"
+      (fun ppf ->
+        Obs.Profile.render ~top:n ~name_of:(name_of labels) ?samples ppf)
+      p
   | _ -> ());
+  (match Ia32el.Engine.sampler eng with
+  | Some s ->
+    Fmt.pr "%a" (Obs.Sample.render_top ~top_n:10) s;
+    (match o.flame_file with
+    | Some file ->
+      Obs.Sample.write_folded s file;
+      Printf.printf "flamegraph: %d samples in %d buckets -> %s\n"
+        (Obs.Sample.samples s) (Obs.Sample.bucket_count s) file
+    | None -> ())
+  | None -> ());
+  (match o.timers with
+  | Some tm -> Fmt.pr "host phase timers:@.%a" Obs.Timers.pp tm
+  | None -> ());
   match o.metrics_file with
   | Some file ->
     let oc = open_out file in
@@ -157,14 +212,23 @@ type tcache_opts = {
    store back — unless read-only — and reports. Load problems are
    warnings: damaged or stale entries are dropped with a diagnostic and
    the run degrades to live translation. *)
-let tcache_setup tc ~(config : Ia32el.Config.t) (w : C.t) ~scale ~stats =
+let tcache_setup ?timers tc ~(config : Ia32el.Config.t) (w : C.t) ~scale
+    ~stats =
+  (* persist-I/O wall spans land in the shared --host-timers set *)
+  let timed_io f =
+    match timers with
+    | None -> f ()
+    | Some tm -> Obs.Timers.time tm Obs.Timers.Persist_io f
+  in
   match tc.tc_file with
   | None -> ((fun _ -> ()), fun () -> ())
   | Some path ->
     let image = w.C.build ~scale ~wide:false in
     let image_hash = Persist.image_hash image in
     let config_fp = Persist.config_fingerprint config in
-    let store, diags = Persist.load ~path ~image_hash ~config_fp in
+    let store, diags =
+      timed_io (fun () -> Persist.load ~path ~image_hash ~config_fp)
+    in
     List.iter (fun d -> Fmt.epr "tcache: %a@." Ia32el.Bt_error.pp d) diags;
     if diags <> [] then
       Fmt.epr
@@ -183,7 +247,7 @@ let tcache_setup tc ~(config : Ia32el.Config.t) (w : C.t) ~scale ~stats =
       | Some se ->
         if stats then Fmt.pr "%a@." Persist.pp_stats (Persist.stats se);
         if not tc.tc_readonly then begin
-          let ds = Persist.save store ~path in
+          let ds = timed_io (fun () -> Persist.save store ~path) in
           List.iter (fun d -> Fmt.epr "tcache: %a@." Ia32el.Bt_error.pp d) ds;
           if ds = [] then
             Printf.printf "tcache: %d entries -> %s\n"
@@ -209,7 +273,7 @@ let run_lockstep_cmd w config desc scale stats obs labels
     Harness.Resilience.run_lockstep ~config ?seed ?max_cycles ?snap_every
       ?capsule ?sabotage
       ~attach_extra:(fun eng ->
-        obs_attach obs eng;
+        obs_attach obs labels eng;
         pattach eng)
       w ~scale
   in
@@ -249,7 +313,7 @@ let run_plain_cmd w config desc scale stats obs labels
     Harness.Resilience.run_plain ~config ?seed ?max_cycles ?snap_every
       ?capsule ?sabotage
       ~attach:(fun eng ->
-        obs_attach obs eng;
+        obs_attach obs labels eng;
         pattach eng)
       w ~scale
   in
@@ -301,9 +365,9 @@ let replay_cmd file =
   end
 
 let run_cmd name model scale stats lockstep inject trace_file trace_stderr
-    profile_top metrics_file no_predecode no_decode_cache threads quantum
-    max_cycles snap_every capsule replay sabotage tcache_file tcache_readonly
-    no_tcache_verify =
+    profile_top metrics_file sample_interval flame_file host_timers
+    no_predecode no_decode_cache threads quantum max_cycles snap_every capsule
+    replay sabotage tcache_file tcache_readonly no_tcache_verify =
   (match replay with
   | Some file -> replay_cmd file; exit 0
   | None -> ());
@@ -324,7 +388,17 @@ let run_cmd name model scale stats lockstep inject trace_file trace_stderr
       Printf.eprintf "a WORKLOAD argument is required (unless --replay)\n";
       exit 2
   in
-  let obs = { trace_file; trace_stderr; profile_top; metrics_file } in
+  let obs =
+    {
+      trace_file;
+      trace_stderr;
+      profile_top;
+      metrics_file;
+      sample_interval;
+      flame_file;
+      timers = (if host_timers then Some (Obs.Timers.create ()) else None);
+    }
+  in
   let tc =
     {
       tc_file = tcache_file;
@@ -381,7 +455,7 @@ let run_cmd name model scale stats lockstep inject trace_file trace_stderr
            only apply to the translator models\n";
         exit 1
       | M_el (config, desc) when lockstep -> (
-        let pers = tcache_setup tc ~config w ~scale ~stats in
+        let pers = tcache_setup ?timers:obs.timers tc ~config w ~scale ~stats in
         match inject_seeds with
         | None ->
           run_lockstep_cmd w config desc scale stats obs labels pers None
@@ -393,7 +467,7 @@ let run_cmd name model scale stats lockstep inject trace_file trace_stderr
                 (Some s) max_cycles snap_every capsule sabotage)
             seeds)
       | M_el (config, desc) when inject_seeds <> None ->
-        let pers = tcache_setup tc ~config w ~scale ~stats in
+        let pers = tcache_setup ?timers:obs.timers tc ~config w ~scale ~stats in
         List.iter
           (fun s ->
             run_plain_cmd w config desc scale stats obs labels pers (Some s)
@@ -402,15 +476,15 @@ let run_cmd name model scale stats lockstep inject trace_file trace_stderr
       | M_el (config, desc)
         when max_cycles <> None || snap_every <> None || capsule <> None
              || sabotage <> None ->
-        let pers = tcache_setup tc ~config w ~scale ~stats in
+        let pers = tcache_setup ?timers:obs.timers tc ~config w ~scale ~stats in
         run_plain_cmd w config desc scale stats obs labels pers None
           max_cycles snap_every capsule sabotage
       | M_el (config, desc) ->
-        let pattach, pfinish = tcache_setup tc ~config w ~scale ~stats in
+        let pattach, pfinish = tcache_setup ?timers:obs.timers tc ~config w ~scale ~stats in
         let r =
           B.run_el ~config
             ~attach:(fun eng ->
-              obs_attach obs eng;
+              obs_attach obs labels eng;
               pattach eng)
             ~check_exit:false w ~scale
         in
@@ -556,8 +630,48 @@ let metrics_arg =
         ~doc:
           "Write the full metrics snapshot (cycle distribution, counters, \
            machine/tcache/dcache/OS statistics, profile summary when \
-           $(b,--profile) is active) as JSON to $(docv), schema \
-           $(b,ia32el-metrics/1).")
+           $(b,--profile) is active, histogram/sampler sections when \
+           $(b,--sample) is active, host phase timers when \
+           $(b,--host-timers) is active) as JSON to $(docv), schema \
+           $(b,ia32el-metrics/2). Render or diff it with \
+           $(b,ia32el-report).")
+
+let sample_arg =
+  Arg.(
+    value
+    & opt ~vopt:(Some 4096) (some int) None
+    & info [ "sample" ] ~docv:"N"
+        ~doc:
+          "Attach the virtual-cycle sampling profiler: every $(docv) \
+           (default 4096) simulated guest cycles, record thread, EIP, \
+           owning block, translation phase and degradation state at the \
+           next commit point. Sampling is driven by the deterministic \
+           virtual clock, so its output is byte-identical across runs — \
+           and attaching it never changes observables, cycle counts \
+           included. Also attaches the latency histograms (syscall, futex \
+           wait, trace length, tcache probe depth, translation cost, \
+           snapshot cost) exported in the metrics JSON.")
+
+let flame_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "flame" ] ~docv:"FILE"
+        ~doc:
+          "Write the sampler's collapsed-stack (\"folded\") output to \
+           $(docv) — feed it to flamegraph.pl or load it in speedscope. \
+           Implies $(b,--sample) at the default interval when $(b,--sample) \
+           is not given.")
+
+let host_timers_arg =
+  Arg.(
+    value & flag
+    & info [ "host-timers" ]
+        ~doc:
+          "Measure host-side wall time per engine phase (translate, \
+           execute, persistent-cache I/O, snapshot), print the totals and \
+           mirror them into the metrics JSON. Informational: wall times \
+           are host-dependent, unlike every simulated counter.")
 
 let no_predecode_arg =
   Arg.(
@@ -704,7 +818,8 @@ let run_t =
   Term.(
     const run_cmd $ workload_arg $ model_arg $ scale_arg $ stats_arg
     $ lockstep_arg $ inject_arg $ trace_arg $ trace_stderr_arg $ profile_arg
-    $ metrics_arg $ no_predecode_arg $ no_decode_cache_arg $ threads_arg
+    $ metrics_arg $ sample_arg $ flame_arg $ host_timers_arg
+    $ no_predecode_arg $ no_decode_cache_arg $ threads_arg
     $ quantum_arg $ max_cycles_arg $ snapshot_every_arg $ capsule_arg
     $ replay_arg $ sabotage_arg $ tcache_file_arg $ tcache_readonly_arg
     $ no_tcache_verify_arg)

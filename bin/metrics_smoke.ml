@@ -4,9 +4,10 @@
 
    Checks, in order:
    1. TRACE.json parses and is a Chrome trace_event array: a non-empty
-      JSON list whose elements carry name/ph/ts/pid/tid with the right
-      types (ph "X" events also need dur).
-   2. METRICS.json parses against the ia32el-metrics/1 schema: required
+      JSON list whose elements carry name/ph/pid/tid with the right
+      types ("X"/"i" events also need ts, "X" also dur; metadata "M"
+      records carry args.name instead).
+   2. METRICS.json parses against the ia32el-metrics/2 schema: required
       sections present, cycles.total an integer, counters non-empty.
    3. Determinism guard: re-run the same workload with no observability
       attached and require bit-identical total cycles and counters —
@@ -54,12 +55,31 @@ let check_trace path =
         let ctx what = Printf.sprintf "event %d: %s" i what in
         ignore (expect_str path (ctx "name") (J.member "name" ev));
         let ph = expect_str path (ctx "ph") (J.member "ph" ev) in
-        expect_int path (ctx "ts") (J.member "ts" ev);
         expect_int path (ctx "pid") (J.member "pid" ev);
         expect_int path (ctx "tid") (J.member "tid" ev);
-        if ph = "X" then expect_int path (ctx "dur") (J.member "dur" ev)
-        else if ph <> "i" then fail "%s: %s" path (ctx ("bad ph " ^ ph)))
+        match ph with
+        | "M" ->
+          (* process_name/thread_name metadata: args.name is the label *)
+          (match J.member "args" ev with
+          | Some args ->
+            ignore (expect_str path (ctx "args.name") (J.member "name" args))
+          | None -> fail "%s: %s" path (ctx "metadata record without args"))
+        | "X" ->
+          expect_int path (ctx "ts") (J.member "ts" ev);
+          expect_int path (ctx "dur") (J.member "dur" ev)
+        | "i" -> expect_int path (ctx "ts") (J.member "ts" ev)
+        | ph -> fail "%s: %s" path (ctx ("bad ph " ^ ph)))
       events;
+    (* at least the process_name record must be present *)
+    if
+      not
+        (List.exists
+           (fun ev ->
+             match (J.member "ph" ev, J.member "name" ev) with
+             | Some (J.Str "M"), Some (J.Str "process_name") -> true
+             | _ -> false)
+           events)
+    then fail "%s: no process_name metadata record" path;
     List.length events
   | _ -> fail "%s: top level is not an array" path
 
@@ -72,7 +92,7 @@ let get_section path metrics name =
 let check_metrics path =
   let m = parse_file path in
   let schema = expect_str path "schema" (J.member "schema" m) in
-  if schema <> "ia32el-metrics/1" then
+  if schema <> "ia32el-metrics/2" then
     fail "%s: unexpected schema %s" path schema;
   let cycles = get_section path m "cycles" in
   let total =

@@ -56,6 +56,11 @@ type t = {
   (* observability: when set, syscall entry/exit events are emitted here.
      Recording only — never affects service behavior or accounting. *)
   mutable trace : Obs.Trace.t option;
+  (* observability: when set, each completed futex wait reports its
+     blocked duration (virtual cycles) here. Recording only — not part
+     of checkpoint/restore, so attaching never perturbs snapshots. *)
+  mutable futex_hist : (int -> unit) option;
+  futex_wait_since : (int, int) Hashtbl.t; (* tid -> clock at block *)
   (* ---- threads ---- *)
   threads : (int, thread) Hashtbl.t;
   mutable next_tid : int; (* tids are dense: 0 .. next_tid-1 *)
@@ -89,6 +94,8 @@ let create mem =
     transient_fault = None;
     transient_retries = 0;
     trace = None;
+    futex_hist = None;
+    futex_wait_since = Hashtbl.create 8;
     threads = Hashtbl.create 8;
     next_tid = 0;
     current = 0;
@@ -299,6 +306,8 @@ let do_futex_wait t ~addr ~expected =
          so a wait/wake/wait cycle cannot leave duplicate entries *)
       t.futex_fifo <-
         List.filter (fun tid -> tid <> t.current) t.futex_fifo @ [ t.current ];
+      if t.futex_hist <> None then
+        Hashtbl.replace t.futex_wait_since t.current (t.clock 0);
       Syscall.Block
     | None -> errno (-11))
 
@@ -315,6 +324,14 @@ let do_futex_wake t ~addr ~count =
           | Some th when th.status = Blocked_futex addr ->
             th.status <- Runnable;
             th.wake_result <- Some 0;
+            (match t.futex_hist with
+            | Some record -> (
+              match Hashtbl.find_opt t.futex_wait_since tid with
+              | Some since ->
+                Hashtbl.remove t.futex_wait_since tid;
+                record (t.clock 0 - since)
+              | None -> ())
+            | None -> ());
             incr woken;
             false
           | _ -> true)

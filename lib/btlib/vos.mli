@@ -53,6 +53,14 @@ type t = {
   mutable trace : Obs.Trace.t option;
       (** when set, syscall entry/exit events are emitted here; recording
           only — service behavior and accounting are unaffected *)
+  mutable futex_hist : (int -> unit) option;
+      (** when set, called with the blocked duration (virtual cycles) of
+          every completed futex wait, at wake time. Recording only;
+          deliberately outside {!checkpoint}/{!restore} — attaching never
+          perturbs snapshots or observables *)
+  futex_wait_since : (int, int) Hashtbl.t;
+      (** tid -> clock at block, maintained only while [futex_hist] is
+          attached *)
   threads : (int, thread) Hashtbl.t;
   mutable next_tid : int;  (** tids are dense: 0 .. next_tid-1 *)
   mutable current : int;

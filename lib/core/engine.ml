@@ -69,6 +69,9 @@ type t = {
      without them attached. *)
   mutable trace : Obs.Trace.t option;
   mutable profile : Obs.Profile.t option;
+  mutable sampler : Obs.Sample.t option;
+  mutable hists : Obs.Hist.set option;
+  mutable timers : Obs.Timers.t option;
   (* persistence ---------------------------------------------------------- *)
   (* Interposes on every translation request. [live] runs the normal
      translator (with all its side effects: arena slots, tcache append,
@@ -274,6 +277,9 @@ let create ?(config = Config.default) ?cost:(mcost = Ipf.Cost.default) ?dcache
       commits_seen = 0;
       trace = None;
       profile = None;
+      sampler = None;
+      hists = None;
+      timers = None;
       translate_filter = None;
     }
   in
@@ -412,7 +418,25 @@ let flush_translations t =
 
    Only legal at engine rest: before [run], or after it returned. *)
 
-let snapshot ?(barrier = false) t =
+(* Host-side timing for snapshot/revert: wall span into the Snapshot
+   phase timer, per-op host microseconds into the snapshot_cost
+   histogram. One match when detached; never touches virtual time. *)
+let timed_snapshot_op t f =
+  match (t.timers, t.hists) with
+  | None, None -> f ()
+  | timers, hists ->
+    let t0 = Sys.time () in
+    let r = f () in
+    let dt = Sys.time () -. t0 in
+    (match timers with
+    | Some tm -> Obs.Timers.add tm Obs.Timers.Snapshot dt
+    | None -> ());
+    (match hists with
+    | Some h -> Obs.Hist.record h.Obs.Hist.snapshot_cost (int_of_float (dt *. 1e6))
+    | None -> ());
+    r
+
+let snapshot_impl ~barrier t =
   flush_smc_pending t;
   t.running_block <- None;
   if barrier then flush_translations t;
@@ -469,6 +493,9 @@ let snapshot ?(barrier = false) t =
   | None -> ());
   id
 
+let snapshot ?(barrier = false) t =
+  timed_snapshot_op t (fun () -> snapshot_impl ~barrier t)
+
 let snapshot_depth t = List.length t.snapshots
 let pages_restored t = Ia32.Memory.Journal.pages_restored t.mem
 let epoch_id e = e.e_id
@@ -487,7 +514,7 @@ let restore_table ~src ~dst =
   Hashtbl.reset dst;
   Hashtbl.iter (fun k v -> Hashtbl.replace dst k v) src
 
-let revert t =
+let revert_impl t =
   match t.snapshots with
   | [] -> invalid_arg "Engine.revert: no snapshot epoch open"
   | e :: rest ->
@@ -555,6 +582,8 @@ let revert t =
     Hashtbl.iter (fun k r -> Hashtbl.replace t.if_taken k (ref !r)) e.e_if_taken;
     t.fuel <- e.e_fuel;
     touched
+
+let revert t = timed_snapshot_op t (fun () -> revert_impl t)
 
 let commit_snapshot t =
   match t.snapshots with
@@ -661,6 +690,13 @@ let tcache_full t =
   Ipf.Tcache.length t.tcache > t.config.Config.tcache_limit
   || Ipf.Tcache.over_capacity t.tcache
 
+(* Wall-time a translation burst into the Translate phase timer; one
+   branch when detached. *)
+let timed_translate t f =
+  match t.timers with
+  | None -> f ()
+  | Some tm -> Obs.Timers.time tm Obs.Timers.Translate f
+
 let translate_cold t entry =
   if tcache_full t then flush_translations t;
   let stage2 = Hashtbl.mem t.stage2_entries entry in
@@ -670,6 +706,7 @@ let translate_cold t entry =
     Obs.Trace.emit tr (Obs.Trace.Trans_begin { phase = Obs.Trace.Cold; entry })
   | None -> ());
   let b =
+    timed_translate t @@ fun () ->
     match t.translate_filter with
     | None -> Cold.translate t.cold_env ~entry ~entry_tos ~stage2
     | Some f -> (
@@ -688,6 +725,9 @@ let translate_cold t entry =
   charge_overhead t cycles;
   (match t.profile with
   | Some p -> Obs.Profile.note_translate p ~entry ~cycles
+  | None -> ());
+  (match t.hists with
+  | Some h -> Obs.Hist.record h.Obs.Hist.translate_block cycles
   | None -> ());
   (match t.trace with
   | Some tr ->
@@ -742,6 +782,7 @@ let run_hot_session t =
             ~avoid
         in
         match
+          timed_translate t @@ fun () ->
           match t.translate_filter with
           | None -> live ()
           | Some f ->
@@ -757,6 +798,12 @@ let run_hot_session t =
           (match t.profile with
           | Some p ->
             Obs.Profile.note_translate p ~entry:b.Block.entry ~cycles
+          | None -> ());
+          (match t.hists with
+          | Some h ->
+            Obs.Hist.record h.Obs.Hist.translate_block cycles;
+            Obs.Hist.record h.Obs.Hist.trace_length
+              (Array.length hot_block.Block.insns)
           | None -> ());
           (match t.trace with
           | Some tr ->
@@ -955,6 +1002,19 @@ let maybe_auto_snapshot t st =
       ignore (snapshot ~barrier:true t)
     end
 
+(* Sampler poll at engine commit points (dispatch, interpreter block
+   boundaries, syscall completion) — catches clock advances that never
+   flow through the machine's charge probe (overhead/other/idle cycles).
+   One branch when detached; recording-only when attached. *)
+let sample_poll t ~eip ~phase =
+  match t.sampler with
+  | None -> ()
+  | Some s ->
+    let vnow = now t in
+    if Obs.Sample.due s ~now:vnow then
+      Obs.Sample.record s ~now:vnow ~tid:(Btlib.Vos.current t.vos) ~eip
+        ~entry:eip ~phase ~degraded:(interp_only_at t eip)
+
 let do_syscall t st n k =
   let module L = (val t.btlib : Btlib.Btos.S) in
   if n <> L.syscall_vector then
@@ -970,9 +1030,16 @@ let do_syscall t st n k =
     let k0 = t.vos.Btlib.Vos.kernel_cycles and i0 = t.vos.Btlib.Vos.idle_cycles in
     let fin r =
       (* kernel/driver time runs natively ("other"); idle is idle *)
-      charge_other t (t.vos.Btlib.Vos.kernel_cycles - k0);
-      t.acct.Account.idle_cycles <-
-        t.acct.Account.idle_cycles + (t.vos.Btlib.Vos.idle_cycles - i0);
+      let kd = t.vos.Btlib.Vos.kernel_cycles - k0
+      and idl = t.vos.Btlib.Vos.idle_cycles - i0 in
+      charge_other t kd;
+      t.acct.Account.idle_cycles <- t.acct.Account.idle_cycles + idl;
+      (match t.hists with
+      | Some h ->
+        Obs.Hist.record h.Obs.Hist.syscall_latency
+          ((cost t).Ipf.Cost.syscall_cost + kd + idl)
+      | None -> ());
+      sample_poll t ~eip:st.Ia32.State.eip ~phase:"runtime";
       r
     in
     match fin (L.perform t.vos st call) with
@@ -1024,6 +1091,7 @@ let run ?(fuel = max_int) t (st0 : Ia32.State.t) =
     | None -> ());
     t.acct.Account.dispatches <- t.acct.Account.dispatches + 1;
     charge_overhead t (cost t).Ipf.Cost.dispatch_cost;
+    sample_poll t ~eip ~phase:"runtime";
     check_watchdog ~eip t;
     t.running_block <- None;
     flush_smc_pending t;
@@ -1078,14 +1146,22 @@ let run ?(fuel = max_int) t (st0 : Ia32.State.t) =
         Hot.translate t.cold_env ~entry:eip ~entry_tos ~profile ~avoid:false
       in
       match
+        timed_translate t @@ fun () ->
         match t.translate_filter with
         | None -> live ()
         | Some f ->
           f ~phase:Obs.Trace.Hot ~entry:eip ~entry_tos ~flag:false ~live
       with
       | Some hb ->
-        charge_overhead t
-          (Array.length hb.Block.insns * (cost t).Ipf.Cost.hot_translate_per_insn);
+        let cycles =
+          Array.length hb.Block.insns * (cost t).Ipf.Cost.hot_translate_per_insn
+        in
+        charge_overhead t cycles;
+        (match t.hists with
+        | Some h ->
+          Obs.Hist.record h.Obs.Hist.translate_block cycles;
+          Obs.Hist.record h.Obs.Hist.trace_length (Array.length hb.Block.insns)
+        | None -> ());
         Block.register t.cache hb;
         enter hb
       | None -> (
@@ -1144,6 +1220,7 @@ let run ?(fuel = max_int) t (st0 : Ia32.State.t) =
     else
       match steps 64 with
       | `Continue ->
+        sample_poll t ~eip:st.Ia32.State.eip ~phase:"interp";
         Reconstruct.inject t.machine st;
         dispatch st.Ia32.State.eip
       | `Syscall n -> do_syscall t st n dispatch
@@ -1169,9 +1246,16 @@ let run ?(fuel = max_int) t (st0 : Ia32.State.t) =
       in
       let stop =
         try
-          if t.config.Config.enable_predecode then
-            Ipf.Exec.run ~fuel:mfuel t.exec
-          else M.run ~fuel:mfuel t.machine
+          match t.timers with
+          | None ->
+            if t.config.Config.enable_predecode then
+              Ipf.Exec.run ~fuel:mfuel t.exec
+            else M.run ~fuel:mfuel t.machine
+          | Some tm ->
+            Obs.Timers.time tm Obs.Timers.Execute (fun () ->
+                if t.config.Config.enable_predecode then
+                  Ipf.Exec.run ~fuel:mfuel t.exec
+                else M.run ~fuel:mfuel t.machine)
         with Smc_abort ->
           (* self-modifying store: memory effect is committed; restart the
              current IA-32 instruction from its precise state *)
@@ -1239,6 +1323,20 @@ let run ?(fuel = max_int) t (st0 : Ia32.State.t) =
     | M.Exited I.Indirect ->
       let target = M.get32 t.machine Regs.r_btarget in
       t.acct.Account.indirect_lookups <- t.acct.Account.indirect_lookups + 1;
+      (* probe depth of the block-cache lookup this indirect performs:
+         1 + the source-page chain the entry search walks *)
+      (match t.hists with
+      | Some h ->
+        let depth =
+          match
+            Hashtbl.find_opt t.cache.Block.by_page
+              (target lsr Ia32.Memory.page_bits)
+          with
+          | Some l -> 1 + List.length !l
+          | None -> 1
+        in
+        Obs.Hist.record h.Obs.Hist.tcache_probe_depth depth
+      | None -> ());
       (* the fast-lookup sequence is inline translated code in the real
          system, so a HIT is translated-code time attributed to the
          exiting block's bucket; only a MISS falls into the runtime and
@@ -1515,25 +1613,75 @@ let attach_trace t tr =
   Ipf.Tcache.set_trace t.tcache (Some tr);
   t.vos.Btlib.Vos.trace <- Some tr
 
+(* The machine exposes ONE charge-probe slot; the profile and the
+   sampler share it. The probe mirrors every machine charge onto the
+   owning guest block (same [find_by_bundle] lookup as the cold/hot
+   bucket split) and, when the deterministic clock has crossed a
+   sampling boundary, folds a sample keyed by last committed EIP. It
+   only records — never charges or touches machine state. *)
+let install_charge_probe t =
+  if t.profile = None && t.sampler = None then
+    t.machine.M.charge_probe <- None
+  else
+    t.machine.M.charge_probe <-
+      Some
+        (fun bundle cycles ->
+          let blk = Block.find_by_bundle t.cache bundle in
+          (match t.profile with
+          | Some p -> (
+            match blk with
+            | Some b ->
+              let phase =
+                match b.Block.kind with
+                | Block.Hot -> Obs.Profile.Hot
+                | Block.Cold -> Obs.Profile.Cold
+              in
+              Obs.Profile.note_exec p ~entry:b.Block.entry ~phase ~cycles
+            | None -> Obs.Profile.note_runtime p ~cycles)
+          | None -> ());
+          match t.sampler with
+          | None -> ()
+          | Some s ->
+            let vnow = now t in
+            if Obs.Sample.due s ~now:vnow then begin
+              let eip = M.get32 t.machine Regs.r_state in
+              let entry, phase =
+                match blk with
+                | Some b ->
+                  ( b.Block.entry,
+                    match b.Block.kind with
+                    | Block.Hot -> "hot"
+                    | Block.Cold -> "cold" )
+                | None -> (eip, "runtime")
+              in
+              Obs.Sample.record s ~now:vnow ~tid:(Btlib.Vos.current t.vos)
+                ~eip ~entry ~phase ~degraded:(interp_only_at t eip)
+            end)
+
 let attach_profile t p =
   t.profile <- Some p;
-  (* mirror every machine charge onto the owning guest block, using the
-     same [find_by_bundle] lookup as the cold/hot bucket split *)
-  t.machine.M.charge_probe <-
-    Some
-      (fun bundle cycles ->
-        match Block.find_by_bundle t.cache bundle with
-        | Some b ->
-          let phase =
-            match b.Block.kind with
-            | Block.Hot -> Obs.Profile.Hot
-            | Block.Cold -> Obs.Profile.Cold
-          in
-          Obs.Profile.note_exec p ~entry:b.Block.entry ~phase ~cycles
-        | None -> Obs.Profile.note_runtime p ~cycles)
+  install_charge_probe t
+
+let attach_sample t s =
+  t.sampler <- Some s;
+  install_charge_probe t
+
+let attach_hists t h =
+  t.hists <- Some h;
+  t.vos.Btlib.Vos.futex_hist <-
+    Some (fun d -> Obs.Hist.record h.Obs.Hist.futex_wait d)
+
+let attach_timers t tm =
+  t.timers <- Some tm;
+  (* persist-I/O spans are recorded by the CLI around Persist load/save
+     via [Obs.Timers.add]; nothing to install engine-side *)
+  ()
 
 let trace t = t.trace
 let profile t = t.profile
+let sampler t = t.sampler
+let hists t = t.hists
+let timers t = t.timers
 
 let live_blocks t =
   Hashtbl.fold
@@ -1541,7 +1689,7 @@ let live_blocks t =
     t.cache.Block.by_id 0
 
 let metrics t =
-  let m = Obs.Metrics.make ~schema:"ia32el-metrics/1" in
+  let m = Obs.Metrics.make ~schema:"ia32el-metrics/2" in
   let i n = Obs.Metrics.Int n in
   let d = distribution t in
   Obs.Metrics.section m "cycles"
@@ -1651,5 +1799,22 @@ let metrics t =
                    ("recovery", i r.Obs.Profile.recovery_cycles);
                  ] ))
            (Obs.Profile.top 10 p))
+  | None -> ());
+  (* ia32el-metrics/2 additions — each present only when attached, so
+     detached snapshots differ from /1 in the schema string alone *)
+  (match t.hists with
+  | Some h -> Obs.Metrics.section m "hist" (Obs.Hist.set_to_json h)
+  | None -> ());
+  (match t.sampler with
+  | Some s ->
+    Obs.Metrics.section m "sample"
+      [
+        ("interval", i (Obs.Sample.interval s));
+        ("samples", i (Obs.Sample.samples s));
+        ("buckets", i (Obs.Sample.bucket_count s));
+      ]
+  | None -> ());
+  (match t.timers with
+  | Some tm -> Obs.Metrics.section m "host_timers" (Obs.Timers.to_json tm)
   | None -> ());
   m

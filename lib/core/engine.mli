@@ -90,6 +90,12 @@ type t = {
           only — never perturbs cycle counts or [Account] totals *)
   mutable profile : Obs.Profile.t option;
       (** per-block cycle attribution; attach with {!attach_profile} *)
+  mutable sampler : Obs.Sample.t option;
+      (** virtual-cycle sampling profiler; attach with {!attach_sample} *)
+  mutable hists : Obs.Hist.set option;
+      (** latency/size histograms; attach with {!attach_hists} *)
+  mutable timers : Obs.Timers.t option;
+      (** host-side phase wall-timers; attach with {!attach_timers} *)
   mutable translate_filter :
     (phase:Obs.Trace.phase ->
     entry:int ->
@@ -256,17 +262,44 @@ val attach_trace : t -> Obs.Trace.t -> unit
 val attach_profile : t -> Obs.Profile.t -> unit
 (** Attach a profile: installs a machine charge probe that mirrors every
     executed cycle onto the guest block owning the current bundle (same
-    [find_by_bundle] lookup as the cold/hot bucket split). *)
+    [find_by_bundle] lookup as the cold/hot bucket split). The probe slot
+    is shared with the sampler — both may be attached at once. *)
+
+val attach_sample : t -> Obs.Sample.t -> unit
+(** Attach a virtual-cycle sampler: the shared charge probe polls the
+    deterministic clock and, at every crossed interval boundary, folds a
+    sample (tid, last committed EIP, owning block entry, translation
+    phase, degradation state). Engine commit points (dispatch, syscall
+    completion, interpreter block boundaries) also poll, so overhead/
+    kernel/idle time is attributed too. Recording only: observables —
+    cycles included — are bit-identical with or without it. *)
+
+val attach_hists : t -> Obs.Hist.set -> unit
+(** Attach latency/size histograms: syscall latency, futex wait, trace
+    length, tcache probe depth, translation cost per block (all in
+    deterministic virtual units) and snapshot/revert cost (host
+    microseconds). Recording only. *)
+
+val attach_timers : t -> Obs.Timers.t -> unit
+(** Attach host-side phase wall-timers (translate / execute / snapshot;
+    the CLI records persist-I/O spans into the same set around
+    Persist load/save). Informational: wall times are host-dependent. *)
 
 val trace : t -> Obs.Trace.t option
 val profile : t -> Obs.Profile.t option
+val sampler : t -> Obs.Sample.t option
+val hists : t -> Obs.Hist.set option
+val timers : t -> Obs.Timers.t option
 
 val live_blocks : t -> int
 (** Number of live blocks in the block cache. *)
 
 val metrics : t -> Obs.Metrics.t
-(** Snapshot everything measurable into the stable ["ia32el-metrics/1"]
+(** Snapshot everything measurable into the stable ["ia32el-metrics/2"]
     schema: cycle distribution, [Account] counters, instruction volume,
     machine stats, tcache/dcache occupancy, Vos totals, per-thread
-    counters (multithreaded guests only), and — when attached — trace and
-    top-10 profile summaries. *)
+    counters (multithreaded guests only), and — when attached — trace,
+    top-10 profile, histogram ("hist"), sampler ("sample") and host
+    wall-timer ("host_timers") sections. Sections for detached observers
+    are omitted, so a detached /2 snapshot differs from /1 only in the
+    schema string. *)

@@ -74,14 +74,23 @@ let cold_exec t =
 
 let total_exec t = hot_exec t + cold_exec t
 
-let render ?(top = 10) ?(name_of = fun _ -> None) ppf t =
+let render ?(top = 10) ?(name_of = fun _ -> None) ?samples ppf t =
   let all = rows t in
   let total = total_exec t + runtime_cycles t in
   let pct c = if total = 0 then 0.0 else 100.0 *. float_of_int c /. float_of_int total in
+  (* Optional sample-share column: (samples-for-entry, total-samples)
+     from the virtual-cycle sampler, shown next to the cycle share. *)
+  let sample_pct =
+    match samples with
+    | Some (of_entry, total) when total > 0 ->
+      Some (fun entry -> 100.0 *. float_of_int (of_entry entry) /. float_of_int total)
+    | _ -> None
+  in
   Fmt.pf ppf "top %d guest blocks by executed cycles (of %d exec + %d runtime):@."
     top total (runtime_cycles t);
-  Fmt.pf ppf "  %-28s %12s %6s %12s %12s %10s %10s@." "block" "exec" "%" "hot"
-    "cold" "translate" "recovery";
+  Fmt.pf ppf "  %-28s %12s %6s" "block" "exec" "%";
+  if sample_pct <> None then Fmt.pf ppf " %6s" "smpl%";
+  Fmt.pf ppf " %12s %12s %10s %10s@." "hot" "cold" "translate" "recovery";
   let shown = ref 0 in
   List.iteri
     (fun i (entry, r) ->
@@ -92,8 +101,12 @@ let render ?(top = 10) ?(name_of = fun _ -> None) ppf t =
           | Some s -> s
           | None -> Printf.sprintf "0x%x" entry
         in
-        Fmt.pf ppf "  %-28s %12d %5.1f%% %12d %12d %10d %10d@." label
-          (exec_cycles r) (pct (exec_cycles r)) r.hot_cycles r.cold_cycles
+        Fmt.pf ppf "  %-28s %12d %5.1f%%" label (exec_cycles r)
+          (pct (exec_cycles r));
+        (match sample_pct with
+        | Some f -> Fmt.pf ppf " %5.1f%%" (f entry)
+        | None -> ());
+        Fmt.pf ppf " %12d %12d %10d %10d@." r.hot_cycles r.cold_cycles
           r.translate_cycles r.recovery_cycles
       end)
     all;

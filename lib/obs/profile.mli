@@ -37,6 +37,14 @@ val cold_exec : t -> int
 val total_exec : t -> int
 
 val render :
-  ?top:int -> ?name_of:(int -> string option) -> Format.formatter -> t -> unit
+  ?top:int ->
+  ?name_of:(int -> string option) ->
+  ?samples:(int -> int) * int ->
+  Format.formatter ->
+  t ->
+  unit
 (** Render a top-N hot-spot table. [name_of] maps a guest entry EIP to a
-    symbolic label (e.g. nearest assembler label). *)
+    symbolic label (e.g. nearest assembler label). [samples] is
+    [(samples_of_entry, total_samples)] from an attached virtual-cycle
+    sampler; when present a sample-share column appears next to the
+    cycle share. *)

@@ -193,6 +193,28 @@ let to_chrome t =
   let buf = Buffer.create 4096 in
   Buffer.add_string buf "[";
   let first = ref true in
+  let metadata name tid value =
+    if not !first then Buffer.add_string buf ",\n" else Buffer.add_char buf '\n';
+    first := false;
+    Buffer.add_string buf
+      (Printf.sprintf "{\"name\":\"%s\",\"ph\":\"M\",\"pid\":1,\"tid\":%d,"
+         name tid);
+    Buffer.add_string buf "\"args\":{\"name\":\"";
+    json_escape buf value;
+    Buffer.add_string buf "\"}}"
+  in
+  let evs = events t in
+  (* Metadata records first: viewers apply process/thread names to every
+     later event regardless of position, but leading keeps diffs tidy. *)
+  metadata "process_name" 1 "ia32el guest";
+  let tids =
+    List.sort_uniq compare (List.map (fun { tid; _ } -> tid) evs)
+  in
+  List.iter
+    (fun tid ->
+      let label = if tid = 0 then "guest main" else Printf.sprintf "guest thread %d" tid in
+      metadata "thread_name" (tid + 1) label)
+    tids;
   List.iter
     (fun { at; tid; ev } ->
       if not !first then Buffer.add_string buf ",\n" else Buffer.add_char buf '\n';
@@ -224,7 +246,7 @@ let to_chrome t =
             Buffer.add_char buf '"')
         (args ev);
       Buffer.add_string buf "}}")
-    (events t);
+    evs;
   Buffer.add_string buf "\n]\n";
   buf
 

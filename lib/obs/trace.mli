@@ -83,6 +83,8 @@ val to_chrome : t -> Buffer.t
 (** Render the retained window as a Chrome [trace_event] JSON array.
     Timestamps are virtual cycles placed in the microsecond field;
     translation and syscall events become complete ("X") spans, the rest
-    instants. *)
+    instants. Leading metadata ("M") records name the guest process and
+    every guest thread present in the window, so multithreaded traces
+    show "guest thread N" lanes instead of bare tids. *)
 
 val write_chrome : t -> out_channel -> unit

@@ -7,6 +7,8 @@
 module J = Obs.Metrics
 module T = Obs.Trace
 module P = Obs.Profile
+module H = Obs.Hist
+module S = Obs.Sample
 module B = Workloads.Baselines
 module E = Ia32el.Engine
 
@@ -67,6 +69,175 @@ let test_metrics_snapshot () =
     | _ -> Alcotest.fail "cycles section lost")
   | Error e -> Alcotest.failf "snapshot JSON invalid: %s" e
 
+(* Property: any JSON value the writer can emit reparses to an equal
+   value, pretty or compact. Floats are generated finite (the writer has
+   no representation for nan/inf) from a dyadic grid so text round-trips
+   are exact. *)
+let json_gen =
+  let open QCheck.Gen in
+  let key = string_size ~gen:(char_range 'a' 'z') (int_range 1 6) in
+  let scalar =
+    oneof
+      [
+        return J.Null;
+        map (fun b -> J.Bool b) bool;
+        map (fun n -> J.Int n) (int_range (-1_000_000_000) 1_000_000_000);
+        map (fun n -> J.Float (float_of_int n /. 16.0)) (int_range (-64000) 64000);
+        map (fun s -> J.Str s) (string_size (int_range 0 12));
+      ]
+  in
+  fix
+    (fun self depth ->
+      if depth <= 0 then scalar
+      else
+        frequency
+          [
+            (3, scalar);
+            ( 1,
+              map (fun l -> J.List l)
+                (list_size (int_range 0 4) (self (depth - 1))) );
+            ( 1,
+              map (fun l -> J.Obj l)
+                (list_size (int_range 0 4)
+                   (pair key (self (depth - 1)))) );
+          ])
+    3
+
+let test_json_round_trip_prop () =
+  let arb = QCheck.make ~print:J.json_to_string json_gen in
+  let prop j =
+    match (J.parse (J.json_to_string j), J.parse (J.json_to_string ~pretty:false j)) with
+    | Ok a, Ok b -> a = j && b = j
+    | _ -> false
+  in
+  QCheck.Test.check_exn
+    (QCheck.Test.make ~count:500 ~name:"json writer/parser round-trip" arb prop)
+
+let test_metrics_hist_round_trip () =
+  (* a metrics snapshot carrying a histogram section survives the
+     writer->parser loop with all Int leaves intact *)
+  let h = H.create () in
+  List.iter (H.record h) [ 0; 1; 15; 16; 17; 100; 5000; 123456; 3 ];
+  let m = J.make ~schema:"test/hist" in
+  J.section m "hist" (H.set_to_json (let s = H.create_set () in
+                                     List.iter (H.record s.H.syscall_latency)
+                                       [ 2; 9; 300 ];
+                                     s));
+  J.section m "one" [ ("h", H.to_json h) ];
+  match J.parse (J.to_string m) with
+  | Error e -> Alcotest.failf "hist metrics JSON invalid: %s" e
+  | Ok j -> (
+    match J.member "one" j with
+    | Some one -> (
+      match J.member "h" one with
+      | Some hj ->
+        (match J.member "count" hj with
+        | Some (J.Int 9) -> ()
+        | _ -> Alcotest.fail "hist count lost in round trip");
+        (match J.member "max" hj with
+        | Some (J.Int 123456) -> ()
+        | _ -> Alcotest.fail "hist max lost in round trip")
+      | None -> Alcotest.fail "hist leaf lost")
+    | None -> Alcotest.fail "hist section lost")
+
+(* ---------------- histograms ---------------- *)
+
+let test_hist_buckets () =
+  (* exactness below 16, bounded relative error above, monotone indices *)
+  for v = 0 to 15 do
+    checki (Printf.sprintf "exact bucket %d" v) v (H.bucket_index v);
+    checki (Printf.sprintf "exact lo %d" v) v (H.bucket_lo v)
+  done;
+  let check_v v =
+    let i = H.bucket_index v in
+    let lo = H.bucket_lo i in
+    checkb (Printf.sprintf "lo <= v for %d" v) true (lo <= v);
+    (* relative error bound: the bucket's span is lo/16 for v >= 16 *)
+    if v >= 16 then
+      checkb
+        (Printf.sprintf "relative error bounded for %d (lo=%d)" v lo)
+        true
+        (v - lo <= lo / 16 + 1)
+  in
+  List.iter check_v
+    [ 16; 17; 31; 32; 33; 255; 256; 1000; 4095; 4096; 65535; 1_000_000;
+      (1 lsl 40) + 12345 ];
+  (* indices are monotone in the value *)
+  let prev = ref (-1) in
+  for e = 0 to 30 do
+    let v = 1 lsl e in
+    let i = H.bucket_index v in
+    checkb (Printf.sprintf "monotone at %d" v) true (i > !prev);
+    prev := i
+  done
+
+let test_hist_percentiles () =
+  let h = H.create () in
+  checki "empty p50" 0 (H.percentile h 0.5);
+  for v = 1 to 100 do
+    H.record h v
+  done;
+  checki "count" 100 (H.count h);
+  checki "sum" 5050 (H.sum h);
+  checki "min" 1 (H.min_value h);
+  checki "max" 100 (H.max_value h);
+  (* percentile reports the covering bucket's lower bound: within one
+     bucket (6%) of the true rank value *)
+  let p50 = H.percentile h 0.5 and p99 = H.percentile h 0.99 in
+  checkb "p50 sane" true (p50 >= 44 && p50 <= 50);
+  checkb "p99 sane" true (p99 >= 92 && p99 <= 99);
+  checkb "p99 >= p50" true (p99 >= p50);
+  (* negatives clamp, huge values land in the last bucket without error *)
+  H.record h (-5);
+  checki "negative clamps to 0" 0 (H.min_value h);
+  H.record h max_int;
+  checki "max_int recorded" max_int (H.max_value h);
+  H.clear h;
+  checki "clear resets" 0 (H.count h)
+
+(* ---------------- sampler ---------------- *)
+
+let test_sample_symbols () =
+  let s =
+    S.create ~interval:100
+      ~labels:[ ("main", 0x1000); ("helper", 0x2000); ("tail", 0x3000) ]
+  in
+  S.record s ~now:100 ~tid:0 ~eip:0x1010 ~entry:0x1000 ~phase:"hot"
+    ~degraded:false;
+  S.record s ~now:300 ~tid:0 ~eip:0x2004 ~entry:0x2000 ~phase:"cold"
+    ~degraded:true;
+  (* now=300 crosses boundaries 200 and 300: weight 2 *)
+  checki "samples" 3 (S.samples s);
+  checki "entry share main" 1 (S.entry_samples s 0x1000);
+  checki "entry share helper" 2 (S.entry_samples s 0x2000);
+  let folded = S.folded s in
+  checkb "main attributed" true
+    (String.length folded > 0
+    && String.sub folded 0 (String.length "t0;")
+       = "t0;");
+  checkb "degraded tagged" true
+    (let re = "t0;helper;cold;degraded 2" in
+     let rec contains i =
+       i + String.length re <= String.length folded
+       && (String.sub folded i (String.length re) = re || contains (i + 1))
+     in
+     contains 0);
+  (* below the first label, or far past the last: page-bucketed *)
+  S.record s ~now:400 ~tid:1 ~eip:0x500 ~entry:0x500 ~phase:"interp"
+    ~degraded:false;
+  S.record s ~now:500 ~tid:1 ~eip:(0x3000 + 0x20000) ~entry:0 ~phase:"runtime"
+    ~degraded:false;
+  checkb "page fallback" true
+    (let f = S.folded s in
+     let has sub =
+       let rec go i =
+         i + String.length sub <= String.length f
+         && (String.sub f i (String.length sub) = sub || go (i + 1))
+       in
+       go 0
+     in
+     has "t1;0x0;interp" && has "t1;0x23000;runtime")
+
 (* ---------------- trace ring ---------------- *)
 
 let test_ring_wrap () =
@@ -115,9 +286,29 @@ let test_chrome_export () =
   let s = Buffer.contents (T.to_chrome tr) in
   match J.parse s with
   | Ok (J.List evs) ->
-    checki "event count" 4 (List.length evs);
+    let meta, events =
+      List.partition (fun e -> J.member "ph" e = Some (J.Str "M")) evs
+    in
+    checki "event count" 4 (List.length events);
+    (* leading metadata: process_name plus one thread_name per tid *)
+    checki "metadata records" 2 (List.length meta);
+    checkb "process_name present" true
+      (List.exists (fun e -> J.member "name" e = Some (J.Str "process_name"))
+         meta);
+    checkb "thread_name present" true
+      (List.exists (fun e -> J.member "name" e = Some (J.Str "thread_name"))
+         meta);
+    List.iter
+      (fun e ->
+        match J.member "args" e with
+        | Some args -> (
+          match J.member "name" args with
+          | Some (J.Str _) -> ()
+          | _ -> Alcotest.fail "metadata args.name missing")
+        | None -> Alcotest.fail "metadata without args")
+      meta;
     let spans =
-      List.filter (fun e -> J.member "ph" e = Some (J.Str "X")) evs
+      List.filter (fun e -> J.member "ph" e = Some (J.Str "X")) events
     in
     checki "span events" 2 (List.length spans);
     List.iter
@@ -273,15 +464,112 @@ let test_engine_metrics_shape () =
       (Ia32el.Account.counters eng.E.acct)
       (J.counters m)
 
+(* Acceptance criterion: attaching the sampler (and the histogram set)
+   must leave every deterministic observable bit-identical — cycles and
+   all Account counters — across the predecode x decode-cache config
+   matrix. And because sampling is driven by the virtual clock, two
+   sampled runs of the same config produce byte-identical folded
+   flamegraph output. *)
+let test_sampler_is_free () =
+  let gzip = Workloads.Spec_int.gzip in
+  let image = gzip.Workloads.Common.build ~scale:1 ~wide:false in
+  let labels = image.Ia32.Asm.labels in
+  let sampled_run config =
+    let s = S.create ~interval:4096 ~labels in
+    let r =
+      B.run_el ~config
+        ~attach:(fun e ->
+          E.attach_sample e s;
+          E.attach_hists e (H.create_set ()))
+        gzip ~scale:1
+    in
+    let eng = match r.B.engine with Some e -> e | None -> assert false in
+    (r.B.cycles, Ia32el.Account.counters eng.E.acct, s)
+  in
+  List.iter
+    (fun (pre, dc) ->
+      let config =
+        { Ia32el.Config.default with
+          enable_predecode = pre;
+          enable_decode_cache = dc }
+      in
+      let tag = Printf.sprintf "predecode=%b decode_cache=%b" pre dc in
+      let plain = B.run_el ~config gzip ~scale:1 in
+      let plain_eng =
+        match plain.B.engine with Some e -> e | None -> assert false
+      in
+      let cycles, counters, s = sampled_run config in
+      checki (tag ^ ": cycles bit-identical") plain.B.cycles cycles;
+      check
+        Alcotest.(list (pair string int))
+        (tag ^ ": counters bit-identical")
+        (Ia32el.Account.counters plain_eng.E.acct)
+        counters;
+      checkb (tag ^ ": sampler saw samples") true (S.samples s > 0))
+    [ (true, true); (true, false); (false, true); (false, false) ];
+  (* determinism of the artifact itself: two sampled runs, same bytes *)
+  let _, _, s1 = sampled_run Ia32el.Config.default in
+  let _, _, s2 = sampled_run Ia32el.Config.default in
+  check Alcotest.string "folded output byte-identical across runs"
+    (S.folded s1) (S.folded s2)
+
+let test_metrics_v2_sections () =
+  (* with sampler + hists + timers attached, the /2 snapshot carries the
+     new sections; detached it must not (CI byte-compares cold/warm
+     metrics files produced without the new flags) *)
+  let gzip = Workloads.Spec_int.gzip in
+  let image = gzip.Workloads.Common.build ~scale:1 ~wide:false in
+  let s = S.create ~interval:4096 ~labels:image.Ia32.Asm.labels in
+  let _, eng =
+    run_gzip
+      ~attach:(fun e ->
+        E.attach_sample e s;
+        E.attach_hists e (H.create_set ());
+        E.attach_timers e (Obs.Timers.create ()))
+      ()
+  in
+  (match J.parse (J.to_string (E.metrics eng)) with
+  | Error e -> Alcotest.failf "metrics JSON invalid: %s" e
+  | Ok j ->
+    (match J.member "schema" j with
+    | Some (J.Str "ia32el-metrics/2") -> ()
+    | _ -> Alcotest.fail "schema is not ia32el-metrics/2");
+    List.iter
+      (fun sec ->
+        match J.member sec j with
+        | Some (J.Obj _) -> ()
+        | _ -> Alcotest.failf "attached run missing section %s" sec)
+      [ "hist"; "sample"; "host_timers" ]);
+  let _, plain_eng = run_gzip () in
+  match J.parse (J.to_string (E.metrics plain_eng)) with
+  | Error e -> Alcotest.failf "metrics JSON invalid: %s" e
+  | Ok j ->
+    List.iter
+      (fun sec ->
+        if J.member sec j <> None then
+          Alcotest.failf "detached run leaks section %s" sec)
+      [ "hist"; "sample"; "host_timers" ]
+
 let () =
   Alcotest.run "obs"
     [
       ( "json",
         [
           Alcotest.test_case "round-trip" `Quick test_json_round_trip;
+          Alcotest.test_case "round-trip-property" `Quick
+            test_json_round_trip_prop;
           Alcotest.test_case "parse" `Quick test_json_parse;
           Alcotest.test_case "snapshot" `Quick test_metrics_snapshot;
+          Alcotest.test_case "hist-round-trip" `Quick
+            test_metrics_hist_round_trip;
         ] );
+      ( "hist",
+        [
+          Alcotest.test_case "buckets" `Quick test_hist_buckets;
+          Alcotest.test_case "percentiles" `Quick test_hist_percentiles;
+        ] );
+      ( "sample",
+        [ Alcotest.test_case "symbols-folded" `Quick test_sample_symbols ] );
       ( "trace",
         [
           Alcotest.test_case "ring-wrap" `Quick test_ring_wrap;
@@ -302,5 +590,8 @@ let () =
             test_profile_attribution;
           Alcotest.test_case "engine-metrics-shape" `Quick
             test_engine_metrics_shape;
+          Alcotest.test_case "sampler-is-free" `Quick test_sampler_is_free;
+          Alcotest.test_case "metrics-v2-sections" `Quick
+            test_metrics_v2_sections;
         ] );
     ]
