@@ -350,12 +350,12 @@ let virtual_file = "BENCH_virtual.json"
    committed baseline at tolerance 0 (`ia32el-report --diff
    --fail-on-regression`). Wall-clock numbers live in BENCH_wallclock.json
    and are deliberately absent here. *)
-let virtual_report ~scale () =
+let virtual_report ~scale ~config () =
   let m = Obs.Metrics.make ~schema:"ia32el-virtual/1" in
   Obs.Metrics.section m "meta" [ ("scale", Obs.Metrics.Int scale) ];
   List.iter
     (fun w ->
-      let r = B.run_el w ~scale in
+      let r = B.run_el ~config w ~scale in
       let i n = Obs.Metrics.Int n in
       let fields =
         [ ("cycles", i r.B.cycles); ("exit_code", i r.B.exit_code) ]
@@ -566,15 +566,34 @@ let persist_rates ~scale ~min_time =
     [ warm_path; aot_path ];
   (cold_s, warm_s, aot_s, !eliminated_fraction)
 
-let perf ~scale ~min_time () =
+let perf ~scale ~min_time ~config () =
   header "Wall-clock throughput of the simulator itself"
     "host-dependent; committed snapshot makes fast-path regressions visible\n\
      as ratios (pre-decoded core vs interpretive loop, decode cache on/off)";
-  let mach_pre = machine_rate ~scale ~min_time Ia32el.Config.default in
+  let mach_pre = machine_rate ~scale ~min_time config in
+  (* fusion is a pure host-speed switch (virtual cycles are bit-identical
+     either way), so the fused-vs-unfused delta is a wall-clock ratio *)
+  let mach_unfused =
+    machine_rate ~scale ~min_time
+      { config with Ia32el.Config.enable_fusion = false }
+  in
   let mach_int =
     machine_rate ~scale ~min_time
-      { Ia32el.Config.default with Ia32el.Config.enable_predecode = false }
+      { config with Ia32el.Config.enable_predecode = false }
   in
+  (* macro-op fusion diagnostics from one representative run (host-side
+     counters, outside the metrics JSON by design) *)
+  (let r = B.run_el ~config Workloads.Spec_int.gzip ~scale in
+   match r.B.engine with
+   | Some e ->
+     let compiled, hits = Ipf.Exec.fusion_stats e.Ia32el.Engine.exec in
+     let names = Ipf.Exec.fuse_class_names in
+     Printf.printf "macro-op fusion             : %d pairs lowered; hits %s\n"
+       compiled
+       (String.concat ", "
+          (List.init (Array.length names) (fun i ->
+               Printf.sprintf "%s=%d" names.(i) hits.(i))))
+   | None -> ());
   let interp_cached = interp_rate ~scale ~min_time ~cache:true in
   let interp_uncached = interp_rate ~scale ~min_time ~cache:false in
   let el_s =
@@ -617,6 +636,10 @@ let perf ~scale ~min_time () =
   let lock_factor = lock_s /. el_s in
   Printf.printf "machine core, pre-decoded   : %8.2f Mslots/s\n"
     (mach_pre /. 1e6);
+  Printf.printf "machine core, fusion off    : %8.2f Mslots/s\n"
+    (mach_unfused /. 1e6);
+  Printf.printf "  fused / unfused           : %8.2fx\n"
+    (mach_pre /. mach_unfused);
   Printf.printf "machine core, interpretive  : %8.2f Mslots/s\n"
     (mach_int /. 1e6);
   Printf.printf "  pre-decode speedup        : %8.2fx\n" mach_speedup;
@@ -676,15 +699,16 @@ let perf ~scale ~min_time () =
         ("schema", Str "ia32el-wallclock/3");
         ("scale", Int scale);
         ("host_dependent", Str "true");
-        (* measured once when the direct-threaded core landed, same host
-           and methodology, for the before/after record; current-tree A/B
-           ratios above are the live regression guard *)
+        (* measured once when the current fast-path generation landed
+           (hot counters + macro-op fusion), same host and methodology,
+           for the before/after record; current-tree A/B ratios above
+           are the live regression guard *)
         ( "pre_change_baseline",
           Obj
             [
-              ("rev", Str "3c94ff9");
-              ("machine_slots_per_s", Float 3.0e6);
-              ("interp_insns_per_s", Float 2.8e6);
+              ("rev", Str "8bf175f");
+              ("machine_slots_per_s", Float 14614220.02588027);
+              ("interp_insns_per_s", Float 13503352.714911152);
               (* one-program-per-session fuzz rate measured before the
                  fork-server landed: the denominator of the >= 3x
                  fork-server acceptance multiple *)
@@ -694,6 +718,8 @@ let perf ~scale ~min_time () =
           Obj
             [
               ("predecode_slots_per_s", Float mach_pre);
+              ("predecode_unfused_slots_per_s", Float mach_unfused);
+              ("fused_over_unfused", Float (mach_pre /. mach_unfused));
               ("interp_loop_slots_per_s", Float mach_int);
               ("speedup", Float mach_speedup);
             ] );
@@ -842,6 +868,8 @@ let () =
   let scale = ref 1 in
   let json = ref false in
   let min_time = ref 0.3 in
+  let no_fusion = ref false in
+  let no_hot_counters = ref false in
   let rec parse = function
     | "--scale" :: n :: rest ->
       scale := int_of_string n;
@@ -852,12 +880,25 @@ let () =
     | "--min-time" :: t :: rest ->
       min_time := float_of_string t;
       parse rest
+    | "--no-fusion" :: rest ->
+      no_fusion := true;
+      parse rest
+    | "--no-hot-counters" :: rest ->
+      no_hot_counters := true;
+      parse rest
     | x :: rest -> x :: parse rest
     | [] -> []
   in
   let cmds = parse args in
   let scale = !scale in
   let min_time = !min_time in
+  let config =
+    {
+      Ia32el.Config.default with
+      Ia32el.Config.enable_fusion = not !no_fusion;
+      Ia32el.Config.enable_hot_counters = not !no_hot_counters;
+    }
+  in
   let all () =
     table1 ();
     fig5 ~scale ();
@@ -884,8 +925,8 @@ let () =
         | "stats" -> stats ~scale ()
         | "circuitry" -> circuitry ~scale ()
         | "ablations" -> ablations ~scale ()
-        | "perf" -> perf ~scale ~min_time ()
-        | "virtual" -> virtual_report ~scale ()
+        | "perf" -> perf ~scale ~min_time ~config ()
+        | "virtual" -> virtual_report ~scale ~config ()
         | "all" -> all ()
         | other -> Printf.eprintf "unknown command %S\n" other)
       cmds);

@@ -103,6 +103,10 @@ type cache = {
      them, so install order never changes which addresses a block's
      profile slots occupy. *)
   mutable pins : (int * int) list; (* (start, byte length) *)
+  (* Bumped whenever [bundle_owner] gains or loses entries, so callers
+     caching bundle->block attributions (the engine's cycle-bucket memo)
+     can detect staleness with one integer compare. *)
+  mutable owner_gen : int;
 }
 
 (* The profile arena lives in a reserved guest region (invisible to the
@@ -119,6 +123,7 @@ let create_cache () =
     next_id = 0;
     arena_next = arena_base;
     pins = [];
+    owner_gen = 0;
   }
 
 let fresh_id cache =
@@ -173,6 +178,7 @@ let register cache block =
   for b = block.tstart to block.tstart + block.tlen - 1 do
     Hashtbl.replace cache.bundle_owner b block
   done;
+  cache.owner_gen <- cache.owner_gen + 1;
   let first_page = block.entry lsr Ia32.Memory.page_bits in
   let last_page = (block.code_end - 1) lsr Ia32.Memory.page_bits in
   for p = first_page to last_page do

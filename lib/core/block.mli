@@ -78,6 +78,9 @@ type cache = {
   mutable pins : (int * int) list;
       (** (start, byte length) arena ranges claimed at recorded addresses
           by blocks installed from a persistent cache *)
+  mutable owner_gen : int;
+      (** bumped whenever [bundle_owner] changes, so bundle->block
+          attribution caches can detect staleness cheaply *)
 }
 
 val arena_base : int

@@ -3,6 +3,7 @@
    detection, misalignment handling, speculation-miss recoveries, and
    precise exception delivery with interpreter roll-forward. *)
 
+
 module M = Ipf.Machine
 module I = Ipf.Insn
 
@@ -108,6 +109,8 @@ and epoch = {
   e_br : int array;
   e_ready : int array;
   e_fready : int array;
+  e_hotc : int array;
+  e_edgec : int array;
   e_alat : (int, int * int) Hashtbl.t;
   e_ip : int;
   e_slot : int;
@@ -283,6 +286,7 @@ let create ?(config = Config.default) ?cost:(mcost = Ipf.Cost.default) ?dcache
       translate_filter = None;
     }
   in
+  Ipf.Exec.set_fusion t.exec config.Config.enable_fusion;
   (* Profile-arena traffic is translator instrumentation, not guest
      memory: keep it out of the dcache model so a block's cycles do not
      depend on which arena slots it was handed (required for installing
@@ -291,12 +295,36 @@ let create ?(config = Config.default) ?cost:(mcost = Ipf.Cost.default) ?dcache
   machine.M.dc_skip_hi <- Block.arena_base + Block.arena_size;
   vos.Btlib.Vos.clock <- (fun _ -> now t);
   vos.Btlib.Vos.quantum <- config.Config.quantum;
-  (* bucket attribution: cold vs hot cycles *)
+  (* bucket attribution: cold vs hot cycles. Charged once per issue
+     group, so the hash lookup is memoized per bundle index and the memo
+     dropped whenever the bundle->block table changes ([owner_gen]). A
+     block's [kind] is immutable after registration, so a memoized answer
+     can only go stale through (re)registration — never in place. *)
+  let bucket_memo = ref [||] in
+  let bucket_gen = ref (-1) in
   machine.M.bucket_fn <-
     (fun bundle ->
-      match Block.find_by_bundle cache bundle with
-      | Some b when b.Block.kind = Block.Hot -> Account.bucket_hot
-      | _ -> Account.bucket_cold);
+      if !bucket_gen <> cache.Block.owner_gen then begin
+        bucket_gen := cache.Block.owner_gen;
+        Array.fill !bucket_memo 0 (Array.length !bucket_memo) (-1)
+      end;
+      if bundle >= Array.length !bucket_memo then begin
+        let grown = Array.make (max 1024 (2 * (bundle + 1))) (-1) in
+        Array.blit !bucket_memo 0 grown 0 (Array.length !bucket_memo);
+        bucket_memo := grown
+      end;
+      let memo = !bucket_memo in
+      let v = Array.unsafe_get memo bundle in
+      if v >= 0 then v
+      else begin
+        let b =
+          match Block.find_by_bundle cache bundle with
+          | Some b when b.Block.kind = Block.Hot -> Account.bucket_hot
+          | _ -> Account.bucket_cold
+        in
+        Array.unsafe_set memo bundle b;
+        b
+      end);
   (* SMC detection: watch writes to translated-from pages *)
   Ia32.Memory.set_write_watch mem
     (Some
@@ -341,11 +369,15 @@ let flush_smc_pending t =
 (* ---- translation ------------------------------------------------------- *)
 
 let hot_profile t =
+  let m = t.machine in
+  let hc = t.config.Config.enable_hot_counters in
   {
     Hot.use_count =
       (fun entry ->
         match Block.find_entry t.cache entry with
-        | Some b -> Ia32.Memory.read32 t.mem b.Block.ctr_addr
+        | Some b ->
+          if hc then m.M.hotc.(M.counter_slot entry)
+          else Ia32.Memory.read32 t.mem b.Block.ctr_addr
         | None -> (
           match Hashtbl.find_opt t.if_counts entry with
           | Some r -> !r
@@ -353,7 +385,9 @@ let hot_profile t =
     Hot.taken_count =
       (fun entry ->
         match Block.find_entry t.cache entry with
-        | Some b -> Ia32.Memory.read32 t.mem b.Block.edge_addr
+        | Some b ->
+          if hc then m.M.edgec.(M.counter_slot entry)
+          else Ia32.Memory.read32 t.mem b.Block.edge_addr
         | None -> (
           match Hashtbl.find_opt t.if_taken entry with
           | Some r -> !r
@@ -382,9 +416,13 @@ let flush_translations t =
   for k = 0 to (used / 4) - 1 do
     Ia32.Memory.write32 t.mem (Block.arena_base + (4 * k)) 0
   done;
+  let m = t.machine in
+  Array.fill m.M.hotc 0 (Array.length m.M.hotc) 0;
+  Array.fill m.M.edgec 0 (Array.length m.M.edgec) 0;
   Hashtbl.reset t.cache.Block.by_entry;
   Hashtbl.reset t.cache.Block.by_id;
   Hashtbl.reset t.cache.Block.bundle_owner;
+  t.cache.Block.owner_gen <- t.cache.Block.owner_gen + 1;
   Hashtbl.reset t.cache.Block.by_page;
   t.cache.Block.arena_next <- Block.arena_base;
   t.cache.Block.pins <- [];
@@ -458,7 +496,9 @@ let snapshot_impl ~barrier t =
       e_acct = Account.copy t.acct;
       e_stats = { m.M.stats with M.cycles = m.M.stats.M.cycles };
       e_buckets = Array.copy m.M.buckets;
-      e_gr = Array.copy m.M.gr;
+      e_gr =
+        (let n = Bigarray.Array1.dim m.M.gr in
+         Array.init n (fun i -> Bigarray.Array1.get m.M.gr i));
       e_nat = Array.copy m.M.nat;
       e_fr = Array.copy m.M.fr;
       e_fnat = Array.copy m.M.fnat;
@@ -466,6 +506,8 @@ let snapshot_impl ~barrier t =
       e_br = Array.copy m.M.br;
       e_ready = Array.copy m.M.ready;
       e_fready = Array.copy m.M.fready;
+      e_hotc = Array.copy m.M.hotc;
+      e_edgec = Array.copy m.M.edgec;
       e_alat = Hashtbl.copy m.M.alat;
       e_ip = m.M.ip;
       e_slot = m.M.slot;
@@ -549,7 +591,7 @@ let revert_impl t =
     s.M.dcache_stall <- es.M.dcache_stall;
     s.M.spec_checks <- es.M.spec_checks;
     Array.blit e.e_buckets 0 m.M.buckets 0 (Array.length m.M.buckets);
-    Array.blit e.e_gr 0 m.M.gr 0 (Array.length m.M.gr);
+    Array.iteri (fun i v -> Bigarray.Array1.set m.M.gr i v) e.e_gr;
     Array.blit e.e_nat 0 m.M.nat 0 (Array.length m.M.nat);
     Array.blit e.e_fr 0 m.M.fr 0 (Array.length m.M.fr);
     Array.blit e.e_fnat 0 m.M.fnat 0 (Array.length m.M.fnat);
@@ -557,6 +599,8 @@ let revert_impl t =
     Array.blit e.e_br 0 m.M.br 0 (Array.length m.M.br);
     Array.blit e.e_ready 0 m.M.ready 0 (Array.length m.M.ready);
     Array.blit e.e_fready 0 m.M.fready 0 (Array.length m.M.fready);
+    Array.blit e.e_hotc 0 m.M.hotc 0 (Array.length m.M.hotc);
+    Array.blit e.e_edgec 0 m.M.edgec 0 (Array.length m.M.edgec);
     restore_table ~src:e.e_alat ~dst:m.M.alat;
     m.M.ip <- e.e_ip;
     m.M.slot <- e.e_slot;
@@ -837,8 +881,10 @@ let on_heat t id =
   match Block.find_by_id t.cache id with
   | None -> None
   | Some b ->
-    (* reset the counter so the trigger can fire again *)
-    Ia32.Memory.write32 t.mem b.Block.ctr_addr 0;
+    (* reset the counter so the trigger can fire again (the Hotc uop
+       already reset its hashed slot in the counter-table path) *)
+    if not t.config.Config.enable_hot_counters then
+      Ia32.Memory.write32 t.mem b.Block.ctr_addr 0;
     if b.Block.registered = 0 then
       t.acct.Account.heated_blocks <- t.acct.Account.heated_blocks + 1;
     b.Block.registered <- b.Block.registered + 1;
@@ -1248,8 +1294,9 @@ let run ?(fuel = max_int) t (st0 : Ia32.State.t) =
         try
           match t.timers with
           | None ->
-            if t.config.Config.enable_predecode then
+            if t.config.Config.enable_predecode then begin
               Ipf.Exec.run ~fuel:mfuel t.exec
+            end
             else M.run ~fuel:mfuel t.machine
           | Some tm ->
             Obs.Timers.time tm Obs.Timers.Execute (fun () ->

@@ -938,6 +938,81 @@ let pool_smc c =
   in
   [ block "smc" items ]
 
+(* Fusable-pair pool: back-to-back sequences the pre-decoded core's
+   macro-op fuser recognizes once lowered (cmp+jcc, test+jcc, push/push,
+   load+op, op+store), with the memory halves aimed at page-straddling
+   offsets and at SMC patch targets. Fusion must be observation-free, so
+   the differential harness catches any pair whose fused dispatch
+   diverges from slot-at-a-time execution — faulting second halves and
+   pairs invalidated mid-flight included. *)
+let pool_fusion c =
+  let rng = c.rng in
+  let pair _ =
+    match Rng.int rng 6 with
+    | 0 ->
+      (* cmp+jcc *)
+      let l = fresh_label c "fu" in
+      [
+        fi (Alu (Cmp, S32, R (Rng.choose rng wregs), I (Rng.int rng 256)));
+        FJcc (Rng.choose rng all_conds, l);
+        FLabel l;
+      ]
+    | 1 ->
+      (* test+jcc *)
+      let l = fresh_label c "fu" in
+      [
+        fi (Test (S32, R (Rng.choose rng wregs), R (Rng.choose rng sregs)));
+        FJcc (Rng.choose rng all_conds, l);
+        FLabel l;
+      ]
+    | 2 ->
+      (* push/push (st+st), balanced so esp survives the block *)
+      [
+        fi (Push (R (Rng.choose rng sregs)));
+        fi (Push (I (imm rng)));
+        fi (Pop (R (Rng.choose rng wregs)));
+        fi (Pop (R (Rng.choose rng wregs)));
+      ]
+    | 3 ->
+      (* load+op with the load straddling a data-page boundary *)
+      [
+        fi
+          (Mov
+             ( S32, R (Rng.choose rng wregs),
+               M (mem_abs (scratch_base + Rng.choose rng straddle_offs)) ));
+        fi
+          (Alu
+             ( Rng.choose rng alu_ops, S32, R (Rng.choose rng wregs),
+               R (Rng.choose rng sregs) ));
+      ]
+    | 4 ->
+      (* op+store, the store sometimes page-straddling *)
+      [
+        fi
+          (Alu
+             ( Rng.choose rng alu_ops, S32, R (Rng.choose rng wregs),
+               I (imm rng) ));
+        fi
+          (Mov
+             ( S32,
+               (if Rng.bool rng then M (smem rng)
+                else M (mem_abs (scratch_base + Rng.choose rng straddle_offs))),
+               R (Rng.choose rng sregs) ));
+      ]
+    | _ ->
+      (* SMC aimed at the second half of a candidate pair: the patch
+         invalidates the partner bundle after the head was examined *)
+      let lab = fresh_label c "fusmc" in
+      [
+        fi (Alu (Cmp, S32, R (Rng.choose rng wregs), I 1));
+        FLabel lab;
+        fi (Mov (S32, R (Rng.choose rng wregs), I (Rng.int rng 0x10000)));
+        FPatch (lab, Rng.int rng 0x10000);
+      ]
+  in
+  let n = 2 + Rng.int rng 3 in
+  [ block "fusion" (List.concat (List.init n pair)) ]
+
 let pool_syscall c =
   let rng = c.rng in
   let items =
@@ -1117,6 +1192,7 @@ let pool_table =
     ("sse", 6, [ "ev:sse_checks"; "ev:sse_misses" ]);
     ("string", 5, [ "ev:misalign_os_faults" ]);
     ("branch", 8, [ "ev:chain_patches"; "ev:indirect_lookups" ]);
+    ("fusion", 9, [ "ev:chain_patches"; "ev:smc_invalidations" ]);
     ("smc", 4, [ "ev:smc_invalidations"; "ev:degrade_smc_storms" ]);
     ("syscall", 6, [ "ev:commit_points"; "ev:rollforwards" ]);
     ("threads", 6,
@@ -1135,6 +1211,7 @@ let gen_pool c = function
   | "sse" -> pool_sse c
   | "string" -> pool_string c
   | "branch" -> pool_branch c
+  | "fusion" -> pool_fusion c
   | "smc" -> pool_smc c
   | "syscall" -> pool_syscall c
   | "threads" -> pool_threads c

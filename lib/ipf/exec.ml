@@ -34,6 +34,28 @@ let enc = function
   | Insn.Rbr b -> 320 + b
   | Insn.Rmem -> 328
 
+(* A fused macro-op overlaid on the FIRST slot of a recognized pair:
+   [frun] executes and accounts both halves with one step-loop dispatch,
+   replaying the exact per-uop sequence (account / run / commit / retire /
+   advance, including the intra-pair RAW split, the padding nops between
+   the halves and every stop-bit flush) so every simulated observable —
+   cycles included — is bit-identical to unfused execution. Returns
+   0 = keep stepping (falls, jumps and the second half's branch penalties
+   are already applied), 1 = left the cache with [fexit].
+
+   A pair may span a bundle boundary (generated code rarely packs a
+   dependent pair into one bundle — stops end bundles): [fnext]/[fstamp]
+   then pin the partner bundle's tcache stamp, and the step loop refuses
+   the fused path the moment the partner is rewritten (chain patching,
+   SMC invalidation), falling back to slot-by-slot dispatch. *)
+type fused = {
+  frun : unit -> int;
+  fexit : Insn.exit_reason option;
+  fneed : int; (* fuel units the pair consumes (1 per slot spanned) *)
+  fnext : int; (* partner bundle index if the pair crosses bundles, -1 *)
+  fstamp : int; (* partner's stamp at fuse time *)
+}
+
 (* One pre-decoded slot. [run] executes the semantic action and encodes
    control flow as an int — no [flow] variant to allocate:
    -1 = fall through, -2 = leave the cache ([exit_] has the reason),
@@ -50,11 +72,24 @@ type uop = {
   latency : int;
   is_br_ind : bool;
   reads : int array; (* encoded resources, qualifying predicate included *)
+  reads_rf : int array;
+      (* reads restricted to GR/FR ids (< 256): the only resources with
+         ready cycles, so the source-scan skips predicates/memory *)
   writes : int array;
   exit_ : Insn.exit_reason option; (* reason when [run] returns -2 *)
+  mutable fuse : fused option;
+      (* set when this slot heads a fusable pair *)
+  mutable fuse_done : bool;
+      (* pairing already examined (or fusion off): skip re-examination *)
 }
 
-type dbundle = { uops : uop array; stops : bool array }
+type dbundle = {
+  uops : uop array;
+  stops : bool array;
+  nrun : int array;
+      (* consecutive fast-nop slots starting at each slot — the step loop
+         retires a whole padding run in one sweep *)
+}
 
 type t = {
   m : M.t;
@@ -74,9 +109,21 @@ type t = {
   mutable gsrcs : int;
   mutable gextra : int;
   mutable stall_before : int;
+  (* macro-op fusion (Config.enable_fusion, plumbed in by the engine).
+     Stats are host-side diagnostics — they intentionally live outside
+     the metrics JSON, which must stay bit-identical across execution
+     cores that cannot fuse at all. *)
+  mutable fusion : bool;
+  mutable fuse_compiled : int; (* pairs recognized *)
+  fuse_hits : int array; (* dynamic fused-pair executions per class *)
 }
 
-let empty_dbundle = { uops = [||]; stops = [||] }
+(* Fusion pair classes, indexing [fuse_hits]. *)
+let fuse_class_names = [| "cmp+jcc"; "test+jcc"; "st+st"; "ld+op"; "op+st" |]
+
+let set_fusion t on = t.fusion <- on
+
+let empty_dbundle = { uops = [||]; stops = [||]; nrun = [||] }
 
 let create m =
   {
@@ -93,21 +140,30 @@ let create m =
     gsrcs = 0;
     gextra = 0;
     stall_before = 0;
+    fusion = false;
+    fuse_compiled = 0;
+    fuse_hits = Array.make (Array.length fuse_class_names) 0;
   }
 
 (* ---- lowering ---------------------------------------------------------- *)
 
 (* Top-level so per-step calls don't build closures. *)
-let rec nat_scan m grs i =
+let rec nat_scan (m : M.t) grs i =
   i < Array.length grs
-  && (M.get_nat m (Array.unsafe_get grs i) || nat_scan m grs (i + 1))
+  && (let r = Array.unsafe_get grs i in
+      (r <> 0 && Array.unsafe_get m.M.nat r) || nat_scan m grs (i + 1))
 
-let rec popcnt64 acc v =
-  if Int64.equal v 0L then acc
-  else
-    popcnt64
-      (acc + Int64.to_int (Int64.logand v 1L))
-      (Int64.shift_right_logical v 1)
+(* Popcount on the two 32-bit halves as native ints: the Int64 never
+   crosses a function boundary, so nothing is boxed per bit. *)
+let[@inline] popcnt32 x0 =
+  let x = x0 - ((x0 lsr 1) land 0x55555555) in
+  let x = (x land 0x33333333) + ((x lsr 2) land 0x33333333) in
+  let x = (x + (x lsr 4)) land 0x0F0F0F0F in
+  (x * 0x01010101) lsr 24
+
+let[@inline] popcnt64 v =
+  popcnt32 (Int64.to_int (Int64.logand v 0xFFFFFFFFL))
+  + popcnt32 (Int64.to_int (Int64.shift_right_logical v 32))
 
 (* signed / unsigned high 64 bits of a 64x64 product *)
 let hi_mul x y =
@@ -138,45 +194,79 @@ let hi_mul_u x y =
        (add (shift_right_logical lh 32) (shift_right_logical hl 32)))
     carry
 
+(* Module-local register accessors. The build uses -opaque in the dev
+   profile, so cross-module calls into [Machine] are never inlined and
+   every int64 crossing them is boxed. These copies live in the same
+   module as the closures below; Closure inlines them, [gr] is a
+   Bigarray, and a computed value goes register-file to register-file
+   without touching the minor heap. *)
+let[@inline] rget (m : M.t) r =
+  if r = 0 then 0L else Bigarray.Array1.unsafe_get m.M.gr r
+
+let[@inline] rget_nat (m : M.t) r =
+  r <> 0 && Array.unsafe_get m.M.nat r
+
+let[@inline] rset (m : M.t) r v =
+  if r <> 0 then begin
+    Bigarray.Array1.unsafe_set m.M.gr r v;
+    Array.unsafe_set m.M.nat r false
+  end
+
+let[@inline] pset (m : M.t) p v = if p <> 0 then Array.unsafe_set m.M.pr p v
+let[@inline] pget (m : M.t) p = p = 0 || Array.unsafe_get m.M.pr p
+
+let[@inline] iaddr v = Int64.to_int (Int64.logand v 0xFFFFFFFFL)
+
+let[@inline] isx bytes v =
+  let sh = 64 - (8 * bytes) in
+  Int64.shift_right (Int64.shift_left v sh) sh
+
+let[@inline] izx bytes v =
+  if bytes >= 8 then v
+  else Int64.logand v (Int64.sub (Int64.shift_left 1L (8 * bytes)) 1L)
+
+(* Same-module copy of [Machine.eval_cmp] so comparison operands stay
+   unboxed inside compiled Cmp/Cmpi closures. *)
+let[@inline] ieval_cmp rel a b =
+  match (rel : Insn.cmp_rel) with
+  | Insn.Ceq -> Int64.equal a b
+  | Insn.Cne -> not (Int64.equal a b)
+  | Insn.Clt -> Int64.compare a b < 0
+  | Insn.Cle -> Int64.compare a b <= 0
+  | Insn.Cgt -> Int64.compare a b > 0
+  | Insn.Cge -> Int64.compare a b >= 0
+  | Insn.Cltu -> Int64.unsigned_compare a b < 0
+  | Insn.Cleu -> Int64.unsigned_compare a b <= 0
+  | Insn.Cgtu -> Int64.unsigned_compare a b > 0
+  | Insn.Cgeu -> Int64.unsigned_compare a b >= 0
+
 (* Compile one instruction's semantic action into a closure over resolved
    operands. Mirrors [Machine.exec_sem] case by case; any behavioural
    difference here is a bug the determinism suite must catch. *)
 let compile_insn m (insn : Insn.t) =
   let open Insn in
-  let g r = M.get m r in
-  let gn d v = M.set m d v in
   let gf f = M.getf m f in
   let sf d v = M.setf m d v in
-  let sp p v = M.setp m p v in
   let stats = m.M.stats in
-  let sx bytes v =
-    let sh = 64 - (8 * bytes) in
-    Int64.shift_right (Int64.shift_left v sh) sh
-  in
-  let zx bytes v = Int64.logand v (M.mask_of_len (8 * bytes)) in
   (* GR sources, for computational NaT propagation (= nat_of_reads) *)
   let grs =
     List.filter_map (function Rgr r -> Some r | _ -> None) (reads insn)
     |> Array.of_list
   in
-  let alu d f () =
-    (if nat_scan m grs 0 then M.set_nat m d else gn d (f ()));
-    -1
-  in
   let cmp_commit ct p1 p2 r =
     match ct with
     | Cnorm | Cunc ->
-      sp p1 r;
-      sp p2 (not r)
+      pset m p1 r;
+      pset m p2 (not r)
     | Cand_ ->
       if not r then begin
-        sp p1 false;
-        sp p2 false
+        pset m p1 false;
+        pset m p2 false
       end
     | Cor_ ->
       if r then begin
-        sp p1 true;
-        sp p2 true
+        pset m p1 true;
+        pset m p2 true
       end
   in
   let taken t =
@@ -187,152 +277,253 @@ let compile_insn m (insn : Insn.t) =
     stats.M.dcache_stall <- stats.M.dcache_stall + M.dcache_access m addr
   in
   match insn.sem with
-  | Add (d, a, b) -> alu d (fun () -> Int64.add (g a) (g b))
-  | Sub (d, a, b) -> alu d (fun () -> Int64.sub (g a) (g b))
+  | Add (d, a, b) -> fun () ->
+      (if nat_scan m grs 0 then M.set_nat m d else rset m d (Int64.add (rget m a) (rget m b)));
+      -1
+  | Sub (d, a, b) -> fun () ->
+      (if nat_scan m grs 0 then M.set_nat m d
+       else rset m d (Int64.sub (rget m a) (rget m b)));
+      -1
   | Addi (d, i, a) ->
     let i = Int64.of_int i in
-    alu d (fun () -> Int64.add i (g a))
+    fun () ->
+      (if nat_scan m grs 0 then M.set_nat m d else rset m d (Int64.add i (rget m a)));
+      -1
   | Subi (d, i, a) ->
     let i = Int64.of_int i in
-    alu d (fun () -> Int64.sub i (g a))
-  | And (d, a, b) -> alu d (fun () -> Int64.logand (g a) (g b))
-  | Or (d, a, b) -> alu d (fun () -> Int64.logor (g a) (g b))
-  | Xor (d, a, b) -> alu d (fun () -> Int64.logxor (g a) (g b))
-  | Andcm (d, a, b) -> alu d (fun () -> Int64.logand (g a) (Int64.lognot (g b)))
+    fun () ->
+      (if nat_scan m grs 0 then M.set_nat m d
+       else rset m d (Int64.sub i (rget m a)));
+      -1
+  | And (d, a, b) -> fun () ->
+      (if nat_scan m grs 0 then M.set_nat m d
+       else rset m d (Int64.logand (rget m a) (rget m b)));
+      -1
+  | Or (d, a, b) -> fun () ->
+      (if nat_scan m grs 0 then M.set_nat m d
+       else rset m d (Int64.logor (rget m a) (rget m b)));
+      -1
+  | Xor (d, a, b) -> fun () ->
+      (if nat_scan m grs 0 then M.set_nat m d
+       else rset m d (Int64.logxor (rget m a) (rget m b)));
+      -1
+  | Andcm (d, a, b) -> fun () ->
+      (if nat_scan m grs 0 then M.set_nat m d
+       else rset m d (Int64.logand (rget m a) (Int64.lognot (rget m b))));
+      -1
   | Andi (d, i, a) ->
     let i = Int64.of_int i in
-    alu d (fun () -> Int64.logand i (g a))
+    fun () ->
+      (if nat_scan m grs 0 then M.set_nat m d
+       else rset m d (Int64.logand i (rget m a)));
+      -1
   | Ori (d, i, a) ->
     let i = Int64.of_int i in
-    alu d (fun () -> Int64.logor i (g a))
+    fun () ->
+      (if nat_scan m grs 0 then M.set_nat m d
+       else rset m d (Int64.logor i (rget m a)));
+      -1
   | Xori (d, i, a) ->
     let i = Int64.of_int i in
-    alu d (fun () -> Int64.logxor i (g a))
+    fun () ->
+      (if nat_scan m grs 0 then M.set_nat m d
+       else rset m d (Int64.logxor i (rget m a)));
+      -1
   | Shl (d, a, b) ->
-    alu d (fun () ->
-        let c = Int64.to_int (Int64.logand (g b) 127L) in
-        if c >= 64 then 0L else Int64.shift_left (g a) c)
+    fun () ->
+      (if nat_scan m grs 0 then M.set_nat m d
+       else rset m d (let c = Int64.to_int (Int64.logand (rget m b) 127L) in
+        if c >= 64 then 0L else Int64.shift_left (rget m a) c));
+      -1
   | Shli (d, a, n) ->
-    alu d (fun () -> if n >= 64 then 0L else Int64.shift_left (g a) n)
+    fun () ->
+      (if nat_scan m grs 0 then M.set_nat m d
+       else rset m d (if n >= 64 then 0L else Int64.shift_left (rget m a) n));
+      -1
   | Shru (d, a, b) ->
-    alu d (fun () ->
-        let c = Int64.to_int (Int64.logand (g b) 127L) in
-        if c >= 64 then 0L else Int64.shift_right_logical (g a) c)
+    fun () ->
+      (if nat_scan m grs 0 then M.set_nat m d
+       else rset m d (let c = Int64.to_int (Int64.logand (rget m b) 127L) in
+        if c >= 64 then 0L else Int64.shift_right_logical (rget m a) c));
+      -1
   | Shrui (d, a, n) ->
-    alu d (fun () -> if n >= 64 then 0L else Int64.shift_right_logical (g a) n)
+    fun () ->
+      (if nat_scan m grs 0 then M.set_nat m d
+       else rset m d (if n >= 64 then 0L else Int64.shift_right_logical (rget m a) n));
+      -1
   | Shrs (d, a, b) ->
-    alu d (fun () ->
-        let c = min 63 (Int64.to_int (Int64.logand (g b) 127L)) in
-        Int64.shift_right (g a) c)
+    fun () ->
+      (if nat_scan m grs 0 then M.set_nat m d
+       else rset m d (let c = min 63 (Int64.to_int (Int64.logand (rget m b) 127L)) in
+        Int64.shift_right (rget m a) c));
+      -1
   | Shrsi (d, a, n) ->
     let n = min 63 n in
-    alu d (fun () -> Int64.shift_right (g a) n)
+    fun () ->
+      (if nat_scan m grs 0 then M.set_nat m d
+       else rset m d (Int64.shift_right (rget m a) n));
+      -1
   | Dep (d, s, base, pos, len) ->
-    alu d (fun () ->
-        let field = Int64.logand (g s) (M.mask_of_len len) in
-        let cleared =
-          Int64.logand (g base)
-            (Int64.lognot (Int64.shift_left (M.mask_of_len len) pos))
-        in
-        Int64.logor cleared (Int64.shift_left field pos))
+    (* pos/len are immediates: box the masks once, at lowering time *)
+    let fmask = M.mask_of_len len in
+    let cmask = Int64.lognot (Int64.shift_left fmask pos) in
+    fun () ->
+      (if nat_scan m grs 0 then M.set_nat m d
+       else rset m d (let field = Int64.logand (rget m s) fmask in
+        let cleared = Int64.logand (rget m base) cmask in
+        Int64.logor cleared (Int64.shift_left field pos)));
+      -1
   | Depz (d, s, pos, len) ->
-    alu d (fun () ->
-        Int64.shift_left (Int64.logand (g s) (M.mask_of_len len)) pos)
+    let fmask = M.mask_of_len len in
+    fun () ->
+      (if nat_scan m grs 0 then M.set_nat m d
+       else rset m d (Int64.shift_left (Int64.logand (rget m s) fmask) pos));
+      -1
   | Extr (d, s, pos, len) ->
-    alu d (fun () ->
-        Int64.shift_right (Int64.shift_left (g s) (64 - pos - len)) (64 - len))
+    fun () ->
+      (if nat_scan m grs 0 then M.set_nat m d
+       else rset m d (Int64.shift_right (Int64.shift_left (rget m s) (64 - pos - len)) (64 - len)));
+      -1
   | Extru (d, s, pos, len) ->
-    alu d (fun () ->
-        Int64.logand (Int64.shift_right_logical (g s) pos) (M.mask_of_len len))
-  | Sxt (d, s, n) -> alu d (fun () -> sx n (g s))
-  | Zxt (d, s, n) -> alu d (fun () -> zx n (g s))
+    let fmask = M.mask_of_len len in
+    fun () ->
+      (if nat_scan m grs 0 then M.set_nat m d
+       else rset m d (Int64.logand (Int64.shift_right_logical (rget m s) pos) fmask));
+      -1
+  | Sxt (d, s, n) -> fun () ->
+      (if nat_scan m grs 0 then M.set_nat m d
+       else rset m d (isx n (rget m s)));
+      -1
+  | Zxt (d, s, n) -> fun () ->
+      (if nat_scan m grs 0 then M.set_nat m d
+       else rset m d (izx n (rget m s)));
+      -1
   | Mov (d, s) ->
     (* moves propagate NaT as a value move (like mov through add r0) *)
     fun () ->
-      (if M.get_nat m s then M.set_nat m d else gn d (g s));
+      (if rget_nat m s then M.set_nat m d else rset m d (rget m s));
       -1
   | Movi (d, v) ->
     fun () ->
-      gn d v;
+      rset m d v;
       -1
   | Mix (d, a, b) ->
-    alu d (fun () ->
-        Int64.logor
-          (Int64.shift_left (Int64.logand (g a) 0xFFFFFFFFL) 32)
-          (Int64.logand (g b) 0xFFFFFFFFL))
-  | Popcnt (d, s) -> alu d (fun () -> Int64.of_int (popcnt64 0 (g s)))
+    fun () ->
+      (if nat_scan m grs 0 then M.set_nat m d
+       else rset m d (Int64.logor
+          (Int64.shift_left (Int64.logand (rget m a) 0xFFFFFFFFL) 32)
+          (Int64.logand (rget m b) 0xFFFFFFFFL)));
+      -1
+  | Popcnt (d, s) -> fun () ->
+      (if nat_scan m grs 0 then M.set_nat m d
+       else rset m d (Int64.of_int (popcnt64 (rget m s))));
+      -1
   | Xma (d, a, b, c) | Xmau (d, a, b, c) ->
-    alu d (fun () -> Int64.add (Int64.mul (g a) (g b)) (g c))
-  | Xmah (d, a, b, c) -> alu d (fun () -> Int64.add (hi_mul (g a) (g b)) (g c))
+    fun () ->
+      (if nat_scan m grs 0 then M.set_nat m d
+       else rset m d (Int64.add (Int64.mul (rget m a) (rget m b)) (rget m c)));
+      -1
+  | Xmah (d, a, b, c) -> fun () ->
+      (if nat_scan m grs 0 then M.set_nat m d
+       else rset m d (Int64.add (hi_mul (rget m a) (rget m b)) (rget m c)));
+      -1
   | Xmahu (d, a, b, c) ->
-    alu d (fun () -> Int64.add (hi_mul_u (g a) (g b)) (g c))
+    fun () ->
+      (if nat_scan m grs 0 then M.set_nat m d
+       else rset m d (Int64.add (hi_mul_u (rget m a) (rget m b)) (rget m c)));
+      -1
   | Divs (d, a, b) ->
-    alu d (fun () -> if Int64.equal (g b) 0L then 0L else Int64.div (g a) (g b))
+    fun () ->
+      (if nat_scan m grs 0 then M.set_nat m d
+       else rset m d (if Int64.equal (rget m b) 0L then 0L else Int64.div (rget m a) (rget m b)));
+      -1
   | Divu (d, a, b) ->
-    alu d (fun () ->
-        if Int64.equal (g b) 0L then 0L else Int64.unsigned_div (g a) (g b))
+    fun () ->
+      (if nat_scan m grs 0 then M.set_nat m d
+       else rset m d (if Int64.equal (rget m b) 0L then 0L else Int64.unsigned_div (rget m a) (rget m b)));
+      -1
   | Rems (d, a, b) ->
-    alu d (fun () -> if Int64.equal (g b) 0L then 0L else Int64.rem (g a) (g b))
+    fun () ->
+      (if nat_scan m grs 0 then M.set_nat m d
+       else rset m d (if Int64.equal (rget m b) 0L then 0L else Int64.rem (rget m a) (rget m b)));
+      -1
   | Remu (d, a, b) ->
-    alu d (fun () ->
-        if Int64.equal (g b) 0L then 0L else Int64.unsigned_rem (g a) (g b))
+    fun () ->
+      (if nat_scan m grs 0 then M.set_nat m d
+       else rset m d (if Int64.equal (rget m b) 0L then 0L else Int64.unsigned_rem (rget m a) (rget m b)));
+      -1
   | Padd (w, d, a, b) ->
-    alu d (fun () -> Ia32.Word.lanes_map2 w Int64.add (g a) (g b))
+    fun () ->
+      (if nat_scan m grs 0 then M.set_nat m d
+       else rset m d (Ia32.Word.lanes_map2 w Int64.add (rget m a) (rget m b)));
+      -1
   | Psub (w, d, a, b) ->
-    alu d (fun () -> Ia32.Word.lanes_map2 w Int64.sub (g a) (g b))
+    fun () ->
+      (if nat_scan m grs 0 then M.set_nat m d
+       else rset m d (Ia32.Word.lanes_map2 w Int64.sub (rget m a) (rget m b)));
+      -1
   | Pmull (w, d, a, b) ->
-    alu d (fun () -> Ia32.Word.lanes_map2 w Int64.mul (g a) (g b))
+    fun () ->
+      (if nat_scan m grs 0 then M.set_nat m d
+       else rset m d (Ia32.Word.lanes_map2 w Int64.mul (rget m a) (rget m b)));
+      -1
   | Pcmpeq (w, d, a, b) ->
-    alu d (fun () ->
-        Ia32.Word.lanes_map2 w
+    fun () ->
+      (if nat_scan m grs 0 then M.set_nat m d
+       else rset m d (Ia32.Word.lanes_map2 w
           (fun x y -> if Int64.equal x y then -1L else 0L)
-          (g a) (g b))
+          (rget m a) (rget m b)));
+      -1
   | Pshli (w, d, a, n) ->
-    alu d (fun () ->
-        Ia32.Word.lanes_map2 w
+    fun () ->
+      (if nat_scan m grs 0 then M.set_nat m d
+       else rset m d (Ia32.Word.lanes_map2 w
           (fun x _ -> if n >= w * 8 then 0L else Int64.shift_left x n)
-          (g a) 0L)
+          (rget m a) 0L));
+      -1
   | Pshri (w, d, a, n) ->
-    alu d (fun () ->
-        Ia32.Word.lanes_map2 w
+    fun () ->
+      (if nat_scan m grs 0 then M.set_nat m d
+       else rset m d (Ia32.Word.lanes_map2 w
           (fun x _ -> if n >= w * 8 then 0L else Int64.shift_right_logical x n)
-          (g a) 0L)
+          (rget m a) 0L));
+      -1
   | Cmp (rel, ct, p1, p2, a, b) ->
     fun () ->
-      (if M.get_nat m a || M.get_nat m b then begin
+      (if rget_nat m a || rget_nat m b then begin
          (* NaT source: both targets cleared (IPF behaviour) *)
-         sp p1 false;
-         sp p2 false
+         pset m p1 false;
+         pset m p2 false
        end
-       else cmp_commit ct p1 p2 (M.eval_cmp rel (g a) (g b)));
+       else cmp_commit ct p1 p2 (ieval_cmp rel (rget m a) (rget m b)));
       -1
   | Cmpi (rel, ct, p1, p2, i, a) ->
     let i = Int64.of_int i in
     fun () ->
-      (if M.get_nat m a then begin
-         sp p1 false;
-         sp p2 false
+      (if rget_nat m a then begin
+         pset m p1 false;
+         pset m p2 false
        end
-       else cmp_commit ct p1 p2 (M.eval_cmp rel i (g a)));
+       else cmp_commit ct p1 p2 (ieval_cmp rel i (rget m a)));
       -1
   | Tbit (p1, p2, a, pos) ->
     fun () ->
-      (if M.get_nat m a then begin
-         sp p1 false;
-         sp p2 false
+      (if rget_nat m a then begin
+         pset m p1 false;
+         pset m p2 false
        end
        else begin
          let bit =
-           Int64.logand (Int64.shift_right_logical (g a) pos) 1L
+           Int64.logand (Int64.shift_right_logical (rget m a) pos) 1L
            |> Int64.equal 1L
          in
-         sp p1 bit;
-         sp p2 (not bit)
+         pset m p1 bit;
+         pset m p2 (not bit)
        end);
       -1
   | Setp (p, v) ->
     fun () ->
-      sp p v;
+      pset m p v;
       -1
   | Movpr (d, mask) ->
     fun () ->
@@ -341,13 +532,13 @@ let compile_insn m (insn : Insn.t) =
         v := Int64.shift_left !v 1;
         if M.getp m p then v := Int64.logor !v 1L
       done;
-      gn d (Int64.logand !v mask);
+      rset m d (Int64.logand !v mask);
       -1
   | Prmov src ->
     fun () ->
-      let v = g src in
+      let v = rget m src in
       for p = 1 to 63 do
-        sp p
+        pset m p
           (Int64.logand (Int64.shift_right_logical v p) 1L |> Int64.equal 1L)
       done;
       -1
@@ -355,7 +546,7 @@ let compile_insn m (insn : Insn.t) =
     let is_spec = spec = Ld_s || spec = Ld_sa in
     let is_adv = spec = Ld_a || spec = Ld_sa in
     fun () ->
-      if M.get_nat m a then
+      if rget_nat m a then
         if is_spec then begin
           M.set_nat m d;
           (* a stale ALAT entry for d must not let a later chk.a pass *)
@@ -364,12 +555,12 @@ let compile_insn m (insn : Insn.t) =
         end
         else raise (M.Machine_fault (M.F_nat, 0, size, false))
       else begin
-        let addr = M.addr_of (g a) in
+        let addr = iaddr (rget m a) in
         stats.M.loads <- stats.M.loads + 1;
         match M.do_load m ~addr ~size with
         | v ->
-          let v = if size = 8 then v else zx size v in
-          gn d v;
+          let v = if size = 8 then v else izx size v in
+          rset m d v;
           dstall addr;
           if is_adv then Hashtbl.replace m.M.alat d (addr, size);
           -1
@@ -383,14 +574,14 @@ let compile_insn m (insn : Insn.t) =
       end
   | St (size, a, v) ->
     fun () ->
-      if M.get_nat m a || M.get_nat m v then
+      if rget_nat m a || rget_nat m v then
         raise (M.Machine_fault (M.F_nat, 0, size, true));
-      let addr = M.addr_of (g a) in
+      let addr = iaddr (rget m a) in
       stats.M.stores <- stats.M.stores + 1;
-      M.do_store m ~addr ~size (g v);
+      M.do_store m ~addr ~size (rget m v);
       dstall addr;
       -1
-  | Chk_s (r, t) -> fun () -> if M.get_nat m r then taken t else -1
+  | Chk_s (r, t) -> fun () -> if rget_nat m r then taken t else -1
   | Chk_a (r, t) -> fun () -> if Hashtbl.mem m.M.alat r then -1 else taken t
   | Invala ->
     fun () ->
@@ -398,9 +589,9 @@ let compile_insn m (insn : Insn.t) =
       -1
   | Ldf (size, d, a) ->
     fun () ->
-      if M.get_nat m a then raise (M.Machine_fault (M.F_nat, 0, size, false))
+      if rget_nat m a then raise (M.Machine_fault (M.F_nat, 0, size, false))
       else begin
-        let addr = M.addr_of (g a) in
+        let addr = iaddr (rget m a) in
         stats.M.loads <- stats.M.loads + 1;
         let bits = M.do_load m ~addr ~size in
         let v =
@@ -415,8 +606,8 @@ let compile_insn m (insn : Insn.t) =
       end
   | Stf (size, a, v) ->
     fun () ->
-      if M.get_nat m a then raise (M.Machine_fault (M.F_nat, 0, size, true));
-      let addr = M.addr_of (g a) in
+      if rget_nat m a then raise (M.Machine_fault (M.F_nat, 0, size, true));
+      let addr = iaddr (rget m a) in
       stats.M.stores <- stats.M.stores + 1;
       let bits =
         if size = 4 then Int64.of_int (Ia32.Fpconv.bits_of_f32 (gf v))
@@ -491,20 +682,20 @@ let compile_insn m (insn : Insn.t) =
         | Fle -> x <= y
         | Funord -> Float.is_nan x || Float.is_nan y
       in
-      sp p1 r;
-      sp p2 (not r);
+      pset m p1 r;
+      pset m p2 (not r);
       -1
   | Fcvt_xf (d, a) ->
     fun () ->
-      sf d (Int64.to_float (g a));
+      sf d (Int64.to_float (rget m a));
       -1
   | Fcvt_fx (d, a) ->
     fun () ->
-      gn d (Int64.of_float (Ia32.Fpconv.rint (gf a)));
+      rset m d (Int64.of_float (Ia32.Fpconv.rint (gf a)));
       -1
   | Fcvt_fxt (d, a) ->
     fun () ->
-      gn d (Int64.of_float (Float.trunc (gf a)));
+      rset m d (Int64.of_float (Float.trunc (gf a)));
       -1
   | Fcvt_32 (d, a) ->
     fun () ->
@@ -512,23 +703,23 @@ let compile_insn m (insn : Insn.t) =
       -1
   | Getf_s (d, a) ->
     fun () ->
-      gn d (Int64.of_int (Ia32.Fpconv.bits_of_f32 (gf a)));
+      rset m d (Int64.of_int (Ia32.Fpconv.bits_of_f32 (gf a)));
       -1
   | Getf_d (d, a) ->
     fun () ->
-      gn d (Ia32.Fpconv.bits_of_f64 (gf a));
+      rset m d (Ia32.Fpconv.bits_of_f64 (gf a));
       -1
   | Setf_s (d, a) ->
     fun () ->
-      if M.get_nat m a then raise (M.Machine_fault (M.F_nat, 0, 4, false));
+      if rget_nat m a then raise (M.Machine_fault (M.F_nat, 0, 4, false));
       sf d
         (Ia32.Fpconv.f32_of_bits
-           (Int64.to_int (Int64.logand (g a) 0xFFFFFFFFL)));
+           (Int64.to_int (Int64.logand (rget m a) 0xFFFFFFFFL)));
       -1
   | Setf_d (d, a) ->
     fun () ->
-      if M.get_nat m a then raise (M.Machine_fault (M.F_nat, 0, 8, false));
-      sf d (Ia32.Fpconv.f64_of_bits (g a));
+      if rget_nat m a then raise (M.Machine_fault (M.F_nat, 0, 8, false));
+      sf d (Ia32.Fpconv.f64_of_bits (rget m a));
       -1
   | Br t -> fun () -> taken t
   | Br_ind b ->
@@ -537,11 +728,30 @@ let compile_insn m (insn : Insn.t) =
       m.M.br.(b)
   | Mov_to_br (b, a) ->
     fun () ->
-      m.M.br.(b) <- Int64.to_int (g a);
+      m.M.br.(b) <- Int64.to_int (rget m a);
       -1
   | Mov_from_br (d, b) ->
     fun () ->
-      gn d (Int64.of_int m.M.br.(b));
+      rset m d (Int64.of_int m.M.br.(b));
+      -1
+  | Hotc (s, threshold, _) ->
+    let hotc = m.M.hotc in
+    fun () ->
+      let c = hotc.(s) + 1 in
+      if c >= threshold then begin
+        hotc.(s) <- 0;
+        stats.M.taken_branches <- stats.M.taken_branches + 1;
+        -2
+      end
+      else begin
+        hotc.(s) <- c;
+        -1
+      end
+  | Edgec s ->
+    let edgec = m.M.edgec in
+    fun () ->
+      let c = edgec.(s) in
+      if c < M.edgec_saturate then edgec.(s) <- c + 1;
       -1
   | Nop _ -> fun () -> -1
 
@@ -562,6 +772,13 @@ let compile_uop m (insn : Insn.t) =
     latency = M.latency_of m insn;
     is_br_ind = (match insn.Insn.sem with Insn.Br_ind _ -> true | _ -> false);
     reads = Array.of_list (List.map enc (Insn.reads insn));
+    reads_rf =
+      Array.of_list
+        (List.filter_map
+           (fun r ->
+             let e = enc r in
+             if e < 256 then Some e else None)
+           (Insn.reads insn));
     writes = Array.of_list (List.map enc (Insn.writes insn));
     exit_ =
       (match insn.Insn.sem with
@@ -569,14 +786,21 @@ let compile_uop m (insn : Insn.t) =
       | Insn.Chk_s (_, Insn.Out r)
       | Insn.Chk_a (_, Insn.Out r) ->
         Some r
+      | Insn.Hotc (_, _, id) -> Some (Insn.Heat id)
       | _ -> None);
+    fuse = None;
+    fuse_done = false;
   }
 
 let compile_bundle m (b : Bundle.t) =
-  {
-    uops = Array.map (compile_uop m) b.Bundle.slots;
-    stops = Array.copy b.Bundle.stops;
-  }
+  let uops = Array.map (compile_uop m) b.Bundle.slots in
+  let n = Array.length uops in
+  let nrun = Array.make n 0 in
+  for i = n - 1 downto 0 do
+    if uops.(i).fast_nop then
+      nrun.(i) <- 1 + (if i + 1 < n then nrun.(i + 1) else 0)
+  done;
+  { uops; stops = Array.copy b.Bundle.stops; nrun }
 
 let ensure t i =
   let n = Array.length t.dec in
@@ -590,30 +814,27 @@ let ensure t i =
     t.dstamp <- ds
   end
 
-(* Validated lookup: one stamp compare on the hit path; a miss lowers the
-   bundle and records the stamp (out-of-range indices raise through
-   [Tcache.get], exactly like the interpretive loop). *)
-let dbundle_at t i =
-  let s = Tcache.stamp t.tc i in
-  if i < Array.length t.dstamp && Array.unsafe_get t.dstamp i = s then
-    Array.unsafe_get t.dec i
-  else begin
-    let b = Tcache.get t.tc i in
-    ensure t i;
-    let db = compile_bundle t.m b in
-    t.dec.(i) <- db;
-    t.dstamp.(i) <- s;
-    db
-  end
-
 (* ---- run loop ---------------------------------------------------------- *)
 
 let flush_group t =
   if t.gweight > 0 then begin
-    let issue =
-      M.close_group t.m ~srcs_ready:t.gsrcs ~weight:t.gweight ~extra:t.gextra
-    in
     let m = t.m in
+    (* [M.close_group]'s accounting, replicated locally: the build's
+       -opaque keeps the cross-module call opaque, and groups close every
+       few slots. Must stay line-for-line equivalent. *)
+    let stats = m.M.stats in
+    let issue = max (stats.M.cycles + 1) t.gsrcs in
+    let span =
+      (t.gweight + m.M.cost.Cost.issue_slots - 1) / m.M.cost.Cost.issue_slots
+    in
+    let delta = issue + span - 1 + t.gextra - stats.M.cycles in
+    if delta > 0 then begin
+      stats.M.cycles <- stats.M.cycles + delta;
+      let b = m.M.bucket_fn m.M.ip in
+      m.M.buckets.(b land 7) <- m.M.buckets.(b land 7) + delta;
+      match m.M.charge_probe with Some f -> f m.M.ip delta | None -> ()
+    end;
+    stats.M.groups <- stats.M.groups + 1;
     for i = 0 to t.wn - 1 do
       let rid = t.wlist.(i) in
       if rid < 128 then m.M.ready.(rid) <- issue + t.wlat.(rid)
@@ -626,7 +847,7 @@ let flush_group t =
     t.gextra <- 0
   end
 
-let advance_slot t stop_after =
+let[@inline] advance_slot t stop_after =
   let m = t.m in
   if m.M.slot = 2 then begin
     m.M.ip <- m.M.ip + 1;
@@ -639,23 +860,24 @@ let rec raw_scan t reads i =
   i < Array.length reads
   && (t.wmark.(Array.unsafe_get reads i) = t.wepoch || raw_scan t reads (i + 1))
 
-let account t u =
-  (* intra-group RAW: conservatively split the group *)
-  if raw_scan t u.reads 0 then flush_group t;
+let[@inline] account t u =
+  (* intra-group RAW: conservatively split the group (the scan needs the
+     full read set — predicates and memory carry RAW splits too) *)
+  if t.wn > 0 && raw_scan t u.reads 0 then flush_group t;
   let m = t.m in
   t.stall_before <- m.M.stats.M.dcache_stall;
-  let reads = u.reads in
+  let reads = u.reads_rf in
   for i = 0 to Array.length reads - 1 do
     let rid = Array.unsafe_get reads i in
     if rid < 128 then begin
       if m.M.ready.(rid) > t.gsrcs then t.gsrcs <- m.M.ready.(rid)
     end
-    else if rid < 256 then
-      if m.M.fready.(rid - 128) > t.gsrcs then t.gsrcs <- m.M.fready.(rid - 128)
+    else if m.M.fready.(rid - 128) > t.gsrcs then
+      t.gsrcs <- m.M.fready.(rid - 128)
   done;
   t.gweight <- t.gweight + u.weight
 
-let commit_timing t u =
+let[@inline] commit_timing t u =
   (* dcache stalls observed during exec extend the group *)
   t.gextra <- t.gextra + (t.m.M.stats.M.dcache_stall - t.stall_before);
   let writes = u.writes in
@@ -669,6 +891,187 @@ let commit_timing t u =
     t.wlat.(rid) <- u.latency
   done
 
+(* ---- macro-op fusion ---------------------------------------------------- *)
+
+(* Fusion legality (DESIGN.md §15). A pair fuses only when:
+   - the first op is unpredicated and can neither branch nor leave the
+     cache (its [run] always falls through; it may still fault — the raise
+     unwinds before the pair advances, so fault ip/slot are exact);
+   - the pair spans fall-through only: within one bundle, or into the
+     first real slot of the NEXT bundle, whose tcache stamp is pinned
+     ([fstamp]) so chain patching and SMC invalidation drop the overlay;
+     heads never branch, so a pair cannot straddle a block's exit;
+   - neither bundle is under an IPF_WATCH watchpoint (the debug hook
+     prints between dispatches, which fusion would elide).
+   The second op may be predicated, branch, exit or fault: [frun] replays
+   its full dispatch sequence with the machine ip/slot already advanced
+   past the first half, so every outcome is bit-identical. *)
+
+let is_alu_sem = function
+  | Insn.Add _ | Insn.Sub _ | Insn.Addi _ | Insn.Subi _ | Insn.And _
+  | Insn.Or _ | Insn.Xor _ | Insn.Andcm _ | Insn.Andi _ | Insn.Ori _
+  | Insn.Xori _ | Insn.Shl _ | Insn.Shli _ | Insn.Shru _ | Insn.Shrui _
+  | Insn.Shrs _ | Insn.Shrsi _ | Insn.Dep _ | Insn.Depz _ | Insn.Extr _
+  | Insn.Extru _ | Insn.Sxt _ | Insn.Zxt _ | Insn.Mov _ | Insn.Movi _
+  | Insn.Mix _ | Insn.Popcnt _ ->
+    true
+  | _ -> false
+
+(* Class index into [fuse_hits] / [fuse_class_names], or -1. *)
+let fuse_class (i1 : Insn.t) (i2 : Insn.t) =
+  if i1.Insn.qp <> None then -1
+  else
+    match (i1.Insn.sem, i2.Insn.sem) with
+    | (Insn.Cmp _ | Insn.Cmpi _), Insn.Br _ -> 0
+    | Insn.Tbit _, Insn.Br _ -> 1
+    | (Insn.St _ | Insn.Stf _), (Insn.St _ | Insn.Stf _) -> 2
+    | (Insn.Ld _ | Insn.Ldf _), s2 when is_alu_sem s2 -> 3
+    | s1, (Insn.St _ | Insn.Stf _) when is_alu_sem s1 -> 4
+    | _ -> -1
+
+(* Validated lookup: one stamp compare on the hit path; a miss lowers the
+   bundle and records the stamp (out-of-range indices raise through
+   [Tcache.get], exactly like the interpretive loop). *)
+let dbundle_at t i =
+  let s = Tcache.stamp t.tc i in
+  if i < Array.length t.dstamp && Array.unsafe_get t.dstamp i = s then
+    Array.unsafe_get t.dec i
+  else begin
+    let b = Tcache.get t.tc i in
+    ensure t i;
+    let db = compile_bundle t.m b in
+    if not t.fusion then
+      Array.iter (fun u -> u.fuse_done <- true) db.uops;
+    t.dec.(i) <- db;
+    t.dstamp.(i) <- s;
+    db
+  end
+
+(* Build the fused closure for a recognized pair. The body is the step
+   loop's per-uop sequence inlined — first half, padding-nop bridge,
+   second half — minus the intermediate dispatches. [bridge] packs each
+   padding slot as [weight*2 lor stop]. *)
+let fuse_pair t u1 u2 ~bridge ~stop1 ~stop2 ~fneed ~fnext ~fstamp k =
+  let m = t.m in
+  let stats = m.M.stats in
+  let frun () =
+    (* first half: unpredicated, never branches, never exits *)
+    account t u1;
+    let r1 = u1.run () in
+    ignore r1;
+    commit_timing t u1;
+    stats.M.slots_retired <- stats.M.slots_retired + 1;
+    advance_slot t stop1;
+    t.fuse_hits.(k) <- t.fuse_hits.(k) + 1;
+    (* padding nops between the halves: weight and stop flushes only *)
+    for x = 0 to Array.length bridge - 1 do
+      let ws = Array.unsafe_get bridge x in
+      t.gweight <- t.gweight + (ws lsr 1);
+      advance_slot t (ws land 1 = 1)
+    done;
+    (* second half: full dispatch sequence *)
+    if u2.spec_check then stats.M.spec_checks <- stats.M.spec_checks + 1;
+    let enabled = u2.qp < 0 || pget m u2.qp in
+    account t u2;
+    if not enabled then begin
+      commit_timing t u2;
+      if u2.nonnop then stats.M.slots_retired <- stats.M.slots_retired + 1;
+      advance_slot t stop2;
+      0
+    end
+    else
+      match u2.run () with
+      | -1 ->
+        commit_timing t u2;
+        if u2.nonnop then stats.M.slots_retired <- stats.M.slots_retired + 1;
+        advance_slot t stop2;
+        0
+      | -2 ->
+        commit_timing t u2;
+        stats.M.slots_retired <- stats.M.slots_retired + 1;
+        flush_group t;
+        m.M.last_exit <- (m.M.ip, m.M.slot);
+        advance_slot t stop2;
+        1
+      | n ->
+        commit_timing t u2;
+        stats.M.slots_retired <- stats.M.slots_retired + 1;
+        flush_group t;
+        M.charge m m.M.cost.Cost.taken_branch_penalty;
+        if u2.is_br_ind then M.charge m m.M.cost.Cost.indirect_branch_penalty;
+        m.M.ip <- n;
+        m.M.slot <- 0;
+        0
+  in
+  { frun; fexit = u2.exit_; fneed; fnext; fstamp }
+
+(* First non-nop slot of [db] at or after [s], or -1. *)
+let rec first_real (db : dbundle) s =
+  if s >= Array.length db.uops then -1
+  else if db.uops.(s).fast_nop then first_real db (s + 1)
+  else s
+
+let pack_bridge (db1 : dbundle) s1 e1 (db2 : dbundle) e2 =
+  Array.init
+    (e1 - s1 + e2)
+    (fun x ->
+      let u, stp =
+        if x < e1 - s1 then (db1.uops.(s1 + x), db1.stops.(s1 + x))
+        else (db2.uops.(x - (e1 - s1)), db2.stops.(x - (e1 - s1)))
+      in
+      (u.weight * 2) lor Bool.to_int stp)
+
+(* Examine the pair headed by the uop the step loop is about to dispatch
+   (bundle [ip], slot [m.slot]) and overlay a fused macro-op if legal.
+   Runs once per uop — [fuse_done] — the first time it is dispatched, so
+   partner bundles are lowered on demand without recursive lowering. *)
+let try_fuse t ip (db : dbundle) u1 =
+  u1.fuse_done <- true;
+  let m = t.m in
+  let s1 = m.M.slot in
+  let watched b = match m.M.watch with Some (w, _) -> w = b | None -> false in
+  if not (watched ip) then begin
+    let i1 = (Tcache.get t.tc ip).Bundle.slots.(s1) in
+    match first_real db (s1 + 1) with
+    | k2 when k2 >= 0 ->
+      (* partner inside the same bundle *)
+      let i2 = (Tcache.get t.tc ip).Bundle.slots.(k2) in
+      let k = fuse_class i1 i2 in
+      if k >= 0 then begin
+        let bridge = pack_bridge db (s1 + 1) k2 db 0 in
+        u1.fuse <-
+          Some
+            (fuse_pair t u1 db.uops.(k2) ~bridge ~stop1:db.stops.(s1)
+               ~stop2:db.stops.(k2)
+               ~fneed:(k2 - s1 + 1)
+               ~fnext:(-1) ~fstamp:0 k);
+        t.fuse_compiled <- t.fuse_compiled + 1
+      end
+    | _ ->
+      (* the rest of this bundle is padding: try the next bundle's first
+         real op, pinning its stamp *)
+      let j = ip + 1 in
+      if j < Tcache.length t.tc && not (watched j) then begin
+        let db2 = dbundle_at t j in
+        match first_real db2 0 with
+        | k2 when k2 >= 0 -> (
+          let i2 = (Tcache.get t.tc j).Bundle.slots.(k2) in
+          let k = fuse_class i1 i2 in
+          if k >= 0 then begin
+            let nslots = Array.length db.uops in
+            let bridge = pack_bridge db (s1 + 1) nslots db2 k2 in
+            u1.fuse <-
+              Some
+                (fuse_pair t u1 db2.uops.(k2) ~bridge ~stop1:db.stops.(s1)
+                   ~stop2:db2.stops.(k2)
+                   ~fneed:(nslots - s1 + k2 + 1)
+                   ~fnext:j ~fstamp:(Tcache.stamp t.tc j) k);
+            t.fuse_compiled <- t.fuse_compiled + 1
+          end)
+        | _ -> ()
+      end
+  end
+
 let run ?(fuel = max_int) t =
   let m = t.m in
   let stats = m.M.stats in
@@ -680,42 +1083,88 @@ let run ?(fuel = max_int) t =
   t.gextra <- 0;
   let fuel_left = ref fuel in
   let watch = m.M.watch in
-  let rec step () =
+  let watching = watch <> None in
+  (* The current bundle's lowered image rides along as recursion
+     arguments, revalidated only when ip moves: nothing mutates the
+     tcache while the run loop is on the stack (guest SMC stores abort
+     out through the engine's write watch), so within a bundle the
+     cached image cannot go stale — and keeping it out of a heap cell
+     spares the GC write barrier on every bundle switch. *)
+  let rec step cur_ip cur_db =
     if !fuel_left <= 0 then begin
       flush_group t;
       M.Fuel
     end
     else begin
-      let db = dbundle_at t m.M.ip in
-      (match watch with
-      | Some (b, regs) when m.M.slot = 0 && b = m.M.ip ->
-        Printf.eprintf "[watch ip=%d" m.M.ip;
-        List.iter
-          (fun r ->
-            if r < 200 then Printf.eprintf " r%d=%Lx" r (M.get m r)
-            else Printf.eprintf " p%d=%b" (r - 200) (M.getp m (r - 200)))
-          regs;
-        Printf.eprintf "]\n%!"
-      | _ -> ());
+      let cur_ip, db =
+        if m.M.ip <> cur_ip then (m.M.ip, dbundle_at t m.M.ip)
+        else (cur_ip, cur_db)
+      in
+      if watching then
+        (match watch with
+        | Some (b, regs) when m.M.slot = 0 && b = m.M.ip ->
+          Printf.eprintf "[watch ip=%d" m.M.ip;
+          List.iter
+            (fun r ->
+              if r < 200 then Printf.eprintf " r%d=%Lx" r (M.get m r)
+              else Printf.eprintf " p%d=%b" (r - 200) (M.getp m (r - 200)))
+            regs;
+          Printf.eprintf "]\n%!"
+        | _ -> ());
       let u = Array.unsafe_get db.uops m.M.slot in
       let stop_after = Array.unsafe_get db.stops m.M.slot in
-      decr fuel_left;
       if u.fast_nop then begin
         (* a nop reads and writes nothing, cannot stall, does not retire
-           and has no predicate; only its slot weight reaches the group *)
-        t.gweight <- t.gweight + u.weight;
-        advance_slot t stop_after;
-        step ()
+           and has no predicate; only its slot weight reaches the group.
+           A run of padding nops is swept in one pass when fuel allows —
+           each consumes its fuel unit and contributes its weight exactly
+           as the slot-at-a-time loop would *)
+        let n = Array.unsafe_get db.nrun m.M.slot in
+        if n > 1 && !fuel_left >= n then begin
+          fuel_left := !fuel_left - n;
+          let s0 = m.M.slot in
+          for x = s0 to s0 + n - 1 do
+            t.gweight <- t.gweight + (Array.unsafe_get db.uops x).weight;
+            advance_slot t (Array.unsafe_get db.stops x)
+          done
+        end
+        else begin
+          decr fuel_left;
+          t.gweight <- t.gweight + u.weight;
+          advance_slot t stop_after
+        end;
+        step cur_ip db
       end
       else begin
+        (* drop a fused pair whose partner bundle was rewritten since the
+           pair was built; re-examination happens just below *)
+        (match u.fuse with
+        | Some f when f.fnext >= 0 && Tcache.stamp t.tc f.fnext <> f.fstamp
+          ->
+          u.fuse <- None;
+          u.fuse_done <- false
+        | _ -> ());
+        if (not u.fuse_done) && t.fusion then try_fuse t m.M.ip db u;
+        match u.fuse with
+        | Some f when !fuel_left >= f.fneed ->
+          (* fused pair: one dispatch for both halves. Requires the whole
+             span's fuel so a fuel stop inside the pair (which the unfused
+             loop could take) stays reachable bit-identically *)
+          fuel_left := !fuel_left - f.fneed;
+          if f.frun () = 0 then step cur_ip db
+          else
+            M.Exited
+              (match f.fexit with Some r -> r | None -> assert false)
+        | _ -> begin
+      decr fuel_left;
       if u.spec_check then stats.M.spec_checks <- stats.M.spec_checks + 1;
-      let enabled = u.qp < 0 || M.getp m u.qp in
+      let enabled = u.qp < 0 || pget m u.qp in
       account t u;
       if not enabled then begin
         commit_timing t u;
         if u.nonnop then stats.M.slots_retired <- stats.M.slots_retired + 1;
         advance_slot t stop_after;
-        step ()
+        step cur_ip db
       end
       else
         match u.run () with
@@ -723,7 +1172,7 @@ let run ?(fuel = max_int) t =
           commit_timing t u;
           if u.nonnop then stats.M.slots_retired <- stats.M.slots_retired + 1;
           advance_slot t stop_after;
-          step ()
+          step cur_ip db
         | -2 ->
           commit_timing t u;
           stats.M.slots_retired <- stats.M.slots_retired + 1;
@@ -740,13 +1189,14 @@ let run ?(fuel = max_int) t =
           if u.is_br_ind then M.charge m m.M.cost.Cost.indirect_branch_penalty;
           m.M.ip <- n;
           m.M.slot <- 0;
-          step ()
+          step cur_ip db
+        end
       end
     end
   in
   (* one trap frame for the whole run instead of one per step; [m.ip]/
      [m.slot] still point at the faulting slot when the raise unwinds *)
-  try step ()
+  try step (-1) empty_dbundle
   with M.Machine_fault (kind, addr, size, store) ->
     flush_group t;
     M.Faulted { M.kind; addr; size; store; ip = m.M.ip; slot = m.M.slot }
@@ -759,3 +1209,9 @@ let cached_bundles t =
     if t.dstamp.(i) <> 0 then incr n
   done;
   !n
+
+(* Host-side fusion diagnostics: (pairs recognized at lowering, dynamic
+   executions per class — see [fuse_class_names]). Deliberately NOT part
+   of the metrics JSON: the interpretive core cannot fuse, and metrics
+   must stay bit-identical across execution cores. *)
+let fusion_stats t = (t.fuse_compiled, Array.copy t.fuse_hits)

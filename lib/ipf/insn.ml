@@ -154,6 +154,13 @@ type sem =
   | Br_ind of br (* indirect within the translation cache *)
   | Mov_to_br of br * gr
   | Mov_from_br of gr * br
+  (* profiling pseudo-ops (hot-counter trace selection): one-slot
+     saturating counter bumps over arrays owned by the machine. Hotc
+     increments its slot and, at the threshold, resets it and leaves the
+     translation cache with [Heat id]; Edgec increments its slot and
+     saturates silently. Neither touches guest-visible state. *)
+  | Hotc of int * int * int (* counter slot, threshold, cold block id *)
+  | Edgec of int (* edge-counter slot *)
   | Nop of unit_kind
 
 (* An instruction: a semantic body optionally qualified by a predicate. *)
@@ -183,7 +190,8 @@ let unit_of sem =
   | Ori _ | Xori _ | Shl _ | Shli _ | Shru _ | Shrui _ | Shrs _ | Shrsi _
   | Dep _ | Depz _ | Extr _ | Extru _ | Sxt _ | Zxt _ | Mov _ | Movi _
   | Mix _ | Popcnt _ | Padd _ | Psub _ | Pmull _ | Pcmpeq _ | Pshli _
-  | Pshri _ | Cmp _ | Cmpi _ | Tbit _ | Setp _ | Movpr _ | Prmov _ ->
+  | Pshri _ | Cmp _ | Cmpi _ | Tbit _ | Setp _ | Movpr _ | Prmov _
+  | Hotc _ | Edgec _ ->
     I
 
 (* Resource identifiers for dependence analysis (scheduler + scoreboard). *)
@@ -240,6 +248,7 @@ let reads { qp; sem } =
     | Br_ind b -> [ Rbr b ]
     | Mov_to_br (_, a) -> [ Rgr a ]
     | Mov_from_br (_, b) -> [ Rbr b ]
+    | Hotc _ | Edgec _ -> []
     | Nop _ -> []
   in
   match qp with Some p -> Rpr p :: base | None -> base
@@ -279,6 +288,7 @@ let writes { sem; _ } =
     [ Rfr d ]
   | Br _ | Br_ind _ -> []
   | Mov_to_br (b, _) -> [ Rbr b ]
+  | Hotc _ | Edgec _ -> []
   | Nop _ -> []
 
 let is_branch { sem; _ } =
@@ -393,6 +403,8 @@ let pp_sem ppf sem =
   | Br_ind b -> Fmt.pf ppf "br b%d" b
   | Mov_to_br (b, a) -> Fmt.pf ppf "mov b%d = %s" b (g a)
   | Mov_from_br (d, b) -> Fmt.pf ppf "mov %s = b%d" (g d) b
+  | Hotc (s, t, b) -> Fmt.pf ppf "hotc [%d] thresh=%d blk=%d" s t b
+  | Edgec s -> Fmt.pf ppf "edgec [%d]" s
   | Nop M -> Fmt.string ppf "nop.m"
   | Nop I -> Fmt.string ppf "nop.i"
   | Nop F -> Fmt.string ppf "nop.f"
@@ -492,6 +504,8 @@ let map_regs ~g ~f ~p { qp; sem } =
     | Br_ind b -> Br_ind b
     | Mov_to_br (b, a) -> Mov_to_br (b, g a)
     | Mov_from_br (d, b) -> Mov_from_br (g d, b)
+    | Hotc (s, t, b) -> Hotc (s, t, b)
+    | Edgec s -> Edgec s
     | Nop k -> Nop k
   in
   { qp = Option.map p qp; sem }

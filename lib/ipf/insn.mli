@@ -155,6 +155,13 @@ type sem =
   | Br_ind of br  (** indirect branch within the translation cache *)
   | Mov_to_br of br * gr
   | Mov_from_br of gr * br
+  | Hotc of int * int * int
+      (** [Hotc (slot, threshold, block_id)]: single-slot saturating hot
+          counter over the machine-owned table — increments the slot and,
+          at the threshold, resets it and leaves with [Heat block_id] *)
+  | Edgec of int
+      (** [Edgec slot]: saturating taken-edge counter bump (predicated on
+          the branch condition); never branches *)
   | Nop of unit_kind
 
 type t = { qp : pr option; sem : sem }

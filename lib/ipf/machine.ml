@@ -57,7 +57,8 @@ let fresh_stats () =
   }
 
 type t = {
-  gr : int64 array; (* 128; r0 = 0 *)
+  gr : (int64, Bigarray.int64_elt, Bigarray.c_layout) Bigarray.Array1.t;
+      (* 128; r0 = 0; a Bigarray so fresh values need no Int64 boxing *)
   nat : bool array;
   fr : float array; (* 128; f0 = 0.0, f1 = 1.0 *)
   fnat : bool array;
@@ -94,7 +95,23 @@ type t = {
   (* IPF_WATCH debug hook, parsed once: bundle index + registers to print
      each time that bundle issues (>=200 means predicate p(n-200)) *)
   watch : (int * int list) option;
+  (* hot-counter trace selection: hash-indexed saturating counters bumped
+     by the Hotc/Edgec pseudo-ops. Machine-owned (not guest memory), so
+     counter traffic cannot perturb the modeled dcache and both execution
+     cores see the same cells. *)
+  hotc : int array;
+  edgec : int array;
 }
+
+(* Power-of-two counter-table geometry shared by the translator (slot
+   assignment) and the profile reader. Two guest addresses may alias one
+   slot; heat detection stays deterministic, merely earlier for the pair. *)
+let counter_slots = 4096
+let counter_slot addr = (addr lxor (addr lsr 12)) land (counter_slots - 1)
+
+(* Edge counters saturate instead of wrapping: the hot-phase bias test only
+   needs taken-vs-use ordering, not exact totals. *)
+let edgec_saturate = 0xFFFF
 
 let dcache_access m addr =
   if addr >= m.dc_skip_lo && addr < m.dc_skip_hi then 0
@@ -117,7 +134,10 @@ let create ?(cost = Cost.default) ?dcache mem tcache =
   let dcache = match dcache with Some d -> d | None -> Dcache.create () in
   let m =
     {
-      gr = Array.make 128 0L;
+      gr =
+        (let a = Bigarray.Array1.create Bigarray.int64 Bigarray.c_layout 128 in
+         Bigarray.Array1.fill a 0L;
+         a);
       nat = Array.make 128 false;
       fr = Array.make 128 0.0;
       fnat = Array.make 128 false;
@@ -140,6 +160,8 @@ let create ?(cost = Cost.default) ?dcache mem tcache =
       dc_skip_lo = 0;
       dc_skip_hi = 0;
       watch = Lazy.force watch_spec;
+      hotc = Array.make counter_slots 0;
+      edgec = Array.make counter_slots 0;
     }
   in
   m.fr.(1) <- 1.0;
@@ -148,35 +170,35 @@ let create ?(cost = Cost.default) ?dcache mem tcache =
 
 (* ---- register access -------------------------------------------------- *)
 
-let get m r = if r = 0 then 0L else m.gr.(r)
+let[@inline] get m r = if r = 0 then 0L else Bigarray.Array1.unsafe_get m.gr r
 
-let get_nat m r = if r = 0 then false else m.nat.(r)
+let[@inline] get_nat m r = if r = 0 then false else m.nat.(r)
 
-let set m r v =
+let[@inline] set m r v =
   if r <> 0 then begin
-    m.gr.(r) <- v;
+    Bigarray.Array1.unsafe_set m.gr r v;
     m.nat.(r) <- false
   end
 
-let set_nat m r =
+let[@inline] set_nat m r =
   if r <> 0 then begin
-    m.gr.(r) <- 0L;
+    Bigarray.Array1.unsafe_set m.gr r 0L;
     m.nat.(r) <- true
   end
 
-let getf m f = if f = 0 then 0.0 else if f = 1 then 1.0 else m.fr.(f)
+let[@inline] getf m f = if f = 0 then 0.0 else if f = 1 then 1.0 else m.fr.(f)
 
-let setf m f v =
+let[@inline] setf m f v =
   if f > 1 then begin
     m.fr.(f) <- v;
     m.fnat.(f) <- false
   end
 
-let getp m p = if p = 0 then true else m.pr.(p)
-let setp m p v = if p <> 0 then m.pr.(p) <- v
+let[@inline] getp m p = if p = 0 then true else m.pr.(p)
+let[@inline] setp m p v = if p <> 0 then m.pr.(p) <- v
 
 (* IA-32 guest addresses are 32-bit; GRs hold them zero-extended. *)
-let addr_of v = Int64.to_int (Int64.logand v 0xFFFFFFFFL)
+let[@inline] addr_of v = Int64.to_int (Int64.logand v 0xFFFFFFFFL)
 
 (* Convenience for the translator runtime: 32-bit canonical view. *)
 let get32 m r = Int64.to_int (Int64.logand (get m r) 0xFFFFFFFFL)
@@ -184,16 +206,17 @@ let set32 m r v = set m r (Int64.of_int (Ia32.Word.mask32 v))
 
 (* ---- memory with fault conversion ------------------------------------- *)
 
-let check_access m ~addr ~size ~store =
+(* An aligned access never straddles a page (page size is a multiple of
+   every access size), so the unmapped / protection checks can ride on
+   the ia32 layer's own page lookup: one fault conversion below instead
+   of two extra page-table probes per access here. *)
+let check_access ~addr ~size ~store =
   if addr mod size <> 0 then
-    raise (Machine_fault (F_misalign, addr, size, store));
-  if not (Ia32.Memory.is_mapped m.mem addr)
-     || not (Ia32.Memory.is_mapped m.mem (addr + size - 1))
-  then raise (Machine_fault (F_page, addr, size, store))
+    raise (Machine_fault (F_misalign, addr, size, store))
 
 let do_load m ~addr ~size =
-  check_access m ~addr ~size ~store:false;
-  (* protection check via the ia32 layer *)
+  check_access ~addr ~size ~store:false;
+  (* unmapped / protection check via the ia32 layer *)
   match
     if size = 8 then Ia32.Memory.read64 m.mem addr
     else Int64.of_int (Ia32.Memory.read size m.mem addr)
@@ -202,10 +225,17 @@ let do_load m ~addr ~size =
   | exception Ia32.Fault.Fault _ -> raise (Machine_fault (F_page, addr, size, false))
 
 let do_store m ~addr ~size v =
-  check_access m ~addr ~size ~store:true;
+  check_access ~addr ~size ~store:true;
+  (match
+     if size = 8 then Ia32.Memory.write64 m.mem addr v
+     else Ia32.Memory.write size m.mem addr (Int64.to_int (Int64.logand v (Int64.of_int (if size = 4 then 0xFFFFFFFF else (1 lsl (8*size)) - 1))))
+   with
+  | () -> ()
+  | exception Ia32.Fault.Fault _ -> raise (Machine_fault (F_page, addr, size, true)));
   (* an overlapping store kills matching ALAT entries; fold out the
      victims first (removal while iterating is unspecified), which costs
-     nothing on the common empty-ALAT path *)
+     nothing on the common empty-ALAT path. After the write, so a faulting
+     store leaves the ALAT untouched exactly like the pre-validated path *)
   if Hashtbl.length m.alat > 0 then begin
     let victims =
       Hashtbl.fold
@@ -214,13 +244,7 @@ let do_store m ~addr ~size v =
         m.alat []
     in
     List.iter (Hashtbl.remove m.alat) victims
-  end;
-  match
-    if size = 8 then Ia32.Memory.write64 m.mem addr v
-    else Ia32.Memory.write size m.mem addr (Int64.to_int (Int64.logand v (Int64.of_int (if size = 4 then 0xFFFFFFFF else (1 lsl (8*size)) - 1))))
-  with
-  | () -> ()
-  | exception Ia32.Fault.Fault _ -> raise (Machine_fault (F_page, addr, size, true))
+  end
 
 (* ---- ALU semantics ---------------------------------------------------- *)
 
@@ -615,6 +639,23 @@ let exec_sem m insn =
     Jump m.br.(b)
   | Mov_to_br (b, a) -> m.br.(b) <- Int64.to_int (g a); Fall
   | Mov_from_br (d, b) -> gn d (Int64.of_int m.br.(b)); Fall
+  | Hotc (s, threshold, id) ->
+    let c = m.hotc.(s) + 1 in
+    if c >= threshold then begin
+      (* reset the slot before leaving, like the stub path resets the
+         arena counter at heat time, so a re-dispatch restarts cold *)
+      m.hotc.(s) <- 0;
+      m.stats.taken_branches <- m.stats.taken_branches + 1;
+      Leave (Heat id)
+    end
+    else begin
+      m.hotc.(s) <- c;
+      Fall
+    end
+  | Edgec s ->
+    let c = m.edgec.(s) in
+    if c < edgec_saturate then m.edgec.(s) <- c + 1;
+    Fall
   | Nop _ -> Fall
 
 (* ---- timing ----------------------------------------------------------- *)

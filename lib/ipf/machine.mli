@@ -47,7 +47,9 @@ type stats = {
 val fresh_stats : unit -> stats
 
 type t = {
-  gr : int64 array;  (** 128 general registers; [r0] reads as zero *)
+  gr : (int64, Bigarray.int64_elt, Bigarray.c_layout) Bigarray.Array1.t;
+      (** 128 general registers; [r0] reads as zero. A [Bigarray] so the
+          pre-decoded core can commit fresh values without boxing them. *)
   nat : bool array;
   fr : float array;  (** 128 floating registers; [f0]=0.0, [f1]=1.0 *)
   fnat : bool array;
@@ -79,7 +81,22 @@ type t = {
   mutable dc_skip_hi : int;
   watch : (int * int list) option;
       (** IPF_WATCH debug hook, parsed once from the environment *)
+  hotc : int array;
+      (** hot-counter table bumped by {!Insn.Hotc} pseudo-ops; machine-
+          owned so counter traffic never touches the modeled dcache *)
+  edgec : int array;  (** taken-edge counters bumped by {!Insn.Edgec} *)
 }
+
+val counter_slots : int
+(** Size (power of two) of the [hotc]/[edgec] tables. *)
+
+val counter_slot : int -> int
+(** Hash a guest address to a counter slot. Shared by the translator
+    (slot assignment at emission) and the engine's profile reader; two
+    addresses may alias one slot, which merely heats the pair earlier. *)
+
+val edgec_saturate : int
+(** Ceiling at which [edgec] slots stop counting. *)
 
 val create : ?cost:Cost.t -> ?dcache:Dcache.t -> Ia32.Memory.t -> Tcache.t -> t
 

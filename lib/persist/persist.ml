@@ -436,9 +436,13 @@ let phase_code = function Obs.Trace.Cold -> 0 | Obs.Trace.Hot -> 1
    the source span in a matched run; a mismatched run virtually always
    diverges here first. *)
 let profile_seeds (eng : E.t) entry =
+  let hc = eng.E.config.Ia32el.Config.enable_hot_counters in
+  let m = eng.E.machine in
   let use =
     match B.find_entry eng.E.cache entry with
-    | Some b -> Ia32.Memory.read32 eng.E.mem b.B.ctr_addr
+    | Some b ->
+      if hc then m.Ipf.Machine.hotc.(Ipf.Machine.counter_slot entry)
+      else Ia32.Memory.read32 eng.E.mem b.B.ctr_addr
     | None -> (
       match Hashtbl.find_opt eng.E.if_counts entry with
       | Some r -> !r
@@ -446,7 +450,9 @@ let profile_seeds (eng : E.t) entry =
   in
   let taken =
     match B.find_entry eng.E.cache entry with
-    | Some b -> Ia32.Memory.read32 eng.E.mem b.B.edge_addr
+    | Some b ->
+      if hc then m.Ipf.Machine.edgec.(Ipf.Machine.counter_slot entry)
+      else Ia32.Memory.read32 eng.E.mem b.B.edge_addr
     | None -> (
       match Hashtbl.find_opt eng.E.if_taken entry with
       | Some r -> !r
@@ -511,6 +517,10 @@ let rewrite_bundles (r : rentry) ~new_id ~new_tstart =
     | I.Br t -> I.Br (target t)
     | I.Chk_s (g, t) -> I.Chk_s (g, target t)
     | I.Chk_a (g, t) -> I.Chk_a (g, target t)
+    | I.Hotc (s, thr, id) when id = old_id -> I.Hotc (s, thr, new_id)
+    | I.Hotc _ as s ->
+      ok := false;
+      s (* embeds a foreign block id: not a self-contained recording *)
     | s -> s
   in
   let out =

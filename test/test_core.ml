@@ -879,21 +879,39 @@ let mechanism_tests =
           @ epilogue
         in
         let image = Asm.build ~code ~data:dump_space () in
-        let mem = Memory.create () in
-        let st = Asm.load image mem in
-        let eng = Engine.create ~config:{ Config.default with Config.heat_threshold = 1000 }
-            ~btlib:(module Btlib.Linuxsim) mem in
-        (match Engine.run ~fuel:10_000_000 eng st with
-        | Engine.Exited (0, _) -> ()
-        | _ -> Alcotest.fail "exit");
-        (* find the loop block's counter: it ran 50 times *)
-        let found = ref false in
-        Hashtbl.iter
-          (fun _ b ->
-            let c = Memory.read32 mem b.Block.ctr_addr in
-            if c >= 49 then found := true)
-          eng.Engine.cache.Block.by_id;
-        check bool "a block executed ~50 times" true !found);
+        (* both counter schemes must see the loop block run ~50 times:
+           the hashed machine table when hot counters are on, the arena
+           word through the original stub path when off *)
+        List.iter
+          (fun hc ->
+            let mem = Memory.create () in
+            let st = Asm.load image mem in
+            let eng =
+              Engine.create
+                ~config:
+                  { Config.default with
+                    Config.heat_threshold = 1000;
+                    Config.enable_hot_counters = hc }
+                ~btlib:(module Btlib.Linuxsim) mem
+            in
+            (match Engine.run ~fuel:10_000_000 eng st with
+            | Engine.Exited (0, _) -> ()
+            | _ -> Alcotest.fail "exit");
+            (* find the loop block's counter: it ran 50 times *)
+            let found = ref false in
+            Hashtbl.iter
+              (fun _ b ->
+                let c =
+                  if hc then
+                    eng.Engine.machine.Ipf.Machine.hotc.(Ipf.Machine
+                                                         .counter_slot
+                                                           b.Block.entry)
+                  else Memory.read32 mem b.Block.ctr_addr
+                in
+                if c >= 49 then found := true)
+              eng.Engine.cache.Block.by_id;
+            check bool "a block executed ~50 times" true !found)
+          [ true; false ]);
     Alcotest.test_case "heat trigger fires and registers" `Quick (fun () ->
         let code =
           [ label "start";
@@ -917,6 +935,140 @@ let mechanism_tests =
         | Engine.Exited (0, _) -> ()
         | _ -> Alcotest.fail "exit");
         check bool "heat triggered" true (eng.Engine.acct.Account.heat_triggers > 0));
+    Alcotest.test_case "hot-counter hash aliasing heats only the runner" `Quick
+      (fun () ->
+        (* Two block entries that share a counter slot: "loop" (runs 60
+           times, crosses the threshold) and "dead" (a conditional-branch
+           target that never executes). The Hotc pulse embeds the cold
+           block's id, so the shared slot must heat exactly the block
+           that crossed the threshold — never the alias. The pad before
+           "dead" is solved for below so that
+           counter_slot(dead) = counter_slot(loop) by construction. *)
+        let build pad =
+          let code =
+            [ label "start";
+              a32 (Mov (S32, R Eax, I 0));
+              a32 (Mov (S32, R Esi, I 60));
+              jmp "loop";
+              label "dead"; a32 (Mov (S32, R Eax, I 99)) ]
+            @ (if pad > 0 then [ Asm.space pad ] else [])
+            @ [ label "loop";
+                a32 (Alu (Add, S32, R Eax, I 1));
+                a32 (Alu (Cmp, S32, R Esi, I (-1)));
+                jcc E "dead" (* never taken: esi stays >= 0 *);
+                a32 (Dec (S32, R Esi));
+                jcc Ne "loop" ]
+            @ epilogue
+          in
+          Asm.build ~code ~data:dump_space ()
+        in
+        let slot = Ipf.Machine.counter_slot in
+        (* solve the pad between the labels so the slots collide; branch
+           encodings can shrink/stretch as distances change, so re-read
+           the real addresses and refine until they actually collide *)
+        let image = ref (build 0) and pad = ref 0 and rounds = ref 0 in
+        let addr l = List.assoc l !image.Asm.labels in
+        while slot (addr "loop") <> slot (addr "dead") && !rounds < 8 do
+          let la = addr "loop" and da = addr "dead" in
+          let q = ref 1 in
+          while slot (la + !q) <> slot da && !q < 16384 do incr q done;
+          pad := !pad + !q;
+          image := build !pad;
+          incr rounds
+        done;
+        let image = !image in
+        let la = List.assoc "loop" image.Asm.labels
+        and da = List.assoc "dead" image.Asm.labels in
+        check bool "constructed a slot collision" true (slot la = slot da);
+        let run (pre, dc) =
+          let mem = Memory.create () in
+          let st = Asm.load image mem in
+          let eng =
+            Engine.create
+              ~config:
+                { Config.default with
+                  Config.heat_threshold = 40;
+                  Config.enable_hot_counters = true;
+                  Config.enable_predecode = pre;
+                  Config.enable_decode_cache = dc }
+              ~btlib:(module Btlib.Linuxsim) mem
+          in
+          (match Engine.run ~fuel:10_000_000 eng st with
+          | Engine.Exited (0, _) -> ()
+          | _ -> Alcotest.fail "exit");
+          check bool "runner heated" true
+            (eng.Engine.acct.Account.heat_triggers > 0);
+          (* the alias never ran: it must not even have a block, let
+             alone a hot one *)
+          check bool "alias block never materialized" true
+            (Block.find_entry eng.Engine.cache da = None);
+          (* the trigger resets (decays) the shared slot *)
+          check bool "hot counter decayed on trigger" true
+            (eng.Engine.machine.Ipf.Machine.hotc.(slot la) < 40);
+          ( eng.Engine.machine.Ipf.Machine.stats.Ipf.Machine.cycles,
+            Array.copy eng.Engine.machine.Ipf.Machine.hotc,
+            Array.copy eng.Engine.machine.Ipf.Machine.edgec )
+        in
+        (* counters are virtual-clock state: bit-identical across the
+           predecode x decode-cache matrix *)
+        let base = run (true, true) in
+        List.iter
+          (fun cfg ->
+            check bool "matrix counters identical" true (run cfg = base))
+          [ (true, false); (false, true); (false, false) ]);
+    Alcotest.test_case "edge counters saturate at the ceiling" `Quick
+      (fun () ->
+        (* Instrumentation lives only in cold translations, so keep the
+           block cold (threshold above the trip count): 70k taken
+           back-edges then push the edge counter past its 0xFFFF ceiling
+           and it must pin there, not wrap, while the hot counter keeps
+           the exact execution count. Deterministic across the same
+           config matrix. *)
+        let code =
+          [ label "start";
+            a32 (Mov (S32, R Eax, I 0));
+            a32 (Mov (S32, R Esi, I 70000));
+            label "loop";
+            a32 (Alu (Add, S32, R Eax, I 1));
+            a32 (Dec (S32, R Esi));
+            jcc Ne "loop" ]
+          @ epilogue
+        in
+        let image = Asm.build ~code ~data:dump_space () in
+        let la = List.assoc "loop" image.Asm.labels in
+        let s = Ipf.Machine.counter_slot la in
+        let run (pre, dc) =
+          let mem = Memory.create () in
+          let st = Asm.load image mem in
+          let eng =
+            Engine.create
+              ~config:
+                { Config.default with
+                  Config.heat_threshold = 100_000;
+                  Config.enable_hot_counters = true;
+                  Config.enable_predecode = pre;
+                  Config.enable_decode_cache = dc }
+              ~btlib:(module Btlib.Linuxsim) mem
+          in
+          (match Engine.run ~fuel:20_000_000 eng st with
+          | Engine.Exited (0, _) -> ()
+          | _ -> Alcotest.fail "exit");
+          let m = eng.Engine.machine in
+          check int "edge counter saturated exactly at the ceiling"
+            Ipf.Machine.edgec_saturate
+            m.Ipf.Machine.edgec.(s);
+          (* 70k entries minus the initial translation-time entry *)
+          check int "hot counter kept the exact execution count" 69_999
+            m.Ipf.Machine.hotc.(s);
+          ( m.Ipf.Machine.stats.Ipf.Machine.cycles,
+            Array.copy m.Ipf.Machine.hotc,
+            Array.copy m.Ipf.Machine.edgec )
+        in
+        let base = run (true, true) in
+        List.iter
+          (fun cfg ->
+            check bool "matrix counters identical" true (run cfg = base))
+          [ (true, false); (false, true); (false, false) ]);
     Alcotest.test_case "misalignment stages: detect then avoid" `Quick (fun () ->
         let code =
           [ label "start";

@@ -245,6 +245,52 @@ let stale_image =
       check bool "staleness diagnosed" true (diags <> []);
       check int "no entry survives" 0 (Persist.entry_count store2))
 
+(* The perf flags are part of the config fingerprint: a cache recorded
+   with one fusion / hot-counter setting must be rejected whole when
+   loaded under the flipped flag, and the run must fall back to fresh
+   translation with the same observables. *)
+let flag_mismatch (fname, flip) =
+  Alcotest.test_case
+    (Printf.sprintf "%s flip rejects the whole cache" fname)
+    `Quick
+    (fun () ->
+      let w = workload "mgrid" in
+      let config = Ia32el.Config.default in
+      let store = fresh_store ~config w in
+      let code_c, _, _ = run_with ~config w store in
+      save_ok store;
+      let flipped = flip config in
+      check bool "fingerprint distinguishes the flag" true
+        (Persist.config_fingerprint config
+        <> Persist.config_fingerprint flipped);
+      let image_hash, _ = keys ~config w in
+      let store2, diags =
+        Persist.load ~path:tmp ~image_hash
+          ~config_fp:(Persist.config_fingerprint flipped)
+      in
+      check bool "mismatch surfaced a diagnostic" true (diags <> []);
+      check int "no entry survives the flip" 0 (Persist.entry_count store2);
+      (* fresh fallback still runs; the flags don't change observables *)
+      let code_w, _, se_w = run_with ~config:flipped w store2 in
+      check int "same exit code from the fresh fallback" code_c code_w;
+      check int "nothing hits the rejected cache" 0
+        (Persist.stats se_w).Persist.hits)
+
+let flag_flips =
+  [
+    ( "enable_fusion",
+      fun c ->
+        { c with Ia32el.Config.enable_fusion = not c.Ia32el.Config.enable_fusion }
+    );
+    ( "enable_hot_counters",
+      fun c ->
+        {
+          c with
+          Ia32el.Config.enable_hot_counters =
+            not c.Ia32el.Config.enable_hot_counters;
+        } );
+  ]
+
 let () =
   Alcotest.run "persist"
     [
@@ -253,5 +299,6 @@ let () =
         @ [ aot_case "gzip"; readonly_case ] );
       ( "robustness",
         List.map fault_case I.all_disk_faults
-        @ [ one_bad_entry; stale_image ] );
+        @ [ one_bad_entry; stale_image ]
+        @ List.map flag_mismatch flag_flips );
     ]

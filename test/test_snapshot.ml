@@ -147,8 +147,42 @@ let matrix_tests =
 let smc_thread_tests =
   (* a program that both spawns guest threads and self-modifies: the
      snapshot/revert must rewind the SMC shootdown (invalidated blocks,
-     watch set, pending work) and the whole thread table *)
-  let prog = find_prog ~want:[ "smc"; "threads" ] ~max_insns:48 in
+     watch set, pending work) and the whole thread table. Pool labels
+     alone don't guarantee the generated program actually spawns and
+     self-modifies at runtime (the pool mix shifts as generators are
+     added), so run each candidate and demand both event kinds. *)
+  let exercises_both image =
+    try
+      let eng, tr, st = fresh_engine Ia32el.Config.default image in
+      let _ = observe_run eng tr st in
+      let evs = Obs.Trace.events tr in
+      let has p = List.exists p evs in
+      has (fun e ->
+          match e.Obs.Trace.ev with
+          | Obs.Trace.Smc_invalidation _ -> true
+          | _ -> false)
+      && has (fun e ->
+             match e.Obs.Trace.ev with
+             | Obs.Trace.Thread_spawn _ -> true
+             | _ -> false)
+    with _ -> false
+  in
+  let prog =
+    let rng = F.Rng.create 99 in
+    let rec go seed =
+      if seed > 2000 then
+        Alcotest.fail "no generated program exercising smc+threads"
+      else
+        let p = F.generate ~rng ~max_insns:48 seed in
+        let pools = F.pools p in
+        if
+          List.for_all (fun w -> List.mem w pools) [ "smc"; "threads" ]
+          && exercises_both (F.build_image p)
+        then p
+        else go (seed + 1)
+    in
+    go 0
+  in
   let image = F.build_image prog in
   [
     Alcotest.test_case "guest program exercises SMC and threads" `Quick
@@ -355,6 +389,41 @@ let capsule_tests =
         | exception Ia32el.Bt_error.Error e ->
           check string "structured component" "capsule"
             e.Ia32el.Bt_error.component);
+        Sys.remove file);
+    Alcotest.test_case "load rejects a perf-flag config mismatch" `Quick
+      (fun () ->
+        (* a capsule recorded under one fusion / hot-counter setting must
+           not replay against the flipped flag: the fingerprint embedded
+           in the capsule covers both switches *)
+        let file = tmp_capsule "ia32el-test-perf-fp.capsule" in
+        let w =
+          Workloads.Threads.producer_consumer
+            ~workers:Workloads.Threads.default_workers
+        in
+        (try ignore (R.run_plain ~max_cycles:30_000 ~capsule:file w ~scale:1)
+         with Ia32el.Bt_error.Error _ -> ());
+        let pristine = Cap.load file in
+        let d = Ia32el.Config.default in
+        List.iter
+          (fun (fname, flipped) ->
+            Cap.save file
+              (Cap.corrupt_config_fp pristine
+                 (Persist.config_fingerprint flipped));
+            match Cap.load file with
+            | _ -> Alcotest.failf "%s-mismatched capsule accepted" fname
+            | exception Ia32el.Bt_error.Error e ->
+              check string "structured component" "capsule"
+                e.Ia32el.Bt_error.component)
+          [
+            ( "fusion",
+              { d with
+                Ia32el.Config.enable_fusion =
+                  not d.Ia32el.Config.enable_fusion } );
+            ( "hot-counter",
+              { d with
+                Ia32el.Config.enable_hot_counters =
+                  not d.Ia32el.Config.enable_hot_counters } );
+          ];
         Sys.remove file);
   ]
 
