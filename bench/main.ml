@@ -566,6 +566,71 @@ let persist_rates ~scale ~min_time =
     [ warm_path; aot_path ];
   (cold_s, warm_s, aot_s, !eliminated_fraction)
 
+(* Serving-pool wall-clock rows: open-loop load over forked workers
+   sharing one read-only AOT tcache (the ia32el-serve configuration).
+   The generator's arrival rate is calibrated from a short warm batch to
+   ~70% of pool capacity — enough queueing for the tail percentiles to
+   mean something without saturating into mass rejection. Every served
+   request must install all its translations from the shared store; a
+   single live retranslation fails the run. *)
+let serve_rates ~min_time =
+  let payload = "GET /index.html HTTP/1.0\r\nHost: ia32el\r\n\r\n" in
+  let workers = 4 in
+  let tc = Filename.temp_file "ia32el-bench-serve" ".tc" in
+  (match Serve.compile_tcache ~path:tc ~scale:1 ~payload () with
+  | [] -> ()
+  | d :: _ ->
+    Printf.eprintf "perf: serve tcache save failed: %s\n"
+      (Ia32el.Bt_error.to_string d);
+    exit 1);
+  let p =
+    Serve.pool ~backend:Serve.Forked ~workers ~queue:(2 * workers) ~tcache:tc
+      ()
+  in
+  (* calibrate per-request service time under full worker concurrency —
+     so the derived rate tracks *effective* pool capacity whatever the
+     host core count. The first batch pays one-time costs (page cache,
+     COW after fork) and is discarded. *)
+  let cal_batch () =
+    Serve.run_batch p
+      (List.init workers (fun _ -> { Serve.payload; max_cycles = None }))
+  in
+  ignore (cal_batch ());
+  let cal = cal_batch () in
+  let cal_served =
+    List.filter_map (fun r -> r.Serve.result) cal.Serve.responses
+  in
+  let svc_s =
+    match cal_served with
+    | [] -> 0.05
+    | l ->
+      List.fold_left (fun a r -> a +. r.Serve.r_service_us) 0.0 l
+      /. Float.of_int (List.length l) /. 1e6
+  in
+  let svc_s = if svc_s <= 0.0 then 0.05 else svc_s in
+  let rate_hz = 0.7 *. Float.of_int workers /. svc_s in
+  let n =
+    max 16 (min 256 (int_of_float (rate_hz *. (4.0 *. min_time))))
+  in
+  let load, responses = Serve.run_open_loop p ~rate_hz ~n ~payload () in
+  let served = List.filter_map (fun r -> r.Serve.result) responses in
+  let hits =
+    List.fold_left (fun a r -> a + r.Serve.r_tc_hits) 0 served
+  in
+  let misses =
+    List.fold_left (fun a r -> a + r.Serve.r_tc_misses) 0 served
+  in
+  List.iter
+    (fun s -> try Sys.remove s with Sys_error _ -> ())
+    [ tc; tc ^ ".lock" ];
+  if misses > 0 || hits = 0 then begin
+    Printf.eprintf
+      "perf: serving pool not warm: %d live translations, %d AOT installs\n"
+      misses hits;
+    exit 1
+  end;
+  (load, rate_hz, workers, hits)
+
 let perf ~scale ~min_time ~config () =
   header "Wall-clock throughput of the simulator itself"
     "host-dependent; committed snapshot makes fast-path regressions visible\n\
@@ -631,6 +696,9 @@ let perf ~scale ~min_time ~config () =
         Float.of_int r.B.cycles)
   in
   let cold_s, warm_s, aot_s, elim_frac = persist_rates ~scale ~min_time in
+  let serve_load, serve_rate_hz, serve_workers, serve_hits =
+    serve_rates ~min_time
+  in
   let mach_speedup = mach_pre /. mach_int in
   let interp_speedup = interp_cached /. interp_uncached in
   let lock_factor = lock_s /. el_s in
@@ -670,8 +738,23 @@ let perf ~scale ~min_time ~config () =
   Printf.printf "persistent tcache, AOT      : %8.3f s/run (%.2fx cold)\n"
     aot_s (cold_s /. aot_s);
   Printf.printf
-    "  cold-phase translation cycles eliminated on warm start: %.1f%%\n\n"
+    "  cold-phase translation cycles eliminated on warm start: %.1f%%\n"
     (100.0 *. elim_frac);
+  Printf.printf
+    "serving pool (%d forked workers, shared read-only AOT tcache):\n"
+    serve_workers;
+  Printf.printf
+    "  throughput                : %8.2f guests/s (open-loop, offered %.2f/s)\n"
+    serve_load.Serve.guests_per_s serve_rate_hz;
+  Printf.printf
+    "  latency p50/p95/p99       : %.2f / %.2f / %.2f ms (mean %.2f)\n"
+    serve_load.Serve.lat_p50_ms serve_load.Serve.lat_p95_ms
+    serve_load.Serve.lat_p99_ms serve_load.Serve.lat_mean_ms;
+  Printf.printf
+    "  served %d of %d offered, %d rejected; %d AOT installs, 0 live \
+     translations\n\n"
+    serve_load.Serve.served serve_load.Serve.offered
+    serve_load.Serve.load_rejected serve_hits;
   let finite x = Float.is_finite x && x > 0.0 in
   if
     not
@@ -679,7 +762,8 @@ let perf ~scale ~min_time ~config () =
          [
            mach_pre; mach_int; interp_cached; interp_uncached; lock_factor;
            fuzz_ps; forkserver_ps; threads_cps; futex_cps; cold_s; warm_s;
-           aot_s;
+           aot_s; serve_load.Serve.guests_per_s; serve_load.Serve.lat_p50_ms;
+           serve_load.Serve.lat_p95_ms; serve_load.Serve.lat_p99_ms;
          ])
   then begin
     Printf.eprintf "perf: non-finite or non-positive measurement\n";
@@ -696,7 +780,7 @@ let perf ~scale ~min_time ~config () =
   let report =
     Obj
       [
-        ("schema", Str "ia32el-wallclock/3");
+        ("schema", Str "ia32el-wallclock/4");
         ("scale", Int scale);
         ("host_dependent", Str "true");
         (* measured once when the current fast-path generation landed
@@ -770,6 +854,24 @@ let perf ~scale ~min_time ~config () =
               ("aot_speedup", Float (cold_s /. aot_s));
               ( "cold_translation_cycles_eliminated_fraction",
                 Float elim_frac );
+            ] );
+        ( "serve",
+          Obj
+            [
+              ("backend", Str "fork");
+              ("workers", Int serve_workers);
+              ("tcache", Str "aot-shared-readonly");
+              ("offered_rate_hz", Float serve_rate_hz);
+              ("offered", Int serve_load.Serve.offered);
+              ("served", Int serve_load.Serve.served);
+              ("rejected", Int serve_load.Serve.load_rejected);
+              ("guests_per_s", Float serve_load.Serve.guests_per_s);
+              ("lat_p50_ms", Float serve_load.Serve.lat_p50_ms);
+              ("lat_p95_ms", Float serve_load.Serve.lat_p95_ms);
+              ("lat_p99_ms", Float serve_load.Serve.lat_p99_ms);
+              ("lat_mean_ms", Float serve_load.Serve.lat_mean_ms);
+              ("tc_hits", Int serve_hits);
+              ("tc_misses", Int 0);
             ] );
       ]
   in

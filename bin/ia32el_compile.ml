@@ -18,7 +18,11 @@ module C = Workloads.Common
 
 let workloads ~threads : C.t list =
   Workloads.Spec_int.all @ Workloads.Spec_fp.all
-  @ [ Workloads.Sysmark.office; Workloads.Sysmark.misalign_stress ]
+  @ [
+      Workloads.Sysmark.office;
+      Workloads.Sysmark.misalign_stress;
+      Workloads.Serve_echo.workload;
+    ]
   @ Workloads.Threads.all ~workers:threads
 
 let find_workload ~threads name =
@@ -27,8 +31,8 @@ let find_workload ~threads name =
 let print_diags diags =
   List.iter (fun d -> Fmt.epr "tcache: %a@." Ia32el.Bt_error.pp d) diags
 
-let compile_cmd name scale tcache_file train no_predecode no_decode_cache
-    threads =
+let compile_cmd name scale tcache_file train train_payload no_predecode
+    no_decode_cache threads =
   let config =
     {
       Ia32el.Config.default with
@@ -71,7 +75,14 @@ let compile_cmd name scale tcache_file train no_predecode no_decode_cache
         let sref = ref None in
         let r =
           B.run_el ~config
-            ~attach:(fun e -> sref := Some (Persist.attach store e))
+            ~attach:(fun e ->
+              (* server-style workloads train against the same request
+                 payload the serving pool will bind, so the recorded
+                 translation order matches what workers replay *)
+              (match train_payload with
+              | Some payload -> Btlib.Vos.bind_request e.Ia32el.Engine.vos payload
+              | None -> ());
+              sref := Some (Persist.attach store e))
             ~check_exit:false w ~scale
         in
         Printf.printf "train: guest exit %d, %d cycles\n" r.B.exit_code
@@ -125,6 +136,17 @@ let train_arg =
            translation-request order, so a subsequent warm run starts \
            fully pre-heated.")
 
+let train_payload_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "train-payload" ] ~docv:"STR"
+        ~doc:
+          "Bind $(docv) on the Vos request channel during the training \
+           run — required to train server-style workloads (serve-echo) \
+           for `ia32el-serve', so the recorded translation-request order \
+           matches what same-payload served requests replay.")
+
 let no_predecode_arg =
   Arg.(
     value & flag
@@ -158,6 +180,7 @@ let main =
           translation cache.")
     Term.(
       const compile_cmd $ workload_arg $ scale_arg $ tcache_file_arg
-      $ train_arg $ no_predecode_arg $ no_decode_cache_arg $ threads_arg)
+      $ train_arg $ train_payload_arg $ no_predecode_arg $ no_decode_cache_arg
+      $ threads_arg)
 
 let () = exit (Cmd.eval main)

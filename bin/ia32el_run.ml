@@ -23,7 +23,11 @@ module C = Workloads.Common
 
 let workloads ~threads : C.t list =
   Workloads.Spec_int.all @ Workloads.Spec_fp.all
-  @ [ Workloads.Sysmark.office; Workloads.Sysmark.misalign_stress ]
+  @ [
+      Workloads.Sysmark.office;
+      Workloads.Sysmark.misalign_stress;
+      Workloads.Serve_echo.workload;
+    ]
   @ Workloads.Threads.all ~workers:threads
 
 let find_workload ~threads name =

@@ -1,0 +1,326 @@
+(* ia32el-serve: run a batch of guest requests through the serving pool.
+
+   Requests come from --requests N (N copies of --payload) or --jobs FILE
+   (one payload per line). Each request runs in its own
+   Engine/Vos/Memory instance on a worker (forked process by default,
+   inline or OCaml-5 domains by flag), under an optional per-request
+   virtual-cycle budget, with bounded-queue admission control. With
+   --tcache-file the AOT store is shared read-only across all workers —
+   no worker retranslates warm code (assert with --require-warm).
+
+     ia32el-compile serve-echo -o serve.tc --train --train-payload "$REQ"
+     ia32el-serve --workers 4 --tcache-file serve.tc --requests 32 \
+                  --payload "$REQ" --require-warm --out rollup.json
+
+   Exit codes: 0 served; 1 bad usage; 2 a served guest failed (non-zero
+   exit or fault) unless --allow-failures; 4 --require-warm violated;
+   5 --check-standalone mismatch. Admission rejections (possible only
+   with --reject) and budget exhaustions are reported in the roll-up,
+   not exit codes. *)
+
+module C = Workloads.Common
+
+let workloads ~threads : C.t list =
+  Workloads.Spec_int.all @ Workloads.Spec_fp.all
+  @ [
+      Workloads.Sysmark.office;
+      Workloads.Sysmark.misalign_stress;
+      Workloads.Serve_echo.workload;
+    ]
+  @ Workloads.Threads.all ~workers:threads
+
+let read_jobs_file path =
+  let ic = open_in path in
+  let rec go acc =
+    match input_line ic with
+    | line -> go (line :: acc)
+    | exception End_of_file ->
+      close_in ic;
+      List.rev acc
+  in
+  go []
+
+let serve_cmd workload_name scale workers queue backend_name_arg tcache_file
+    tcache_readonly max_cycles requests payload jobs_file reject require_warm
+    check_standalone allow_failures out no_predecode no_decode_cache =
+  let config =
+    {
+      Ia32el.Config.default with
+      Ia32el.Config.enable_predecode =
+        Ia32el.Config.default.Ia32el.Config.enable_predecode
+        && not no_predecode;
+      Ia32el.Config.enable_decode_cache =
+        Ia32el.Config.default.Ia32el.Config.enable_decode_cache
+        && not no_decode_cache;
+    }
+  in
+  let backend =
+    match backend_name_arg with
+    | "fork" | "forked" -> Serve.Forked
+    | "inline" -> Serve.Inline
+    | "domains" -> Serve.Domains
+    | s ->
+      Printf.eprintf "unknown backend %S (fork|inline|domains)\n" s;
+      exit 1
+  in
+  let workload =
+    match
+      List.find_opt
+        (fun w -> w.C.name = workload_name)
+        (workloads ~threads:Workloads.Threads.default_workers)
+    with
+    | Some w -> w
+    | None ->
+      Printf.eprintf "unknown workload %S; try `ia32el-run list'\n"
+        workload_name;
+      exit 1
+  in
+  let payloads =
+    match jobs_file with
+    | Some path -> read_jobs_file path
+    | None -> List.init requests (fun _ -> payload)
+  in
+  if payloads = [] then begin
+    Printf.eprintf "no requests (use --requests or --jobs)\n";
+    exit 1
+  end;
+  let p =
+    Serve.pool ~backend ~workers ~queue ~config ~scale ~workload ?tcache:tcache_file
+      ~tcache_readonly ()
+  in
+  let jobs =
+    List.map (fun payload -> { Serve.payload; max_cycles }) payloads
+  in
+  let batch = Serve.run_batch ~drain_between:(not reject) p jobs in
+  let rollup = Serve.rollup batch in
+  (match out with
+  | Some path ->
+    let oc = open_out path in
+    Obs.Metrics.write rollup oc;
+    close_out oc
+  | None -> print_string (Obs.Metrics.to_string rollup));
+  let served =
+    List.filter_map (fun r -> r.Serve.result) batch.Serve.responses
+  in
+  List.iter
+    (fun (r : Serve.response) ->
+      match r.Serve.rejected with
+      | Some e -> Fmt.epr "rejected: %a@." Ia32el.Bt_error.pp e
+      | None -> ())
+    batch.Serve.responses;
+  (* --require-warm: every request must have installed all translations
+     from the shared store *)
+  if require_warm then begin
+    if tcache_file = None then begin
+      Printf.eprintf "--require-warm needs --tcache-file\n";
+      exit 1
+    end;
+    let misses =
+      List.fold_left (fun a (r : Serve.result) -> a + r.Serve.r_tc_misses) 0 served
+    in
+    let hits =
+      List.fold_left (fun a (r : Serve.result) -> a + r.Serve.r_tc_hits) 0 served
+    in
+    if misses > 0 || hits = 0 then begin
+      Printf.eprintf
+        "require-warm violated: %d live translations, %d AOT installs\n"
+        misses hits;
+      exit 4
+    end
+  end;
+  (* --check-standalone: re-run the first served request alone in this
+     process and diff every observable against the served result *)
+  if check_standalone then begin
+    match
+      List.find_opt
+        (fun (r : Serve.response) -> r.Serve.result <> None)
+        batch.Serve.responses
+    with
+    | None -> ()
+    | Some r ->
+      let res = Option.get r.Serve.result in
+      let image = workload.C.build ~scale ~wide:false in
+      let inst = Ia32el.Instance.create ~config image in
+      (* find that request's payload back by position *)
+      let idx =
+        let rec go i = function
+          | [] -> 0
+          | (x : Serve.response) :: tl -> if x == r then i else go (i + 1) tl
+        in
+        go 0 batch.Serve.responses
+      in
+      let req = List.nth payloads idx in
+      let sr = Ia32el.Instance.run ?max_cycles ~request:req inst in
+      let sm = Obs.Metrics.to_string (Ia32el.Instance.metrics inst) in
+      let mism what = Printf.eprintf "check-standalone: %s differs\n" what in
+      let bad = ref false in
+      if sm <> res.Serve.r_metrics then (mism "metrics JSON"; bad := true);
+      if sr.Ia32el.Instance.output <> res.Serve.r_output then
+        (mism "guest output"; bad := true);
+      if sr.Ia32el.Instance.response <> res.Serve.r_response then
+        (mism "response bytes"; bad := true);
+      if
+        Ia32el.Instance.stop_to_string sr.Ia32el.Instance.stop
+        <> res.Serve.r_stop
+      then (mism "stop reason"; bad := true);
+      if !bad then exit 5;
+      Printf.eprintf
+        "check-standalone: served run bit-identical to standalone\n"
+  end;
+  let failed =
+    List.filter
+      (fun (r : Serve.result) ->
+        r.Serve.r_exit <> Some 0 && r.Serve.r_stop <> "budget_exhausted")
+      served
+  in
+  if failed <> [] && not allow_failures then begin
+    List.iter
+      (fun (r : Serve.result) ->
+        Printf.eprintf "guest failed: %s (worker %d)\n" r.Serve.r_stop
+          r.Serve.r_worker)
+      failed;
+    exit 2
+  end
+
+open Cmdliner
+
+let workload_arg =
+  Arg.(
+    value & opt string "serve-echo"
+    & info [ "workload" ] ~docv:"NAME" ~doc:"Guest workload to serve.")
+
+let scale_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "s"; "scale" ] ~docv:"N" ~doc:"Workload scale factor.")
+
+let workers_arg =
+  Arg.(
+    value & opt int 4
+    & info [ "w"; "workers" ] ~docv:"N" ~doc:"Worker count.")
+
+let queue_arg =
+  Arg.(
+    value & opt int 8
+    & info [ "queue" ] ~docv:"N"
+        ~doc:"Admission queue depth; capacity = workers + queue.")
+
+let backend_arg =
+  Arg.(
+    value & opt string "fork"
+    & info [ "backend" ] ~docv:"B"
+        ~doc:
+          "Worker backend: $(b,fork) (worker processes), $(b,inline) \
+           (synchronous, for testing), or $(b,domains) (OCaml 5 domains).")
+
+let tcache_file_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "tcache-file" ] ~docv:"FILE"
+        ~doc:
+          "AOT translation cache shared by all workers (see \
+           `ia32el-compile').")
+
+let tcache_readonly_arg =
+  Arg.(
+    value & opt bool true
+    & info [ "tcache-readonly" ] ~docv:"BOOL"
+        ~doc:
+          "Attach the shared tcache read-only (default true; forked \
+           workers cannot usefully record anyway).")
+
+let max_cycles_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "max-cycles" ] ~docv:"N"
+        ~doc:
+          "Per-request virtual-cycle budget; a request past it stops \
+           with budget_exhausted (reported in the roll-up).")
+
+let requests_arg =
+  Arg.(
+    value & opt int 8
+    & info [ "n"; "requests" ] ~docv:"N"
+        ~doc:"Number of requests (copies of --payload).")
+
+let payload_arg =
+  Arg.(
+    value
+    & opt string "GET /index.html HTTP/1.0\r\nHost: ia32el\r\n\r\n"
+    & info [ "payload" ] ~docv:"STR"
+        ~doc:"Request payload bound on the Vos channel.")
+
+let jobs_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "jobs" ] ~docv:"FILE"
+        ~doc:"Job spec: one request payload per line (overrides \
+              --requests/--payload).")
+
+let reject_arg =
+  Arg.(
+    value & flag
+    & info [ "reject" ]
+        ~doc:
+          "Open admission: reject requests that find the pool at \
+           capacity instead of applying backpressure.")
+
+let require_warm_arg =
+  Arg.(
+    value & flag
+    & info [ "require-warm" ]
+        ~doc:
+          "Fail (exit 4) unless every translation of every request was \
+           installed from the shared tcache — zero warm-code \
+           retranslation.")
+
+let check_standalone_arg =
+  Arg.(
+    value & flag
+    & info [ "check-standalone" ]
+        ~doc:
+          "Re-run one served request standalone and fail (exit 5) \
+           unless every observable — metrics JSON included — is \
+           bit-identical.")
+
+let allow_failures_arg =
+  Arg.(
+    value & flag
+    & info [ "allow-failures" ]
+        ~doc:"Do not exit 2 when served guests fail.")
+
+let out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "o"; "out" ] ~docv:"FILE"
+        ~doc:"Write the roll-up JSON here instead of stdout.")
+
+let no_predecode_arg =
+  Arg.(
+    value & flag
+    & info [ "no-predecode" ] ~doc:"Disable the pre-decoded fast path.")
+
+let no_decode_cache_arg =
+  Arg.(
+    value & flag
+    & info [ "no-decode-cache" ]
+        ~doc:"Disable the reference interpreter's decode cache.")
+
+let main =
+  Cmd.v
+    (Cmd.info "ia32el-serve" ~version:"1.0.0"
+       ~doc:
+         "Serve a batch of guest requests on a worker pool with a shared \
+          read-only AOT translation cache.")
+    Term.(
+      const serve_cmd $ workload_arg $ scale_arg $ workers_arg $ queue_arg
+      $ backend_arg $ tcache_file_arg $ tcache_readonly_arg $ max_cycles_arg
+      $ requests_arg $ payload_arg $ jobs_arg $ reject_arg $ require_warm_arg
+      $ check_standalone_arg $ allow_failures_arg $ out_arg $ no_predecode_arg
+      $ no_decode_cache_arg)
+
+let () = exit (Cmd.eval main)

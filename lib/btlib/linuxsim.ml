@@ -21,6 +21,14 @@ let decode_syscall (st : State.t) =
   | 48 -> Syscall.Signal { vector = ebx; handler = ecx }
   | 90 -> Syscall.Map { addr = ebx; len = ecx }
   | 91 -> Syscall.Unmap { addr = ebx; len = ecx }
+  | 102 ->
+    (* socketcall-flavoured: op in ebx (1 = accept, 2 = recv, 3 = send),
+       buffer in ecx, length in edx *)
+    (match ebx with
+    | 1 -> Syscall.Accept
+    | 2 -> Syscall.Recv { buf = ecx; len = edx }
+    | 3 -> Syscall.Send { buf = ecx; len = edx }
+    | _ -> Syscall.Unknown eax)
   | 120 -> Syscall.Spawn { entry = ebx; stack = ecx; arg = edx }
     (* clone-flavoured: thread entry in ebx, new stack in ecx, arg in edx *)
   | 158 -> Syscall.Idle ebx
@@ -38,12 +46,15 @@ let decode_syscall (st : State.t) =
 let encode_result (st : State.t) v = State.set32 st Insn.Eax v
 
 (* Linux-flavoured allocation: a simple bump arena high in the 64-bit space
-   (the value is only used for bookkeeping/statistics). *)
-let arena = ref 0x2000000000
+   (the value is only used for bookkeeping/statistics). The cursor lives in
+   the Vos instance, not at module level, so concurrent guests in one
+   process each get an independent, deterministic address stream. *)
+let arena_base = 0x2000000000
 
-let alloc_region (_ : Vos.t) ~len =
-  let base = !arena in
-  arena := !arena + ((len + 0xFFF) land lnot 0xFFF);
+let alloc_region (vos : Vos.t) ~len =
+  if vos.Vos.region_next = 0 then vos.Vos.region_next <- arena_base;
+  let base = vos.Vos.region_next in
+  vos.Vos.region_next <- base + ((len + 0xFFF) land lnot 0xFFF);
   base
 
 let perform = Vos.perform

@@ -21,6 +21,14 @@ type call =
     (* block while mem32[addr] = expected (EAGAIN when it already isn't) *)
   | Futex_wake of { addr : int; count : int }
     (* wake up to count FIFO waiters on addr; returns number woken *)
+  | Accept
+    (* accept the request bound to this Vos instance; returns the number
+       of not-yet-received request bytes, EAGAIN when none is bound *)
+  | Recv of { buf : int; len : int }
+    (* copy up to len request bytes to guest memory; returns the count
+       transferred, 0 once the request is fully consumed *)
+  | Send of { buf : int; len : int }
+    (* append len guest bytes to the response channel; returns len *)
   | Unknown of int
 
 (* [Block] parks the calling thread: the scheduler must pick another
@@ -44,6 +52,9 @@ let pp ppf = function
   | Futex_wait { addr; expected } ->
     Fmt.pf ppf "futex_wait(0x%x, %d)" addr expected
   | Futex_wake { addr; count } -> Fmt.pf ppf "futex_wake(0x%x, %d)" addr count
+  | Accept -> Fmt.string ppf "accept()"
+  | Recv { buf; len } -> Fmt.pf ppf "recv(0x%x, %d)" buf len
+  | Send { buf; len } -> Fmt.pf ppf "send(0x%x, %d)" buf len
   | Unknown n -> Fmt.pf ppf "unknown(%d)" n
 
 let pp_result ppf = function

@@ -28,6 +28,18 @@ type call =
   | Futex_wake of { addr : int; count : int }
       (** wake up to [count] FIFO waiters on [addr]; returns the number
           woken *)
+  | Accept
+      (** accept the request bound to this Vos instance (the socket-like
+          request/response channel the serving harness feeds); returns
+          the number of not-yet-received request bytes, [-EAGAIN] when no
+          request is bound *)
+  | Recv of { buf : int; len : int }
+      (** copy up to [len] request bytes into guest memory at [buf];
+          returns the count transferred (0 once the request is fully
+          consumed), [-EFAULT] with nothing transferred on a page fault *)
+  | Send of { buf : int; len : int }
+      (** append [len] guest bytes to the response channel; returns
+          [len], or [-EFAULT] with nothing appended on a page fault *)
   | Unknown of int
 
 type result =

@@ -61,6 +61,23 @@ type t = {
      of checkpoint/restore, so attaching never perturbs snapshots. *)
   mutable futex_hist : (int -> unit) option;
   futex_wait_since : (int, int) Hashtbl.t; (* tid -> clock at block *)
+  (* ---- request/response channel (socket-like, serving harness) ----
+     One pending request at a time: the harness binds a payload before
+     the run; the guest drains it with Accept/Recv and appends its reply
+     with Send. All per-instance — many live Vos in one process never
+     share channel state. *)
+  mutable req_data : string; (* bound request payload *)
+  mutable req_pos : int; (* bytes already transferred by Recv *)
+  mutable req_bound : bool; (* a request is bound (Accept succeeds) *)
+  response : Buffer.t; (* bytes the guest appended with Send *)
+  mutable net_recvd : int; (* total request bytes transferred *)
+  mutable net_sent : int; (* total response bytes appended *)
+  (* ---- translated-code region arena (per-instance) ----
+     BTLib [alloc_region] bookkeeping used to live in module-level refs
+     in {!Linuxsim}/{!Winsim} and leaked across Vos instances in one
+     process; each personality now initialises this cursor lazily from
+     its own base address. 0 = not yet initialised. *)
+  mutable region_next : int;
   (* ---- threads ---- *)
   threads : (int, thread) Hashtbl.t;
   mutable next_tid : int; (* tids are dense: 0 .. next_tid-1 *)
@@ -96,6 +113,13 @@ let create mem =
     trace = None;
     futex_hist = None;
     futex_wait_since = Hashtbl.create 8;
+    req_data = "";
+    req_pos = 0;
+    req_bound = false;
+    response = Buffer.create 64;
+    net_recvd = 0;
+    net_sent = 0;
+    region_next = 0;
     threads = Hashtbl.create 8;
     next_tid = 0;
     current = 0;
@@ -108,6 +132,22 @@ let create mem =
   }
 
 let output t = Buffer.contents t.output
+
+(* ---- request/response channel ---------------------------------------- *)
+
+(* Bind [payload] as the pending request, resetting the channel: any
+   previous request remainder and response bytes are dropped. Harness
+   wiring — called before the run, never from guest code. *)
+let bind_request t payload =
+  t.req_data <- payload;
+  t.req_pos <- 0;
+  t.req_bound <- true;
+  Buffer.clear t.response;
+  t.net_recvd <- 0;
+  t.net_sent <- 0
+
+let response t = Buffer.contents t.response
+let request_remaining t = String.length t.req_data - t.req_pos
 
 let round_page n =
   (n + Ia32.Memory.page_size - 1) land lnot (Ia32.Memory.page_size - 1)
@@ -338,6 +378,47 @@ let do_futex_wake t ~addr ~count =
       t.futex_fifo;
   Syscall.Ret !woken
 
+(* Socket-like channel services. [Recv] is all-or-nothing like [Write]:
+   the transferred span is rolled back byte-for-byte if a page fault
+   interrupts it, so the guest never observes a partial delivery (and the
+   request cursor only advances on success). *)
+let do_accept t =
+  if t.req_bound then Syscall.Ret (request_remaining t)
+  else errno (-11) (* EAGAIN: no request bound *)
+
+let do_recv t ~buf ~len =
+  if not t.req_bound then errno (-11)
+  else begin
+    let n = min (max 0 len) (request_remaining t) in
+    let written = ref [] in
+    try
+      for k = 0 to n - 1 do
+        let a = buf + k in
+        let old = Ia32.Memory.read8 t.mem a in
+        Ia32.Memory.write8 t.mem a
+          (Char.code t.req_data.[t.req_pos + k]);
+        written := (a, old) :: !written
+      done;
+      t.req_pos <- t.req_pos + n;
+      t.net_recvd <- t.net_recvd + n;
+      Syscall.Ret n
+    with Ia32.Fault.Fault _ ->
+      List.iter (fun (a, old) -> Ia32.Memory.write8 t.mem a old) !written;
+      errno (-14) (* EFAULT, nothing transferred *)
+  end
+
+let do_send t ~buf ~len =
+  let len = min (max 0 len) 1_000_000 in
+  let scratch = Buffer.create (min (max len 1) 4096) in
+  try
+    for k = 0 to len - 1 do
+      Buffer.add_char scratch (Char.chr (Ia32.Memory.read8 t.mem (buf + k)))
+    done;
+    Buffer.add_buffer t.response scratch;
+    t.net_sent <- t.net_sent + len;
+    Syscall.Ret len
+  with Ia32.Fault.Fault _ -> errno (-14)
+
 let call_name = function
   | Syscall.Exit _ -> "exit"
   | Syscall.Write _ -> "write"
@@ -353,6 +434,9 @@ let call_name = function
   | Syscall.Yield -> "yield"
   | Syscall.Futex_wait _ -> "futex_wait"
   | Syscall.Futex_wake _ -> "futex_wake"
+  | Syscall.Accept -> "accept"
+  | Syscall.Recv _ -> "recv"
+  | Syscall.Send _ -> "send"
   | Syscall.Unknown _ -> "unknown"
 
 (* Execute a system service against guest state [st]. The service itself
@@ -435,6 +519,9 @@ let perform_call t (st : Ia32.State.t) (call : Syscall.call) : Syscall.result =
   | Syscall.Futex_wake { addr; count } ->
     ensure_main t st;
     do_futex_wake t ~addr ~count
+  | Syscall.Accept -> do_accept t
+  | Syscall.Recv { buf; len } -> do_recv t ~buf ~len
+  | Syscall.Send { buf; len } -> do_send t ~buf ~len
   | Syscall.Unknown _ -> Syscall.Ret (Ia32.Word.mask32 (-38))
 
 let perform t st call =
@@ -530,6 +617,13 @@ type checkpoint = {
   k_futex_fifo : int list;
   k_last_charge : int;
   k_context_switches : int;
+  k_req_data : string;
+  k_req_pos : int;
+  k_req_bound : bool;
+  k_response_len : int;
+  k_net_recvd : int;
+  k_net_sent : int;
+  k_region_next : int;
 }
 
 let checkpoint t =
@@ -566,6 +660,13 @@ let checkpoint t =
     k_futex_fifo = t.futex_fifo;
     k_last_charge = t.last_charge;
     k_context_switches = t.context_switches;
+    k_req_data = t.req_data;
+    k_req_pos = t.req_pos;
+    k_req_bound = t.req_bound;
+    k_response_len = Buffer.length t.response;
+    k_net_recvd = t.net_recvd;
+    k_net_sent = t.net_sent;
+    k_region_next = t.region_next;
   }
 
 let restore t (k : checkpoint) =
@@ -599,4 +700,11 @@ let restore t (k : checkpoint) =
   t.preempt <- k.k_preempt;
   t.futex_fifo <- k.k_futex_fifo;
   t.last_charge <- k.k_last_charge;
-  t.context_switches <- k.k_context_switches
+  t.context_switches <- k.k_context_switches;
+  t.req_data <- k.k_req_data;
+  t.req_pos <- k.k_req_pos;
+  t.req_bound <- k.k_req_bound;
+  Buffer.truncate t.response k.k_response_len;
+  t.net_recvd <- k.k_net_recvd;
+  t.net_sent <- k.k_net_sent;
+  t.region_next <- k.k_region_next

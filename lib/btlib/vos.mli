@@ -61,6 +61,18 @@ type t = {
   futex_wait_since : (int, int) Hashtbl.t;
       (** tid -> clock at block, maintained only while [futex_hist] is
           attached *)
+  mutable req_data : string;
+      (** request/response channel: the payload bound by the serving
+          harness (see {!bind_request}) *)
+  mutable req_pos : int;  (** request bytes already delivered by [Recv] *)
+  mutable req_bound : bool;  (** a request is bound ([Accept] succeeds) *)
+  response : Buffer.t;  (** bytes the guest appended with [Send] *)
+  mutable net_recvd : int;  (** total request bytes delivered *)
+  mutable net_sent : int;  (** total response bytes appended *)
+  mutable region_next : int;
+      (** translated-code-region arena cursor for BTLib [alloc_region];
+          per-instance (0 = personality initialises it lazily from its own
+          base), so many live Vos in one process never share arena state *)
   threads : (int, thread) Hashtbl.t;
   mutable next_tid : int;  (** tids are dense: 0 .. next_tid-1 *)
   mutable current : int;
@@ -82,6 +94,26 @@ val create : Ia32.Memory.t -> t
 
 val output : t -> string
 (** Console output written by the guest so far. *)
+
+(** {1 Request/response channel}
+
+    A minimal socket-like service family for server-style guests: the
+    harness binds one request payload before (or between) runs; the guest
+    drains it with [Accept]/[Recv] and appends its reply with [Send].
+    Entirely per-instance — concurrent Vos instances in one process never
+    share channel state. *)
+
+val bind_request : t -> string -> unit
+(** Bind [payload] as the pending request and clear any previous
+    response/transfer counters. [Accept] then returns the number of
+    not-yet-received bytes; [Recv] delivers them in order. *)
+
+val response : t -> string
+(** Bytes the guest has appended with [Send] since the last
+    {!bind_request}. *)
+
+val request_remaining : t -> int
+(** Request bytes not yet delivered by [Recv]. *)
 
 val perform : t -> Ia32.State.t -> Syscall.call -> Syscall.result
 (** Execute a system service against guest state. The service "runs

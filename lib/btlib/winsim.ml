@@ -30,16 +30,22 @@ let decode_syscall (st : State.t) =
   | 0x52 -> Syscall.Yield
   | 0x53 -> Syscall.Futex_wait { addr = edx; expected = ecx }
   | 0x54 -> Syscall.Futex_wake { addr = edx; count = ecx }
+  | 0x60 -> Syscall.Accept
+  | 0x61 -> Syscall.Recv { buf = edx; len = ecx }
+  | 0x62 -> Syscall.Send { buf = edx; len = ecx }
   | n -> Syscall.Unknown (n lor (ebx land 0)) (* ebx unused; keep convention *)
 
 let encode_result (st : State.t) v = State.set32 st Insn.Eax v
 
-(* Windows-flavoured allocation: 64 KiB granularity, separate arena. *)
-let arena = ref 0x3000000000
+(* Windows-flavoured allocation: 64 KiB granularity, separate arena. The
+   cursor is per-Vos (see {!Vos.t.region_next}) so concurrent guests never
+   share allocation state. *)
+let arena_base = 0x3000000000
 
-let alloc_region (_ : Vos.t) ~len =
-  let base = !arena in
-  arena := !arena + ((len + 0xFFFF) land lnot 0xFFFF);
+let alloc_region (vos : Vos.t) ~len =
+  if vos.Vos.region_next = 0 then vos.Vos.region_next <- arena_base;
+  let base = vos.Vos.region_next in
+  vos.Vos.region_next <- base + ((len + 0xFFFF) land lnot 0xFFFF);
   base
 
 let perform = Vos.perform

@@ -1,0 +1,74 @@
+(* One self-contained guest instance: memory + engine + architectural
+   state built from an assembled image. Everything an instance touches is
+   owned by it — memory (with its own write-generation counter), Vos
+   (request channel, arena cursor, thread table), block cache, machine —
+   so any number of instances can live in one process (a serving worker
+   pool, lockstep pairs, A/B experiments) without sharing mutable state.
+   The serving layer builds one instance per admitted request. *)
+
+type t = {
+  mem : Ia32.Memory.t;
+  eng : Engine.t;
+  mutable st : Ia32.State.t;
+}
+
+type stop =
+  | Exited of int
+  | Faulted of Ia32.Fault.t
+  | Budget_exhausted of Bt_error.t
+  | Fuel_exhausted
+
+type result = {
+  stop : stop;
+  cycles : int; (* virtual clock at stop *)
+  output : string; (* console output so far *)
+  response : string; (* channel response so far *)
+}
+
+let create ?config ?cost ?dcache
+    ?(btlib : (module Btlib.Btos.S) = (module Btlib.Linuxsim))
+    (image : Ia32.Asm.image) =
+  let mem = Ia32.Memory.create () in
+  let st = Ia32.Asm.load image mem in
+  let eng = Engine.create ?config ?cost ?dcache ~btlib mem in
+  { mem; eng; st }
+
+let default_fuel = 2_000_000_000
+
+(* The watchdog surfaces as a structured [Bt_error] out of [Engine.run];
+   an instance run converts exactly that error — component "watchdog" —
+   into a [Budget_exhausted] stop so pool layers can treat a blown budget
+   as a normal per-request outcome rather than a harness crash. Any other
+   [Bt_error] still escapes: those are translator invariant violations. *)
+let run ?(fuel = default_fuel) ?max_cycles ?request t =
+  (match max_cycles with Some _ as m -> t.eng.Engine.max_cycles <- m | None -> ());
+  (match request with
+  | Some payload -> Btlib.Vos.bind_request t.eng.Engine.vos payload
+  | None -> ());
+  let finish stop =
+    {
+      stop;
+      cycles = Engine.clock t.eng;
+      output = Btlib.Vos.output t.eng.Engine.vos;
+      response = Btlib.Vos.response t.eng.Engine.vos;
+    }
+  in
+  match Engine.run ~fuel t.eng t.st with
+  | Engine.Exited (code, st) ->
+    t.st <- st;
+    finish (Exited code)
+  | Engine.Unhandled_fault (f, st) ->
+    t.st <- st;
+    finish (Faulted f)
+  | Engine.Out_of_fuel -> finish Fuel_exhausted
+  | exception Bt_error.Error e when e.Bt_error.component = "watchdog" ->
+    finish (Budget_exhausted e)
+
+let metrics t = Engine.metrics t.eng
+let clock t = Engine.clock t.eng
+
+let stop_to_string = function
+  | Exited c -> Printf.sprintf "exited(%d)" c
+  | Faulted f -> "fault:" ^ Ia32.Fault.to_string f
+  | Budget_exhausted _ -> "budget_exhausted"
+  | Fuel_exhausted -> "fuel_exhausted"

@@ -1,0 +1,55 @@
+(** One self-contained guest instance: memory + engine + architectural
+    state built from an assembled image.
+
+    Everything an instance touches is owned by it — memory (with its own
+    write-generation counter), Vos (request/response channel, arena
+    cursor, thread table), block cache, machine — so any number of
+    instances can live in one process (a serving worker pool, lockstep
+    pairs, A/B experiments) without sharing mutable state. The serving
+    layer ([Serve]) builds one instance per admitted request. *)
+
+type t = {
+  mem : Ia32.Memory.t;
+  eng : Engine.t;
+  mutable st : Ia32.State.t;  (** updated with the final precise state *)
+}
+
+(** Why a run stopped. A blown per-request cycle budget is a normal
+    outcome here (not an exception): pool layers account and report it. *)
+type stop =
+  | Exited of int
+  | Faulted of Ia32.Fault.t
+  | Budget_exhausted of Bt_error.t
+      (** the engine watchdog fired ([max_cycles] passed) *)
+  | Fuel_exhausted
+
+type result = {
+  stop : stop;
+  cycles : int;  (** virtual clock at stop *)
+  output : string;  (** console output so far *)
+  response : string;  (** request-channel response so far *)
+}
+
+val create :
+  ?config:Config.t ->
+  ?cost:Ipf.Cost.t ->
+  ?dcache:Ipf.Dcache.t ->
+  ?btlib:(module Btlib.Btos.S) ->
+  Ia32.Asm.image ->
+  t
+(** Fresh memory, image loaded, engine created ([Btlib.Linuxsim] by
+    default). No sharing with any other instance. *)
+
+val default_fuel : int
+
+val run : ?fuel:int -> ?max_cycles:int -> ?request:string -> t -> result
+(** Run the guest from its current state. [max_cycles] arms the engine
+    watchdog (absolute virtual-clock bound); the resulting structured
+    [Bt_error] (component ["watchdog"]) is converted to
+    [Budget_exhausted] — any other [Bt_error] escapes. [request] binds a
+    payload on the Vos request channel first
+    ({!Btlib.Vos.bind_request}). *)
+
+val metrics : t -> Obs.Metrics.t
+val clock : t -> int
+val stop_to_string : stop -> string

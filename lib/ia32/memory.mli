@@ -44,10 +44,17 @@ val set_watched_pages : t -> int list -> unit
 
 val page_gen : t -> int -> int
 (** Write generation of the page holding the given address: bumped from a
-    global monotonic counter on every mutation (byte store, remap,
-    protection change, loader write); [-1] when unmapped. Generations are
-    never reused, so caches of decoded instructions keyed on them cannot
-    false-hit across an unmap/remap cycle. Valid generations are >= 1. *)
+    per-memory monotonic counter on every mutation (byte store, remap,
+    protection change, loader write); [-1] when unmapped. Within one
+    memory, generations are never reused, so caches of decoded
+    instructions keyed on them cannot false-hit across an unmap/remap
+    cycle (ABA-freedom). The counter is owned by the {!t} instance —
+    never shared module-level state — so any number of live memories in
+    one process (a serving worker pool, lockstep pairs) evolve their
+    generation streams independently and deterministically; generation
+    values are only meaningful against the memory that issued them.
+    [copy] carries the counter over, preserving the contract in the
+    clone. Valid generations are >= 1. *)
 
 val read8 : t -> int -> int
 
@@ -95,10 +102,11 @@ val first_diff : ?skip:(int -> bool) -> t -> t -> int option
     of the address space.
 
     [revert] restores each touched page's bytes, protection {e and
-    original write generation}. Generations are drawn from a global
-    never-reused counter, so a given generation value only ever denotes
-    the exact content it stamped — consumers validating cached decodes
-    against {!page_gen} stay warm across a revert with no flush.
+    original write generation}. Generations are drawn from the memory's
+    own never-reused counter (see {!page_gen}), so a given generation
+    value only ever denotes the exact content it stamped — consumers
+    validating cached decodes against {!page_gen} stay warm across a
+    revert with no flush.
     [commit] folds the innermost epoch into its parent (the parent's
     older pre-images win), making the changes permanent relative to the
     inner epoch while the outer one can still revert them.

@@ -1,0 +1,132 @@
+(* A server-style guest for the serving harness: parse one request off
+   the Vos request/response channel, transform it, send the reply, then
+   do a fixed slab of "service work" so the image has warm code worth
+   sharing through the AOT tcache.
+
+   Protocol (linuxsim socketcall convention, eax=102, op in ebx):
+     accept        -> request length (negative errno when none bound)
+     recv(buf,len) -> deliver the payload into [reqbuf]
+     send(buf,len) -> reply = payload XOR 0x5A, then the 32-bit rolling
+                      checksum (sum-and-rotate-left-3) little-endian
+
+   The per-byte transform loop has no data-dependent branches — its trip
+   count depends only on the request LENGTH — so every same-length
+   request drives the translator through the identical block/trace
+   sequence. That is what lets a pool of workers serve off one AOT-
+   trained read-only tcache with zero warm-code retranslation, and what
+   makes standalone-vs-served observables bit-identical. Host-side
+   expected reply: [expected_response]. Exit codes: 0 served, 2 no
+   request bound, 3 short recv. *)
+
+open Ia32.Insn
+module A = Ia32.Asm
+open Common
+
+let buf_cap = 4096
+
+let build ~scale ~wide:_ =
+  let code =
+    [
+      (* accept: eax <- request length *)
+      a32 (Mov (S32, R Eax, I 102));
+      a32 (Mov (S32, R Ebx, I 1));
+      a32 (Int_n 0x80);
+      a32 (Test (S32, R Eax, R Eax));
+      A.jcc S "fail_none";
+      (* clamp to the static buffer *)
+      a32 (Alu (Cmp, S32, R Eax, I buf_cap));
+      A.jcc Le "len_ok";
+      a32 (Mov (S32, R Eax, I buf_cap));
+      A.label "len_ok";
+      A.with_lab "reqlen" (fun a -> Mov (S32, M (mem_abs a), R Eax));
+      (* recv the payload into reqbuf *)
+      a32 (Mov (S32, R Edx, R Eax));
+      a32 (Mov (S32, R Eax, I 102));
+      a32 (Mov (S32, R Ebx, I 2));
+      A.mov_ri_lab Ecx "reqbuf";
+      a32 (Int_n 0x80);
+      A.with_lab "reqlen" (fun a -> Alu (Cmp, S32, R Eax, M (mem_abs a)));
+      A.jcc Ne "fail_short";
+      (* transform: out[i] = req[i] xor 0x5A; ebx = rol3(ebx + req[i]) *)
+      A.mov_ri_lab Esi "reqbuf";
+      A.mov_ri_lab Edi "outbuf";
+      A.with_lab "reqlen" (fun a -> Mov (S32, R Ecx, M (mem_abs a)));
+      a32 (Mov (S32, R Ebx, I 0));
+      a32 (Test (S32, R Ecx, R Ecx));
+      A.jcc E "reply";
+      A.label "xform";
+      a32 (Movzx (S8, Eax, M (mem_bd Esi 0)));
+      a32 (Alu (Add, S32, R Ebx, R Eax));
+      a32 (Shift (Rol, S32, R Ebx, Amt_imm 3));
+      a32 (Alu (Xor, S32, R Eax, I 0x5A));
+      a32 (Mov (S8, M (mem_bd Edi 0), R Eax));
+      a32 (Inc (S32, R Esi));
+      a32 (Inc (S32, R Edi));
+      a32 (Dec (S32, R Ecx));
+      A.jcc Ne "xform";
+      A.label "reply";
+      (* append the checksum after the transformed bytes, send len+4 *)
+      a32 (Mov (S32, M (mem_bd Edi 0), R Ebx));
+      A.with_lab "reqlen" (fun a -> Mov (S32, R Edx, M (mem_abs a)));
+      a32 (Alu (Add, S32, R Edx, I 4));
+      a32 (Mov (S32, R Eax, I 102));
+      a32 (Mov (S32, R Ebx, I 3));
+      A.mov_ri_lab Ecx "outbuf";
+      a32 (Int_n 0x80);
+    ]
+    (* fixed slab of post-reply service work (logging/compaction stand-in):
+       request-independent, so the image carries warm code whose
+       translation stream never varies across requests *)
+    @ [ a32 (Mov (S32, R Eax, I 77)) ]
+    @ counted_mem "svc" "ctr" (400 * scale)
+        (lcg_next
+        @ [
+            a32 (Mov (S32, R Ebx, R Eax));
+            a32 (Alu (And, S32, R Ebx, I 63));
+            A.with_lab "table" (fun a ->
+                Alu (Add, S32, M { base = None; index = Some (Ebx, 4); disp = a }, R Eax));
+            a32 (Shift (Ror, S32, R Eax, Amt_imm 7));
+          ])
+    @ [ A.jmp "done" ]
+    @ [
+        A.label "fail_none";
+        a32 (Mov (S32, R Eax, I 1));
+        a32 (Mov (S32, R Ebx, I 2));
+        a32 (Int_n 0x80);
+        A.label "fail_short";
+        a32 (Mov (S32, R Eax, I 1));
+        a32 (Mov (S32, R Ebx, I 3));
+        a32 (Int_n 0x80);
+        A.label "done";
+      ]
+  in
+  let data =
+    [ A.label "reqlen"; A.space 4; A.label "ctr"; A.space 4; A.label "table" ]
+    @ List.init 64 (fun k -> A.dd ((k * 2654435761) land 0xFFFFFFFF))
+    @ [
+        A.label "reqbuf";
+        A.space buf_cap;
+        A.label "outbuf";
+        A.space (buf_cap + 4);
+      ]
+  in
+  build_image code data
+
+let workload = { name = "serve-echo"; build; paper_score = None }
+
+(* Host-side model of the guest's reply, for end-to-end checking. *)
+let expected_response payload =
+  let n = min (String.length payload) buf_cap in
+  let b = Buffer.create (n + 4) in
+  let chk = ref 0 in
+  let mask = 0xFFFFFFFF in
+  for i = 0 to n - 1 do
+    let c = Char.code payload.[i] in
+    let s = (!chk + c) land mask in
+    chk := ((s lsl 3) lor (s lsr 29)) land mask;
+    Buffer.add_char b (Char.chr (c lxor 0x5A))
+  done;
+  for i = 0 to 3 do
+    Buffer.add_char b (Char.chr ((!chk lsr (8 * i)) land 0xFF))
+  done;
+  Buffer.contents b

@@ -1,0 +1,22 @@
+(** A server-style guest for the serving harness: accepts one request
+    off the Vos request/response channel ([Accept]/[Recv]), replies with
+    the payload XOR 0x5A followed by a 32-bit rolling checksum ([Send]),
+    then runs a fixed request-independent slab of service work.
+
+    The transform loop's control flow depends only on request {e length},
+    never content, so same-length requests drive identical translation
+    streams — the property the shared read-only AOT tcache and the
+    standalone-vs-served determinism tests rely on.
+
+    Exit codes: 0 served, 2 no request bound, 3 short recv. *)
+
+val buf_cap : int
+(** Static request/response buffer capacity; longer payloads are
+    truncated by the guest. *)
+
+val workload : Common.t
+(** The ["serve-echo"] workload. *)
+
+val expected_response : string -> string
+(** Host-side model of the guest's reply to [payload] (after
+    truncation to {!buf_cap}), for end-to-end response checking. *)
